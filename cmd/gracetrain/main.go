@@ -1,0 +1,100 @@
+// Command gracetrain runs one distributed training configuration end to end
+// and reports per-epoch quality, virtual time, and volume — the building
+// block the figure-level experiments are made of.
+//
+// Usage:
+//
+//	gracetrain -bench ncf -method topk -ratio 0.01 -ef -workers 8 -net tcp-10g
+//	gracetrain -benchlist
+//	gracetrain -methods
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+	"repro/internal/harness"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		bench     = flag.String("bench", "cnnsmall", "benchmark name (see -benchlist)")
+		method    = flag.String("method", "none", "compression method (see -methods)")
+		ratio     = flag.Float64("ratio", 0, "sparsification ratio / adaptive alpha")
+		levels    = flag.Int("levels", 0, "quantization levels / sketch buckets")
+		rank      = flag.Int("rank", 0, "low-rank factorization rank")
+		threshold = flag.Float64("threshold", 0, "threshold (thresholdv) / sparsity multiplier (threelc)")
+		ef        = flag.Bool("ef", false, "enable framework error feedback")
+		workers   = flag.Int("workers", 8, "number of workers")
+		net       = flag.String("net", "tcp-10g", "network preset")
+		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
+		seed      = flag.Uint64("seed", 42, "run seed")
+		benchlist = flag.Bool("benchlist", false, "list benchmarks")
+		methods   = flag.Bool("methods", false, "list methods")
+	)
+	flag.Parse()
+
+	if *benchlist {
+		for _, b := range harness.Benchmarks() {
+			fmt.Printf("%-10s stands in for %-24s (%s, metric: %s)\n", b.Name, b.PaperModel, b.Task, b.Metric)
+		}
+		return
+	}
+	if *methods {
+		for _, m := range grace.All() {
+			fmt.Printf("%-12s %-15s EF-default=%v builtin-EF=%v  %s\n", m.Name, m.Class, m.DefaultEF, m.BuiltinEF, m.Reference)
+		}
+		return
+	}
+
+	b, err := harness.BenchmarkByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	link, err := simnet.PresetByName(*net)
+	if err != nil {
+		fatal(err)
+	}
+	meta, err := grace.Lookup(*method)
+	if err != nil {
+		fatal(err)
+	}
+	useEF := *ef
+	if meta.BuiltinEF && useEF {
+		fmt.Fprintf(os.Stderr, "gracetrain: %s has built-in memory; disabling framework EF\n", *method)
+		useEF = false
+	}
+	spec := harness.MethodSpec{
+		Label: *method,
+		Name:  *method,
+		Opts: grace.Options{
+			Ratio: *ratio, Levels: *levels, Rank: *rank, Threshold: *threshold,
+		},
+		EF: useEF,
+	}
+	sc := harness.SweepConfig{Workers: *workers, Net: link, Scale: *scale, Seed: *seed}
+	fmt.Printf("training %s (%s) with %s on %d workers over %s\n",
+		b.Name, b.PaperModel, *method, *workers, link.Name)
+	rep, err := harness.RunOne(b, spec, sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\n%-6s %-12s %-12s\n", "epoch", b.Metric, "time (s)")
+	for i := range rep.EpochQuality {
+		fmt.Printf("%-6d %-12.4f %-12.2f\n", i+1, rep.EpochQuality[i], rep.EpochVirtualTime[i].Seconds())
+	}
+	fmt.Printf("\nbest %s:        %.4f\n", b.Metric, rep.BestQuality)
+	fmt.Printf("throughput:       %.1f samples/s (virtual)\n", rep.Throughput)
+	fmt.Printf("volume/iteration: %.0f bytes/worker\n", rep.BytesPerIter)
+	fmt.Printf("time split:       compute %v | codec %v | network %v\n",
+		rep.ComputeTime, rep.CodecTime, rep.CommTime)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gracetrain:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,117 @@
+// Command graceworker runs one rank of a genuinely multi-process distributed
+// training job over a real TCP ring: launch one process per rank with the
+// same -addrs list and distinct -rank values (on one machine or several).
+//
+//	graceworker -rank 0 -addrs 127.0.0.1:7000,127.0.0.1:7001 -bench ncf -method topk -ratio 0.01 -ef &
+//	graceworker -rank 1 -addrs 127.0.0.1:7000,127.0.0.1:7001 -bench ncf -method topk -ratio 0.01 -ef
+//
+// Every process builds the same synthetic dataset and model from the shared
+// seed, so replicas agree exactly as the in-process trainer's do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+	"repro/internal/harness"
+	"repro/internal/simnet"
+)
+
+func main() {
+	var (
+		rank      = flag.Int("rank", -1, "this process's rank")
+		addrsFlag = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+		bench     = flag.String("bench", "cnnsmall", "benchmark name")
+		method    = flag.String("method", "none", "compression method")
+		ratio     = flag.Float64("ratio", 0, "sparsification ratio")
+		levels    = flag.Int("levels", 0, "quantization levels")
+		rank_     = flag.Int("lowrank", 0, "low-rank factorization rank")
+		ef        = flag.Bool("ef", false, "enable framework error feedback")
+		net       = flag.String("net", "tcp-10g", "modeled network preset for the virtual clock")
+		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
+		seed      = flag.Uint64("seed", 42, "shared run seed")
+		timeout   = flag.Duration("timeout", 30*time.Second, "ring setup timeout")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*addrsFlag, ",")
+	if *addrsFlag == "" || len(addrs) < 2 {
+		fatal(fmt.Errorf("need -addrs with at least two entries"))
+	}
+	if *rank < 0 || *rank >= len(addrs) {
+		fatal(fmt.Errorf("-rank %d out of range for %d addresses", *rank, len(addrs)))
+	}
+	b, err := harness.BenchmarkByName(*bench)
+	if err != nil {
+		fatal(err)
+	}
+	link, err := simnet.PresetByName(*net)
+	if err != nil {
+		fatal(err)
+	}
+
+	ring, err := comm.DialTCPRing(*rank, addrs, *timeout)
+	if err != nil {
+		fatal(fmt.Errorf("ring setup: %w", err))
+	}
+	defer ring.Close()
+	fmt.Printf("rank %d/%d joined the ring\n", *rank, len(addrs))
+
+	workers := len(addrs)
+	cfg := grace.Config{
+		Workers:      workers,
+		BatchSize:    b.BatchSize,
+		Epochs:       scaledEpochs(b, *scale),
+		Seed:         *seed,
+		NewModel:     b.NewModel,
+		Dataset:      b.NewDataset(),
+		NewOptimizer: b.NewOptimizer,
+		NewCompressor: func(r int) (grace.Compressor, error) {
+			return grace.New(*method, grace.Options{
+				Ratio: *ratio, Levels: *levels, Rank: *rank_,
+				Seed: *seed*1000 + uint64(r),
+			})
+		},
+		UseMemory:            *ef,
+		Net:                  link,
+		ComputePerIter:       b.ComputePerIter,
+		QualityLowerIsBetter: b.LowerIsBetter,
+	}
+	if *rank == 0 {
+		cfg.Eval = b.NewEval()
+	}
+
+	rep, err := grace.RunWorker(cfg, *rank, ring, simnet.NewCluster(link, workers))
+	if err != nil {
+		fatal(err)
+	}
+	if *rank == 0 {
+		fmt.Printf("\n%-6s %-12s %-10s\n", "epoch", b.Metric, "time (s)")
+		for i := range rep.EpochQuality {
+			fmt.Printf("%-6d %-12.4f %-10.2f\n", i+1, rep.EpochQuality[i], rep.EpochVirtualTime[i].Seconds())
+		}
+		fmt.Printf("\nbest %s: %.4f | %.1f samples/s | %.0f bytes/iter/worker\n",
+			b.Metric, rep.BestQuality, rep.Throughput, rep.BytesPerIter)
+	} else {
+		fmt.Printf("rank %d finished %d iterations (%.0f bytes/iter)\n", *rank, rep.Iters, rep.BytesPerIter)
+	}
+}
+
+func scaledEpochs(b harness.Benchmark, scale float64) int {
+	e := int(float64(b.Epochs) * scale)
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graceworker:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "GRACE: A Compressed
+// Communication Framework for Distributed Machine Learning" (Xu et al.,
+// ICDCS 2021): a unified gradient-compression framework with 17 compression
+// methods, a neural-network training substrate, real and simulated
+// collective communication, and a benchmark harness regenerating every table
+// and figure of the paper's evaluation. See README.md and DESIGN.md.
+package repro

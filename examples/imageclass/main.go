@@ -1,0 +1,69 @@
+// Imageclass reproduces the paper's Figure 1 motivation in miniature: train
+// the communication-bound VGG-16 stand-in on 8 workers over a 25 Gbps link
+// with no compression, Random-k(0.01) and 8-bit quantization, and show that
+// the epoch-level picture ("all methods equivalent") inverts once wall time
+// is accounted for.
+package main
+
+import (
+	"fmt"
+
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+	"repro/internal/harness"
+	"repro/internal/simnet"
+)
+
+func main() {
+	bench, err := harness.BenchmarkByName("mlpwide")
+	if err != nil {
+		panic(err)
+	}
+	sc := harness.SweepConfig{Workers: 8, Net: simnet.TCP25G, Scale: 1.0, Seed: 42}
+
+	specs := []harness.MethodSpec{
+		{Label: "Baseline", Name: "none"},
+		{Label: "Randk(0.01)", Name: "randomk", Opts: grace.Options{Ratio: 0.01}, EF: true},
+		{Label: "8-bit", Name: "eightbit", EF: true},
+	}
+	fmt.Printf("Figure 1: %s (%s), %d workers, %s\n\n", bench.Name, bench.PaperModel, sc.Workers, sc.Net.Name)
+
+	type series struct {
+		label string
+		rep   *grace.Report
+	}
+	var runs []series
+	for _, spec := range specs {
+		fmt.Printf("training with %s...\n", spec.Label)
+		rep, err := harness.RunOne(bench, spec, sc)
+		if err != nil {
+			panic(err)
+		}
+		runs = append(runs, series{spec.Label, rep})
+	}
+
+	fmt.Println("\n(a) accuracy vs epochs — the methods look equivalent:")
+	fmt.Printf("%-7s", "epoch")
+	for _, r := range runs {
+		fmt.Printf("%-14s", r.label)
+	}
+	fmt.Println()
+	for e := range runs[0].rep.EpochQuality {
+		fmt.Printf("%-7d", e+1)
+		for _, r := range runs {
+			fmt.Printf("%-14.4f", r.rep.EpochQuality[e])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n(b) accuracy vs virtual wall time — the ranking changes:")
+	for _, r := range runs {
+		last := len(r.rep.EpochVirtualTime) - 1
+		fmt.Printf("%-14s total %8.2fs   best accuracy %.4f   (compute %v, codec %v, network %v)\n",
+			r.label, r.rep.EpochVirtualTime[last].Seconds(), r.rep.BestQuality,
+			r.rep.ComputeTime.Round(1e6), r.rep.CodecTime.Round(1e6), r.rep.CommTime.Round(1e6))
+	}
+	fmt.Println("\nAs in the paper: the sparsifier converges in less wall time than the")
+	fmt.Println("baseline, while 8-bit quantization — same accuracy per epoch — is slower")
+	fmt.Println("than not compressing at all once codec cost and allgather volume count.")
+}

@@ -1,0 +1,51 @@
+// Langmodel trains the LSTM language-model benchmark (the PTB stand-in)
+// under quantization (QSGD) and low-rank compression (PowerSGD), tracing the
+// paper's Figure 7b trade-off: test perplexity against communicated data
+// volume per iteration.
+package main
+
+import (
+	"fmt"
+
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+func main() {
+	bench, err := harness.BenchmarkByName("lstm")
+	if err != nil {
+		panic(err)
+	}
+	sc := harness.SweepConfig{Workers: 8, Net: simnet.TCP10G, Scale: 1.0, Seed: 42}
+
+	specs := []harness.MethodSpec{
+		{Label: "Baseline", Name: "none"},
+		{Label: "QSGD(64)", Name: "qsgd", Opts: grace.Options{Levels: 64}},
+		{Label: "QSGD(4)", Name: "qsgd", Opts: grace.Options{Levels: 4}},
+		{Label: "PowerSGD(4)", Name: "powersgd", Opts: grace.Options{Rank: 4}},
+		{Label: "PowerSGD(1)", Name: "powersgd", Opts: grace.Options{Rank: 1}},
+		{Label: "Topk(0.01)", Name: "topk", Opts: grace.Options{Ratio: 0.01}, EF: true},
+	}
+	fmt.Printf("Figure 7b scenario: %s (%s), %d workers, %s\n", bench.Name, bench.PaperModel, sc.Workers, sc.Net.Name)
+	fmt.Println("lower perplexity is better; volume is per worker per iteration")
+	fmt.Printf("\n%-13s %-13s %-12s %-12s\n", "method", "perplexity", "rel volume", "bytes/iter")
+
+	var baseVol float64
+	for _, spec := range specs {
+		rep, err := harness.RunOne(bench, spec, sc)
+		if err != nil {
+			panic(err)
+		}
+		if spec.Name == "none" {
+			baseVol = rep.BytesPerIter
+		}
+		fmt.Printf("%-13s %-13.3f %-12.4f %-12.0f\n",
+			spec.Label, rep.BestQuality, metrics.Relative(rep.BytesPerIter, baseVol), rep.BytesPerIter)
+	}
+	fmt.Println("\nThe paper's Figure 7 lesson: methods that send more data generally reach")
+	fmt.Println("better quality, and aggressive settings (QSGD(4), PowerSGD(1)) pay for")
+	fmt.Println("their volume savings in model quality.")
+}

@@ -1,0 +1,75 @@
+// Quickstart: compress a single gradient tensor with several GRACE methods
+// and inspect wire size and reconstruction error — the paper's Figures 3
+// (QSGD codebook) and 4 (Top-k selection) as runnable code.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	_ "repro/internal/compress/all"
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func main() {
+	// A gradient tensor, as back-propagation would produce for one layer.
+	const d = 4096
+	rng := fxrand.New(1)
+	g := make([]float32, d)
+	for i := range g {
+		g[i] = rng.NormFloat32() * 0.1
+	}
+	info := grace.NewTensorInfo("layer1.w", []int{64, 64})
+
+	fmt.Println("GRACE quickstart: one 4096-element gradient (16384 bytes dense)")
+	fmt.Printf("%-14s %-10s %-12s %-14s\n", "method", "bytes", "ratio", "L2 error")
+	for _, name := range []string{"none", "topk", "randomk", "qsgd", "terngrad", "eightbit", "signsgd", "threelc", "powersgd"} {
+		c, err := grace.New(name, grace.Options{Ratio: 0.05, Levels: 16, Rank: 4, Seed: 7})
+		if err != nil {
+			panic(err)
+		}
+		p, err := c.Compress(g, info)
+		if err != nil {
+			panic(err)
+		}
+		out, err := c.Decompress(p, info)
+		if err != nil {
+			panic(err)
+		}
+		var errSq, normSq float64
+		for i := range g {
+			diff := float64(out[i] - g[i])
+			errSq += diff * diff
+			normSq += float64(g[i]) * float64(g[i])
+		}
+		fmt.Printf("%-14s %-10d %-12.4f %-14.4f\n",
+			name, p.WireBytes(), float64(p.WireBytes())/float64(4*d),
+			math.Sqrt(errSq/normSq))
+	}
+
+	// Figure 4 of the paper: Top-k keeps the k largest-magnitude elements
+	// and their indices.
+	fmt.Println("\nFigure 4 worked example — Top-k (20%) on a 15-element gradient:")
+	example := []float32{-0.1, 1.2, 3, 0, -3.5, 4.9, 0.88, 0, 0, -0.7, 1, 0, 9, -0.3, 0}
+	einfo := grace.NewTensorInfo("fig4", []int{15})
+	tk, _ := grace.New("topk", grace.Options{Ratio: 0.2})
+	p, _ := tk.Compress(example, einfo)
+	dec, _ := tk.Decompress(p, einfo)
+	fmt.Printf("  input:  %v\n", example)
+	fmt.Printf("  output: %v\n", dec)
+
+	// Figure 3 of the paper: QSGD's randomized codebook rounding. With s=4
+	// the code-words are multiples of ‖g‖₂/4.
+	fmt.Println("\nFigure 3 worked example — QSGD (s=4) randomized rounding:")
+	q, _ := grace.New("qsgd", grace.Options{Levels: 4, Seed: 3})
+	qg := []float32{-3.39, 1.78, 10.87, -2.22, 10.9, 1.12, -32.1, 12.5}
+	qinfo := grace.NewTensorInfo("fig3", []int{8})
+	for trial := 0; trial < 3; trial++ {
+		p, _ := q.Compress(qg, qinfo)
+		dec, _ := q.Decompress(p, qinfo)
+		fmt.Printf("  trial %d: %.2f\n", trial+1, dec)
+	}
+	fmt.Println("  (code-words are 0, ±9.5, ±19, ±28.5, ±38 = multiples of ‖g‖₂/4; the")
+	fmt.Println("   assignment is random, proportional to each element's magnitude)")
+}

@@ -1,0 +1,92 @@
+// Tcpcluster demonstrates GRACE over real TCP collectives: four workers on
+// localhost form a ring (the same topology Horovod's allreduce uses),
+// exchange Top-k-compressed gradients through the grace.Pipeline, and verify
+// every worker agrees on the aggregate. This exercises the actual network
+// substrate rather than the in-process hub the experiments use.
+package main
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	_ "repro/internal/compress/all"
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+const (
+	workers = 4
+	dim     = 1 << 14
+	rounds  = 5
+)
+
+func main() {
+	// Reserve distinct localhost ports for the ring.
+	addrs := make([]string, workers)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	fmt.Printf("forming a %d-worker TCP ring: %v\n", workers, addrs)
+
+	results := make([][]float32, workers)
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			ring, err := comm.DialTCPRing(rank, addrs, 5*time.Second)
+			if err != nil {
+				panic(fmt.Sprintf("rank %d: %v", rank, err))
+			}
+			defer ring.Close()
+
+			compressor, err := grace.New("topk", grace.Options{Ratio: 0.05})
+			if err != nil {
+				panic(err)
+			}
+			meter := comm.NewMeter(ring)
+			pipe := &grace.Pipeline{
+				Comp: compressor,
+				Mem:  grace.NewMemory(1, 1),
+				Coll: meter,
+			}
+			info := grace.NewTensorInfo("w", []int{128, 128})
+			rng := fxrand.New(uint64(rank) + 1)
+			var agg []float32
+			for round := 0; round < rounds; round++ {
+				g := make([]float32, dim)
+				for i := range g {
+					g[i] = rng.NormFloat32() * 0.1
+				}
+				agg, _, err = pipe.Exchange(g, info)
+				if err != nil {
+					panic(fmt.Sprintf("rank %d round %d: %v", rank, round, err))
+				}
+			}
+			results[rank] = agg
+			if rank == 0 {
+				fmt.Printf("rank 0 sent %d bytes over %d collective ops (vs %d dense)\n",
+					meter.BytesSent(), meter.Ops(), rounds*dim*4)
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	for rank := 1; rank < workers; rank++ {
+		for i := range results[0] {
+			if results[rank][i] != results[0][i] {
+				panic(fmt.Sprintf("worker %d disagrees with worker 0 at element %d", rank, i))
+			}
+		}
+	}
+	fmt.Printf("all %d workers agree on the aggregated gradient after %d rounds over real TCP\n",
+		workers, rounds)
+}

@@ -1,0 +1,112 @@
+// Package comm provides the collective-communication substrate: the
+// Collective interface (the role Horovod plays in the paper), an in-process
+// hub implementation for goroutine workers, a real TCP ring implementation,
+// and a byte-metering wrapper used for the paper's data-volume accounting.
+package comm
+
+import "sync/atomic"
+
+// Collective exposes the three primitives GRACE's communication strategies
+// need (§IV-B): Allreduce for summable tensors, Allgather for variable-length
+// compressed payloads, and Broadcast. Implementations are per-worker handles;
+// every method is a synchronization point that all workers must enter.
+type Collective interface {
+	// Rank is this worker's id in [0, Size).
+	Rank() int
+	// Size is the number of workers.
+	Size() int
+	// AllreduceF32 sums x elementwise across all workers, in place. All
+	// workers must pass equal-length slices. The result is bitwise identical
+	// on every worker.
+	AllreduceF32(x []float32) error
+	// AllgatherBytes distributes each worker's payload to all workers,
+	// returned in rank order. Payload lengths may differ across workers.
+	AllgatherBytes(b []byte) ([][]byte, error)
+	// BroadcastBytes sends root's payload to all workers (the returned slice
+	// on the root is its own payload).
+	BroadcastBytes(b []byte, root int) ([]byte, error)
+	// Barrier blocks until all workers arrive.
+	Barrier() error
+}
+
+// Serial is the degenerate single-worker collective.
+type Serial struct{}
+
+var _ Collective = Serial{}
+
+// Rank returns 0.
+func (Serial) Rank() int { return 0 }
+
+// Size returns 1.
+func (Serial) Size() int { return 1 }
+
+// AllreduceF32 is the identity for a single worker.
+func (Serial) AllreduceF32(x []float32) error { return nil }
+
+// AllgatherBytes returns the worker's own payload.
+func (Serial) AllgatherBytes(b []byte) ([][]byte, error) { return [][]byte{b}, nil }
+
+// BroadcastBytes returns the payload unchanged.
+func (Serial) BroadcastBytes(b []byte, root int) ([]byte, error) { return b, nil }
+
+// Barrier is a no-op.
+func (Serial) Barrier() error { return nil }
+
+// Meter wraps a Collective and counts the bytes this worker sends, which is
+// the paper's "data volume each worker generates" metric (§V). For
+// AllreduceF32 the logical send volume is the full vector (4 bytes/element);
+// for AllgatherBytes and BroadcastBytes it is the worker's own payload.
+type Meter struct {
+	inner Collective
+	sent  atomic.Int64
+	ops   atomic.Int64
+}
+
+var _ Collective = (*Meter)(nil)
+
+// NewMeter wraps inner with byte accounting.
+func NewMeter(inner Collective) *Meter { return &Meter{inner: inner} }
+
+// Rank forwards to the wrapped collective.
+func (m *Meter) Rank() int { return m.inner.Rank() }
+
+// Size forwards to the wrapped collective.
+func (m *Meter) Size() int { return m.inner.Size() }
+
+// AllreduceF32 forwards, accounting 4 bytes per element.
+func (m *Meter) AllreduceF32(x []float32) error {
+	m.sent.Add(int64(len(x) * 4))
+	m.ops.Add(1)
+	return m.inner.AllreduceF32(x)
+}
+
+// AllgatherBytes forwards, accounting the local payload length.
+func (m *Meter) AllgatherBytes(b []byte) ([][]byte, error) {
+	m.sent.Add(int64(len(b)))
+	m.ops.Add(1)
+	return m.inner.AllgatherBytes(b)
+}
+
+// BroadcastBytes forwards, accounting the payload only on the root.
+func (m *Meter) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	if m.inner.Rank() == root {
+		m.sent.Add(int64(len(b)))
+	}
+	m.ops.Add(1)
+	return m.inner.BroadcastBytes(b, root)
+}
+
+// Barrier forwards without accounting.
+func (m *Meter) Barrier() error { return m.inner.Barrier() }
+
+// BytesSent reports the total payload bytes this worker has sent.
+func (m *Meter) BytesSent() int64 { return m.sent.Load() }
+
+// Ops reports the number of collective operations performed.
+func (m *Meter) Ops() int64 { return m.ops.Load() }
+
+// Reset zeroes the counters.
+func (m *Meter) Reset() {
+	m.sent.Store(0)
+	m.ops.Store(0)
+}

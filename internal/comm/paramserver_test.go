@@ -1,0 +1,129 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func runPSGroup(t *testing.T, n int, fn func(w Collective) error) {
+	t.Helper()
+	hub := NewPSHub(n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(hub.Worker(rank))
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestPSAllreduce(t *testing.T) {
+	const n = 4
+	runPSGroup(t, n, func(w Collective) error {
+		x := []float32{float32(w.Rank()), 2}
+		if err := w.AllreduceF32(x); err != nil {
+			return err
+		}
+		if x[0] != 6 || x[1] != 8 {
+			return fmt.Errorf("ps allreduce got %v", x)
+		}
+		return nil
+	})
+}
+
+func TestPSAllgather(t *testing.T) {
+	const n = 3
+	runPSGroup(t, n, func(w Collective) error {
+		all, err := w.AllgatherBytes([]byte{byte(w.Rank() + 10)})
+		if err != nil {
+			return err
+		}
+		for rank := 0; rank < n; rank++ {
+			if len(all[rank]) != 1 || all[rank][0] != byte(rank+10) {
+				return fmt.Errorf("ps allgather got %v", all)
+			}
+		}
+		return nil
+	})
+}
+
+func TestPSBroadcastAndBarrier(t *testing.T) {
+	const n = 4
+	runPSGroup(t, n, func(w Collective) error {
+		var payload []byte
+		if w.Rank() == 3 {
+			payload = []byte("srv")
+		}
+		got, err := w.BroadcastBytes(payload, 3)
+		if err != nil {
+			return err
+		}
+		if string(got) != "srv" {
+			return fmt.Errorf("ps broadcast got %q", got)
+		}
+		return w.Barrier()
+	})
+}
+
+func TestPSManyRounds(t *testing.T) {
+	const n, rounds = 3, 500
+	runPSGroup(t, n, func(w Collective) error {
+		for k := 0; k < rounds; k++ {
+			x := []float32{1}
+			if err := w.AllreduceF32(x); err != nil {
+				return err
+			}
+			if x[0] != n {
+				return fmt.Errorf("round %d got %v", k, x[0])
+			}
+		}
+		return nil
+	})
+}
+
+func TestPSMatchesRingResults(t *testing.T) {
+	// Both topologies must produce the same aggregates.
+	const n = 4
+	input := func(rank int) []float32 {
+		return []float32{float32(rank) * 1.5, float32(rank * rank)}
+	}
+	ringOut := make([][]float32, n)
+	runGroup(t, n, func(w Collective) error {
+		x := input(w.Rank())
+		if err := w.AllreduceF32(x); err != nil {
+			return err
+		}
+		ringOut[w.Rank()] = x
+		return nil
+	})
+	runPSGroup(t, n, func(w Collective) error {
+		x := input(w.Rank())
+		if err := w.AllreduceF32(x); err != nil {
+			return err
+		}
+		for i := range x {
+			if x[i] != ringOut[w.Rank()][i] {
+				return fmt.Errorf("ps result %v != ring result %v", x, ringOut[w.Rank()])
+			}
+		}
+		return nil
+	})
+}
+
+func TestPSHubBadRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPSHub(2).Worker(5)
+}

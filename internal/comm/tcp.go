@@ -1,0 +1,258 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net"
+	"time"
+)
+
+// TCPRing is a real network implementation of Collective over a TCP ring:
+// worker i accepts a connection from worker i-1 and dials worker i+1
+// (mod n). AllreduceF32 runs the bandwidth-optimal ring algorithm
+// (reduce-scatter followed by allgather, 2(n-1) steps), which is the same
+// algorithm whose cost model internal/simnet uses for throughput projection —
+// so the simulated and real substrates agree on communication structure.
+type TCPRing struct {
+	rank, n int
+	next    net.Conn // to rank+1
+	prev    net.Conn // from rank-1
+	nextW   *bufio.Writer
+	prevR   *bufio.Reader
+}
+
+var _ Collective = (*TCPRing)(nil)
+
+// DialTCPRing establishes the ring. addrs[i] is the listen address of rank i;
+// every participant must call DialTCPRing concurrently. The timeout bounds
+// the whole setup.
+func DialTCPRing(rank int, addrs []string, timeout time.Duration) (*TCPRing, error) {
+	n := len(addrs)
+	if n < 2 {
+		return nil, fmt.Errorf("comm: tcp ring needs >= 2 workers, got %d", n)
+	}
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", rank, n)
+	}
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptCh <- acceptResult{c, err}
+	}()
+
+	// Dial the successor with retries until its listener is up.
+	deadline := time.Now().Add(timeout)
+	var next net.Conn
+	for {
+		next, err = net.DialTimeout("tcp", addrs[(rank+1)%n], time.Second)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comm: dial %s: %w", addrs[(rank+1)%n], err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case ar := <-acceptCh:
+		if ar.err != nil {
+			next.Close()
+			return nil, fmt.Errorf("comm: accept: %w", ar.err)
+		}
+		r := &TCPRing{rank: rank, n: n, next: next, prev: ar.conn}
+		r.nextW = bufio.NewWriterSize(next, 1<<16)
+		r.prevR = bufio.NewReaderSize(ar.conn, 1<<16)
+		return r, nil
+	case <-time.After(time.Until(deadline)):
+		next.Close()
+		return nil, fmt.Errorf("comm: timed out waiting for predecessor of rank %d", rank)
+	}
+}
+
+// Close tears down both ring connections.
+func (t *TCPRing) Close() error {
+	err1 := t.next.Close()
+	err2 := t.prev.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Rank returns this worker's rank.
+func (t *TCPRing) Rank() int { return t.rank }
+
+// Size returns the ring size.
+func (t *TCPRing) Size() int { return t.n }
+
+// sendFrame writes one length-prefixed frame to the successor.
+func (t *TCPRing) sendFrame(b []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := t.nextW.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.nextW.Write(b); err != nil {
+		return err
+	}
+	return t.nextW.Flush()
+}
+
+// recvFrame reads one length-prefixed frame from the predecessor.
+func (t *TCPRing) recvFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := ioReadFull(t.prevR, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	buf := make([]byte, n)
+	if _, err := ioReadFull(t.prevR, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// sendRecv overlaps a send to the successor with a receive from the
+// predecessor, which is what keeps the ring deadlock-free for large frames.
+func (t *TCPRing) sendRecv(out []byte) ([]byte, error) {
+	errCh := make(chan error, 1)
+	go func() { errCh <- t.sendFrame(out) }()
+	in, rerr := t.recvFrame()
+	serr := <-errCh
+	if serr != nil {
+		return nil, fmt.Errorf("comm: ring send: %w", serr)
+	}
+	if rerr != nil {
+		return nil, fmt.Errorf("comm: ring recv: %w", rerr)
+	}
+	return in, nil
+}
+
+// AllreduceF32 performs ring allreduce: reduce-scatter then allgather.
+func (t *TCPRing) AllreduceF32(x []float32) error {
+	n := t.n
+	chunk := func(i int) (lo, hi int) {
+		i = ((i % n) + n) % n
+		lo = i * len(x) / n
+		hi = (i + 1) * len(x) / n
+		return
+	}
+	// Reduce-scatter: after n-1 steps, rank r holds the fully reduced chunk
+	// (r+1) mod n.
+	for s := 0; s < n-1; s++ {
+		sendLo, sendHi := chunk(t.rank - s)
+		recvLo, recvHi := chunk(t.rank - s - 1)
+		in, err := t.sendRecv(f32ToBytes(x[sendLo:sendHi]))
+		if err != nil {
+			return err
+		}
+		recv := bytesToF32(in)
+		if len(recv) != recvHi-recvLo {
+			return fmt.Errorf("comm: allreduce chunk size mismatch")
+		}
+		for i, v := range recv {
+			x[recvLo+i] += v
+		}
+	}
+	// Allgather of the reduced chunks.
+	for s := 0; s < n-1; s++ {
+		sendLo, sendHi := chunk(t.rank + 1 - s)
+		recvLo, recvHi := chunk(t.rank - s)
+		in, err := t.sendRecv(f32ToBytes(x[sendLo:sendHi]))
+		if err != nil {
+			return err
+		}
+		recv := bytesToF32(in)
+		if len(recv) != recvHi-recvLo {
+			return fmt.Errorf("comm: allgather chunk size mismatch")
+		}
+		copy(x[recvLo:recvHi], recv)
+	}
+	return nil
+}
+
+// AllgatherBytes circulates payloads around the ring for n-1 steps.
+func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
+	out := make([][]byte, t.n)
+	out[t.rank] = b
+	cur := b
+	for s := 0; s < t.n-1; s++ {
+		in, err := t.sendRecv(cur)
+		if err != nil {
+			return nil, err
+		}
+		origin := ((t.rank-s-1)%t.n + t.n) % t.n
+		out[origin] = in
+		cur = in
+	}
+	return out, nil
+}
+
+// BroadcastBytes forwards root's payload around the ring.
+func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	if root < 0 || root >= t.n {
+		return nil, fmt.Errorf("comm: broadcast root %d out of range", root)
+	}
+	if t.rank == root {
+		if err := t.sendFrame(b); err != nil {
+			return nil, err
+		}
+		// Absorb the frame completing the loop.
+		if _, err := t.recvFrame(); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	in, err := t.recvFrame()
+	if err != nil {
+		return nil, err
+	}
+	if err := t.sendFrame(in); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Barrier circulates an empty token twice so that completion implies every
+// worker has entered.
+func (t *TCPRing) Barrier() error {
+	for s := 0; s < 2; s++ {
+		if _, err := t.sendRecv(nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func putF32(b []byte, v float32) {
+	binary.LittleEndian.PutUint32(b, math.Float32bits(v))
+}
+
+func getF32(b []byte) float32 {
+	return math.Float32frombits(binary.LittleEndian.Uint32(b))
+}

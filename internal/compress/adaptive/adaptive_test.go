@@ -1,0 +1,111 @@
+package adaptive
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestSelectionRatioPerPart(t *testing.T) {
+	// With α = 0.1 roughly 10% of the positive part and 10% of the negative
+	// part must be transmitted.
+	c, err := grace.New("adaptive", grace.Options{Ratio: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fxrand.New(1)
+	g := make([]float32, 5000)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{5000})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posSel, negSel, posAll, negAll int
+	for i, v := range g {
+		if v > 0 {
+			posAll++
+			if out[i] != 0 {
+				posSel++
+			}
+		} else if v < 0 {
+			negAll++
+			if out[i] != 0 {
+				negSel++
+			}
+		}
+	}
+	posRate := float64(posSel) / float64(posAll)
+	negRate := float64(negSel) / float64(negAll)
+	if math.Abs(posRate-0.1) > 0.03 || math.Abs(negRate-0.1) > 0.03 {
+		t.Fatalf("selection rates %v/%v, want ~0.1 each", posRate, negRate)
+	}
+}
+
+func TestTwoValueDecode(t *testing.T) {
+	// The decoded tensor carries exactly two distinct non-zero values: the
+	// positive-part mean and the negative-part mean (the 1-bit hybrid of
+	// Dryden et al.).
+	c, _ := grace.New("adaptive", grace.Options{Ratio: 0.3})
+	r := fxrand.New(2)
+	g := make([]float32, 1000)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{1000})
+	p, _ := c.Compress(g, info)
+	out, _ := c.Decompress(p, info)
+	vals := map[float32]bool{}
+	for _, v := range out {
+		if v != 0 {
+			vals[v] = true
+		}
+	}
+	if len(vals) != 2 {
+		t.Fatalf("decoded %d distinct non-zero values, want 2", len(vals))
+	}
+	var pos, neg bool
+	for v := range vals {
+		if v > 0 {
+			pos = true
+		} else {
+			neg = true
+		}
+	}
+	if !pos || !neg {
+		t.Fatal("decode must contain one positive and one negative level")
+	}
+}
+
+func TestAllPositiveGradient(t *testing.T) {
+	c, _ := grace.New("adaptive", grace.Options{Ratio: 0.5})
+	g := []float32{1, 2, 3, 4}
+	info := grace.NewTensorInfo("t", []int{4})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range out {
+		if v < 0 {
+			t.Fatal("negative decode for all-positive input")
+		}
+	}
+}
+
+func TestRejectsBadAlpha(t *testing.T) {
+	if _, err := grace.New("adaptive", grace.Options{Ratio: -0.5}); err == nil {
+		t.Fatal("expected error for negative alpha")
+	}
+}

@@ -1,0 +1,28 @@
+// Package all registers every compressor implementation with the grace
+// registry. Import it for side effects:
+//
+//	import _ "repro/internal/compress/all"
+package all
+
+import (
+	_ "repro/internal/compress/adaptive"
+	_ "repro/internal/compress/atomo"
+	_ "repro/internal/compress/dgc"
+	_ "repro/internal/compress/efsignsgd"
+	_ "repro/internal/compress/eightbit"
+	_ "repro/internal/compress/huffcoded"
+	_ "repro/internal/compress/inceptionn"
+	_ "repro/internal/compress/natural"
+	_ "repro/internal/compress/none"
+	_ "repro/internal/compress/onebit"
+	_ "repro/internal/compress/powersgd"
+	_ "repro/internal/compress/qsgd"
+	_ "repro/internal/compress/randomk"
+	_ "repro/internal/compress/signsgd"
+	_ "repro/internal/compress/signum"
+	_ "repro/internal/compress/sketchml"
+	_ "repro/internal/compress/terngrad"
+	_ "repro/internal/compress/threelc"
+	_ "repro/internal/compress/thresholdv"
+	_ "repro/internal/compress/topk"
+)

@@ -1,0 +1,66 @@
+package efsignsgd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+	"repro/internal/tensor"
+)
+
+func TestScaleIsMeanAbs(t *testing.T) {
+	c, _ := grace.New("efsignsgd", grace.Options{})
+	g := []float32{1, -3, 2, -2}
+	info := grace.NewTensorInfo("t", []int{4})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float32(2) // (1+3+2+2)/4
+	expect := []float32{want, -want, want, -want}
+	for i := range expect {
+		if math.Abs(float64(out[i]-expect[i])) > 1e-6 {
+			t.Fatalf("decode %v want %v", out, expect)
+		}
+	}
+}
+
+func TestContractionProperty(t *testing.T) {
+	// The scaled-sign operator is a contraction: ‖x − Q(x)‖ < ‖x‖ for any
+	// non-zero x (which is why it composes with EF where raw SignSGD does
+	// not; Karimireddy et al.).
+	c, _ := grace.New("efsignsgd", grace.Options{})
+	r := fxrand.New(1)
+	info := grace.NewTensorInfo("t", []int{200})
+	for trial := 0; trial < 50; trial++ {
+		g := make([]float32, 200)
+		for i := range g {
+			g[i] = r.NormFloat32()
+		}
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		res := make([]float32, len(g))
+		for i := range g {
+			res[i] = g[i] - out[i]
+		}
+		if tensor.Norm2F32(res) >= tensor.Norm2F32(g) {
+			t.Fatalf("not a contraction: residual %v >= input %v",
+				tensor.Norm2F32(res), tensor.Norm2F32(g))
+		}
+	}
+}
+
+func TestWireSizeIsOneBitPlusScale(t *testing.T) {
+	c, _ := grace.New("efsignsgd", grace.Options{})
+	g := make([]float32, 8000)
+	info := grace.NewTensorInfo("t", []int{8000})
+	p, _ := c.Compress(g, info)
+	if p.WireBytes() != 4+1000 {
+		t.Fatalf("wire %d bytes, want 1004", p.WireBytes())
+	}
+}

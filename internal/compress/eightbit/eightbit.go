@@ -1,0 +1,73 @@
+// Package eightbit implements Dettmers' 8-bit quantization [11]: each
+// float32 gradient element maps to an 8-bit floating-point value with 1 sign,
+// 3 exponent and 4 mantissa bits. Elements are first normalized by the
+// tensor's infinity norm so the fp8 dynamic range is used fully; the norm
+// travels with the payload.
+package eightbit
+
+import (
+	"fmt"
+
+	"repro/internal/encode"
+	"repro/internal/grace"
+	"repro/internal/tensor"
+)
+
+func init() {
+	grace.Register(grace.Meta{
+		Name:      "eightbit",
+		Class:     "quantization",
+		Output:    "‖g‖0",
+		Nature:    "deterministic",
+		DefaultEF: true,
+		Reference: "Dettmers, ICLR 2016 [11]",
+		New: func(o grace.Options) (grace.Compressor, error) {
+			return Compressor{}, nil
+		},
+	})
+}
+
+// Compressor quantizes to the 1-3-4 fp8 format.
+type Compressor struct{}
+
+var _ grace.Compressor = Compressor{}
+
+// Name returns "eightbit".
+func (Compressor) Name() string { return "eightbit" }
+
+// Strategy returns Allgather.
+func (Compressor) Strategy() grace.Strategy { return grace.Allgather }
+
+// Compress emits ‖g‖∞ plus one fp8 byte per element.
+func (Compressor) Compress(g []float32, info grace.TensorInfo) (*grace.Payload, error) {
+	scale := float32(tensor.NormInfF32(g))
+	w := encode.NewWriter(4 + len(g))
+	w.F32(scale)
+	if scale == 0 {
+		w.Raw(make([]byte, len(g)))
+		return &grace.Payload{Bytes: w.Bytes()}, nil
+	}
+	inv := 1 / scale
+	for _, v := range g {
+		w.U8(uint8(encode.F32ToFP8(v * inv)))
+	}
+	return &grace.Payload{Bytes: w.Bytes()}, nil
+}
+
+// Decompress rescales the fp8 values by the stored norm.
+func (Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32, error) {
+	r := encode.NewReader(p.Bytes)
+	scale := r.F32()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("eightbit: %w", r.Err())
+	}
+	d := info.Size()
+	if len(p.Bytes) != 4+d {
+		return nil, fmt.Errorf("eightbit: %d payload bytes for %d elements", len(p.Bytes), d)
+	}
+	out := make([]float32, d)
+	for i := 0; i < d; i++ {
+		out[i] = encode.FP8ToF32(encode.FP8(p.Bytes[4+i])) * scale
+	}
+	return out, nil
+}

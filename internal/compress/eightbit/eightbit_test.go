@@ -1,0 +1,61 @@
+package eightbit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestNormalizationUsesFullRange(t *testing.T) {
+	// Scaling by ‖g‖∞ means the largest element maps to fp8's top of range
+	// and survives with small relative error regardless of absolute scale.
+	c, _ := grace.New("eightbit", grace.Options{})
+	for _, scale := range []float32{1e-6, 1, 1e6} {
+		g := []float32{0.5 * scale, -scale, 0.25 * scale}
+		info := grace.NewTensorInfo("t", []int{3})
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		for i := range g {
+			rel := math.Abs(float64(out[i]-g[i])) / math.Abs(float64(g[i]))
+			if rel > 0.05 {
+				t.Fatalf("scale %v: relative error %v at %d", scale, rel, i)
+			}
+		}
+	}
+}
+
+func TestQuantizationIsIdempotent(t *testing.T) {
+	// Q(Q⁻¹(Q(x))) = Q(x): re-compressing a decompressed tensor is lossless.
+	c, _ := grace.New("eightbit", grace.Options{})
+	r := fxrand.New(1)
+	g := make([]float32, 500)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{500})
+	p1, _ := c.Compress(g, info)
+	once, _ := c.Decompress(p1, info)
+	p2, _ := c.Compress(once, info)
+	twice, _ := c.Decompress(p2, info)
+	for i := range once {
+		if math.Abs(float64(once[i]-twice[i])) > 1e-6 {
+			t.Fatalf("not idempotent at %d: %v vs %v", i, once[i], twice[i])
+		}
+	}
+}
+
+func TestSmallElementsFlushToZero(t *testing.T) {
+	c, _ := grace.New("eightbit", grace.Options{})
+	g := []float32{1, 1e-5}
+	info := grace.NewTensorInfo("t", []int{2})
+	p, _ := c.Compress(g, info)
+	out, _ := c.Decompress(p, info)
+	if out[0] != 1 {
+		t.Fatalf("max element must be exact: %v", out[0])
+	}
+	if out[1] != 0 {
+		t.Fatalf("element below fp8 range must flush to zero: %v", out[1])
+	}
+}

@@ -1,0 +1,109 @@
+package huffcoded
+
+import (
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+// heavyTailed builds a gradient with many near-zero values, the regime where
+// entropy coding pays.
+func heavyTailed(seed uint64, d int) []float32 {
+	r := fxrand.New(seed)
+	g := make([]float32, d)
+	for i := range g {
+		if r.Bernoulli(0.05) {
+			g[i] = r.NormFloat32()
+		} else {
+			g[i] = r.NormFloat32() * 0.01
+		}
+	}
+	return g
+}
+
+func TestWrapperIsTransparent(t *testing.T) {
+	// Huffman is lossless: wrapped and unwrapped decodes must be identical.
+	inner, err := grace.New("terngrad", grace.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := Wrap(mustNew(t, "terngrad", 9))
+	g := heavyTailed(1, 3000)
+	info := grace.NewTensorInfo("t", []int{3000})
+	pi, err := inner.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pw, err := wrapped.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, _ := inner.Decompress(pi, info)
+	ow, err := wrapped.Decompress(pw, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range oi {
+		if oi[i] != ow[i] {
+			t.Fatalf("wrapper changed decode at %d: %v vs %v", i, oi[i], ow[i])
+		}
+	}
+}
+
+func TestWrapperShrinksSkewedPayloads(t *testing.T) {
+	inner := mustNew(t, "terngrad", 2)
+	wrapped := Wrap(mustNew(t, "terngrad", 2))
+	g := heavyTailed(3, 20000)
+	info := grace.NewTensorInfo("t", []int{20000})
+	pi, _ := inner.Compress(g, info)
+	pw, _ := wrapped.Compress(g, info)
+	if pw.WireBytes() >= pi.WireBytes() {
+		t.Fatalf("huffman did not shrink: %d -> %d bytes", pi.WireBytes(), pw.WireBytes())
+	}
+	if pw.WireBytes() > pi.WireBytes()/2 {
+		t.Fatalf("expected >2x reduction on a heavy-tailed gradient, got %d -> %d",
+			pi.WireBytes(), pw.WireBytes())
+	}
+}
+
+func TestRegisteredVariants(t *testing.T) {
+	info := grace.NewTensorInfo("t", []int{500})
+	g := heavyTailed(4, 500)
+	for _, name := range []string{"huffterngrad", "huffqsgd"} {
+		c, err := grace.New(name, grace.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := c.Compress(g, info)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out, err := c.Decompress(p, info)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) != 500 {
+			t.Fatalf("%s: decoded %d elements", name, len(out))
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	w := Wrap(mustNew(t, "qsgd", 1))
+	if w.Name() != "huff+qsgd" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+	if w.Strategy() != grace.Allgather {
+		t.Fatal("wrapper must use allgather")
+	}
+}
+
+func mustNew(t *testing.T, name string, seed uint64) grace.Compressor {
+	t.Helper()
+	c, err := grace.New(name, grace.Options{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

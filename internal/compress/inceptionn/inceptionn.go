@@ -1,0 +1,133 @@
+// Package inceptionn implements the INCEPTIONN gradient codec [35]: each
+// element is stored at one of four precisions — 0 bits (dropped), 8-bit
+// fp8, 16-bit float16 or full 32-bit float — selected by its magnitude
+// relative to the tensor's infinity norm, with a 2-bit tag per element
+// recording the choice.
+//
+// The original work runs this codec on an FPGA NIC to hide its cost; here it
+// runs on the CPU, which is exactly the configuration whose overhead the
+// paper's Figure 8 measures.
+package inceptionn
+
+import (
+	"fmt"
+
+	"repro/internal/encode"
+	"repro/internal/grace"
+	"repro/internal/tensor"
+)
+
+func init() {
+	grace.Register(grace.Meta{
+		Name:      "inceptionn",
+		Class:     "quantization",
+		Output:    "‖g‖0",
+		Nature:    "deterministic",
+		Reference: "Li et al., MICRO 2018 [35]",
+		New: func(o grace.Options) (grace.Compressor, error) {
+			return Compressor{}, nil
+		},
+	})
+}
+
+// Precision tags.
+const (
+	tagZero = 0
+	tagFP8  = 1
+	tagF16  = 2
+	tagF32  = 3
+)
+
+// Relative-magnitude bands selecting the precision level. Elements below
+// 2^-6 of the norm are dropped (fp8's representable floor); small elements
+// take fp8, mid-range float16, and the largest full precision.
+const (
+	bandZero = 1.0 / 64
+	bandFP8  = 1.0 / 8
+	bandF16  = 1.0 / 2
+)
+
+// Compressor applies magnitude-banded mixed precision.
+type Compressor struct{}
+
+var _ grace.Compressor = Compressor{}
+
+// Name returns "inceptionn".
+func (Compressor) Name() string { return "inceptionn" }
+
+// Strategy returns Allgather.
+func (Compressor) Strategy() grace.Strategy { return grace.Allgather }
+
+// Compress emits ‖g‖∞, the 2-bit tag stream, then the heterogeneous values.
+func (Compressor) Compress(g []float32, info grace.TensorInfo) (*grace.Payload, error) {
+	scale := float32(tensor.NormInfF32(g))
+	tags := make([]uint32, len(g))
+	values := encode.NewWriter(len(g))
+	if scale > 0 {
+		inv := 1 / scale
+		for i, v := range g {
+			r := v * inv
+			a := r
+			if a < 0 {
+				a = -a
+			}
+			switch {
+			case a < bandZero:
+				tags[i] = tagZero
+			case a < bandFP8:
+				tags[i] = tagFP8
+				values.U8(uint8(encode.F32ToFP8(r)))
+			case a < bandF16:
+				tags[i] = tagF16
+				values.U16(uint16(encode.F32ToF16(r)))
+			default:
+				tags[i] = tagF32
+				values.F32(r)
+			}
+		}
+	}
+	w := encode.NewWriter(4 + encode.PackedLen(len(g), 2) + values.Len())
+	w.F32(scale)
+	w.Raw(encode.PackBits(tags, 2))
+	w.Raw(values.Bytes())
+	return &grace.Payload{Bytes: w.Bytes()}, nil
+}
+
+// Decompress walks the tag stream, decoding each value at its precision.
+func (Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32, error) {
+	r := encode.NewReader(p.Bytes)
+	scale := r.F32()
+	if r.Err() != nil {
+		return nil, fmt.Errorf("inceptionn: %w", r.Err())
+	}
+	d := info.Size()
+	tagBytes := encode.PackedLen(d, 2)
+	if len(p.Bytes) < 4+tagBytes {
+		return nil, fmt.Errorf("inceptionn: truncated tag stream")
+	}
+	tags, err := encode.UnpackBits(p.Bytes[4:4+tagBytes], 2, d)
+	if err != nil {
+		return nil, fmt.Errorf("inceptionn: %w", err)
+	}
+	vr := encode.NewReader(p.Bytes[4+tagBytes:])
+	out := make([]float32, d)
+	if scale == 0 {
+		return out, nil
+	}
+	for i, tag := range tags {
+		switch tag {
+		case tagZero:
+			// stays 0
+		case tagFP8:
+			out[i] = encode.FP8ToF32(encode.FP8(vr.U8())) * scale
+		case tagF16:
+			out[i] = encode.F16ToF32(encode.Float16(vr.U16())) * scale
+		case tagF32:
+			out[i] = vr.F32() * scale
+		}
+	}
+	if vr.Err() != nil {
+		return nil, fmt.Errorf("inceptionn: %w", vr.Err())
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package inceptionn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestMixedPrecisionBands(t *testing.T) {
+	// Large elements keep full precision, mid-range lose a little, small
+	// ones quantize coarsely, and near-zero elements are dropped.
+	c, _ := grace.New("inceptionn", grace.Options{})
+	g := []float32{1.0, 0.3, 0.05, 0.001}
+	info := grace.NewTensorInfo("t", []int{4})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1.0 {
+		t.Fatalf("max element must be exact (32-bit band): %v", out[0])
+	}
+	if rel := math.Abs(float64(out[1]-0.3)) / 0.3; rel > 1e-3 {
+		t.Fatalf("f16-band relative error %v too large", rel)
+	}
+	if rel := math.Abs(float64(out[2]-0.05)) / 0.05; rel > 0.05 {
+		t.Fatalf("fp8-band relative error %v too large", rel)
+	}
+	if out[3] != 0 {
+		t.Fatalf("below-band element should be dropped, got %v", out[3])
+	}
+}
+
+func TestVolumeBetweenQuarterAndFull(t *testing.T) {
+	// Mixed precision always costs at least the 2-bit tag stream and at
+	// most tags + full floats.
+	c, _ := grace.New("inceptionn", grace.Options{})
+	r := fxrand.New(1)
+	const d = 4000
+	g := make([]float32, d)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{d})
+	p, _ := c.Compress(g, info)
+	minBytes := 4 + d/4
+	maxBytes := 4 + d/4 + 4*d
+	if p.WireBytes() < minBytes || p.WireBytes() > maxBytes {
+		t.Fatalf("wire %d outside [%d, %d]", p.WireBytes(), minBytes, maxBytes)
+	}
+	// For a Gaussian most mass is in the low bands, so it should be far
+	// below full float32.
+	if p.WireBytes() > 3*d {
+		t.Fatalf("wire %d bytes: banding is not compressing a Gaussian", p.WireBytes())
+	}
+}

@@ -1,0 +1,83 @@
+package natural
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestDecodedValuesArePowersOfTwo(t *testing.T) {
+	c, _ := grace.New("natural", grace.Options{Seed: 1})
+	r := fxrand.New(2)
+	g := make([]float32, 300)
+	for i := range g {
+		g[i] = r.NormFloat32() * 0.3
+	}
+	info := grace.NewTensorInfo("t", []int{300})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v == 0 {
+			continue
+		}
+		l := math.Log2(math.Abs(float64(v)))
+		if l != math.Trunc(l) {
+			t.Fatalf("element %d = %v is not a power of two", i, v)
+		}
+	}
+}
+
+func TestRoundsToBracketingPowers(t *testing.T) {
+	// 1.5 must round to 1 or 2 (never further), with probability 1/2 each
+	// for the unbiased scheme.
+	c, _ := grace.New("natural", grace.Options{Seed: 3})
+	info := grace.NewTensorInfo("t", []int{1})
+	ups := 0
+	const trials = 4000
+	for i := 0; i < trials; i++ {
+		p, _ := c.Compress([]float32{1.5}, info)
+		out, _ := c.Decompress(p, info)
+		switch out[0] {
+		case 2:
+			ups++
+		case 1:
+		default:
+			t.Fatalf("1.5 rounded to %v", out[0])
+		}
+	}
+	rate := float64(ups) / trials
+	if math.Abs(rate-0.5) > 0.03 {
+		t.Fatalf("1.5 rounded up %v of the time, want ~0.5", rate)
+	}
+}
+
+func TestExactPowersUnchanged(t *testing.T) {
+	c, _ := grace.New("natural", grace.Options{Seed: 4})
+	g := []float32{1, 2, 0.25, -0.5, -8}
+	info := grace.NewTensorInfo("t", []int{5})
+	p, _ := c.Compress(g, info)
+	out, _ := c.Decompress(p, info)
+	for i := range g {
+		if out[i] != g[i] {
+			t.Fatalf("exact power %v became %v", g[i], out[i])
+		}
+	}
+}
+
+func TestOneBytePerElement(t *testing.T) {
+	g := make([]float32, 1000)
+	info := grace.NewTensorInfo("t", []int{1000})
+	c, _ := grace.New("natural", grace.Options{Seed: 1})
+	p, _ := c.Compress(g, info)
+	if p.WireBytes() != 1000 {
+		t.Fatalf("wire %d bytes, want 1000", p.WireBytes())
+	}
+}

@@ -1,0 +1,93 @@
+package onebit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grace"
+)
+
+func TestDecodeMeansMatchParts(t *testing.T) {
+	c, _ := grace.New("onebit", grace.Options{})
+	g := []float32{2, 4, -1, -3, 6}
+	info := grace.NewTensorInfo("t", []int{5})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-negative part mean = (2+4+6)/3 = 4; negative part mean = -2.
+	want := []float32{4, 4, -2, -2, 4}
+	for i := range want {
+		if math.Abs(float64(out[i]-want[i])) > 1e-6 {
+			t.Fatalf("decode got %v want %v", out, want)
+		}
+	}
+}
+
+func TestThresholdShiftsSplit(t *testing.T) {
+	c, err := grace.New("onebit", grace.Options{Threshold: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := []float32{1, 2, 4, 5}
+	info := grace.NewTensorInfo("t", []int{4})
+	p, _ := c.Compress(g, info)
+	out, _ := c.Decompress(p, info)
+	// With τ=3, "low" part = {1,2} (mean 1.5), "high" part = {4,5} (mean 4.5).
+	if math.Abs(float64(out[0]-1.5)) > 1e-6 || math.Abs(float64(out[2]-4.5)) > 1e-6 {
+		t.Fatalf("thresholded decode wrong: %v", out)
+	}
+}
+
+func TestMemoryIsPerTensor(t *testing.T) {
+	c, _ := grace.New("onebit", grace.Options{})
+	infoA := grace.NewTensorInfo("a", []int{2})
+	infoB := grace.NewTensorInfo("b", []int{2})
+	// Build residual on tensor a.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Compress([]float32{1, -1}, infoA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tensor b must start with a clean memory: its first compression of a
+	// symmetric input decodes to the exact part means.
+	p, _ := c.Compress([]float32{1, -1}, infoB)
+	out, _ := c.Decompress(p, infoB)
+	if out[0] != 1 || out[1] != -1 {
+		t.Fatalf("tensor b inherited memory: %v", out)
+	}
+}
+
+func TestResidualStaysBounded(t *testing.T) {
+	// The built-in error feedback must keep the residual bounded for a
+	// constant gradient (it contracts rather than accumulates).
+	c := mustNew(t)
+	g := []float32{0.9, 0.5, -0.2, -0.8, 0.1}
+	info := grace.NewTensorInfo("t", []int{5})
+	comp := c.(*Compressor)
+	for i := 0; i < 200; i++ {
+		if _, err := comp.Compress(g, info); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var norm float64
+	for _, v := range comp.mem["t"] {
+		norm += float64(v) * float64(v)
+	}
+	if math.Sqrt(norm) > 5 {
+		t.Fatalf("residual norm %v grew unboundedly", math.Sqrt(norm))
+	}
+}
+
+func mustNew(t *testing.T) grace.Compressor {
+	t.Helper()
+	c, err := grace.New("onebit", grace.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,103 @@
+package powersgd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+	"repro/internal/tensor"
+)
+
+func newInfo(rows, cols int) grace.TensorInfo {
+	return grace.NewTensorInfo("w", []int{rows, cols})
+}
+
+func TestOrthonormalizeProducesOrthonormalColumns(t *testing.T) {
+	r := fxrand.New(1)
+	m := tensor.New(20, 4).RandN(r, 1)
+	orthonormalize(m)
+	for i := 0; i < 4; i++ {
+		for j := i; j < 4; j++ {
+			var dot float64
+			for k := 0; k < 20; k++ {
+				dot += float64(m.At(k, i)) * float64(m.At(k, j))
+			}
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if math.Abs(dot-want) > 1e-5 {
+				t.Fatalf("col %d · col %d = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestOrthonormalizeZeroesDependentColumns(t *testing.T) {
+	// Two identical columns: the second must collapse to zero rather than
+	// being normalized rounding noise.
+	m := tensor.New(8, 2)
+	for i := 0; i < 8; i++ {
+		m.Set(float32(i+1), i, 0)
+		m.Set(float32(i+1), i, 1)
+	}
+	orthonormalize(m)
+	var n1 float64
+	for i := 0; i < 8; i++ {
+		n1 += float64(m.At(i, 1)) * float64(m.At(i, 1))
+	}
+	if n1 > 1e-10 {
+		t.Fatalf("dependent column survived with norm² %v", n1)
+	}
+}
+
+func TestWarmStartImprovesApproximation(t *testing.T) {
+	// Repeated compression of the same matrix must not get worse: the warm
+	// Q converges toward the leading singular subspace.
+	r := fxrand.New(3)
+	rows, cols := 40, 24
+	g := make([]float32, rows*cols)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := newInfo(rows, cols)
+	c := New(2)
+	errAt := func() float64 {
+		p, err := c.Compress(g, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(p, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e float64
+		for i := range g {
+			d := float64(out[i] - g[i])
+			e += d * d
+		}
+		return e
+	}
+	first := errAt()
+	var last float64
+	for i := 0; i < 5; i++ {
+		last = errAt()
+	}
+	if last > first*1.05 {
+		t.Fatalf("warm start degraded approximation: %v -> %v", first, last)
+	}
+}
+
+func TestWorthFactoringBoundary(t *testing.T) {
+	c := New(4)
+	if c.worthFactoring(newInfo(1, 100)) {
+		t.Fatal("vectors must not be factored")
+	}
+	if !c.worthFactoring(newInfo(64, 64)) {
+		t.Fatal("large square matrices must be factored")
+	}
+	if c.worthFactoring(newInfo(4, 4)) {
+		t.Fatal("rank >= dims must not be factored")
+	}
+}

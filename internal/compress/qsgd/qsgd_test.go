@@ -1,0 +1,118 @@
+package qsgd
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grace"
+	"repro/internal/tensor"
+)
+
+func TestCodewordsAreLevelMultiples(t *testing.T) {
+	// Every decoded value must be sign·‖g‖₂·l/s for integer l in [0, s].
+	c, err := New(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := []float32{-3.39, 1.78, 10.87, -2.22, 10.9, 1.12, -32.1, 12.5} // Figure 3
+	info := grace.NewTensorInfo("t", []int{len(g)})
+	norm := tensor.Norm2F32(g)
+	for trial := 0; trial < 50; trial++ {
+		p, err := c.Compress(g, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := c.Decompress(p, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			l := math.Abs(float64(v)) / norm * 4
+			if math.Abs(l-math.Round(l)) > 1e-3 {
+				t.Fatalf("value %v at %d is not a codeword multiple (l=%v)", v, i, l)
+			}
+			if l > 4+1e-3 {
+				t.Fatalf("level %v exceeds s", l)
+			}
+		}
+	}
+}
+
+func TestLevelBracketsInput(t *testing.T) {
+	// Randomized rounding must pick one of the two levels bracketing
+	// |g[i]|/‖g‖₂·s (Figure 3's two-outcome structure).
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := []float32{-3.39, 1.78, 10.87, -2.22, 10.9, 1.12, -32.1, 12.5}
+	info := grace.NewTensorInfo("t", []int{len(g)})
+	norm := tensor.Norm2F32(g)
+	for trial := 0; trial < 200; trial++ {
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		for i, v := range out {
+			r := math.Abs(float64(g[i])) / norm * 4
+			l := math.Abs(float64(v)) / norm * 4
+			lo, hi := math.Floor(r), math.Ceil(r)
+			if math.Abs(l-lo) > 1e-3 && math.Abs(l-hi) > 1e-3 {
+				t.Fatalf("element %d: level %v not in {%v, %v}", i, l, lo, hi)
+			}
+		}
+	}
+}
+
+func TestHigherLevelsLowerError(t *testing.T) {
+	info := grace.NewTensorInfo("t", []int{1000})
+	g := make([]float32, 1000)
+	for i := range g {
+		g[i] = float32(i%17)*0.01 - 0.08
+	}
+	errFor := func(s int) float64 {
+		c, err := New(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for trial := 0; trial < 20; trial++ {
+			p, _ := c.Compress(g, info)
+			out, _ := c.Decompress(p, info)
+			for i := range g {
+				d := float64(out[i] - g[i])
+				total += d * d
+			}
+		}
+		return total
+	}
+	if e4, e64 := errFor(4), errFor(64); e64 >= e4 {
+		t.Fatalf("s=64 error %v should be below s=4 error %v", e64, e4)
+	}
+}
+
+func TestBitWidthMatchesLevels(t *testing.T) {
+	// s=4 -> 5 codewords -> 3 level bits + 1 sign: the paper's Figure 3
+	// "represented by 3-bits" refers to the level field.
+	info := grace.NewTensorInfo("t", []int{8000})
+	g := make([]float32, 8000)
+	for i := range g {
+		g[i] = float32(i) * 1e-4
+	}
+	c4, _ := New(4, 1)
+	p4, _ := c4.Compress(g, info)
+	want4 := 4 + (8000*4+7)/8 // norm + 4 bits/elem (3 level + 1 sign)
+	if p4.WireBytes() != want4 {
+		t.Fatalf("s=4 wire %d bytes, want %d", p4.WireBytes(), want4)
+	}
+	c64, _ := New(64, 1)
+	p64, _ := c64.Compress(g, info)
+	want64 := 4 + 8000 // norm + 8 bits/elem (7 level + 1 sign)
+	if p64.WireBytes() != want64 {
+		t.Fatalf("s=64 wire %d bytes, want %d", p64.WireBytes(), want64)
+	}
+}
+
+func TestRejectsBadLevels(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Fatal("expected error for s=0")
+	}
+}

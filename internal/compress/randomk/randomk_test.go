@@ -1,0 +1,90 @@
+package randomk
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grace"
+)
+
+func TestSelectionIsUniform(t *testing.T) {
+	// Over many draws every coordinate must be selected at close to the
+	// target rate.
+	c := New(0.1, 7)
+	const d = 200
+	g := make([]float32, d)
+	for i := range g {
+		g[i] = 1
+	}
+	info := grace.NewTensorInfo("t", []int{d})
+	counts := make([]int, d)
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		p, err := c.Compress(g, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := c.Decompress(p, info)
+		for i, v := range out {
+			if v != 0 {
+				counts[i]++
+			}
+		}
+	}
+	for i, n := range counts {
+		rate := float64(n) / trials
+		if math.Abs(rate-0.1) > 0.04 {
+			t.Fatalf("coordinate %d selected at rate %v, want ~0.1", i, rate)
+		}
+	}
+}
+
+func TestUnbiasedVariant(t *testing.T) {
+	// With the d/k rescaling, E[Q(x)] = x.
+	c := New(0.25, 11)
+	c.Unbiased = true
+	g := []float32{1, -2, 0.5, 4, -1, 2, 0.25, -3}
+	info := grace.NewTensorInfo("t", []int{8})
+	mean := make([]float64, 8)
+	const trials = 8000
+	for trial := 0; trial < trials; trial++ {
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		for i, v := range out {
+			mean[i] += float64(v) / trials
+		}
+	}
+	for i := range g {
+		tol := 0.06*math.Abs(float64(g[i])) + 0.02
+		if math.Abs(mean[i]-float64(g[i])) > tol {
+			t.Fatalf("unbiased variant: E[Q(x)][%d] = %v, want %v", i, mean[i], g[i])
+		}
+	}
+}
+
+func TestWorkersSelectDifferentIndices(t *testing.T) {
+	// Different seeds (ranks) must select mostly non-overlapping sets —
+	// that is why the paper pairs Random-k with allgather rather than
+	// allreduce.
+	a := New(0.05, 1)
+	b := New(0.05, 2)
+	const d = 1000
+	g := make([]float32, d)
+	for i := range g {
+		g[i] = 1
+	}
+	info := grace.NewTensorInfo("t", []int{d})
+	pa, _ := a.Compress(g, info)
+	pb, _ := b.Compress(g, info)
+	oa, _ := a.Decompress(pa, info)
+	ob, _ := b.Decompress(pb, info)
+	overlap := 0
+	for i := range oa {
+		if oa[i] != 0 && ob[i] != 0 {
+			overlap++
+		}
+	}
+	if overlap > 15 { // expected overlap 50*0.05 = 2.5
+		t.Fatalf("workers overlap on %d indices", overlap)
+	}
+}

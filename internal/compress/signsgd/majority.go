@@ -1,0 +1,60 @@
+package signsgd
+
+import (
+	"repro/internal/encode"
+	"repro/internal/grace"
+)
+
+func init() {
+	grace.Register(grace.Meta{
+		Name:      "signsgdmv",
+		Class:     "quantization",
+		Output:    "‖g‖0",
+		Nature:    "deterministic",
+		Reference: "Bernstein et al., ICLR 2019 [30] (majority vote)",
+		New: func(o grace.Options) (grace.Compressor, error) {
+			return MajorityVote{}, nil
+		},
+	})
+}
+
+// MajorityVote is SignSGD with majority-vote aggregation [30]: workers
+// exchange sign bits and the global update is the element-wise majority —
+// the sign of the sum of signs — instead of the mean. It demonstrates the
+// framework's custom Agg hook (§IV-B: "support for custom gradient
+// aggregation functions").
+type MajorityVote struct {
+	Compressor
+}
+
+var (
+	_ grace.Compressor = MajorityVote{}
+	_ grace.Aggregator = MajorityVote{}
+)
+
+// Name returns "signsgdmv".
+func (MajorityVote) Name() string { return "signsgdmv" }
+
+// Aggregate takes the element-wise majority of the workers' signs. Ties
+// (even worker counts) resolve to +1, consistent with sign(0) = +1.
+func (MajorityVote) Aggregate(decoded [][]float32, info grace.TensorInfo) []float32 {
+	out := make([]float32, info.Size())
+	for _, dec := range decoded {
+		for i, v := range dec {
+			out[i] += v
+		}
+	}
+	for i, v := range out {
+		if v >= 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Compress packs one sign bit per element (inherited wire format).
+func (m MajorityVote) Compress(g []float32, info grace.TensorInfo) (*grace.Payload, error) {
+	return &grace.Payload{Bytes: encode.PackSigns(g)}, nil
+}

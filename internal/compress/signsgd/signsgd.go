@@ -1,0 +1,51 @@
+// Package signsgd implements SignSGD [10]: transmit only the sign of each
+// gradient element, 1 bit per element. Decoding yields ±1; aggregation by
+// mean across workers approximates the majority vote of SIGNUM's follow-up
+// work. The paper runs it without error feedback (EF harms it; EFsignSGD is
+// the fixed variant).
+package signsgd
+
+import (
+	"fmt"
+
+	"repro/internal/encode"
+	"repro/internal/grace"
+)
+
+func init() {
+	grace.Register(grace.Meta{
+		Name:      "signsgd",
+		Class:     "quantization",
+		Output:    "‖g‖0",
+		Nature:    "deterministic",
+		Reference: "Bernstein et al., ICML 2018 [10]",
+		New: func(o grace.Options) (grace.Compressor, error) {
+			return Compressor{}, nil
+		},
+	})
+}
+
+// Compressor transmits sign bits.
+type Compressor struct{}
+
+var _ grace.Compressor = Compressor{}
+
+// Name returns "signsgd".
+func (Compressor) Name() string { return "signsgd" }
+
+// Strategy returns Allgather (bitmasks are not float-summable).
+func (Compressor) Strategy() grace.Strategy { return grace.Allgather }
+
+// Compress packs one sign bit per element.
+func (Compressor) Compress(g []float32, info grace.TensorInfo) (*grace.Payload, error) {
+	return &grace.Payload{Bytes: encode.PackSigns(g)}, nil
+}
+
+// Decompress expands sign bits to ±1.
+func (Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32, error) {
+	out, err := encode.UnpackSigns(p.Bytes, info.Size())
+	if err != nil {
+		return nil, fmt.Errorf("signsgd: %w", err)
+	}
+	return out, nil
+}

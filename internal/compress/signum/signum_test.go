@@ -1,0 +1,58 @@
+package signum
+
+import (
+	"testing"
+
+	"repro/internal/grace"
+)
+
+func TestMomentumSmoothsSignFlips(t *testing.T) {
+	// An alternating gradient must not flip SIGNUM's output every step: the
+	// momentum buffer retains the dominant direction.
+	c, _ := grace.New("signum", grace.Options{Momentum: 0.9})
+	info := grace.NewTensorInfo("t", []int{1})
+	// Strong positive step establishes the momentum.
+	p, _ := c.Compress([]float32{5}, info)
+	out, _ := c.Decompress(p, info)
+	if out[0] != 1 {
+		t.Fatalf("initial sign %v, want +1", out[0])
+	}
+	// A single small negative gradient must not flip the sign.
+	p, _ = c.Compress([]float32{-0.1}, info)
+	out, _ = c.Decompress(p, info)
+	if out[0] != 1 {
+		t.Fatalf("momentum failed to smooth a transient flip: %v", out[0])
+	}
+	// Sustained negative gradients eventually flip it.
+	flipped := false
+	for i := 0; i < 100 && !flipped; i++ {
+		p, _ = c.Compress([]float32{-1}, info)
+		out, _ = c.Decompress(p, info)
+		flipped = out[0] == -1
+	}
+	if !flipped {
+		t.Fatal("sustained reversal never flipped the sign")
+	}
+}
+
+func TestMomentumIsPerTensor(t *testing.T) {
+	c, _ := grace.New("signum", grace.Options{Momentum: 0.9})
+	a := grace.NewTensorInfo("a", []int{1})
+	b := grace.NewTensorInfo("b", []int{1})
+	for i := 0; i < 10; i++ {
+		if _, err := c.Compress([]float32{1}, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, _ := c.Compress([]float32{-1}, b)
+	out, _ := c.Decompress(p, b)
+	if out[0] != -1 {
+		t.Fatal("tensor b inherited tensor a's momentum")
+	}
+}
+
+func TestRejectsBadMomentum(t *testing.T) {
+	if _, err := grace.New("signum", grace.Options{Momentum: 1.5}); err == nil {
+		t.Fatal("expected error for momentum >= 1")
+	}
+}

@@ -1,0 +1,149 @@
+// Package sketchml implements SketchML [22]: the non-zero gradient values
+// feed a Greenwald-Khanna quantile sketch [50] that defines non-uniform
+// buckets; each value is transmitted as its bucket index (quantization), and
+// when the gradient is genuinely sparse only the non-zero positions travel
+// (sparsification). Bucket boundaries ride along so the receiver decodes each
+// index to its bucket's midpoint.
+package sketchml
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/encode"
+	"repro/internal/grace"
+)
+
+func init() {
+	grace.Register(grace.Meta{
+		Name:      "sketchml",
+		Class:     "hybrid",
+		Output:    "adaptive",
+		Nature:    "randomized",
+		DefaultEF: true,
+		Reference: "Jiang et al., SIGMOD 2018 [22]",
+		New: func(o grace.Options) (grace.Compressor, error) {
+			buckets := o.Levels
+			if buckets == 0 {
+				buckets = 64
+			}
+			if buckets < 2 || buckets > 1<<16 {
+				return nil, fmt.Errorf("sketchml: bucket count %d out of [2, 65536]", buckets)
+			}
+			return &Compressor{buckets: buckets}, nil
+		},
+	})
+}
+
+// denseFlag marks payloads where all elements were transmitted (no index
+// block follows the bucket table).
+const (
+	denseFlag  = 1
+	sparseFlag = 0
+)
+
+// Compressor quantizes values into quantile-sketch buckets.
+type Compressor struct {
+	buckets int
+}
+
+var _ grace.Compressor = (*Compressor)(nil)
+
+// Name returns "sketchml".
+func (*Compressor) Name() string { return "sketchml" }
+
+// Strategy returns Allgather.
+func (*Compressor) Strategy() grace.Strategy { return grace.Allgather }
+
+// Compress builds the quantile sketch over non-zero values and emits bucket
+// boundaries, (optionally) the non-zero index block, and packed bucket ids.
+func (c *Compressor) Compress(g []float32, info grace.TensorInfo) (*grace.Payload, error) {
+	var nz []int
+	sketch := encode.NewQuantileSketch(0.01)
+	for i, v := range g {
+		if v != 0 {
+			nz = append(nz, i)
+			sketch.Insert(float64(v))
+		}
+	}
+	boundaries := sketch.Quantiles(c.buckets)
+	bits := uint(math.Ceil(math.Log2(float64(c.buckets))))
+	if bits == 0 {
+		bits = 1
+	}
+
+	dense := len(nz) == len(g)
+	w := encode.NewWriter(len(g)/2 + 8*(c.buckets+1))
+	if dense {
+		w.U8(denseFlag)
+	} else {
+		w.U8(sparseFlag)
+	}
+	for _, b := range boundaries {
+		w.F32(float32(b))
+	}
+	if !dense {
+		w.BytesSlice(encode.EncodeIndices(nz))
+	}
+	ids := make([]uint32, len(nz))
+	for i, j := range nz {
+		ids[i] = uint32(encode.BucketOf(boundaries, float64(g[j])))
+	}
+	w.Uvarint(uint64(len(ids)))
+	w.Raw(encode.PackBits(ids, bits))
+	return &grace.Payload{Bytes: w.Bytes()}, nil
+}
+
+// Decompress reconstructs each transmitted element as its bucket midpoint.
+func (c *Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32, error) {
+	r := encode.NewReader(p.Bytes)
+	flag := r.U8()
+	boundaries := make([]float64, c.buckets+1)
+	for i := range boundaries {
+		boundaries[i] = float64(r.F32())
+	}
+	var idx []int
+	if flag == sparseFlag {
+		block := r.BytesSlice()
+		if r.Err() != nil {
+			return nil, fmt.Errorf("sketchml: %w", r.Err())
+		}
+		var err error
+		idx, err = encode.DecodeIndices(block)
+		if err != nil {
+			return nil, fmt.Errorf("sketchml: %w", err)
+		}
+	}
+	nIDs := int(r.Uvarint())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("sketchml: %w", r.Err())
+	}
+	bits := uint(math.Ceil(math.Log2(float64(c.buckets))))
+	if bits == 0 {
+		bits = 1
+	}
+	ids, err := encode.UnpackBits(p.Bytes[len(p.Bytes)-r.Remaining():], bits, nIDs)
+	if err != nil {
+		return nil, fmt.Errorf("sketchml: %w", err)
+	}
+	out := make([]float32, info.Size())
+	if flag == denseFlag {
+		if nIDs != len(out) {
+			return nil, fmt.Errorf("sketchml: dense payload has %d ids for %d elements", nIDs, len(out))
+		}
+		for i, id := range ids {
+			out[i] = float32(encode.BucketMid(boundaries, int(id)))
+		}
+		return out, nil
+	}
+	if nIDs != len(idx) {
+		return nil, fmt.Errorf("sketchml: %d ids for %d indices", nIDs, len(idx))
+	}
+	for i, j := range idx {
+		if j < 0 || j >= len(out) {
+			return nil, fmt.Errorf("sketchml: index %d out of %d", j, len(out))
+		}
+		out[j] = float32(encode.BucketMid(boundaries, int(ids[i])))
+	}
+	return out, nil
+}

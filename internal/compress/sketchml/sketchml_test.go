@@ -1,0 +1,91 @@
+package sketchml
+
+import (
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestSparseInputSendsOnlyNonzeros(t *testing.T) {
+	c, err := grace.New("sketchml", grace.Options{Levels: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := make([]float32, 1000)
+	g[3], g[500], g[999] = 1.5, -2, 0.25
+	info := grace.NewTensorInfo("t", []int{1000})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 3-nonzero sparse payload must be tiny compared to the dense case.
+	if p.WireBytes() > 16*4+64 {
+		t.Fatalf("sparse payload %d bytes too large", p.WireBytes())
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if g[i] == 0 && v != 0 {
+			t.Fatalf("zero position %d decoded to %v", i, v)
+		}
+		if g[i] != 0 && v == 0 {
+			t.Fatalf("nonzero position %d lost", i)
+		}
+	}
+}
+
+func TestMoreBucketsLowerError(t *testing.T) {
+	r := fxrand.New(3)
+	g := make([]float32, 4000)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{4000})
+	errFor := func(buckets int) float64 {
+		c, err := grace.New("sketchml", grace.Options{Levels: buckets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		var e float64
+		for i := range g {
+			d := float64(out[i] - g[i])
+			e += d * d
+		}
+		return e
+	}
+	if e256, e8 := errFor(256), errFor(8); e256 >= e8 {
+		t.Fatalf("256 buckets error %v should be below 8 buckets %v", e256, e8)
+	}
+}
+
+func TestBucketsPreserveOrdering(t *testing.T) {
+	// Quantile-bucket decoding must be monotone: if g[i] < g[j] then
+	// decoded[i] <= decoded[j].
+	c, _ := grace.New("sketchml", grace.Options{Levels: 32})
+	r := fxrand.New(5)
+	g := make([]float32, 2000)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{2000})
+	p, _ := c.Compress(g, info)
+	out, _ := c.Decompress(p, info)
+	for i := 0; i < 500; i++ {
+		a, b := r.Intn(2000), r.Intn(2000)
+		if g[a] < g[b] && out[a] > out[b] {
+			t.Fatalf("ordering violated: g[%d]=%v < g[%d]=%v but decoded %v > %v",
+				a, g[a], b, g[b], out[a], out[b])
+		}
+	}
+}
+
+func TestRejectsBadBuckets(t *testing.T) {
+	if _, err := grace.New("sketchml", grace.Options{Levels: 1}); err == nil {
+		t.Fatal("expected error for 1 bucket")
+	}
+}

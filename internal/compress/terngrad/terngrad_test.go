@@ -1,0 +1,92 @@
+package terngrad
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestDecodedValuesAreTernary(t *testing.T) {
+	c, _ := grace.New("terngrad", grace.Options{Seed: 1})
+	r := fxrand.New(2)
+	g := make([]float32, 500)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{500})
+	scale := float32(0)
+	for _, v := range g {
+		if a := abs32(v); a > scale {
+			scale = a
+		}
+	}
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 0 && v != scale && v != -scale {
+			t.Fatalf("element %d = %v is not in {0, ±%v}", i, v, scale)
+		}
+	}
+}
+
+func TestSelectionProbabilityTracksMagnitude(t *testing.T) {
+	// P(b_i = 1) = |g_i|/‖g‖∞, so an element at half the max magnitude must
+	// survive about half the time and the max element always.
+	c, _ := grace.New("terngrad", grace.Options{Seed: 3})
+	g := []float32{1.0, 0.5, 0.1, 0}
+	info := grace.NewTensorInfo("t", []int{4})
+	counts := make([]int, 4)
+	const trials = 4000
+	for trial := 0; trial < trials; trial++ {
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		for i, v := range out {
+			if v != 0 {
+				counts[i]++
+			}
+		}
+	}
+	rates := make([]float64, 4)
+	for i, n := range counts {
+		rates[i] = float64(n) / trials
+	}
+	if rates[0] != 1 {
+		t.Fatalf("max element survived %v of draws, want 1", rates[0])
+	}
+	if math.Abs(rates[1]-0.5) > 0.03 {
+		t.Fatalf("half-magnitude element survived %v, want ~0.5", rates[1])
+	}
+	if math.Abs(rates[2]-0.1) > 0.02 {
+		t.Fatalf("0.1-magnitude element survived %v, want ~0.1", rates[2])
+	}
+	if rates[3] != 0 {
+		t.Fatalf("zero element survived %v of draws, want 0", rates[3])
+	}
+}
+
+func TestTwoBitsPerElement(t *testing.T) {
+	g := make([]float32, 8000)
+	g[0] = 1
+	info := grace.NewTensorInfo("t", []int{8000})
+	c, _ := grace.New("terngrad", grace.Options{Seed: 1})
+	p, _ := c.Compress(g, info)
+	want := 4 + 8000/4 // norm + 2 bits/elem
+	if p.WireBytes() != want {
+		t.Fatalf("wire %d bytes, want %d", p.WireBytes(), want)
+	}
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,119 @@
+package threelc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func TestDecodedValuesAreScaledTernary(t *testing.T) {
+	c, _ := grace.New("threelc", grace.Options{})
+	r := fxrand.New(1)
+	g := make([]float32, 200)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{200})
+	p, err := c.Compress(g, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Decompress(p, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m float32
+	for _, v := range out {
+		if a := float32(math.Abs(float64(v))); a > m {
+			m = a
+		}
+	}
+	for i, v := range out {
+		if v != 0 && v != m && v != -m {
+			t.Fatalf("element %d = %v not in {0, ±%v}", i, v, m)
+		}
+	}
+}
+
+func TestSparsityMultiplierIncreasesZeros(t *testing.T) {
+	r := fxrand.New(2)
+	g := make([]float32, 2000)
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	info := grace.NewTensorInfo("t", []int{2000})
+	zeros := func(s float64) int {
+		c, err := grace.New("threelc", grace.Options{Threshold: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := c.Compress(g, info)
+		out, _ := c.Decompress(p, info)
+		n := 0
+		for _, v := range out {
+			if v == 0 {
+				n++
+			}
+		}
+		return n
+	}
+	if z19, z10 := zeros(1.9), zeros(1.0); z19 <= z10 {
+		t.Fatalf("s=1.9 zeros (%d) should exceed s=1.0 zeros (%d)", z19, z10)
+	}
+}
+
+func TestErrorCompensationAccumulates(t *testing.T) {
+	// A gradient too small to quantize on its own must eventually transmit
+	// through the built-in memory.
+	c, _ := grace.New("threelc", grace.Options{})
+	info := grace.NewTensorInfo("t", []int{2})
+	g := []float32{1.0, 0.2} // second element below the rounding threshold
+	sent := false
+	for i := 0; i < 10 && !sent; i++ {
+		p, err := c.Compress(g, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, _ := c.Decompress(p, info)
+		if out[1] != 0 {
+			sent = true
+		}
+	}
+	if !sent {
+		t.Fatal("small element never transmitted despite error compensation")
+	}
+}
+
+func TestRejectsBadMultiplier(t *testing.T) {
+	if _, err := grace.New("threelc", grace.Options{Threshold: 2.5}); err == nil {
+		t.Fatal("expected error for s >= 2")
+	}
+	if _, err := grace.New("threelc", grace.Options{Threshold: 0.5}); err == nil {
+		t.Fatal("expected error for s < 1")
+	}
+}
+
+func TestPartialGroupRoundTrip(t *testing.T) {
+	// Lengths not divisible by 5 exercise the final partial base-3 group.
+	for _, d := range []int{1, 4, 5, 6, 9, 11} {
+		c, _ := grace.New("threelc", grace.Options{})
+		g := make([]float32, d)
+		for i := range g {
+			g[i] = float32(i%3) - 1
+		}
+		info := grace.NewTensorInfo("t", []int{d})
+		p, err := c.Compress(g, info)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		out, err := c.Decompress(p, info)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		if len(out) != d {
+			t.Fatalf("d=%d: decoded %d elements", d, len(out))
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package data provides deterministic synthetic datasets standing in for the
+// paper's benchmarks (Table II): Gaussian-prototype images for CIFAR-10 /
+// ImageNet, latent-factor implicit ratings for MovieLens-20M, Markov-chain
+// token streams for Penn Treebank, and ellipse segmentation masks for
+// DAGM2007.
+//
+// Real datasets are unavailable offline and far too large for a CPU-only Go
+// substrate; these generators produce learnable tasks with held-out
+// evaluation under the same quality metrics, which is what the compression
+// study needs (see DESIGN.md, substitutions).
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/fxrand"
+	"repro/internal/tensor"
+)
+
+// Batch carries one mini-batch in whichever representation the task uses.
+// Exactly the fields a task needs are non-nil.
+type Batch struct {
+	X   *tensor.Dense // dense inputs (images)
+	IDs [][]int       // integer inputs (token windows, (user,item) pairs)
+	Y   []int         // class / next-token labels
+	YF  *tensor.Dense // dense targets (masks, binary labels)
+}
+
+// Dataset is an indexable collection of examples.
+type Dataset interface {
+	Len() int
+	Batch(indices []int) Batch
+}
+
+// Sampler produces the per-epoch mini-batch schedule for one worker's shard
+// of a dataset. Sharding is by contiguous stripes after a seeded shuffle, so
+// all workers agree on the partition (the paper's data-parallel setup: each
+// worker owns a partition D_i).
+type Sampler struct {
+	n, workers, rank int
+	seed             uint64
+	epoch            int
+}
+
+// NewSampler creates a sampler over n examples for the given worker.
+func NewSampler(n, workers, rank int, seed uint64) *Sampler {
+	if workers <= 0 || rank < 0 || rank >= workers {
+		panic(fmt.Sprintf("data: bad sampler rank %d of %d", rank, workers))
+	}
+	return &Sampler{n: n, workers: workers, rank: rank, seed: seed}
+}
+
+// EpochBatches returns this worker's mini-batches for the next epoch: a
+// shuffled shard cut into batches of size bs (the final short batch is
+// dropped so every worker performs the same number of steps, as collective
+// training requires).
+func (s *Sampler) EpochBatches(bs int) [][]int {
+	rng := fxrand.New(s.seed + uint64(s.epoch)*1_000_003)
+	s.epoch++
+	perm := rng.Perm(s.n)
+	shard := s.n / s.workers
+	lo := s.rank * shard
+	mine := perm[lo : lo+shard]
+	var batches [][]int
+	for i := 0; i+bs <= len(mine); i += bs {
+		batches = append(batches, mine[i:i+bs])
+	}
+	return batches
+}
+
+// StepsPerEpoch reports how many batches of size bs each worker runs.
+func (s *Sampler) StepsPerEpoch(bs int) int {
+	return (s.n / s.workers) / bs
+}
+
+// AllIndices returns [0, n) for full-dataset evaluation.
+func AllIndices(n int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}

@@ -1,0 +1,261 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSamplerShardsDisjointAndEqual(t *testing.T) {
+	const n, workers, bs = 1000, 4, 10
+	seen := map[int]int{}
+	var steps []int
+	for rank := 0; rank < workers; rank++ {
+		s := NewSampler(n, workers, rank, 7)
+		batches := s.EpochBatches(bs)
+		steps = append(steps, len(batches))
+		for _, b := range batches {
+			for _, idx := range b {
+				seen[idx]++
+			}
+		}
+	}
+	for rank := 1; rank < workers; rank++ {
+		if steps[rank] != steps[0] {
+			t.Fatalf("uneven steps per worker: %v", steps)
+		}
+	}
+	for idx, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d appeared %d times across shards", idx, c)
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("shards covered %d of %d indices", len(seen), n)
+	}
+}
+
+func TestSamplerEpochsDiffer(t *testing.T) {
+	s := NewSampler(100, 1, 0, 3)
+	b1 := s.EpochBatches(10)
+	b2 := s.EpochBatches(10)
+	same := true
+	for i := range b1 {
+		for j := range b1[i] {
+			if b1[i][j] != b2[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("two epochs used the identical order")
+	}
+}
+
+func TestSamplerDeterministicAcrossWorkers(t *testing.T) {
+	// Two samplers with the same seed must agree on the global permutation:
+	// rank 0's shard from one run equals rank 0's shard from another.
+	a := NewSampler(64, 2, 0, 5).EpochBatches(8)
+	b := NewSampler(64, 2, 0, 5).EpochBatches(8)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("sampler not deterministic")
+			}
+		}
+	}
+}
+
+func TestSamplerBadRankPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSampler(10, 2, 2, 1)
+}
+
+func TestStepsPerEpoch(t *testing.T) {
+	s := NewSampler(100, 4, 0, 1)
+	if s.StepsPerEpoch(10) != 2 {
+		t.Fatalf("StepsPerEpoch = %d want 2", s.StepsPerEpoch(10))
+	}
+}
+
+func TestImagesShapesAndLabels(t *testing.T) {
+	d := NewImages(ImagesConfig{Classes: 3, C: 2, H: 8, W: 8, N: 30, Noise: 0.1, Seed: 1})
+	if d.Len() != 30 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	b := d.Batch([]int{0, 1, 2})
+	if b.X.Dim(0) != 3 || b.X.Dim(1) != 2 || b.X.Dim(2) != 8 || b.X.Dim(3) != 8 {
+		t.Fatalf("batch shape %v", b.X.Shape())
+	}
+	if b.Y[0] != 0 || b.Y[1] != 1 || b.Y[2] != 2 {
+		t.Fatalf("labels %v", b.Y)
+	}
+}
+
+func TestImagesClassesSeparable(t *testing.T) {
+	// Same-class samples must be closer than cross-class samples on average.
+	d := NewImages(ImagesConfig{Classes: 2, C: 1, H: 8, W: 8, N: 40, Noise: 0.3, Seed: 2})
+	b := d.Batch(AllIndices(40))
+	dist := func(i, j int) float64 {
+		var s float64
+		stride := 64
+		for k := 0; k < stride; k++ {
+			diff := float64(b.X.Data()[i*stride+k] - b.X.Data()[j*stride+k])
+			s += diff * diff
+		}
+		return s
+	}
+	var same, cross float64
+	var ns, nc int
+	for i := 0; i < 40; i++ {
+		for j := i + 1; j < 40; j++ {
+			if b.Y[i] == b.Y[j] {
+				same += dist(i, j)
+				ns++
+			} else {
+				cross += dist(i, j)
+				nc++
+			}
+		}
+	}
+	if same/float64(ns) >= cross/float64(nc) {
+		t.Fatal("classes are not separable")
+	}
+}
+
+func TestImagesDeterministic(t *testing.T) {
+	a := NewImages(ImagesConfig{Classes: 2, C: 1, H: 4, W: 4, N: 4, Noise: 0.1, Seed: 9})
+	b := NewImages(ImagesConfig{Classes: 2, C: 1, H: 4, W: 4, N: 4, Noise: 0.1, Seed: 9})
+	ba, bb := a.Batch([]int{0, 3}), b.Batch([]int{0, 3})
+	for i := range ba.X.Data() {
+		if ba.X.Data()[i] != bb.X.Data()[i] {
+			t.Fatal("images not deterministic")
+		}
+	}
+}
+
+func TestRatingsStructure(t *testing.T) {
+	d := NewRatings(RatingsConfig{Users: 50, Items: 200, LatentDim: 8, PosPerUser: 5, NegPerPos: 4, Seed: 3})
+	if d.Len() == 0 {
+		t.Fatal("empty ratings dataset")
+	}
+	b := d.Batch([]int{0, 1})
+	if len(b.IDs) != 2 || len(b.IDs[0]) != 2 {
+		t.Fatalf("IDs shape wrong: %v", b.IDs)
+	}
+	if b.IDs[0][0] < 0 || b.IDs[0][0] >= 50 || b.IDs[0][1] < 0 || b.IDs[0][1] >= 200 {
+		t.Fatalf("ids out of range: %v", b.IDs[0])
+	}
+	pos, negs := d.EvalCases()
+	if len(pos) != 50 || len(negs) != 50 {
+		t.Fatalf("eval cases %d/%d", len(pos), len(negs))
+	}
+	for u := range negs {
+		if len(negs[u]) != 99 {
+			t.Fatalf("user %d has %d negatives", u, len(negs[u]))
+		}
+		for _, n := range negs[u] {
+			if n == pos[u] {
+				t.Fatal("held-out positive appears among negatives")
+			}
+		}
+	}
+}
+
+func TestRatingsLabelBalance(t *testing.T) {
+	d := NewRatings(RatingsConfig{Users: 20, Items: 100, LatentDim: 4, PosPerUser: 4, NegPerPos: 4, Seed: 4})
+	b := d.Batch(AllIndices(d.Len()))
+	var pos int
+	for _, v := range b.YF.Data() {
+		if v == 1 {
+			pos++
+		}
+	}
+	wantRatio := 1.0 / 5.0 // 1 positive per 4 negatives
+	got := float64(pos) / float64(d.Len())
+	if math.Abs(got-wantRatio) > 0.02 {
+		t.Fatalf("positive ratio %v want ~%v", got, wantRatio)
+	}
+}
+
+func TestTokenStreamShapes(t *testing.T) {
+	d := NewTokenStream(TokenConfig{Vocab: 50, SeqLen: 8, TrainTok: 1000, TestTok: 200, Successors: 4, Seed: 5})
+	if d.Len() != (1000-1)/8 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	b := d.Batch([]int{0, 2})
+	if len(b.IDs) != 2 || len(b.IDs[0]) != 8 || len(b.Y) != 16 {
+		t.Fatalf("token batch shapes: ids %d x %d, y %d", len(b.IDs), len(b.IDs[0]), len(b.Y))
+	}
+	// Targets are inputs shifted by one.
+	if b.IDs[0][1] != b.Y[0] {
+		t.Fatal("targets are not next tokens")
+	}
+	for _, tok := range b.IDs[0] {
+		if tok < 0 || tok >= 50 {
+			t.Fatalf("token %d out of vocab", tok)
+		}
+	}
+}
+
+func TestTokenStreamIsPredictable(t *testing.T) {
+	// The chain's entropy must be far below the uniform log(V) bound,
+	// otherwise the LM benchmark cannot show learning.
+	d := NewTokenStream(TokenConfig{Vocab: 100, SeqLen: 8, TrainTok: 1000, TestTok: 100, Successors: 5, Seed: 6})
+	uniform := math.Log(100)
+	if d.Entropy > uniform*0.7 {
+		t.Fatalf("chain entropy %v too close to uniform %v", d.Entropy, uniform)
+	}
+	if d.Entropy <= 0 {
+		t.Fatalf("entropy %v must be positive", d.Entropy)
+	}
+}
+
+func TestTokenStreamTestWindows(t *testing.T) {
+	d := NewTokenStream(TokenConfig{Vocab: 30, SeqLen: 10, TrainTok: 500, TestTok: 101, Successors: 3, Seed: 7})
+	ids, targets := d.TestWindows()
+	if len(ids) != 10 || len(targets) != 10 {
+		t.Fatalf("test windows %d/%d", len(ids), len(targets))
+	}
+	if ids[0][1] != targets[0][0] {
+		t.Fatal("test targets misaligned")
+	}
+}
+
+func TestBlobsMaskConsistency(t *testing.T) {
+	d := NewBlobs(BlobsConfig{H: 16, W: 16, N: 10, Noise: 0.2, Seed: 8})
+	b := d.Batch(AllIndices(10))
+	if b.X.Dim(0) != 10 || b.YF.Dim(0) != 10 {
+		t.Fatal("blob batch shapes wrong")
+	}
+	// Mask pixels must be brighter on average than background.
+	var maskSum, bgSum float64
+	var maskN, bgN int
+	for i, m := range b.YF.Data() {
+		if m == 1 {
+			maskSum += float64(b.X.Data()[i])
+			maskN++
+		} else if m == 0 {
+			bgSum += float64(b.X.Data()[i])
+			bgN++
+		} else {
+			t.Fatalf("mask value %v not binary", m)
+		}
+	}
+	if maskN == 0 || bgN == 0 {
+		t.Fatal("degenerate masks")
+	}
+	if maskSum/float64(maskN) <= bgSum/float64(bgN)+1 {
+		t.Fatal("defects are not brighter than background")
+	}
+}
+
+func TestAllIndices(t *testing.T) {
+	idx := AllIndices(3)
+	if len(idx) != 3 || idx[0] != 0 || idx[2] != 2 {
+		t.Fatalf("AllIndices = %v", idx)
+	}
+}

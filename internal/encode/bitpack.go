@@ -1,0 +1,96 @@
+package encode
+
+import "fmt"
+
+// PackBits encodes n symbols of width bits each (1..32) into a dense byte
+// slice, LSB-first within each byte. Symbols must fit in width bits; values
+// exceeding the width are truncated to it, which callers must avoid.
+//
+// This is the paper's `pack` helper: it is what turns, e.g., 2-bit ternary
+// codes or 3-bit QSGD code-words into an actually-small wire message. The
+// paper notes its own Python implementation omits packing and therefore
+// inflates quantized volumes; we implement it so measured volumes are true.
+func PackBits(symbols []uint32, width uint) []byte {
+	if width == 0 || width > 32 {
+		panic(fmt.Sprintf("encode: PackBits width %d out of range [1,32]", width))
+	}
+	totalBits := uint64(len(symbols)) * uint64(width)
+	out := make([]byte, (totalBits+7)/8)
+	var bitPos uint64
+	mask := uint32((uint64(1) << width) - 1)
+	for _, s := range symbols {
+		v := uint64(s & mask)
+		bytePos := bitPos / 8
+		shift := bitPos % 8
+		// A width<=32 symbol spans at most 5 bytes after shifting.
+		acc := v << shift
+		for i := 0; acc != 0 && i < 5; i++ {
+			out[bytePos+uint64(i)] |= byte(acc)
+			acc >>= 8
+		}
+		bitPos += uint64(width)
+	}
+	return out
+}
+
+// UnpackBits decodes n symbols of width bits each from buf (the paper's
+// `unpack`). It returns an error if buf is too short.
+func UnpackBits(buf []byte, width uint, n int) ([]uint32, error) {
+	if width == 0 || width > 32 {
+		return nil, fmt.Errorf("encode: UnpackBits width %d out of range [1,32]", width)
+	}
+	totalBits := uint64(n) * uint64(width)
+	if uint64(len(buf))*8 < totalBits {
+		return nil, fmt.Errorf("encode: UnpackBits needs %d bits, buffer has %d", totalBits, len(buf)*8)
+	}
+	out := make([]uint32, n)
+	mask := uint64((uint64(1) << width) - 1)
+	var bitPos uint64
+	for i := 0; i < n; i++ {
+		bytePos := bitPos / 8
+		shift := bitPos % 8
+		var acc uint64
+		// Gather up to 5 bytes covering the symbol.
+		for j := uint64(0); j < 5 && bytePos+j < uint64(len(buf)); j++ {
+			acc |= uint64(buf[bytePos+j]) << (8 * j)
+		}
+		out[i] = uint32((acc >> shift) & mask)
+		bitPos += uint64(width)
+	}
+	return out, nil
+}
+
+// PackedLen returns the number of bytes PackBits produces for n symbols of
+// the given width.
+func PackedLen(n int, width uint) int {
+	return int((uint64(n)*uint64(width) + 7) / 8)
+}
+
+// PackSigns packs a sign vector (+1 encoded as 1, otherwise 0) into a
+// bitmask, one bit per element. Elements with value >= 0 are encoded as 1,
+// matching SignSGD's convention that sign(0) = +1.
+func PackSigns(x []float32) []byte {
+	out := make([]byte, (len(x)+7)/8)
+	for i, v := range x {
+		if v >= 0 {
+			out[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	return out
+}
+
+// UnpackSigns expands a PackSigns bitmask into a ±1 float vector of length n.
+func UnpackSigns(buf []byte, n int) ([]float32, error) {
+	if len(buf)*8 < n {
+		return nil, fmt.Errorf("encode: UnpackSigns needs %d bits, buffer has %d", n, len(buf)*8)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		if buf[i/8]&(1<<(uint(i)%8)) != 0 {
+			out[i] = 1
+		} else {
+			out[i] = -1
+		}
+	}
+	return out, nil
+}

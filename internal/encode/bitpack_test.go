@@ -1,0 +1,127 @@
+package encode
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fxrand"
+)
+
+func TestPackBitsKnown(t *testing.T) {
+	// Two 4-bit symbols fill one byte LSB-first.
+	b := PackBits([]uint32{0x3, 0xA}, 4)
+	if len(b) != 1 || b[0] != 0xA3 {
+		t.Fatalf("PackBits got %x", b)
+	}
+	got, err := UnpackBits(b, 4, 2)
+	if err != nil || got[0] != 3 || got[1] != 0xA {
+		t.Fatalf("UnpackBits got %v err %v", got, err)
+	}
+}
+
+func TestPackBitsRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, widthRaw uint8, nRaw uint16) bool {
+		width := uint(widthRaw%32) + 1
+		n := int(nRaw % 300)
+		r := fxrand.New(seed)
+		syms := make([]uint32, n)
+		mask := uint32((uint64(1) << width) - 1)
+		for i := range syms {
+			syms[i] = r.Uint32() & mask
+		}
+		packed := PackBits(syms, width)
+		if len(packed) != PackedLen(n, width) {
+			return false
+		}
+		got, err := UnpackBits(packed, width, n)
+		if err != nil {
+			return false
+		}
+		for i := range syms {
+			if got[i] != syms[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackBitsCompression(t *testing.T) {
+	// 2-bit symbols should take 1/16 the space of float32.
+	n := 1024
+	syms := make([]uint32, n)
+	packed := PackBits(syms, 2)
+	if len(packed) != n/4 {
+		t.Fatalf("2-bit packing of %d symbols = %d bytes, want %d", n, len(packed), n/4)
+	}
+}
+
+func TestUnpackBitsShortBuffer(t *testing.T) {
+	if _, err := UnpackBits([]byte{0xff}, 8, 2); err == nil {
+		t.Fatal("expected short-buffer error")
+	}
+}
+
+func TestPackBitsBadWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on width 0")
+		}
+	}()
+	PackBits([]uint32{1}, 0)
+}
+
+func TestPackSignsRoundTrip(t *testing.T) {
+	x := []float32{1.5, -2, 0, -0.001, 3}
+	packed := PackSigns(x)
+	if len(packed) != 1 {
+		t.Fatalf("PackSigns length %d", len(packed))
+	}
+	got, err := UnpackSigns(packed, len(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, -1, 1, -1, 1} // sign(0) = +1
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("UnpackSigns got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPackSignsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw % 500)
+		r := fxrand.New(seed)
+		x := make([]float32, n)
+		for i := range x {
+			x[i] = r.NormFloat32()
+		}
+		got, err := UnpackSigns(PackSigns(x), n)
+		if err != nil {
+			return false
+		}
+		for i, v := range x {
+			want := float32(1)
+			if v < 0 {
+				want = -1
+			}
+			if got[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackSignsShortBuffer(t *testing.T) {
+	if _, err := UnpackSigns([]byte{0}, 9); err == nil {
+		t.Fatal("expected short-buffer error")
+	}
+}

@@ -1,0 +1,196 @@
+// Package encode provides the wire-format primitives shared by the gradient
+// compressors: a little-endian byte writer/reader, bit-packing of b-bit
+// symbols (the paper's pack/unpack helper API), float16 and 8-bit
+// floating-point codecs, delta-varint index coding for sparse tensors,
+// zero run-length coding (3LC's lossless stage), a Greenwald-Khanna quantile
+// sketch (SketchML), and a canonical Huffman coder (the Huffman-encoding
+// extension discussed in the paper's related work).
+package encode
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Writer accumulates a wire message. The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with capacity preallocated for n bytes.
+func NewWriter(n int) *Writer {
+	return &Writer{buf: make([]byte, 0, n)}
+}
+
+// Bytes returns the accumulated message.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// F32 appends a float32.
+func (w *Writer) F32(v float32) { w.U32(math.Float32bits(v)) }
+
+// F64 appends a float64.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Uvarint appends v in unsigned LEB128 form.
+func (w *Writer) Uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+
+// Raw appends b verbatim.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
+// F32Slice appends a length-prefixed slice of float32 values.
+func (w *Writer) F32Slice(vals []float32) {
+	w.Uvarint(uint64(len(vals)))
+	for _, v := range vals {
+		w.F32(v)
+	}
+}
+
+// BytesSlice appends a length-prefixed byte slice.
+func (w *Writer) BytesSlice(b []byte) {
+	w.Uvarint(uint64(len(b)))
+	w.Raw(b)
+}
+
+// Reader consumes a wire message produced by Writer. Methods return an error
+// once the buffer underflows; subsequent calls keep returning errors so
+// callers may batch error checks via Err.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader wraps b for reading.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.err = fmt.Errorf("encode: buffer underflow: need %d bytes at offset %d of %d", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// F32 reads a float32.
+func (r *Reader) F32() float32 { return math.Float32frombits(r.U32()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Uvarint reads an unsigned LEB128 value.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("encode: bad uvarint at offset %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Raw reads n bytes verbatim.
+func (r *Reader) Raw(n int) []byte {
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// F32Slice reads a length-prefixed float32 slice.
+func (r *Reader) F32Slice() []float32 {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n*4 {
+		r.err = fmt.Errorf("encode: F32Slice length %d exceeds remaining %d bytes", n, r.Remaining())
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = r.F32()
+	}
+	return out
+}
+
+// BytesSlice reads a length-prefixed byte slice.
+func (r *Reader) BytesSlice() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(r.Remaining()) < n {
+		r.err = fmt.Errorf("encode: BytesSlice length %d exceeds remaining %d bytes", n, r.Remaining())
+		return nil
+	}
+	return r.Raw(int(n))
+}

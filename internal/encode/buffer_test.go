@@ -1,0 +1,101 @@
+package encode
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.U8(7)
+	w.U16(513)
+	w.U32(70000)
+	w.U64(1 << 40)
+	w.F32(3.25)
+	w.F64(-1.5e-10)
+	w.Uvarint(300)
+	w.Raw([]byte{1, 2, 3})
+	w.F32Slice([]float32{1, 2, 3})
+	w.BytesSlice([]byte{9, 8})
+
+	r := NewReader(w.Bytes())
+	if r.U8() != 7 || r.U16() != 513 || r.U32() != 70000 || r.U64() != 1<<40 {
+		t.Fatal("integer round trip failed")
+	}
+	if r.F32() != 3.25 || r.F64() != -1.5e-10 {
+		t.Fatal("float round trip failed")
+	}
+	if r.Uvarint() != 300 {
+		t.Fatal("uvarint round trip failed")
+	}
+	if !bytes.Equal(r.Raw(3), []byte{1, 2, 3}) {
+		t.Fatal("raw round trip failed")
+	}
+	fs := r.F32Slice()
+	if len(fs) != 3 || fs[2] != 3 {
+		t.Fatal("F32Slice round trip failed")
+	}
+	bs := r.BytesSlice()
+	if !bytes.Equal(bs, []byte{9, 8}) {
+		t.Fatal("BytesSlice round trip failed")
+	}
+	if r.Err() != nil || r.Remaining() != 0 {
+		t.Fatalf("reader state: err=%v remaining=%d", r.Err(), r.Remaining())
+	}
+}
+
+func TestReaderUnderflow(t *testing.T) {
+	r := NewReader([]byte{1})
+	r.U32()
+	if r.Err() == nil {
+		t.Fatal("expected underflow error")
+	}
+	// Error is sticky.
+	r.U8()
+	if r.Err() == nil {
+		t.Fatal("error should be sticky")
+	}
+}
+
+func TestF32SliceBadLength(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1000) // claims 1000 floats, provides none
+	r := NewReader(w.Bytes())
+	if r.F32Slice() != nil || r.Err() == nil {
+		t.Fatal("expected error on implausible F32Slice length")
+	}
+}
+
+func TestBytesSliceBadLength(t *testing.T) {
+	w := NewWriter(0)
+	w.Uvarint(1 << 30)
+	r := NewReader(w.Bytes())
+	if r.BytesSlice() != nil || r.Err() == nil {
+		t.Fatal("expected error on implausible BytesSlice length")
+	}
+}
+
+func TestSpecialFloats(t *testing.T) {
+	w := NewWriter(0)
+	w.F32(float32(math.Inf(1)))
+	w.F32(float32(math.Inf(-1)))
+	w.F32(float32(math.NaN()))
+	r := NewReader(w.Bytes())
+	if !math.IsInf(float64(r.F32()), 1) || !math.IsInf(float64(r.F32()), -1) || !math.IsNaN(float64(r.F32())) {
+		t.Fatal("special float round trip failed")
+	}
+}
+
+func TestUvarintProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWriter(0)
+		w.Uvarint(v)
+		r := NewReader(w.Bytes())
+		return r.Uvarint() == v && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package encode_test
+
+import (
+	"fmt"
+
+	"repro/internal/encode"
+)
+
+// ExamplePackBits shows the paper's pack/unpack helper on 2-bit ternary
+// symbols: 8 symbols fit in 2 bytes instead of 32.
+func ExamplePackBits() {
+	symbols := []uint32{0, 1, 2, 1, 0, 0, 2, 1}
+	packed := encode.PackBits(symbols, 2)
+	fmt.Println(len(packed), "bytes")
+	back, _ := encode.UnpackBits(packed, 2, len(symbols))
+	fmt.Println(back)
+	// Output:
+	// 2 bytes
+	// [0 1 2 1 0 0 2 1]
+}
+
+// ExampleEncodeIndices shows delta-varint coding of sparse positions.
+func ExampleEncodeIndices() {
+	idx := []int{4, 100, 7, 1000}
+	buf := encode.EncodeIndices(idx)
+	back, _ := encode.DecodeIndices(buf)
+	fmt.Println(len(buf), "bytes for", len(back), "indices:", back)
+	// Output: 6 bytes for 4 indices: [4 7 100 1000]
+}
+
+// ExampleZRLECompress shows 3LC's zero run-length stage.
+func ExampleZRLECompress() {
+	src := []byte{9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 7}
+	comp := encode.ZRLECompress(src)
+	fmt.Println(len(src), "->", len(comp), "bytes")
+	back, _ := encode.ZRLEDecompress(comp, len(src))
+	fmt.Println(back)
+	// Output:
+	// 13 -> 4 bytes
+	// [9 0 0 0 0 0 0 0 0 0 0 0 7]
+}
+
+// ExampleF32ToFP8 shows Dettmers' 1-3-4 8-bit float format.
+func ExampleF32ToFP8() {
+	for _, v := range []float32{1, 0.5, -0.3} {
+		fmt.Printf("%v -> %v\n", v, encode.FP8ToF32(encode.F32ToFP8(v)))
+	}
+	// Output:
+	// 1 -> 1
+	// 0.5 -> 0.5
+	// -0.3 -> -0.296875
+}

@@ -1,0 +1,152 @@
+package encode
+
+import "math"
+
+// Float16 is the IEEE 754 binary16 format (1 sign, 5 exponent, 10 mantissa
+// bits), used by INCEPTIONN's 16-bit level.
+type Float16 uint16
+
+// F32ToF16 converts a float32 to binary16 with round-to-nearest-even.
+func F32ToF16(f float32) Float16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23&0xff) - 127 + 15
+	mant := bits & 0x7fffff
+
+	switch {
+	case exp >= 0x1f:
+		// Overflow (or inf/NaN input): saturate to inf, keep NaN payload bit.
+		if int32(bits>>23&0xff) == 0xff && mant != 0 {
+			return Float16(sign | 0x7e00) // NaN
+		}
+		return Float16(sign | 0x7c00) // Inf
+	case exp <= 0:
+		// Subnormal or underflow to zero.
+		if exp < -10 {
+			return Float16(sign)
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		rounded := (mant + half) >> shift
+		return Float16(sign | uint16(rounded))
+	default:
+		// Normal: round mantissa to 10 bits.
+		rounded := mant + 0x1000
+		if rounded&0x800000 != 0 {
+			rounded = 0
+			exp++
+			if exp >= 0x1f {
+				return Float16(sign | 0x7c00)
+			}
+		}
+		return Float16(sign | uint16(exp)<<10 | uint16(rounded>>13))
+	}
+}
+
+// F16ToF32 converts a binary16 value back to float32.
+func F16ToF32(h Float16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h >> 10 & 0x1f)
+	mant := uint32(h & 0x3ff)
+	switch exp {
+	case 0:
+		if mant == 0 {
+			return math.Float32frombits(sign)
+		}
+		// Subnormal: normalize.
+		e := uint32(127 - 15 + 1)
+		for mant&0x400 == 0 {
+			mant <<= 1
+			e--
+		}
+		mant &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | mant<<13)
+	case 0x1f:
+		return math.Float32frombits(sign | 0xff<<23 | mant<<13)
+	default:
+		return math.Float32frombits(sign | (exp-15+127)<<23 | mant<<13)
+	}
+}
+
+// FP8 is Dettmers' 8-bit floating-point format for gradients: 1 sign bit,
+// 3 exponent bits and 4 mantissa bits [11]. The exponent is biased so the
+// representable dynamic range covers the normalized gradient values the
+// method produces (inputs are expected to be scaled to roughly [-1, 1]).
+type FP8 uint8
+
+// Stored exponent se=0 means zero; se in [1,7] represents the real exponent
+// se-1-fp8Bias, so magnitudes span [2^-6, (1+15/16)*2^0].
+const (
+	fp8ExpBits  = 3
+	fp8ManBits  = 4
+	fp8Bias     = 6
+	fp8ManScale = 1 << fp8ManBits
+	fp8MaxSE    = (1 << fp8ExpBits) - 1 // 7
+)
+
+// F32ToFP8 quantizes f (expected in roughly [-1, 1]) to the 1-3-4 format.
+// Values below the smallest representable magnitude flush to zero; values
+// above ~2 in magnitude saturate.
+func F32ToFP8(f float32) FP8 {
+	var sign FP8
+	if f < 0 {
+		sign = 0x80
+		f = -f
+	}
+	if f == 0 {
+		return sign
+	}
+	// Real exponent e such that f = m * 2^e, m in [1, 2).
+	e := math.Ilogb(float64(f))
+	se := e + fp8Bias + 1
+	if se < 1 {
+		return sign // underflow to zero
+	}
+	if se > fp8MaxSE {
+		return sign | 0x7f // saturate to max magnitude
+	}
+	m := float64(f) / math.Ldexp(1, e) // in [1,2)
+	frac := int(math.Round((m - 1) * fp8ManScale))
+	if frac == fp8ManScale { // rounded up to next exponent
+		frac = 0
+		se++
+		if se > fp8MaxSE {
+			return sign | 0x7f
+		}
+	}
+	return sign | FP8(se)<<fp8ManBits | FP8(frac)
+}
+
+// FP8ToF32 dequantizes the 1-3-4 format.
+func FP8ToF32(b FP8) float32 {
+	sign := float64(1)
+	if b&0x80 != 0 {
+		sign = -1
+	}
+	se := int(b >> fp8ManBits & fp8MaxSE)
+	frac := float64(b&(fp8ManScale-1)) / fp8ManScale
+	if se == 0 {
+		return float32(math.Copysign(0, sign))
+	}
+	return float32(sign * (1 + frac) * math.Ldexp(1, se-1-fp8Bias))
+}
+
+// NearestPow2 rounds x to one of the two nearest integer powers of two,
+// deterministically picking the closer one (ties round up). It is the
+// deterministic core of natural compression [31]; the randomized variant
+// lives in the compressor, which chooses between the two powers with
+// probability proportional to proximity.
+func NearestPow2(x float64) float64 {
+	if x == 0 {
+		return 0
+	}
+	a := math.Abs(x)
+	lo := math.Pow(2, math.Floor(math.Log2(a)))
+	hi := lo * 2
+	out := lo
+	if a-lo >= hi-a {
+		out = hi
+	}
+	return math.Copysign(out, x)
+}

@@ -1,0 +1,170 @@
+package encode
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fxrand"
+)
+
+func TestF16ExactValues(t *testing.T) {
+	cases := []float32{0, 1, -1, 0.5, 2, 1024, -0.25, 65504}
+	for _, v := range cases {
+		if got := F16ToF32(F32ToF16(v)); got != v {
+			t.Fatalf("f16 round trip of exactly-representable %v = %v", v, got)
+		}
+	}
+}
+
+func TestF16RelativeError(t *testing.T) {
+	r := fxrand.New(1)
+	for i := 0; i < 10000; i++ {
+		v := r.NormFloat32()
+		got := F16ToF32(F32ToF16(v))
+		if v == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/1024 { // 10 mantissa bits -> rel err <= 2^-11 + slack
+			t.Fatalf("f16 relative error %v for %v -> %v", rel, v, got)
+		}
+	}
+}
+
+func TestF16Specials(t *testing.T) {
+	if got := F16ToF32(F32ToF16(float32(math.Inf(1)))); !math.IsInf(float64(got), 1) {
+		t.Fatalf("+inf became %v", got)
+	}
+	if got := F16ToF32(F32ToF16(float32(math.Inf(-1)))); !math.IsInf(float64(got), -1) {
+		t.Fatalf("-inf became %v", got)
+	}
+	if got := F16ToF32(F32ToF16(float32(math.NaN()))); !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN became %v", got)
+	}
+	if got := F16ToF32(F32ToF16(1e30)); !math.IsInf(float64(got), 1) {
+		t.Fatalf("overflow should saturate to inf, got %v", got)
+	}
+	if got := F16ToF32(F32ToF16(1e-30)); got != 0 {
+		t.Fatalf("tiny value should flush to zero, got %v", got)
+	}
+}
+
+func TestF16Subnormals(t *testing.T) {
+	v := float32(3e-5) // falls in the binary16 subnormal range
+	got := F16ToF32(F32ToF16(v))
+	rel := math.Abs(float64(got-v)) / float64(v)
+	if rel > 0.05 {
+		t.Fatalf("subnormal round trip error %v (%v -> %v)", rel, v, got)
+	}
+}
+
+func TestF16SignPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := fxrand.New(seed).NormFloat32()
+		got := F16ToF32(F32ToF16(v))
+		return (v >= 0) == (got >= 0) || got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFP8Zero(t *testing.T) {
+	if FP8ToF32(F32ToFP8(0)) != 0 {
+		t.Fatal("fp8 zero round trip failed")
+	}
+}
+
+func TestFP8KnownValues(t *testing.T) {
+	// 1.0 = (1+0) * 2^(7-7) -> exactly representable.
+	if got := FP8ToF32(F32ToFP8(1)); got != 1 {
+		t.Fatalf("fp8(1) = %v", got)
+	}
+	// 0.5 exactly representable.
+	if got := FP8ToF32(F32ToFP8(0.5)); got != 0.5 {
+		t.Fatalf("fp8(0.5) = %v", got)
+	}
+	if got := FP8ToF32(F32ToFP8(-0.5)); got != -0.5 {
+		t.Fatalf("fp8(-0.5) = %v", got)
+	}
+}
+
+func TestFP8RelativeError(t *testing.T) {
+	r := fxrand.New(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Float32()*2 - 1 // [-1, 1), the normalized-gradient domain
+		if math.Abs(float64(v)) < 1.0/64 {
+			continue // below representable range, flushes to zero
+		}
+		got := FP8ToF32(F32ToFP8(v))
+		rel := math.Abs(float64(got-v)) / math.Abs(float64(v))
+		if rel > 1.0/16 { // 4 mantissa bits -> rel err <= 2^-5 + rounding slack
+			t.Fatalf("fp8 relative error %v for %v -> %v", rel, v, got)
+		}
+	}
+}
+
+func TestFP8Saturation(t *testing.T) {
+	got := FP8ToF32(F32ToFP8(100))
+	if got < 1.9 || got > 2 { // max magnitude = (1 + 15/16) * 2^0
+		t.Fatalf("fp8 saturation value %v", got)
+	}
+	if FP8ToF32(F32ToFP8(-100)) != -got {
+		t.Fatal("fp8 saturation not symmetric")
+	}
+}
+
+func TestFP8SignPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := fxrand.New(seed).NormFloat32()
+		got := FP8ToF32(F32ToFP8(v))
+		if got == 0 {
+			return true
+		}
+		return (v < 0) == (got < 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFP8Underflow(t *testing.T) {
+	if got := FP8ToF32(F32ToFP8(1e-6)); got != 0 {
+		t.Fatalf("fp8 underflow should flush to zero, got %v", got)
+	}
+}
+
+func TestNearestPow2(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{1, 1},
+		{1.4, 1},
+		{1.6, 2},
+		{3, 4}, // tie rounds up
+		{-3, -4},
+		{0.75, 1}, // tie rounds up: |0.75-0.5| = |1-0.75|
+		{-1.2, -1},
+		{1000, 1024},
+	}
+	for _, c := range cases {
+		if got := NearestPow2(c.in); got != c.want {
+			t.Fatalf("NearestPow2(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNearestPow2IsPow2(t *testing.T) {
+	f := func(seed uint64) bool {
+		v := fxrand.New(seed).NormFloat64() * 100
+		got := NearestPow2(v)
+		if v == 0 || got == 0 {
+			return got == 0 == (v == 0)
+		}
+		l := math.Log2(math.Abs(got))
+		return l == math.Trunc(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,190 @@
+package encode
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// HuffmanEncode compresses a byte-symbol stream with a canonical Huffman
+// code. This implements the lossless entropy-coding stage discussed in the
+// paper's related work (Gajjala et al. [81]): quantized gradients have highly
+// skewed symbol distributions, so Huffman coding shrinks them well below the
+// fixed-width packed size.
+//
+// Wire format: varint(#symbols) | 256 code lengths (one byte each, 0 = symbol
+// absent) | varint(payload bits) | packed payload.
+func HuffmanEncode(src []byte) []byte {
+	var freq [256]int
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths := huffmanCodeLengths(freq[:])
+	codes := canonicalCodes(lengths)
+
+	w := NewWriter(len(src)/2 + 300)
+	w.Uvarint(uint64(len(src)))
+	for _, l := range lengths {
+		w.U8(uint8(l))
+	}
+	var totalBits uint64
+	for _, b := range src {
+		totalBits += uint64(lengths[b])
+	}
+	w.Uvarint(totalBits)
+	payload := make([]byte, (totalBits+7)/8)
+	var bitPos uint64
+	for _, b := range src {
+		c, l := codes[b], uint64(lengths[b])
+		for i := uint64(0); i < l; i++ {
+			if c&(1<<(l-1-i)) != 0 {
+				payload[bitPos/8] |= 1 << (bitPos % 8)
+			}
+			bitPos++
+		}
+	}
+	w.Raw(payload)
+	return w.Bytes()
+}
+
+// HuffmanDecode reverses HuffmanEncode.
+func HuffmanDecode(src []byte) ([]byte, error) {
+	r := NewReader(src)
+	n := r.Uvarint()
+	var lengths [256]int
+	for i := range lengths {
+		lengths[i] = int(r.U8())
+	}
+	totalBits := r.Uvarint()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	payload := r.Raw(int((totalBits + 7) / 8))
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	codes := canonicalCodes(lengths[:])
+
+	// Build a decode map keyed by (length, code).
+	type key struct {
+		len  int
+		code uint32
+	}
+	dec := make(map[key]byte)
+	for s, l := range lengths {
+		if l > 0 {
+			dec[key{l, codes[s]}] = byte(s)
+		}
+	}
+
+	out := make([]byte, 0, n)
+	var code uint32
+	codeLen := 0
+	var bitPos uint64
+	for uint64(len(out)) < n {
+		if bitPos >= totalBits {
+			return nil, fmt.Errorf("encode: huffman stream truncated at %d/%d symbols", len(out), n)
+		}
+		bit := payload[bitPos/8] >> (bitPos % 8) & 1
+		bitPos++
+		code = code<<1 | uint32(bit)
+		codeLen++
+		if codeLen > 32 {
+			return nil, fmt.Errorf("encode: huffman code overflow")
+		}
+		if s, ok := dec[key{codeLen, code}]; ok {
+			out = append(out, s)
+			code, codeLen = 0, 0
+		}
+	}
+	return out, nil
+}
+
+type hNode struct {
+	freq        int
+	sym         int // -1 for internal
+	left, right *hNode
+}
+
+type hHeap []*hNode
+
+func (h hHeap) Len() int { return len(h) }
+func (h hHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].sym < h[j].sym // deterministic tie-break
+}
+func (h hHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *hHeap) Push(x interface{}) { *h = append(*h, x.(*hNode)) }
+func (h *hHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// huffmanCodeLengths computes per-symbol code lengths from frequencies.
+// A lone symbol gets length 1 so the stream is self-delimiting.
+func huffmanCodeLengths(freq []int) []int {
+	lengths := make([]int, len(freq))
+	h := &hHeap{}
+	for s, f := range freq {
+		if f > 0 {
+			*h = append(*h, &hNode{freq: f, sym: s})
+		}
+	}
+	if h.Len() == 0 {
+		return lengths
+	}
+	if h.Len() == 1 {
+		lengths[(*h)[0].sym] = 1
+		return lengths
+	}
+	heap.Init(h)
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*hNode)
+		b := heap.Pop(h).(*hNode)
+		heap.Push(h, &hNode{freq: a.freq + b.freq, sym: -1, left: a, right: b})
+	}
+	var walk func(n *hNode, depth int)
+	walk = func(n *hNode, depth int) {
+		if n.sym >= 0 {
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk((*h)[0], 0)
+	return lengths
+}
+
+// canonicalCodes assigns canonical codes (shorter lengths first, then symbol
+// order) given code lengths.
+func canonicalCodes(lengths []int) []uint32 {
+	type sl struct{ sym, len int }
+	var syms []sl
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sl{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].len != syms[j].len {
+			return syms[i].len < syms[j].len
+		}
+		return syms[i].sym < syms[j].sym
+	})
+	codes := make([]uint32, len(lengths))
+	var code uint32
+	prevLen := 0
+	for _, e := range syms {
+		code <<= uint(e.len - prevLen)
+		codes[e.sym] = code
+		code++
+		prevLen = e.len
+	}
+	return codes
+}

@@ -1,0 +1,156 @@
+package encode
+
+import (
+	"fmt"
+	"sort"
+)
+
+// QuantileSketch is a Greenwald-Khanna ε-approximate quantile summary [50].
+// SketchML builds a non-uniform quantile sketch over the non-zero gradient
+// values and transmits per-value bucket indices instead of floats.
+//
+// The zero value is not usable; construct with NewQuantileSketch.
+type QuantileSketch struct {
+	eps     float64
+	n       int
+	tuples  []gkTuple
+	pending []float64
+}
+
+type gkTuple struct {
+	v     float64
+	g     int // number of observations between previous tuple and this one
+	delta int // uncertainty
+}
+
+// NewQuantileSketch returns a sketch with additive rank error ε·n.
+func NewQuantileSketch(eps float64) *QuantileSketch {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("encode: quantile sketch eps %v out of (0,1)", eps))
+	}
+	return &QuantileSketch{eps: eps}
+}
+
+// Add inserts a value. Insertions are buffered and merged in batches for
+// speed; Query and Quantiles flush automatically.
+func (s *QuantileSketch) Insert(v float64) {
+	s.pending = append(s.pending, v)
+	if len(s.pending) >= 256 {
+		s.flush()
+	}
+}
+
+// Count returns the number of inserted values.
+func (s *QuantileSketch) Count() int { return s.n + len(s.pending) }
+
+func (s *QuantileSketch) flush() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Float64s(s.pending)
+	merged := make([]gkTuple, 0, len(s.tuples)+len(s.pending))
+	i := 0
+	for _, v := range s.pending {
+		for i < len(s.tuples) && s.tuples[i].v <= v {
+			merged = append(merged, s.tuples[i])
+			i++
+		}
+		delta := 0
+		if s.n > 0 && len(merged) > 0 && i < len(s.tuples) {
+			delta = int(2 * s.eps * float64(s.n))
+		}
+		merged = append(merged, gkTuple{v: v, g: 1, delta: delta})
+		s.n++
+	}
+	merged = append(merged, s.tuples[i:]...)
+	s.tuples = merged
+	s.pending = s.pending[:0]
+	s.compress()
+}
+
+func (s *QuantileSketch) compress() {
+	if len(s.tuples) < 3 {
+		return
+	}
+	threshold := int(2 * s.eps * float64(s.n))
+	out := s.tuples[:1]
+	for i := 1; i < len(s.tuples)-1; i++ {
+		t := s.tuples[i]
+		next := &s.tuples[i+1]
+		if t.g+next.g+next.delta <= threshold {
+			next.g += t.g
+			continue
+		}
+		out = append(out, t)
+	}
+	out = append(out, s.tuples[len(s.tuples)-1])
+	s.tuples = out
+}
+
+// Query returns an ε-approximate q-quantile (q in [0,1]). It returns 0 for an
+// empty sketch.
+func (s *QuantileSketch) Query(q float64) float64 {
+	s.flush()
+	if s.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int(q*float64(s.n-1)) + 1
+	margin := int(s.eps*float64(s.n)) + 1
+	rmin := 0
+	for i, t := range s.tuples {
+		rmin += t.g
+		rmax := rmin + t.delta
+		if rank-margin <= rmin && rmax <= rank+margin {
+			return t.v
+		}
+		if i == len(s.tuples)-1 {
+			break
+		}
+	}
+	return s.tuples[len(s.tuples)-1].v
+}
+
+// Quantiles returns k+1 bucket boundaries splitting the observed distribution
+// into k approximately equal-mass buckets (boundaries are non-decreasing).
+func (s *QuantileSketch) Quantiles(k int) []float64 {
+	if k < 1 {
+		panic("encode: Quantiles needs k >= 1")
+	}
+	out := make([]float64, k+1)
+	for i := 0; i <= k; i++ {
+		out[i] = s.Query(float64(i) / float64(k))
+	}
+	// Enforce monotonicity against approximation jitter.
+	for i := 1; i <= k; i++ {
+		if out[i] < out[i-1] {
+			out[i] = out[i-1]
+		}
+	}
+	return out
+}
+
+// BucketOf returns the bucket index in [0, k) for value v given boundaries
+// from Quantiles(k).
+func BucketOf(boundaries []float64, v float64) int {
+	k := len(boundaries) - 1
+	// Binary search for the rightmost boundary <= v.
+	i := sort.SearchFloat64s(boundaries, v)
+	if i > 0 {
+		i--
+	}
+	if i >= k {
+		i = k - 1
+	}
+	return i
+}
+
+// BucketMid returns the representative (midpoint) of bucket i.
+func BucketMid(boundaries []float64, i int) float64 {
+	return (boundaries[i] + boundaries[i+1]) / 2
+}

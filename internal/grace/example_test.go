@@ -1,0 +1,67 @@
+package grace_test
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+)
+
+// ExampleNew shows the registry-based construction of a compressor and a
+// basic compress/decompress round trip.
+func ExampleNew() {
+	c, err := grace.New("topk", grace.Options{Ratio: 0.25})
+	if err != nil {
+		panic(err)
+	}
+	g := []float32{0.1, -4, 0.3, 2}
+	info := grace.NewTensorInfo("layer.w", []int{4})
+	p, _ := c.Compress(g, info)
+	out, _ := c.Decompress(p, info)
+	fmt.Println(out)
+	// Output: [0 -4 0 0]
+}
+
+// ExampleMemory demonstrates the error-feedback equations (Eq. 4): the part
+// of the gradient a compressor drops is replayed into the next iteration.
+func ExampleMemory() {
+	mem := grace.NewMemory(1, 1) // β = γ = 1
+	g := []float32{1.0}
+
+	compensated := mem.Compensate("w", g) // φ = m + g = 1.0
+	approx := []float32{0.25}             // pretend Q kept a quarter
+	mem.Update("w", compensated, approx)  // ψ = 1.0 − 0.25 = 0.75
+
+	next := mem.Compensate("w", g) // 0.75 + 1.0
+	fmt.Println(next)
+	// Output: [1.75]
+}
+
+// ExamplePipeline runs one compressed gradient exchange across two workers.
+func ExamplePipeline() {
+	hub := comm.NewHub(2)
+	done := make(chan []float32, 2)
+	for rank := 0; rank < 2; rank++ {
+		go func(rank int) {
+			c, _ := grace.New("none", grace.Options{})
+			pipe := &grace.Pipeline{Comp: c, Coll: hub.Worker(rank)}
+			g := []float32{float32(rank + 1)} // worker 0: [1], worker 1: [2]
+			agg, _, err := pipe.Exchange(g, grace.NewTensorInfo("w", []int{1}))
+			if err != nil {
+				panic(err)
+			}
+			done <- agg
+		}(rank)
+	}
+	a, b := <-done, <-done
+	fmt.Println(a[0], b[0]) // both workers hold the mean
+	// Output: 1.5 1.5
+}
+
+// ExampleLookup inspects a method's Table I metadata.
+func ExampleLookup() {
+	m, _ := grace.Lookup("qsgd")
+	fmt.Println(m.Class, m.Nature, m.Output)
+	// Output: quantization randomized ‖g‖0
+}

@@ -1,0 +1,370 @@
+package grace
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/simnet"
+)
+
+func clusterForTest() simnet.Cluster {
+	return simnet.NewCluster(simnet.TCP10G, 4)
+}
+
+func TestNewTensorInfo(t *testing.T) {
+	info := NewTensorInfo("w", []int{6, 4})
+	if info.Size() != 24 || info.Rows != 6 || info.Cols != 4 {
+		t.Fatalf("matrix info wrong: %+v", info)
+	}
+	vec := NewTensorInfo("b", []int{7})
+	if vec.Size() != 7 || vec.Rows != 1 || vec.Cols != 7 {
+		t.Fatalf("vector info wrong: %+v", vec)
+	}
+	conv := NewTensorInfo("k", []int{8, 3, 3, 3})
+	if conv.Size() != 216 || conv.Rows != 8 || conv.Cols != 27 {
+		t.Fatalf("conv info wrong: %+v", conv)
+	}
+}
+
+func TestPayloadWireBytes(t *testing.T) {
+	if (&Payload{Dense: make([]float32, 5)}).WireBytes() != 20 {
+		t.Fatal("dense wire bytes wrong")
+	}
+	if (&Payload{Bytes: make([]byte, 9)}).WireBytes() != 9 {
+		t.Fatal("bytes wire bytes wrong")
+	}
+	var nilP *Payload
+	if nilP.WireBytes() != 0 {
+		t.Fatal("nil payload should be 0 bytes")
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Allgather.String() != "allgather" || Allreduce.String() != "allreduce" || Custom.String() != "custom" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestMemoryCompensateNoState(t *testing.T) {
+	m := NewMemory(1, 1)
+	g := []float32{1, 2}
+	out := m.Compensate("t", g)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("first compensate should be γ·g: %v", out)
+	}
+	// Input must not be aliased.
+	out[0] = 99
+	if g[0] != 1 {
+		t.Fatal("Compensate aliased its input")
+	}
+}
+
+func TestMemoryAccumulatesResidual(t *testing.T) {
+	m := NewMemory(1, 1)
+	g := []float32{1, 1}
+	comp := m.Compensate("t", g)
+	approx := []float32{0.25, 0.5} // pretend the compressor kept this much
+	m.Update("t", comp, approx)
+	// Next compensate must add the residual 0.75 / 0.5.
+	comp2 := m.Compensate("t", g)
+	if comp2[0] != 1.75 || comp2[1] != 1.5 {
+		t.Fatalf("residual not applied: %v", comp2)
+	}
+}
+
+func TestMemoryBetaGamma(t *testing.T) {
+	m := NewMemory(0.5, 2)
+	g := []float32{1}
+	comp := m.Compensate("t", g) // = 2
+	if comp[0] != 2 {
+		t.Fatalf("γ scaling wrong: %v", comp)
+	}
+	m.Update("t", comp, []float32{0}) // memory = 2
+	comp2 := m.Compensate("t", g)     // = 0.5*2 + 2*1 = 3
+	if comp2[0] != 3 {
+		t.Fatalf("β decay wrong: %v", comp2)
+	}
+}
+
+func TestMemoryNorm(t *testing.T) {
+	m := NewMemory(1, 1)
+	if m.Norm2("missing") != 0 {
+		t.Fatal("missing tensor should have zero norm")
+	}
+	m.Update("t", []float32{3, 4}, []float32{0, 0})
+	if math.Abs(m.Norm2("t")-5) > 1e-9 {
+		t.Fatalf("memory norm %v", m.Norm2("t"))
+	}
+}
+
+func TestMemoryPerTensorIsolation(t *testing.T) {
+	m := NewMemory(1, 1)
+	m.Update("a", []float32{1}, []float32{0})
+	out := m.Compensate("b", []float32{0})
+	if out[0] != 0 {
+		t.Fatal("memory leaked across tensors")
+	}
+}
+
+// --- registry ---
+
+func TestRegistryRegisterLookup(t *testing.T) {
+	Register(Meta{
+		Name: "test-dummy", Class: "quantization", Output: "‖g‖0", Nature: "deterministic",
+		New: func(o Options) (Compressor, error) { return stubComp{}, nil },
+	})
+	m, err := Lookup("test-dummy")
+	if err != nil || m.Class != "quantization" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+	c, err := New("test-dummy", Options{})
+	if err != nil || c.Name() != "stub" {
+		t.Fatalf("New failed: %v", err)
+	}
+	if _, err := Lookup("no-such"); err == nil {
+		t.Fatal("expected error for unknown method")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-dummy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names missing registered method")
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	Register(Meta{Name: "dup-test", Class: "hybrid", New: func(o Options) (Compressor, error) { return stubComp{}, nil }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	Register(Meta{Name: "dup-test", Class: "hybrid", New: func(o Options) (Compressor, error) { return stubComp{}, nil }})
+}
+
+func TestRegistryRejectsEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty meta")
+		}
+	}()
+	Register(Meta{})
+}
+
+// stubComp is a trivial allgather compressor used by registry and pipeline
+// tests: wire format is the raw little-endian float bytes.
+type stubComp struct{}
+
+func (stubComp) Name() string       { return "stub" }
+func (stubComp) Strategy() Strategy { return Allgather }
+func (stubComp) Compress(g []float32, info TensorInfo) (*Payload, error) {
+	b := make([]byte, len(g)*4)
+	for i, v := range g {
+		u := math.Float32bits(v)
+		b[i*4] = byte(u)
+		b[i*4+1] = byte(u >> 8)
+		b[i*4+2] = byte(u >> 16)
+		b[i*4+3] = byte(u >> 24)
+	}
+	return &Payload{Bytes: b}, nil
+}
+func (stubComp) Decompress(p *Payload, info TensorInfo) ([]float32, error) {
+	out := make([]float32, len(p.Bytes)/4)
+	for i := range out {
+		u := uint32(p.Bytes[i*4]) | uint32(p.Bytes[i*4+1])<<8 | uint32(p.Bytes[i*4+2])<<16 | uint32(p.Bytes[i*4+3])<<24
+		out[i] = math.Float32frombits(u)
+	}
+	return out, nil
+}
+
+// halfComp keeps only half the value, so error feedback has a residual to
+// accumulate. Lossy but linear: Q(x) = x/2.
+type halfComp struct{ stubComp }
+
+func (halfComp) Compress(g []float32, info TensorInfo) (*Payload, error) {
+	h := make([]float32, len(g))
+	for i, v := range g {
+		h[i] = v / 2
+	}
+	return stubComp{}.Compress(h, info)
+}
+
+// --- pipeline ---
+
+func runPipelineGroup(t *testing.T, n int, mem bool, comp func(rank int) Compressor, g func(rank int) []float32, info TensorInfo) [][]float32 {
+	t.Helper()
+	hub := comm.NewHub(n)
+	out := make([][]float32, n)
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			p := &Pipeline{Comp: comp(rank), Coll: hub.Worker(rank)}
+			if mem {
+				p.Mem = NewMemory(1, 1)
+			}
+			agg, _, err := p.Exchange(g(rank), info)
+			out[rank] = agg
+			errs[rank] = err
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return out
+}
+
+func TestPipelineAllgatherMean(t *testing.T) {
+	info := NewTensorInfo("t", []int{2})
+	out := runPipelineGroup(t, 4, false,
+		func(rank int) Compressor { return stubComp{} },
+		func(rank int) []float32 { return []float32{float32(rank), 1} },
+		info)
+	for rank, agg := range out {
+		if agg[0] != 1.5 || agg[1] != 1 {
+			t.Fatalf("rank %d agg %v, want [1.5 1]", rank, agg)
+		}
+	}
+}
+
+func TestPipelineWorkersAgree(t *testing.T) {
+	info := NewTensorInfo("t", []int{16})
+	out := runPipelineGroup(t, 3, false,
+		func(rank int) Compressor { return stubComp{} },
+		func(rank int) []float32 {
+			g := make([]float32, 16)
+			for i := range g {
+				g[i] = float32(rank*i) * 0.1
+			}
+			return g
+		}, info)
+	for rank := 1; rank < 3; rank++ {
+		for i := range out[0] {
+			if out[rank][i] != out[0][i] {
+				t.Fatalf("rank %d disagrees at %d", rank, i)
+			}
+		}
+	}
+}
+
+func TestPipelineStats(t *testing.T) {
+	hub := comm.NewHub(1)
+	p := &Pipeline{Comp: stubComp{}, Coll: hub.Worker(0)}
+	info := NewTensorInfo("t", []int{8})
+	_, stats, err := p.Exchange(make([]float32, 8), info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SentBytes != 32 {
+		t.Fatalf("SentBytes = %d", stats.SentBytes)
+	}
+	if len(stats.GatherSizes) != 1 || stats.GatherSizes[0] != 32 {
+		t.Fatalf("GatherSizes = %v", stats.GatherSizes)
+	}
+	if stats.Strategy != Allgather {
+		t.Fatalf("Strategy = %v", stats.Strategy)
+	}
+}
+
+func TestPipelineErrorFeedbackConverges(t *testing.T) {
+	// With Q(x) = x/2 and EF, the transmitted sequence sums to the full
+	// gradient: residual halves each step, and the running total of decoded
+	// values approaches the cumulative gradient.
+	hub := comm.NewHub(1)
+	p := &Pipeline{Comp: halfComp{}, Mem: NewMemory(1, 1), Coll: hub.Worker(0)}
+	info := NewTensorInfo("t", []int{1})
+	g := []float32{1}
+	var transmitted float64
+	steps := 20
+	for i := 0; i < steps; i++ {
+		agg, _, err := p.Exchange(g, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transmitted += float64(agg[0])
+	}
+	// Total gradient mass after `steps` iterations is `steps`; EF must have
+	// delivered almost all of it (residual <= 1 remains in memory).
+	if transmitted < float64(steps)-1.5 {
+		t.Fatalf("EF delivered %v of %d", transmitted, steps)
+	}
+	if p.Mem.Norm2("t") > 1.01 {
+		t.Fatalf("memory residual %v should stay bounded", p.Mem.Norm2("t"))
+	}
+}
+
+func TestPipelineNoMemoryDropsResidual(t *testing.T) {
+	hub := comm.NewHub(1)
+	p := &Pipeline{Comp: halfComp{}, Coll: hub.Worker(0)}
+	info := NewTensorInfo("t", []int{1})
+	agg, _, err := p.Exchange([]float32{1}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg[0] != 0.5 {
+		t.Fatalf("agg = %v, want 0.5", agg[0])
+	}
+	agg, _, err = p.Exchange([]float32{1}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg[0] != 0.5 {
+		t.Fatalf("without memory the second step must also be 0.5, got %v", agg[0])
+	}
+}
+
+type badStrategyComp struct{ stubComp }
+
+func (badStrategyComp) Strategy() Strategy { return Custom }
+
+func TestPipelineCustomWithoutInterfaceErrors(t *testing.T) {
+	hub := comm.NewHub(1)
+	p := &Pipeline{Comp: badStrategyComp{}, Coll: hub.Worker(0)}
+	info := NewTensorInfo("t", []int{1})
+	if _, _, err := p.Exchange([]float32{1}, info); err == nil {
+		t.Fatal("expected error for Custom strategy without CustomComm")
+	}
+}
+
+func TestCommTimeModel(t *testing.T) {
+	// Verified indirectly through the trainer; here check the dispatch does
+	// not panic for each strategy and is monotone in volume.
+	for _, s := range []Strategy{Allreduce, Custom} {
+		small := StepStats{Strategy: s, SentBytes: 100}
+		big := StepStats{Strategy: s, SentBytes: 10_000_000}
+		c := clusterForTest()
+		if commTime(c, big) <= commTime(c, small) {
+			t.Fatalf("commTime not monotone for %v", s)
+		}
+	}
+	c := clusterForTest()
+	ag := StepStats{Strategy: Allgather, GatherSizes: []int{100, 100, 100, 100}}
+	if commTime(c, ag) <= 0 {
+		t.Fatal("allgather time must be positive")
+	}
+}
+
+func TestExchangeRejectsWrongDecompressedLength(t *testing.T) {
+	hub := comm.NewHub(1)
+	p := &Pipeline{Comp: shortComp{}, Coll: hub.Worker(0)}
+	info := NewTensorInfo("t", []int{4})
+	if _, _, err := p.Exchange(make([]float32, 4), info); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+}
+
+type shortComp struct{ stubComp }
+
+func (shortComp) Decompress(p *Payload, info TensorInfo) ([]float32, error) {
+	return []float32{1}, nil // wrong length
+}

@@ -1,0 +1,61 @@
+package grace
+
+import "math"
+
+// Memory implements the paper's error-feedback mechanism (Eq. 4):
+//
+//	φ(m, g) = β·m + γ·g            (memory_compensate)
+//	ψ(m, g, g̃) = φ(m, g) − g̃      (memory_update)
+//
+// where g̃ is the worker-local decompressed approximation Q⁻¹(Q(φ(m,g))).
+// State is per tensor, keyed by TensorInfo.Name. The zero value is not
+// usable; construct with NewMemory.
+type Memory struct {
+	beta, gamma float32
+	state       map[string][]float32
+}
+
+// NewMemory returns an error-feedback memory with decay β and gradient
+// weight γ. The paper uses β = γ = 1 unless noted (§IV-A).
+func NewMemory(beta, gamma float32) *Memory {
+	return &Memory{beta: beta, gamma: gamma, state: make(map[string][]float32)}
+}
+
+// Compensate returns φ(m, g) = β·m + γ·g as a fresh slice; g is not mutated.
+func (m *Memory) Compensate(name string, g []float32) []float32 {
+	out := make([]float32, len(g))
+	st := m.state[name]
+	if st == nil {
+		for i, v := range g {
+			out[i] = m.gamma * v
+		}
+		return out
+	}
+	for i, v := range g {
+		out[i] = m.beta*st[i] + m.gamma*v
+	}
+	return out
+}
+
+// Update stores ψ = compensated − approx as the new memory for the tensor.
+func (m *Memory) Update(name string, compensated, approx []float32) {
+	st := m.state[name]
+	if st == nil {
+		st = make([]float32, len(compensated))
+		m.state[name] = st
+	}
+	for i := range st {
+		st[i] = compensated[i] - approx[i]
+	}
+}
+
+// Norm2 reports the Euclidean norm of a tensor's residual memory (0 when the
+// tensor has no state yet); used by tests and diagnostics.
+func (m *Memory) Norm2(name string) float64 {
+	st := m.state[name]
+	var s float64
+	for _, v := range st {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}

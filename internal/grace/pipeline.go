@@ -1,0 +1,146 @@
+package grace
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// StepStats reports what one Exchange did, for volume accounting and
+// modeled communication time.
+type StepStats struct {
+	Strategy Strategy
+	// SentBytes is this worker's wire payload (the paper's data-volume
+	// metric).
+	SentBytes int
+	// GatherSizes holds every worker's payload size for Allgather exchanges
+	// (nil otherwise); simnet's allgather cost model consumes it.
+	GatherSizes []int
+	// CodecTime is the measured compress+decompress+memory time, excluding
+	// time spent blocked in the collective.
+	CodecTime time.Duration
+}
+
+// Pipeline binds a compressor, an optional framework error-feedback memory,
+// and a collective into the per-tensor exchange of Algorithm 1 (lines 5-14).
+// One Pipeline belongs to one worker.
+type Pipeline struct {
+	Comp Compressor
+	Mem  *Memory // nil disables framework EF
+	Coll comm.Collective
+}
+
+// Exchange runs one tensor through compress → communicate → aggregate and
+// returns the aggregated (mean) gradient every worker agrees on.
+func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats, error) {
+	var stats StepStats
+	stats.Strategy = p.Comp.Strategy()
+	n := float32(p.Coll.Size())
+
+	start := time.Now()
+	comp := g
+	if p.Mem != nil {
+		comp = p.Mem.Compensate(info.Name, g)
+	}
+
+	// Custom strategy: the compressor drives communication itself.
+	if stats.Strategy == Custom {
+		cc, ok := p.Comp.(CustomComm)
+		if !ok {
+			return nil, stats, fmt.Errorf("grace: %s declares Custom strategy but lacks CustomComm", p.Comp.Name())
+		}
+		stats.CodecTime = time.Since(start)
+		agg, sent, err := cc.CommunicateAggregate(comp, info, p.Coll)
+		if err != nil {
+			return nil, stats, fmt.Errorf("grace: %s custom comm: %w", p.Comp.Name(), err)
+		}
+		stats.SentBytes = sent
+		if p.Mem != nil {
+			t := time.Now()
+			p.Mem.Update(info.Name, comp, agg)
+			stats.CodecTime += time.Since(t)
+		}
+		return agg, stats, nil
+	}
+
+	pay, err := p.Comp.Compress(comp, info)
+	if err != nil {
+		return nil, stats, fmt.Errorf("grace: %s compress %s: %w", p.Comp.Name(), info.Name, err)
+	}
+	stats.SentBytes = pay.WireBytes()
+
+	// Worker-local approximation, needed for the memory update; computed
+	// before communication so codec time excludes collective wait.
+	var approx []float32
+	if p.Mem != nil {
+		approx, err = p.Comp.Decompress(pay, info)
+		if err != nil {
+			return nil, stats, fmt.Errorf("grace: %s local decompress: %w", p.Comp.Name(), err)
+		}
+		p.Mem.Update(info.Name, comp, approx)
+	}
+	stats.CodecTime = time.Since(start)
+
+	var agg []float32
+	switch stats.Strategy {
+	case Allreduce:
+		if pay.Dense == nil {
+			return nil, stats, fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", p.Comp.Name())
+		}
+		summed := append([]float32(nil), pay.Dense...)
+		if err := p.Coll.AllreduceF32(summed); err != nil {
+			return nil, stats, fmt.Errorf("grace: allreduce: %w", err)
+		}
+		t := time.Now()
+		agg, err = p.Comp.Decompress(&Payload{Dense: summed}, info)
+		if err != nil {
+			return nil, stats, fmt.Errorf("grace: %s decompress sum: %w", p.Comp.Name(), err)
+		}
+		scale(agg, 1/n)
+		stats.CodecTime += time.Since(t)
+
+	case Allgather:
+		if pay.Bytes == nil && pay.Dense != nil {
+			return nil, stats, fmt.Errorf("grace: %s uses Allgather but produced a dense payload", p.Comp.Name())
+		}
+		all, err := p.Coll.AllgatherBytes(pay.Bytes)
+		if err != nil {
+			return nil, stats, fmt.Errorf("grace: allgather: %w", err)
+		}
+		stats.GatherSizes = make([]int, len(all))
+		t := time.Now()
+		decoded := make([][]float32, len(all))
+		for rank, b := range all {
+			stats.GatherSizes[rank] = len(b)
+			dec, err := p.Comp.Decompress(&Payload{Bytes: b}, info)
+			if err != nil {
+				return nil, stats, fmt.Errorf("grace: %s decompress rank %d: %w", p.Comp.Name(), rank, err)
+			}
+			if len(dec) != info.Size() {
+				return nil, stats, fmt.Errorf("grace: %s decompressed %d elements, want %d", p.Comp.Name(), len(dec), info.Size())
+			}
+			decoded[rank] = dec
+		}
+		if aggc, ok := p.Comp.(Aggregator); ok {
+			// Custom Agg function (Algorithm 1, line 13).
+			agg = aggc.Aggregate(decoded, info)
+			if len(agg) != info.Size() {
+				return nil, stats, fmt.Errorf("grace: %s aggregated %d elements, want %d", p.Comp.Name(), len(agg), info.Size())
+			}
+		} else {
+			agg = make([]float32, info.Size())
+			for _, dec := range decoded {
+				for i, v := range dec {
+					agg[i] += v
+				}
+			}
+			scale(agg, 1/n)
+		}
+		stats.CodecTime += time.Since(t)
+
+	default:
+		return nil, stats, fmt.Errorf("grace: unhandled strategy %v", stats.Strategy)
+	}
+	return agg, stats, nil
+}

@@ -1,0 +1,81 @@
+// Package metrics implements the quality metrics of the paper's Table II:
+// top-1 accuracy, best hit rate (HR@10), test perplexity and intersection-
+// over-union, plus the relative normalization used throughout §V.
+package metrics
+
+import "math"
+
+// Accuracy is the fraction of predictions equal to labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) != len(labels) {
+		panic("metrics: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// HitAtK reports whether the target's score ranks within the top k of
+// scores (ties resolved pessimistically: equal scores at other indices push
+// the target down).
+func HitAtK(scores []float32, target, k int) bool {
+	if target < 0 || target >= len(scores) {
+		panic("metrics: HitAtK target out of range")
+	}
+	better := 0
+	for i, s := range scores {
+		if i == target {
+			continue
+		}
+		if s >= scores[target] {
+			better++
+		}
+	}
+	return better < k
+}
+
+// Perplexity converts a mean cross-entropy (nats per token) to perplexity.
+func Perplexity(meanCrossEntropy float64) float64 {
+	return math.Exp(meanCrossEntropy)
+}
+
+// IoU computes intersection-over-union of a sigmoid-probability map against
+// a binary mask at the given probability threshold (the paper's segmentation
+// benchmark reports IoU at threshold 0.125). Returns 1 when both prediction
+// and target are empty.
+func IoU(prob, target []float32, threshold float32) float64 {
+	if len(prob) != len(target) {
+		panic("metrics: IoU length mismatch")
+	}
+	inter, union := 0, 0
+	for i, p := range prob {
+		pred := p > threshold
+		tru := target[i] > 0.5
+		if pred && tru {
+			inter++
+		}
+		if pred || tru {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Relative normalizes a value against a baseline (the paper reports relative
+// throughput and data volume); a zero baseline yields 0.
+func Relative(value, baseline float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return value / baseline
+}

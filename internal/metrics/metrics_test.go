@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{1, 2, 3}, []int{1, 0, 3}); math.Abs(got-2.0/3) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestAccuracyMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Accuracy([]int{1}, []int{1, 2})
+}
+
+func TestHitAtK(t *testing.T) {
+	scores := []float32{0.9, 0.5, 0.8, 0.1}
+	if !HitAtK(scores, 0, 1) {
+		t.Fatal("top score must hit at k=1")
+	}
+	if HitAtK(scores, 3, 3) {
+		t.Fatal("lowest of 4 must miss at k=3")
+	}
+	if !HitAtK(scores, 3, 4) {
+		t.Fatal("lowest of 4 must hit at k=4")
+	}
+	// Pessimistic ties: equal score counts as ranked above.
+	tied := []float32{0.5, 0.5}
+	if HitAtK(tied, 1, 1) {
+		t.Fatal("tie must resolve pessimistically")
+	}
+}
+
+func TestPerplexity(t *testing.T) {
+	if Perplexity(0) != 1 {
+		t.Fatal("PPL of zero CE must be 1")
+	}
+	if math.Abs(Perplexity(math.Log(50))-50) > 1e-9 {
+		t.Fatal("PPL of log(50) must be 50")
+	}
+}
+
+func TestIoU(t *testing.T) {
+	pred := []float32{0.9, 0.9, 0.05, 0.05}
+	target := []float32{1, 0, 1, 0}
+	// threshold 0.5: pred = {1,1,0,0}; inter = 1, union = 3.
+	if got := IoU(pred, target, 0.5); math.Abs(got-1.0/3) > 1e-12 {
+		t.Fatalf("IoU = %v", got)
+	}
+	if IoU([]float32{0, 0}, []float32{0, 0}, 0.5) != 1 {
+		t.Fatal("empty masks should give IoU 1")
+	}
+	if IoU([]float32{1, 1}, []float32{1, 1}, 0.5) != 1 {
+		t.Fatal("perfect match should give IoU 1")
+	}
+}
+
+func TestRelative(t *testing.T) {
+	if Relative(3, 2) != 1.5 {
+		t.Fatal("Relative wrong")
+	}
+	if Relative(3, 0) != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+}

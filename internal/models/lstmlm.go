@@ -1,0 +1,87 @@
+package models
+
+import (
+	"math"
+
+	"repro/internal/data"
+	"repro/internal/fxrand"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+)
+
+// LSTMLM is the language model of the paper's PTB benchmark: embedding →
+// LSTM → per-timestep vocabulary projection, trained with cross-entropy over
+// next tokens and evaluated by test perplexity.
+type LSTMLM struct {
+	emb  *nn.Embedding
+	lstm *nn.LSTM
+	proj *nn.Dense
+}
+
+var _ Model = (*LSTMLM)(nil)
+
+// NewLSTMLM builds the model.
+func NewLSTMLM(seed uint64, vocab, embDim, hidden int) *LSTMLM {
+	r := fxrand.New(seed)
+	return &LSTMLM{
+		emb:  nn.NewEmbedding("emb", vocab, embDim, r.Fork(1)),
+		lstm: nn.NewLSTM("lstm", embDim, hidden, r.Fork(2)),
+		proj: nn.NewDense("proj", hidden, vocab, r.Fork(3)),
+	}
+}
+
+// Params returns embedding, LSTM and projection parameters.
+func (m *LSTMLM) Params() []*nn.Param {
+	ps := append([]*nn.Param{}, m.emb.Params()...)
+	ps = append(ps, m.lstm.Params()...)
+	return append(ps, m.proj.Params()...)
+}
+
+// ForwardBackward trains one batch of token windows.
+func (m *LSTMLM) ForwardBackward(b data.Batch) float64 {
+	x := m.emb.ForwardIDs(b.IDs, true) // [B,T,E]
+	h := m.lstm.Forward(x, true)       // [B,T,H]
+	logits := m.proj.Forward(h, true)  // [B,T,V]
+	bn, T := len(b.IDs), len(b.IDs[0])
+	loss, dl := nn.SoftmaxCrossEntropy(logits.Reshape(bn*T, logits.Dim(2)), b.Y)
+	dh := m.proj.Backward(dl.Reshape(bn, T, logits.Dim(2)))
+	dx := m.lstm.Backward(dh)
+	m.emb.BackwardIDs(dx)
+	return loss
+}
+
+// crossEntropy computes the mean CE of the model on token windows without
+// touching gradients.
+func (m *LSTMLM) crossEntropy(ids [][]int, targets [][]int) float64 {
+	x := m.emb.ForwardIDs(ids, false)
+	h := m.lstm.Forward(x, false)
+	logits := m.proj.Forward(h, false)
+	bn, T := len(ids), len(ids[0])
+	flat := make([]int, 0, bn*T)
+	for _, row := range targets {
+		flat = append(flat, row...)
+	}
+	loss, _ := nn.SoftmaxCrossEntropy(logits.Reshape(bn*T, logits.Dim(2)), flat)
+	return loss
+}
+
+// EvalPerplexity computes test perplexity over the held-out stream,
+// processing windows in batches to bound memory.
+func EvalPerplexity(m *LSTMLM, ds *data.TokenStream) float64 {
+	ids, targets := ds.TestWindows()
+	if len(ids) == 0 {
+		return math.Inf(1)
+	}
+	const batch = 16
+	var total float64
+	var n int
+	for lo := 0; lo < len(ids); lo += batch {
+		hi := lo + batch
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		total += m.crossEntropy(ids[lo:hi], targets[lo:hi]) * float64(hi-lo)
+		n += hi - lo
+	}
+	return metrics.Perplexity(total / float64(n))
+}

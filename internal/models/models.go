@@ -1,0 +1,22 @@
+// Package models implements the benchmark models of the paper's Table II,
+// scaled to the Go/CPU substrate while preserving each benchmark's
+// communication character (see DESIGN.md): image classifiers (CNN and wide
+// MLP variants), the NCF recommender, an LSTM language model, and a
+// convolutional encoder-decoder segmenter.
+//
+// Every model satisfies grace.Model: Params() exposes per-layer gradient
+// tensors, ForwardBackward runs one mini-batch. Evaluators compute the
+// benchmark's Table II quality metric on held-out data.
+package models
+
+import (
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+// Model is re-declared here (identical to grace.Model) so this package does
+// not depend on the framework; the trainer accepts either.
+type Model interface {
+	Params() []*nn.Param
+	ForwardBackward(b data.Batch) float64
+}

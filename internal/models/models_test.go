@@ -1,0 +1,158 @@
+package models
+
+import (
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// train runs plain single-node SGD for a few epochs, returning per-epoch
+// losses.
+func train(t *testing.T, m Model, ds data.Dataset, opt optim.Optimizer, epochs, batchSize int) []float64 {
+	t.Helper()
+	sampler := data.NewSampler(ds.Len(), 1, 0, 7)
+	var losses []float64
+	params := m.Params()
+	for e := 0; e < epochs; e++ {
+		var sum float64
+		var n int
+		for _, idx := range sampler.EpochBatches(batchSize) {
+			nn.ZeroGrads(params)
+			loss := m.ForwardBackward(ds.Batch(idx))
+			grads := make([]*tensor.Dense, len(params))
+			for i, p := range params {
+				grads[i] = p.Grad
+			}
+			opt.Step(params, grads)
+			sum += loss
+			n++
+		}
+		losses = append(losses, sum/float64(n))
+	}
+	return losses
+}
+
+func TestMLPClassifierLearns(t *testing.T) {
+	ds := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 8, W: 8, N: 256, Noise: 0.3, Seed: 1})
+	m := NewMLPClassifier(1, 64, []int{32}, 4)
+	losses := train(t, m, ds, optim.NewMomentumSGD(0.05, 0.9), 5, 32)
+	if losses[len(losses)-1] > losses[0]*0.5 {
+		t.Fatalf("MLP did not learn: %v", losses)
+	}
+	test := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 8, W: 8, N: 64, Noise: 0.3, Seed: 1})
+	acc := EvalAccuracy(m, test, 32)
+	if acc < 0.6 {
+		t.Fatalf("MLP accuracy %v too low", acc)
+	}
+}
+
+func TestCNNClassifierLearns(t *testing.T) {
+	ds := data.NewImages(data.ImagesConfig{Classes: 3, C: 1, H: 8, W: 8, N: 120, Noise: 0.3, Seed: 2})
+	m := NewCNNClassifier(1, CNNConfig{InC: 1, H: 8, W: 8, Channels: []int{8, 16}, Hidden: 32, Classes: 3})
+	losses := train(t, m, ds, optim.NewMomentumSGD(0.05, 0.9), 6, 20)
+	if losses[len(losses)-1] > losses[0]*0.6 {
+		t.Fatalf("CNN did not learn: %v", losses)
+	}
+	acc := EvalAccuracy(m, ds, 20)
+	if acc < 0.7 {
+		t.Fatalf("CNN train accuracy %v too low", acc)
+	}
+}
+
+func TestClassifierParamCountScales(t *testing.T) {
+	small := NewMLPClassifier(1, 64, []int{16}, 4)
+	big := NewMLPClassifier(1, 64, []int{512, 512}, 4)
+	if nn.NumParams(big.Params()) < 10*nn.NumParams(small.Params()) {
+		t.Fatal("wide MLP should have far more parameters")
+	}
+}
+
+func TestNCFLearns(t *testing.T) {
+	ds := data.NewRatings(data.RatingsConfig{Users: 60, Items: 150, LatentDim: 4, PosPerUser: 10, NegPerPos: 4, Seed: 3})
+	m := NewNCF(1, 60, 150, 8, []int{16})
+	losses := train(t, m, ds, optim.NewAdam(0.01), 8, 64)
+	if losses[len(losses)-1] > losses[0]*0.9 {
+		t.Fatalf("NCF did not learn: %v", losses)
+	}
+	hr := EvalHitRate(m, ds)
+	// Random ranking gives HR@10 ≈ 0.10; a trained model must beat it well.
+	if hr < 0.2 {
+		t.Fatalf("NCF HR@10 %v barely above chance", hr)
+	}
+}
+
+func TestLSTMLMLearns(t *testing.T) {
+	ds := data.NewTokenStream(data.TokenConfig{Vocab: 30, SeqLen: 8, TrainTok: 4000, TestTok: 800, Successors: 3, Seed: 4})
+	m := NewLSTMLM(1, 30, 16, 32)
+	before := EvalPerplexity(m, ds)
+	train(t, m, ds, optim.NewAdam(0.01), 6, 16)
+	after := EvalPerplexity(m, ds)
+	if after >= before {
+		t.Fatalf("perplexity did not improve: %v -> %v", before, after)
+	}
+	// Must beat uniform guessing (PPL = vocab = 30) substantially.
+	if after > 20 {
+		t.Fatalf("perplexity %v too close to uniform", after)
+	}
+}
+
+func TestSegNetLearns(t *testing.T) {
+	ds := data.NewBlobs(data.BlobsConfig{H: 16, W: 16, N: 60, Noise: 0.3, Seed: 5})
+	m := NewSegNet(1, []int{8, 16})
+	losses := train(t, m, ds, optim.NewRMSProp(0.002), 6, 10)
+	if losses[len(losses)-1] > losses[0]*0.8 {
+		t.Fatalf("SegNet did not learn: %v", losses)
+	}
+	iou := EvalIoU(m, ds, 10)
+	if iou < 0.4 {
+		t.Fatalf("SegNet IoU %v too low", iou)
+	}
+}
+
+func TestSegNetOutputShape(t *testing.T) {
+	m := NewSegNet(1, []int{4, 8})
+	ds := data.NewBlobs(data.BlobsConfig{H: 16, W: 16, N: 2, Noise: 0.2, Seed: 6})
+	b := ds.Batch([]int{0, 1})
+	loss := m.ForwardBackward(b)
+	if loss <= 0 {
+		t.Fatalf("loss %v", loss)
+	}
+}
+
+func TestModelsAreDeterministic(t *testing.T) {
+	// Same seed => identical parameters (replica consistency requirement).
+	a := NewMLPClassifier(9, 64, []int{32}, 4)
+	b := NewMLPClassifier(9, 64, []int{32}, 4)
+	pa, pb := a.Params(), b.Params()
+	for i := range pa {
+		for j := range pa[i].Value.Data() {
+			if pa[i].Value.Data()[j] != pb[i].Value.Data()[j] {
+				t.Fatal("same-seed models differ")
+			}
+		}
+	}
+	c := NewMLPClassifier(10, 64, []int{32}, 4)
+	if c.Params()[0].Value.Data()[0] == a.Params()[0].Value.Data()[0] {
+		t.Fatal("different-seed models should differ")
+	}
+}
+
+func TestNCFEmbeddingDominatesParams(t *testing.T) {
+	// The communication-bound character requires the embedding tables to
+	// dominate (Table II: NCF has 31.8M params, mostly embeddings).
+	m := NewNCF(1, 2000, 4000, 32, []int{32, 16})
+	var embParams, otherParams int
+	for _, p := range m.Params() {
+		if p.Name == "user_emb.w" || p.Name == "item_emb.w" {
+			embParams += p.Value.Size()
+		} else {
+			otherParams += p.Value.Size()
+		}
+	}
+	if embParams < 10*otherParams {
+		t.Fatalf("embeddings (%d) should dominate MLP (%d)", embParams, otherParams)
+	}
+}

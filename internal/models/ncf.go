@@ -1,0 +1,110 @@
+package models
+
+import (
+	"repro/internal/data"
+	"repro/internal/fxrand"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// NCF is the neural collaborative filtering recommender [61]: user and item
+// embeddings concatenated into an MLP scoring head trained with binary
+// cross-entropy on implicit feedback. As in the paper, the embedding tables
+// dominate the parameter count, which is what makes the recommendation
+// benchmark communication-bound (§V-B).
+type NCF struct {
+	userEmb, itemEmb *nn.Embedding
+	head             *nn.Sequential
+	embDim           int
+
+	// caches for backward
+	lastIDs [][]int
+}
+
+var _ Model = (*NCF)(nil)
+
+// NewNCF builds the model. hidden sizes the MLP tower.
+func NewNCF(seed uint64, users, items, embDim int, hidden []int) *NCF {
+	r := fxrand.New(seed)
+	var layers []nn.Layer
+	in := 2 * embDim
+	for i, h := range hidden {
+		layers = append(layers,
+			nn.NewDense(dname("mlp", i), in, h, r),
+			nn.NewReLU(dname("mrelu", i)))
+		in = h
+	}
+	layers = append(layers, nn.NewDense("score", in, 1, r))
+	return &NCF{
+		userEmb: nn.NewEmbedding("user_emb", users, embDim, r.Fork(1)),
+		itemEmb: nn.NewEmbedding("item_emb", items, embDim, r.Fork(2)),
+		head:    nn.NewSequential("head", layers...),
+		embDim:  embDim,
+	}
+}
+
+// Params returns embeddings followed by the MLP head.
+func (m *NCF) Params() []*nn.Param {
+	ps := append([]*nn.Param{}, m.userEmb.Params()...)
+	ps = append(ps, m.itemEmb.Params()...)
+	return append(ps, m.head.Params()...)
+}
+
+// score runs the forward pass for (user, item) pairs, returning logits [B].
+func (m *NCF) score(ids [][]int, train bool) *tensor.Dense {
+	b := len(ids)
+	users := make([][]int, b)
+	items := make([][]int, b)
+	for i, pair := range ids {
+		users[i] = pair[:1]
+		items[i] = pair[1:2]
+	}
+	ue := m.userEmb.ForwardIDs(users, train) // [B,1,E]
+	ie := m.itemEmb.ForwardIDs(items, train) // [B,1,E]
+	x := tensor.New(b, 2*m.embDim)
+	for i := 0; i < b; i++ {
+		copy(x.Data()[i*2*m.embDim:], ue.Data()[i*m.embDim:(i+1)*m.embDim])
+		copy(x.Data()[i*2*m.embDim+m.embDim:], ie.Data()[i*m.embDim:(i+1)*m.embDim])
+	}
+	return m.head.Forward(x, train)
+}
+
+// ForwardBackward trains one batch of (user, item, label) triples.
+func (m *NCF) ForwardBackward(b data.Batch) float64 {
+	m.lastIDs = b.IDs
+	logits := m.score(b.IDs, true)
+	loss, dl := nn.BCEWithLogits(logits.Reshape(len(b.IDs)), b.YF)
+	dx := m.head.Backward(dl.Reshape(len(b.IDs), 1))
+	// Split the concatenated gradient back to the two embeddings.
+	bn := len(b.IDs)
+	du := tensor.New(bn, 1, m.embDim)
+	di := tensor.New(bn, 1, m.embDim)
+	for i := 0; i < bn; i++ {
+		copy(du.Data()[i*m.embDim:(i+1)*m.embDim], dx.Data()[i*2*m.embDim:i*2*m.embDim+m.embDim])
+		copy(di.Data()[i*m.embDim:(i+1)*m.embDim], dx.Data()[i*2*m.embDim+m.embDim:(i+1)*2*m.embDim])
+	}
+	m.userEmb.BackwardIDs(du)
+	m.itemEmb.BackwardIDs(di)
+	return loss
+}
+
+// EvalHitRate computes leave-one-out HR@10 over the dataset's eval cases:
+// for each user, the held-out positive must rank in the top 10 among itself
+// plus 99 sampled negatives (the paper's Best Hit Rate metric).
+func EvalHitRate(m *NCF, ds *data.Ratings) float64 {
+	pos, negs := ds.EvalCases()
+	hits := 0
+	for u := range pos {
+		cand := append([]int{pos[u]}, negs[u]...)
+		ids := make([][]int, len(cand))
+		for i, item := range cand {
+			ids[i] = []int{u, item}
+		}
+		scores := m.score(ids, false)
+		if metrics.HitAtK(scores.Data(), 0, 10) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pos))
+}

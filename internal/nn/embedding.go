@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/fxrand"
+	"repro/internal/tensor"
+)
+
+// Embedding maps integer ids to dense vectors. Models call ForwardIDs /
+// BackwardIDs directly (ids are not float tensors); the Layer interface is
+// implemented so embeddings participate in parameter collection, but
+// Forward/Backward panic if used with float inputs.
+//
+// The gradient is materialized densely over the full table. That matches the
+// paper's setup: NCF's large embedding layers dominate its communicated
+// gradient volume, which is what makes the recommendation benchmark
+// communication-bound (§V-B).
+type Embedding struct {
+	name       string
+	vocab, dim int
+	w          *Param
+
+	ids [][]int
+}
+
+var _ Layer = (*Embedding)(nil)
+
+// NewEmbedding builds an embedding table with N(0, 0.05²) init.
+func NewEmbedding(name string, vocab, dim int, r *fxrand.RNG) *Embedding {
+	w := tensor.New(vocab, dim).RandN(r, 0.05)
+	return &Embedding{name: name, vocab: vocab, dim: dim, w: NewParam(name+".w", w)}
+}
+
+// Name returns the layer name.
+func (e *Embedding) Name() string { return e.name }
+
+// Params returns the embedding table parameter.
+func (e *Embedding) Params() []*Param { return []*Param{e.w} }
+
+// Dim returns the embedding dimensionality.
+func (e *Embedding) Dim() int { return e.dim }
+
+// Forward panics; use ForwardIDs.
+func (e *Embedding) Forward(x *tensor.Dense, train bool) *tensor.Dense {
+	panic(fmt.Sprintf("nn: %s: Embedding requires ForwardIDs, not Forward", e.name))
+}
+
+// Backward panics; use BackwardIDs.
+func (e *Embedding) Backward(dout *tensor.Dense) *tensor.Dense {
+	panic(fmt.Sprintf("nn: %s: Embedding requires BackwardIDs, not Backward", e.name))
+}
+
+// ForwardIDs gathers rows for a [batch][seq] id matrix, producing
+// [batch, seq, dim] (or [batch, dim] when every row has length 1 is NOT
+// special-cased; callers reshape as needed).
+func (e *Embedding) ForwardIDs(ids [][]int, train bool) *tensor.Dense {
+	b := len(ids)
+	seq := len(ids[0])
+	if train {
+		e.ids = ids
+	}
+	out := tensor.New(b, seq, e.dim)
+	od, wd := out.Data(), e.w.Value.Data()
+	for i, row := range ids {
+		if len(row) != seq {
+			panic(fmt.Sprintf("nn: %s: ragged id rows (%d vs %d)", e.name, len(row), seq))
+		}
+		for t, id := range row {
+			if id < 0 || id >= e.vocab {
+				panic(fmt.Sprintf("nn: %s: id %d out of vocab %d", e.name, id, e.vocab))
+			}
+			copy(od[(i*seq+t)*e.dim:(i*seq+t+1)*e.dim], wd[id*e.dim:(id+1)*e.dim])
+		}
+	}
+	return out
+}
+
+// BackwardIDs scatter-adds dout ([batch, seq, dim]) into the table gradient.
+func (e *Embedding) BackwardIDs(dout *tensor.Dense) {
+	gd, dd := e.w.Grad.Data(), dout.Data()
+	seq := len(e.ids[0])
+	for i, row := range e.ids {
+		for t, id := range row {
+			src := dd[(i*seq+t)*e.dim : (i*seq+t+1)*e.dim]
+			dst := gd[id*e.dim : (id+1)*e.dim]
+			for j, v := range src {
+				dst[j] += v
+			}
+		}
+	}
+}

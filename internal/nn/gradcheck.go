@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// GradCheck numerically verifies a layer's analytic gradients by central
+// finite differences. lossFn must run a fresh forward pass (train=true) and
+// return a scalar loss; GradCheck perturbs each sampled coordinate of every
+// parameter and of the input tensor (if x is non-nil), compares against the
+// analytic gradients that backFn populates, and returns the worst relative
+// error encountered.
+//
+// Float32 parameters limit the usable step size; eps around 1e-2..1e-3 with a
+// tolerance of a few percent is the realistic regime.
+func GradCheck(params []*Param, x *tensor.Dense, analyticDX *tensor.Dense, lossFn func() float64, samplesPerTensor int, eps float64) (maxRelErr float64, worst string) {
+	check := func(value *tensor.Dense, grad *tensor.Dense, name string) {
+		n := value.Size()
+		stride := n / samplesPerTensor
+		if stride == 0 {
+			stride = 1
+		}
+		for i := 0; i < n; i += stride {
+			orig := value.Data()[i]
+			value.Data()[i] = orig + float32(eps)
+			lp := lossFn()
+			value.Data()[i] = orig - float32(eps)
+			lm := lossFn()
+			value.Data()[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := float64(grad.Data()[i])
+			denom := maxAbs(numeric, analytic)
+			if denom < 1e-5 {
+				continue // both effectively zero
+			}
+			rel := absf(numeric-analytic) / denom
+			if rel > maxRelErr {
+				maxRelErr = rel
+				worst = fmt.Sprintf("%s[%d]: numeric %v analytic %v", name, i, numeric, analytic)
+			}
+		}
+	}
+	for _, p := range params {
+		check(p.Value, p.Grad, p.Name)
+	}
+	if x != nil && analyticDX != nil {
+		check(x, analyticDX, "input")
+	}
+	return maxRelErr, worst
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxAbs(a, b float64) float64 {
+	a, b = absf(a), absf(b)
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,235 @@
+// Package optim implements the stochastic optimizers used by the paper's
+// benchmarks: SGD, SGD with (Nesterov) momentum, AdaGrad, RMSProp and ADAM.
+//
+// GRACE's training loop (Algorithm 1) is optimizer-independent: the optimizer
+// consumes the aggregated, decompressed gradient g_k and updates parameters.
+// The paper's defaults per task — SGD+momentum for image classification,
+// RMSProp for segmentation, ADAM for recommendation, vanilla SGD for language
+// modeling — are all available here.
+package optim
+
+import (
+	"math"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Optimizer updates parameters given per-parameter aggregated gradients.
+// Step consumes grads[i] as the gradient for params[i].
+type Optimizer interface {
+	Name() string
+	Step(params []*nn.Param, grads []*tensor.Dense)
+	// SetLR changes the learning rate (for schedules).
+	SetLR(lr float64)
+	// LR reports the current learning rate.
+	LR() float64
+}
+
+// SGD is plain stochastic gradient descent, optionally with momentum and
+// Nesterov lookahead, plus decoupled L2 weight decay.
+type SGD struct {
+	lr          float64
+	momentum    float64
+	nesterov    bool
+	weightDecay float64
+	velocity    map[*nn.Param]*tensor.Dense
+}
+
+var _ Optimizer = (*SGD)(nil)
+
+// NewSGD returns vanilla SGD.
+func NewSGD(lr float64) *SGD { return &SGD{lr: lr} }
+
+// NewMomentumSGD returns SGD with classical momentum.
+func NewMomentumSGD(lr, momentum float64) *SGD {
+	return &SGD{lr: lr, momentum: momentum, velocity: map[*nn.Param]*tensor.Dense{}}
+}
+
+// NewNesterovSGD returns SGD with Nesterov momentum (§II).
+func NewNesterovSGD(lr, momentum float64) *SGD {
+	s := NewMomentumSGD(lr, momentum)
+	s.nesterov = true
+	return s
+}
+
+// WithWeightDecay sets decoupled L2 weight decay and returns s.
+func (s *SGD) WithWeightDecay(wd float64) *SGD {
+	s.weightDecay = wd
+	return s
+}
+
+// Name identifies the optimizer configuration.
+func (s *SGD) Name() string {
+	switch {
+	case s.nesterov:
+		return "nesterov-sgd"
+	case s.momentum > 0:
+		return "momentum-sgd"
+	default:
+		return "sgd"
+	}
+}
+
+// SetLR changes the learning rate.
+func (s *SGD) SetLR(lr float64) { s.lr = lr }
+
+// LR reports the current learning rate.
+func (s *SGD) LR() float64 { return s.lr }
+
+// Step applies x ← x − η·(v or g).
+func (s *SGD) Step(params []*nn.Param, grads []*tensor.Dense) {
+	for i, p := range params {
+		g := grads[i]
+		if s.weightDecay > 0 {
+			g.AddScaled(float32(s.weightDecay), p.Value)
+		}
+		if s.momentum == 0 {
+			p.Value.AddScaled(float32(-s.lr), g)
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		v.Scale(float32(s.momentum)).Add(g)
+		if s.nesterov {
+			// x ← x − η(g + μv)
+			p.Value.AddScaled(float32(-s.lr), g)
+			p.Value.AddScaled(float32(-s.lr*s.momentum), v)
+		} else {
+			p.Value.AddScaled(float32(-s.lr), v)
+		}
+	}
+}
+
+// Adam implements Kingma & Ba [46].
+type Adam struct {
+	lr, beta1, beta2, eps float64
+	t                     int
+	m, v                  map[*nn.Param]*tensor.Dense
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// NewAdam returns ADAM with the standard defaults β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(lr float64) *Adam {
+	return &Adam{lr: lr, beta1: 0.9, beta2: 0.999, eps: 1e-8,
+		m: map[*nn.Param]*tensor.Dense{}, v: map[*nn.Param]*tensor.Dense{}}
+}
+
+// Name identifies the optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// SetLR changes the learning rate.
+func (a *Adam) SetLR(lr float64) { a.lr = lr }
+
+// LR reports the current learning rate.
+func (a *Adam) LR() float64 { return a.lr }
+
+// Step applies the bias-corrected ADAM update.
+func (a *Adam) Step(params []*nn.Param, grads []*tensor.Dense) {
+	a.t++
+	c1 := 1 - math.Pow(a.beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.beta2, float64(a.t))
+	for i, p := range params {
+		g := grads[i]
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		md, vd, gd, xd := m.Data(), v.Data(), g.Data(), p.Value.Data()
+		b1, b2 := float32(a.beta1), float32(a.beta2)
+		for j := range gd {
+			md[j] = b1*md[j] + (1-b1)*gd[j]
+			vd[j] = b2*vd[j] + (1-b2)*gd[j]*gd[j]
+			mHat := float64(md[j]) / c1
+			vHat := float64(vd[j]) / c2
+			xd[j] -= float32(a.lr * mHat / (math.Sqrt(vHat) + a.eps))
+		}
+	}
+}
+
+// RMSProp implements the running-RMS normalizer used by the paper's
+// segmentation benchmark.
+type RMSProp struct {
+	lr, decay, eps float64
+	cache          map[*nn.Param]*tensor.Dense
+}
+
+var _ Optimizer = (*RMSProp)(nil)
+
+// NewRMSProp returns RMSProp with decay 0.9 and ε=1e-8.
+func NewRMSProp(lr float64) *RMSProp {
+	return &RMSProp{lr: lr, decay: 0.9, eps: 1e-8, cache: map[*nn.Param]*tensor.Dense{}}
+}
+
+// Name identifies the optimizer.
+func (r *RMSProp) Name() string { return "rmsprop" }
+
+// SetLR changes the learning rate.
+func (r *RMSProp) SetLR(lr float64) { r.lr = lr }
+
+// LR reports the current learning rate.
+func (r *RMSProp) LR() float64 { return r.lr }
+
+// Step applies the RMSProp update.
+func (r *RMSProp) Step(params []*nn.Param, grads []*tensor.Dense) {
+	for i, p := range params {
+		g := grads[i]
+		c, ok := r.cache[p]
+		if !ok {
+			c = tensor.New(p.Value.Shape()...)
+			r.cache[p] = c
+		}
+		cd, gd, xd := c.Data(), g.Data(), p.Value.Data()
+		d := float32(r.decay)
+		for j := range gd {
+			cd[j] = d*cd[j] + (1-d)*gd[j]*gd[j]
+			xd[j] -= float32(r.lr * float64(gd[j]) / (math.Sqrt(float64(cd[j])) + r.eps))
+		}
+	}
+}
+
+// AdaGrad implements Duchi et al. [47].
+type AdaGrad struct {
+	lr, eps float64
+	cache   map[*nn.Param]*tensor.Dense
+}
+
+var _ Optimizer = (*AdaGrad)(nil)
+
+// NewAdaGrad returns AdaGrad with ε=1e-8.
+func NewAdaGrad(lr float64) *AdaGrad {
+	return &AdaGrad{lr: lr, eps: 1e-8, cache: map[*nn.Param]*tensor.Dense{}}
+}
+
+// Name identifies the optimizer.
+func (a *AdaGrad) Name() string { return "adagrad" }
+
+// SetLR changes the learning rate.
+func (a *AdaGrad) SetLR(lr float64) { a.lr = lr }
+
+// LR reports the current learning rate.
+func (a *AdaGrad) LR() float64 { return a.lr }
+
+// Step applies the AdaGrad update.
+func (a *AdaGrad) Step(params []*nn.Param, grads []*tensor.Dense) {
+	for i, p := range params {
+		g := grads[i]
+		c, ok := a.cache[p]
+		if !ok {
+			c = tensor.New(p.Value.Shape()...)
+			a.cache[p] = c
+		}
+		cd, gd, xd := c.Data(), g.Data(), p.Value.Data()
+		for j := range gd {
+			cd[j] += gd[j] * gd[j]
+			xd[j] -= float32(a.lr * float64(gd[j]) / (math.Sqrt(float64(cd[j])) + a.eps))
+		}
+	}
+}

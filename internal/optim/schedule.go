@@ -1,0 +1,60 @@
+package optim
+
+import "math"
+
+// Schedule maps an epoch index to a learning rate. The paper's benchmarks
+// use per-task decay schedules (step decay for image classification, warmup
+// for large-batch ImageNet runs); these are applied between epochs via
+// Optimizer.SetLR.
+type Schedule func(epoch int) float64
+
+// ConstantLR returns lr for every epoch.
+func ConstantLR(lr float64) Schedule {
+	return func(int) float64 { return lr }
+}
+
+// StepDecay multiplies the base rate by factor each time an epoch boundary
+// in milestones is passed (the classic divide-by-10-at-epoch-k schedule).
+func StepDecay(base float64, factor float64, milestones ...int) Schedule {
+	return func(epoch int) float64 {
+		lr := base
+		for _, m := range milestones {
+			if epoch >= m {
+				lr *= factor
+			}
+		}
+		return lr
+	}
+}
+
+// ExpDecay decays the base rate by gamma per epoch.
+func ExpDecay(base, gamma float64) Schedule {
+	return func(epoch int) float64 {
+		return base * math.Pow(gamma, float64(epoch))
+	}
+}
+
+// CosineAnneal decays from base to floor over total epochs along a cosine.
+func CosineAnneal(base, floor float64, total int) Schedule {
+	return func(epoch int) float64 {
+		if total <= 1 {
+			return floor
+		}
+		t := float64(epoch) / float64(total-1)
+		if t > 1 {
+			t = 1
+		}
+		return floor + (base-floor)*(1+math.Cos(math.Pi*t))/2
+	}
+}
+
+// Warmup linearly ramps from 0 to the inner schedule's rate over warm
+// epochs, then follows inner.
+func Warmup(warm int, inner Schedule) Schedule {
+	return func(epoch int) float64 {
+		if epoch < warm {
+			return inner(epoch) * float64(epoch+1) / float64(warm)
+		}
+		return inner(epoch)
+	}
+}

@@ -1,0 +1,80 @@
+package optim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.1)
+	if s(0) != 0.1 || s(100) != 0.1 {
+		t.Fatal("constant schedule not constant")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay(1.0, 0.1, 5, 10)
+	if s(0) != 1.0 || s(4) != 1.0 {
+		t.Fatal("decayed before first milestone")
+	}
+	if math.Abs(s(5)-0.1) > 1e-12 || math.Abs(s(9)-0.1) > 1e-12 {
+		t.Fatalf("first milestone wrong: %v", s(5))
+	}
+	if math.Abs(s(10)-0.01) > 1e-12 {
+		t.Fatalf("second milestone wrong: %v", s(10))
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	s := ExpDecay(1.0, 0.5)
+	if s(0) != 1 || s(1) != 0.5 || s(3) != 0.125 {
+		t.Fatalf("exp decay wrong: %v %v %v", s(0), s(1), s(3))
+	}
+}
+
+func TestCosineAnneal(t *testing.T) {
+	s := CosineAnneal(1.0, 0.1, 11)
+	if math.Abs(s(0)-1.0) > 1e-12 {
+		t.Fatalf("cosine start %v", s(0))
+	}
+	if math.Abs(s(10)-0.1) > 1e-12 {
+		t.Fatalf("cosine end %v", s(10))
+	}
+	mid := s(5)
+	if mid <= 0.1 || mid >= 1.0 {
+		t.Fatalf("cosine mid %v out of range", mid)
+	}
+	// Monotone non-increasing.
+	prev := s(0)
+	for e := 1; e <= 10; e++ {
+		if s(e) > prev+1e-12 {
+			t.Fatalf("cosine increased at %d", e)
+		}
+		prev = s(e)
+	}
+	// Past-the-end epochs clamp to the floor.
+	if math.Abs(s(50)-0.1) > 1e-12 {
+		t.Fatalf("cosine beyond total = %v", s(50))
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	s := Warmup(4, ConstantLR(1.0))
+	if math.Abs(s(0)-0.25) > 1e-12 || math.Abs(s(1)-0.5) > 1e-12 {
+		t.Fatalf("warmup ramp wrong: %v %v", s(0), s(1))
+	}
+	if s(4) != 1.0 || s(9) != 1.0 {
+		t.Fatal("post-warmup rate wrong")
+	}
+}
+
+func TestScheduleDrivesOptimizer(t *testing.T) {
+	opt := NewSGD(0)
+	sched := StepDecay(0.1, 0.5, 2)
+	for epoch := 0; epoch < 4; epoch++ {
+		opt.SetLR(sched(epoch))
+	}
+	if math.Abs(opt.LR()-0.05) > 1e-12 {
+		t.Fatalf("optimizer LR %v after schedule, want 0.05", opt.LR())
+	}
+}

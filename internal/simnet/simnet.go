@@ -1,0 +1,184 @@
+// Package simnet models communication time for the system configurations the
+// paper evaluates: 1/10/25 Gbps links with TCP or RDMA transports (§V-A,
+// §V-E). Compute and compression costs are measured on the real substrate;
+// only wire-transfer time is analytic, using standard cost formulas for the
+// ring-based collectives (the same algorithms implemented for real in
+// internal/comm).
+//
+// The model is the classic α-β formulation: each collective step costs a
+// fixed per-message latency α (protocol + switch traversal) plus bytes/βeff
+// where βeff is the link bandwidth derated by a transport efficiency factor.
+// TCP pays higher α and lower efficiency than RDMA, which reproduces the
+// paper's Figure 9 ordering.
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Link describes one network configuration.
+type Link struct {
+	Name          string
+	BandwidthGbps float64
+	// StepLatency is the per-message fixed cost of one collective step.
+	StepLatency time.Duration
+	// Efficiency derates nominal bandwidth for protocol overhead.
+	Efficiency float64
+}
+
+// Preset network configurations matching the paper's testbed.
+var (
+	// TCP1G is the 1 Gbps setting of Figure 10.
+	TCP1G = Link{Name: "tcp-1g", BandwidthGbps: 1, StepLatency: 150 * time.Microsecond, Efficiency: 0.70}
+	// TCP10G is the default setting of the §V experiments.
+	TCP10G = Link{Name: "tcp-10g", BandwidthGbps: 10, StepLatency: 120 * time.Microsecond, Efficiency: 0.70}
+	// TCP25G is the 25 Gbps setting of Figure 1 and §V-A.
+	TCP25G = Link{Name: "tcp-25g", BandwidthGbps: 25, StepLatency: 120 * time.Microsecond, Efficiency: 0.70}
+	// RDMA25G is the RDMA transport of Figure 9.
+	RDMA25G = Link{Name: "rdma-25g", BandwidthGbps: 25, StepLatency: 8 * time.Microsecond, Efficiency: 0.95}
+	// Infinite disables communication cost (for ablations).
+	Infinite = Link{Name: "infinite", BandwidthGbps: 1e9, StepLatency: 0, Efficiency: 1}
+)
+
+// Presets maps names to link configurations for CLI flags.
+var Presets = map[string]Link{
+	"tcp-1g":   TCP1G,
+	"tcp-10g":  TCP10G,
+	"tcp-25g":  TCP25G,
+	"rdma-25g": RDMA25G,
+	"infinite": Infinite,
+}
+
+// PresetByName returns a named preset.
+func PresetByName(name string) (Link, error) {
+	l, ok := Presets[name]
+	if !ok {
+		return Link{}, fmt.Errorf("simnet: unknown network preset %q", name)
+	}
+	return l, nil
+}
+
+// bytesPerSecond returns effective bandwidth in bytes/s.
+func (l Link) bytesPerSecond() float64 {
+	return l.BandwidthGbps * l.Efficiency * 1e9 / 8
+}
+
+// TransferTime is the point-to-point cost of moving n bytes in one message.
+func (l Link) TransferTime(n int) time.Duration {
+	if n < 0 {
+		panic("simnet: negative transfer size")
+	}
+	sec := float64(n) / l.bytesPerSecond()
+	return l.StepLatency + time.Duration(sec*float64(time.Second))
+}
+
+// Cluster models a group of workers on a shared link. Star selects the
+// parameter-server topology (§IV-A): aggregation funnels through one central
+// node whose link carries n payloads each way, instead of the ring's
+// balanced 2(N−1)/N traffic.
+type Cluster struct {
+	Link Link
+	N    int
+	Star bool
+}
+
+// NewCluster returns a ring-topology cluster model; n must be positive.
+func NewCluster(link Link, n int) Cluster {
+	if n <= 0 {
+		panic("simnet: cluster size must be positive")
+	}
+	return Cluster{Link: link, N: n}
+}
+
+// NewStarCluster returns a parameter-server-topology cluster model.
+func NewStarCluster(link Link, n int) Cluster {
+	c := NewCluster(link, n)
+	c.Star = true
+	return c
+}
+
+// AllreduceTime is the completion time of an allreduce of n bytes per
+// worker: for the ring, 2(N−1) steps each moving n/N bytes; for the star,
+// the server link serializes N inbound and N outbound payloads.
+func (c Cluster) AllreduceTime(bytes int) time.Duration {
+	if c.N == 1 {
+		return 0
+	}
+	if c.Star {
+		sec := 2 * float64(c.N) * float64(bytes) / c.Link.bytesPerSecond()
+		return time.Duration(2*float64(c.Link.StepLatency) + sec*float64(time.Second))
+	}
+	steps := 2 * (c.N - 1)
+	per := float64(bytes) / float64(c.N)
+	sec := per / c.Link.bytesPerSecond() * float64(steps)
+	return time.Duration(float64(c.Link.StepLatency)*float64(steps) + sec*float64(time.Second))
+}
+
+// AllgatherTime is the completion time of an allgather where worker i
+// contributes sizes[i] bytes. Ring: N−1 steps; the global finish is
+// dominated by the worker that relays the most bytes (every payload except
+// the smallest traverses every position, so we bound by total − min). Star:
+// the server receives all payloads once and retransmits the full set to
+// each of the N workers.
+func (c Cluster) AllgatherTime(sizes []int) time.Duration {
+	if len(sizes) != c.N {
+		panic(fmt.Sprintf("simnet: allgather sizes %d for %d workers", len(sizes), c.N))
+	}
+	if c.N == 1 {
+		return 0
+	}
+	total, min := 0, sizes[0]
+	for _, s := range sizes {
+		total += s
+		if s < min {
+			min = s
+		}
+	}
+	if c.Star {
+		sec := (float64(total) + float64(c.N)*float64(total)) / c.Link.bytesPerSecond()
+		return time.Duration(2*float64(c.Link.StepLatency) + sec*float64(time.Second))
+	}
+	relayed := total - min
+	sec := float64(relayed) / c.Link.bytesPerSecond()
+	return time.Duration(float64(c.Link.StepLatency)*float64(c.N-1) + sec*float64(time.Second))
+}
+
+// AllgatherUniformTime is AllgatherTime when every worker sends n bytes.
+func (c Cluster) AllgatherUniformTime(bytes int) time.Duration {
+	sizes := make([]int, c.N)
+	for i := range sizes {
+		sizes[i] = bytes
+	}
+	return c.AllgatherTime(sizes)
+}
+
+// BroadcastTime is the pipelined ring broadcast of n bytes.
+func (c Cluster) BroadcastTime(bytes int) time.Duration {
+	if c.N == 1 {
+		return 0
+	}
+	sec := float64(bytes) / c.Link.bytesPerSecond()
+	return time.Duration(float64(c.Link.StepLatency)*float64(c.N-1) + sec*float64(time.Second))
+}
+
+// Clock is a virtual wall clock accumulating measured compute durations and
+// modeled communication durations; experiments report throughput in virtual
+// seconds (DESIGN.md §6).
+type Clock struct {
+	elapsed time.Duration
+}
+
+// Advance adds d to the virtual clock.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic("simnet: negative clock advance")
+	}
+	c.elapsed += d
+}
+
+// Elapsed reports the virtual time so far.
+func (c *Clock) Elapsed() time.Duration { return c.elapsed }
+
+// Reset zeroes the clock.
+func (c *Clock) Reset() { c.elapsed = 0 }

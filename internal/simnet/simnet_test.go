@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTransferTimeMonotoneInBytes(t *testing.T) {
+	for _, l := range []Link{TCP1G, TCP10G, TCP25G, RDMA25G} {
+		prev := time.Duration(0)
+		for _, n := range []int{0, 1 << 10, 1 << 20, 1 << 26} {
+			d := l.TransferTime(n)
+			if d < prev {
+				t.Fatalf("%s: transfer time not monotone at %d bytes", l.Name, n)
+			}
+			prev = d
+		}
+	}
+}
+
+func TestMoreBandwidthIsFaster(t *testing.T) {
+	const n = 10 << 20
+	if TCP10G.TransferTime(n) >= TCP1G.TransferTime(n) {
+		t.Fatal("10G should beat 1G")
+	}
+	if TCP25G.TransferTime(n) >= TCP10G.TransferTime(n) {
+		t.Fatal("25G should beat 10G")
+	}
+}
+
+func TestRDMABeatsTCP(t *testing.T) {
+	// Figure 9's headline: RDMA > TCP at equal bandwidth, for both small
+	// (latency-bound) and large (bandwidth-bound) messages.
+	for _, n := range []int{64, 1 << 20, 100 << 20} {
+		if RDMA25G.TransferTime(n) >= TCP25G.TransferTime(n) {
+			t.Fatalf("RDMA not faster for %d bytes", n)
+		}
+	}
+}
+
+func TestTransferTimeKnownValue(t *testing.T) {
+	// 1 Gbps at 0.70 efficiency = 87.5 MB/s. 87.5 MB should take ~1 s.
+	d := TCP1G.TransferTime(87_500_000)
+	if d < time.Second || d > time.Second+10*time.Millisecond {
+		t.Fatalf("1G transfer of 87.5MB = %v, want ~1s", d)
+	}
+}
+
+func TestAllreduceTimeProperties(t *testing.T) {
+	c8 := NewCluster(TCP10G, 8)
+	c1 := NewCluster(TCP10G, 1)
+	if c1.AllreduceTime(1<<20) != 0 {
+		t.Fatal("single worker allreduce must be free")
+	}
+	// Ring allreduce moves 2(n-1)/n of the data per worker: roughly
+	// bandwidth-bound at 2x the vector size, independent of n for large n.
+	big := c8.AllreduceTime(100 << 20)
+	p2p := TCP10G.TransferTime(2 * (100 << 20) * 7 / 8)
+	ratio := float64(big) / float64(p2p)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("allreduce cost off the 2(n-1)/n model: ratio %v", ratio)
+	}
+}
+
+func TestAllreduceLatencyScalesWithN(t *testing.T) {
+	small := 64
+	c2 := NewCluster(TCP10G, 2).AllreduceTime(small)
+	c8 := NewCluster(TCP10G, 8).AllreduceTime(small)
+	if c8 <= c2 {
+		t.Fatal("latency-bound allreduce should grow with worker count")
+	}
+}
+
+func TestAllgatherTime(t *testing.T) {
+	c := NewCluster(TCP10G, 4)
+	uniform := c.AllgatherUniformTime(1 << 20)
+	if uniform <= 0 {
+		t.Fatal("allgather must cost time")
+	}
+	// Variable sizes: a single huge payload dominates.
+	skewed := c.AllgatherTime([]int{100 << 20, 0, 0, 0})
+	tiny := c.AllgatherTime([]int{1, 1, 1, 1})
+	if skewed <= tiny {
+		t.Fatal("skewed allgather should cost more")
+	}
+}
+
+func TestAllgatherSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(TCP10G, 4).AllgatherTime([]int{1, 2})
+}
+
+func TestAllgatherCostExceedsAllreduceForEqualVolume(t *testing.T) {
+	// Gathering n full payloads moves ~n/2 x more data than ring allreduce;
+	// this is why Allreduce-capable compressors win at the same volume.
+	c := NewCluster(TCP10G, 8)
+	n := 10 << 20
+	if c.AllgatherUniformTime(n) <= c.AllreduceTime(n) {
+		t.Fatal("allgather should cost more than allreduce at equal per-worker bytes")
+	}
+}
+
+func TestBroadcastTime(t *testing.T) {
+	c := NewCluster(TCP10G, 4)
+	if c.BroadcastTime(0) <= 0 {
+		t.Fatal("broadcast latency must be positive for n>1")
+	}
+	if NewCluster(TCP10G, 1).BroadcastTime(1<<20) != 0 {
+		t.Fatal("single-worker broadcast must be free")
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	l, err := PresetByName("tcp-10g")
+	if err != nil || l.Name != "tcp-10g" {
+		t.Fatalf("PresetByName: %v %v", l, err)
+	}
+	if _, err := PresetByName("modem"); err == nil {
+		t.Fatal("expected error for unknown preset")
+	}
+}
+
+func TestClock(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	c.Advance(2 * time.Second)
+	if c.Elapsed() != 3*time.Second {
+		t.Fatalf("clock = %v", c.Elapsed())
+	}
+	c.Reset()
+	if c.Elapsed() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestClockNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-time.Second)
+}
+
+func TestNewClusterBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(TCP10G, 0)
+}
+
+func TestStarTopologyCosts(t *testing.T) {
+	ring := NewCluster(TCP10G, 8)
+	star := NewStarCluster(TCP10G, 8)
+	n := 10 << 20
+	// The server link serializes 2N payloads, so star allreduce must cost
+	// far more than the balanced ring at equal volume.
+	if star.AllreduceTime(n) <= ring.AllreduceTime(n) {
+		t.Fatal("star allreduce should exceed ring allreduce")
+	}
+	sizes := make([]int, 8)
+	for i := range sizes {
+		sizes[i] = n
+	}
+	if star.AllgatherTime(sizes) <= ring.AllgatherTime(sizes) {
+		t.Fatal("star allgather should exceed ring allgather")
+	}
+	if NewStarCluster(TCP10G, 1).AllreduceTime(n) != 0 {
+		t.Fatal("single-worker star must be free")
+	}
+}

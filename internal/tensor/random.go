@@ -1,0 +1,38 @@
+package tensor
+
+import (
+	"math"
+
+	"repro/internal/fxrand"
+)
+
+// RandN fills t with N(0, stddev²) variates drawn from r and returns t.
+func (t *Dense) RandN(r *fxrand.RNG, stddev float32) *Dense {
+	for i := range t.data {
+		t.data[i] = r.NormFloat32() * stddev
+	}
+	return t
+}
+
+// RandU fills t with uniform variates in [lo, hi) and returns t.
+func (t *Dense) RandU(r *fxrand.RNG, lo, hi float32) *Dense {
+	span := hi - lo
+	for i := range t.data {
+		t.data[i] = lo + r.Float32()*span
+	}
+	return t
+}
+
+// GlorotInit fills t with the Glorot/Xavier uniform initialization for a
+// layer with the given fan-in and fan-out, the default initializer used by
+// the paper's TensorFlow benchmarks.
+func (t *Dense) GlorotInit(r *fxrand.RNG, fanIn, fanOut int) *Dense {
+	limit := float32(math.Sqrt(6.0 / float64(fanIn+fanOut)))
+	return t.RandU(r, -limit, limit)
+}
+
+// HeInit fills t with He-normal initialization (for ReLU networks).
+func (t *Dense) HeInit(r *fxrand.RNG, fanIn int) *Dense {
+	std := float32(math.Sqrt(2.0 / float64(fanIn)))
+	return t.RandN(r, std)
+}
