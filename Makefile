@@ -1,0 +1,22 @@
+# Tier-1 gate: everything must compile, vet clean, and pass the full test
+# suite under the race detector (the Engine and collective tests rely on it).
+.PHONY: check build test vet race bench
+
+check: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Engine vs sequential-Pipeline step exchange, plus the paper's figure
+# benchmarks.
+bench:
+	go test -run xxx -bench BenchmarkStepExchange -benchmem .

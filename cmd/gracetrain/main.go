@@ -29,6 +29,7 @@ func main() {
 		rank      = flag.Int("rank", 0, "low-rank factorization rank")
 		threshold = flag.Float64("threshold", 0, "threshold (thresholdv) / sparsity multiplier (threelc)")
 		ef        = flag.Bool("ef", false, "enable framework error feedback")
+		codecpar  = flag.Int("codecpar", 0, "codec lanes per worker Engine (0 = GOMAXPROCS)")
 		workers   = flag.Int("workers", 8, "number of workers")
 		net       = flag.String("net", "tcp-10g", "network preset")
 		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
@@ -71,12 +72,16 @@ func main() {
 	spec := harness.MethodSpec{
 		Label: *method,
 		Name:  *method,
-		Opts: grace.Options{
-			Ratio: *ratio, Levels: *levels, Rank: *rank, Threshold: *threshold,
-		},
+		Opts: grace.BuildOptions(
+			grace.WithRatio(*ratio), grace.WithLevels(*levels),
+			grace.WithRank(*rank), grace.WithThreshold(*threshold),
+		),
 		EF: useEF,
 	}
-	sc := harness.SweepConfig{Workers: *workers, Net: link, Scale: *scale, Seed: *seed}
+	sc := harness.SweepConfig{
+		Workers: *workers, Net: link, Scale: *scale, Seed: *seed,
+		CodecParallelism: *codecpar,
+	}
 	fmt.Printf("training %s (%s) with %s on %d workers over %s\n",
 		b.Name, b.PaperModel, *method, *workers, link.Name)
 	rep, err := harness.RunOne(b, spec, sc)

@@ -33,6 +33,7 @@ func main() {
 		levels    = flag.Int("levels", 0, "quantization levels")
 		rank_     = flag.Int("lowrank", 0, "low-rank factorization rank")
 		ef        = flag.Bool("ef", false, "enable framework error feedback")
+		codecpar  = flag.Int("codecpar", 0, "codec lanes for this worker's Engine (0 = GOMAXPROCS)")
 		net       = flag.String("net", "tcp-10g", "modeled network preset for the virtual clock")
 		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
 		seed      = flag.Uint64("seed", 42, "shared run seed")
@@ -73,12 +74,12 @@ func main() {
 		Dataset:      b.NewDataset(),
 		NewOptimizer: b.NewOptimizer,
 		NewCompressor: func(r int) (grace.Compressor, error) {
-			return grace.New(*method, grace.Options{
-				Ratio: *ratio, Levels: *levels, Rank: *rank_,
-				Seed: *seed*1000 + uint64(r),
-			})
+			return grace.New(*method,
+				grace.WithRatio(*ratio), grace.WithLevels(*levels), grace.WithRank(*rank_),
+				grace.WithSeed(*seed*1000+uint64(r)))
 		},
 		UseMemory:            *ef,
+		CodecParallelism:     *codecpar,
 		Net:                  link,
 		ComputePerIter:       b.ComputePerIter,
 		QualityLowerIsBetter: b.LowerIsBetter,

@@ -25,7 +25,8 @@ func main() {
 	fmt.Println("GRACE quickstart: one 4096-element gradient (16384 bytes dense)")
 	fmt.Printf("%-14s %-10s %-12s %-14s\n", "method", "bytes", "ratio", "L2 error")
 	for _, name := range []string{"none", "topk", "randomk", "qsgd", "terngrad", "eightbit", "signsgd", "threelc", "powersgd"} {
-		c, err := grace.New(name, grace.Options{Ratio: 0.05, Levels: 16, Rank: 4, Seed: 7})
+		c, err := grace.New(name,
+			grace.WithRatio(0.05), grace.WithLevels(16), grace.WithRank(4), grace.WithSeed(7))
 		if err != nil {
 			panic(err)
 		}
@@ -53,7 +54,7 @@ func main() {
 	fmt.Println("\nFigure 4 worked example — Top-k (20%) on a 15-element gradient:")
 	example := []float32{-0.1, 1.2, 3, 0, -3.5, 4.9, 0.88, 0, 0, -0.7, 1, 0, 9, -0.3, 0}
 	einfo := grace.NewTensorInfo("fig4", []int{15})
-	tk, _ := grace.New("topk", grace.Options{Ratio: 0.2})
+	tk, _ := grace.New("topk", grace.WithRatio(0.2))
 	p, _ := tk.Compress(example, einfo)
 	dec, _ := tk.Decompress(p, einfo)
 	fmt.Printf("  input:  %v\n", example)
@@ -62,7 +63,7 @@ func main() {
 	// Figure 3 of the paper: QSGD's randomized codebook rounding. With s=4
 	// the code-words are multiples of ‖g‖₂/4.
 	fmt.Println("\nFigure 3 worked example — QSGD (s=4) randomized rounding:")
-	q, _ := grace.New("qsgd", grace.Options{Levels: 4, Seed: 3})
+	q, _ := grace.New("qsgd", grace.WithLevels(4), grace.WithSeed(3))
 	qg := []float32{-3.39, 1.78, 10.87, -2.22, 10.9, 1.12, -32.1, 12.5}
 	qinfo := grace.NewTensorInfo("fig3", []int{8})
 	for trial := 0; trial < 3; trial++ {

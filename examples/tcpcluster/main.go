@@ -1,8 +1,10 @@
 // Tcpcluster demonstrates GRACE over real TCP collectives: four workers on
-// localhost form a ring (the same topology Horovod's allreduce uses),
-// exchange Top-k-compressed gradients through the grace.Pipeline, and verify
-// every worker agrees on the aggregate. This exercises the actual network
-// substrate rather than the in-process hub the experiments use.
+// localhost form a ring (the same topology Horovod's allreduce uses) and
+// exchange a whole model's worth of Top-k-compressed per-layer gradients
+// through the grace.Engine, which overlaps compression compute with the
+// wire exchange of earlier layers. Every worker verifies it agrees on all
+// aggregates. This exercises the actual network substrate rather than the
+// in-process hub the experiments use.
 package main
 
 import (
@@ -19,11 +21,20 @@ import (
 
 const (
 	workers = 4
-	dim     = 1 << 14
 	rounds  = 5
 )
 
 func main() {
+	// A realistic per-layer gradient size distribution: a few big tensors,
+	// many small ones.
+	shapes := [][]int{
+		{64, 128}, {128}, {128, 128}, {128}, {128, 64}, {64}, {64, 10}, {10},
+	}
+	infos := make([]grace.TensorInfo, len(shapes))
+	for i, s := range shapes {
+		infos[i] = grace.NewTensorInfo(fmt.Sprintf("layer%d", i), s)
+	}
+
 	// Reserve distinct localhost ports for the ring.
 	addrs := make([]string, workers)
 	for i := range addrs {
@@ -36,7 +47,7 @@ func main() {
 	}
 	fmt.Printf("forming a %d-worker TCP ring: %v\n", workers, addrs)
 
-	results := make([][]float32, workers)
+	results := make([][][]float32, workers)
 	var wg sync.WaitGroup
 	for rank := 0; rank < workers; rank++ {
 		wg.Add(1)
@@ -48,45 +59,68 @@ func main() {
 			}
 			defer ring.Close()
 
-			compressor, err := grace.New("topk", grace.Options{Ratio: 0.05})
+			meter := comm.NewMeter(ring)
+			eng, err := grace.NewEngine(grace.EngineConfig{
+				Coll: meter,
+				New: func() (grace.Compressor, error) {
+					return grace.New("topk", grace.WithRatio(0.05))
+				},
+				Mem:         grace.NewMemory(1, 1),
+				Parallelism: 2,
+			})
 			if err != nil {
 				panic(err)
 			}
-			meter := comm.NewMeter(ring)
-			pipe := &grace.Pipeline{
-				Comp: compressor,
-				Mem:  grace.NewMemory(1, 1),
-				Coll: meter,
-			}
-			info := grace.NewTensorInfo("w", []int{128, 128})
+
 			rng := fxrand.New(uint64(rank) + 1)
-			var agg []float32
+			grads := make([][]float32, len(infos))
+			for i, info := range infos {
+				grads[i] = make([]float32, info.Size())
+			}
+			var lastWall, lastCodec time.Duration
 			for round := 0; round < rounds; round++ {
-				g := make([]float32, dim)
-				for i := range g {
-					g[i] = rng.NormFloat32() * 0.1
+				for _, g := range grads {
+					for i := range g {
+						g[i] = rng.NormFloat32() * 0.1
+					}
 				}
-				agg, _, err = pipe.Exchange(g, info)
+				aggs, rep, err := eng.Step(grads, infos)
 				if err != nil {
 					panic(fmt.Sprintf("rank %d round %d: %v", rank, round, err))
 				}
+				if round == rounds-1 {
+					// The engine owns its buffers; keep a copy of the last
+					// round's aggregates for the agreement check.
+					results[rank] = make([][]float32, len(aggs))
+					for i, a := range aggs {
+						results[rank][i] = append([]float32(nil), a...)
+					}
+					lastWall, lastCodec = rep.WallTime, rep.CodecTime
+				}
 			}
-			results[rank] = agg
 			if rank == 0 {
-				fmt.Printf("rank 0 sent %d bytes over %d collective ops (vs %d dense)\n",
-					meter.BytesSent(), meter.Ops(), rounds*dim*4)
+				var dense int
+				for _, info := range infos {
+					dense += 4 * info.Size()
+				}
+				fmt.Printf("rank 0 sent %d bytes over %d collective ops (vs %d dense per round × %d rounds)\n",
+					meter.BytesSent(), meter.Ops(), dense, rounds)
+				fmt.Printf("last step: wall %v, codec (summed over %d lanes) %v\n",
+					lastWall, eng.Lanes(), lastCodec)
 			}
 		}(rank)
 	}
 	wg.Wait()
 
 	for rank := 1; rank < workers; rank++ {
-		for i := range results[0] {
-			if results[rank][i] != results[0][i] {
-				panic(fmt.Sprintf("worker %d disagrees with worker 0 at element %d", rank, i))
+		for ti := range infos {
+			for i := range results[0][ti] {
+				if results[rank][ti][i] != results[0][ti][i] {
+					panic(fmt.Sprintf("worker %d disagrees with worker 0 on tensor %d element %d", rank, ti, i))
+				}
 			}
 		}
 	}
-	fmt.Printf("all %d workers agree on the aggregated gradient after %d rounds over real TCP\n",
-		workers, rounds)
+	fmt.Printf("all %d workers agree on %d aggregated tensors after %d rounds over real TCP\n",
+		workers, len(infos), rounds)
 }

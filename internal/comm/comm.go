@@ -10,6 +10,19 @@ import "sync/atomic"
 // need (§IV-B): Allreduce for summable tensors, Allgather for variable-length
 // compressed payloads, and Broadcast. Implementations are per-worker handles;
 // every method is a synchronization point that all workers must enter.
+//
+// Concurrency contract: the group advances in lockstep rounds, so every
+// worker must issue the *identical sequence* of collective operations in the
+// same order, and a single worker's handle must NOT be used from multiple
+// goroutines concurrently — interleaved calls from one worker would enroll
+// in rounds its peers attribute to different tensors. Distinct workers'
+// handles are independent and are driven concurrently by design (each worker
+// goroutine or process owns exactly one handle). Callers that want to
+// overlap computation with communication across many tensors must serialize
+// their collective calls in a deterministic order; grace.Engine does exactly
+// that by funneling all calls through one driver goroutine in ascending
+// tensor order while codec work proceeds on other goroutines. These
+// guarantees are exercised by TestCollectiveLockstepConcurrency.
 type Collective interface {
 	// Rank is this worker's id in [0, Size).
 	Rank() int

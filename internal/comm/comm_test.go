@@ -356,3 +356,100 @@ func TestHubWorkerBadRankPanics(t *testing.T) {
 	}()
 	NewHub(2).Worker(2)
 }
+
+// TestCollectiveLockstepConcurrency enforces the documented concurrency
+// contract: distinct workers' handles are driven from separate goroutines
+// that race through a long, mixed sequence of collectives — but each worker
+// issues the identical op sequence in the same order, which must always
+// produce correct, rank-agreed results. Run with -race this also proves the
+// hub's round objects are published safely.
+func TestCollectiveLockstepConcurrency(t *testing.T) {
+	const (
+		n      = 5
+		rounds = 200
+	)
+	for _, sub := range []struct {
+		name   string
+		worker func(rank int) Collective
+	}{
+		{"hub", func() func(int) Collective {
+			hub := NewHub(n)
+			return func(rank int) Collective { return hub.Worker(rank) }
+		}()},
+		{"pshub", func() func(int) Collective {
+			hub := NewPSHub(n)
+			return func(rank int) Collective { return hub.Worker(rank) }
+		}()},
+	} {
+		t.Run(sub.name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make([]error, n)
+			for rank := 0; rank < n; rank++ {
+				wg.Add(1)
+				go func(rank int) {
+					defer wg.Done()
+					w := sub.worker(rank)
+					for r := 0; r < rounds; r++ {
+						// Every worker runs this same deterministic mix.
+						switch r % 4 {
+						case 0:
+							x := []float32{float32(w.Rank()), float32(r)}
+							if err := w.AllreduceF32(x); err != nil {
+								errs[rank] = err
+								return
+							}
+							want := float32(n * (n - 1) / 2)
+							if x[0] != want || x[1] != float32(r*n) {
+								errs[rank] = fmt.Errorf("round %d allreduce got %v", r, x)
+								return
+							}
+						case 1:
+							// Variable-length payloads: rank i sends i+1 bytes.
+							b := make([]byte, w.Rank()+1)
+							for i := range b {
+								b[i] = byte(r)
+							}
+							all, err := w.AllgatherBytes(b)
+							if err != nil {
+								errs[rank] = err
+								return
+							}
+							for i, p := range all {
+								if len(p) != i+1 || (len(p) > 0 && p[0] != byte(r)) {
+									errs[rank] = fmt.Errorf("round %d allgather rank %d got %d bytes", r, i, len(p))
+									return
+								}
+							}
+						case 2:
+							root := r % n
+							var b []byte
+							if w.Rank() == root {
+								b = []byte{byte(r), byte(root)}
+							}
+							got, err := w.BroadcastBytes(b, root)
+							if err != nil {
+								errs[rank] = err
+								return
+							}
+							if len(got) != 2 || got[0] != byte(r) || got[1] != byte(root) {
+								errs[rank] = fmt.Errorf("round %d broadcast got %v", r, got)
+								return
+							}
+						case 3:
+							if err := w.Barrier(); err != nil {
+								errs[rank] = err
+								return
+							}
+						}
+					}
+				}(rank)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", rank, err)
+				}
+			}
+		})
+	}
+}

@@ -31,26 +31,36 @@ func EncodeSparse(idx []int, vals []float32) []byte {
 // EncodeSparse output, filling unselected positions with zero (the paper's
 // desparsify).
 func DecodeSparse(buf []byte, size int) ([]float32, error) {
+	out := make([]float32, size)
+	if err := DecodeSparseInto(buf, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DecodeSparseInto is the allocation-free form of DecodeSparse: it zeroes
+// dst and scatters the decoded (index, value) pairs into it. len(dst) is the
+// dense size.
+func DecodeSparseInto(buf []byte, dst []float32) error {
 	r := encode.NewReader(buf)
 	idxBlock := r.BytesSlice()
 	if r.Err() != nil {
-		return nil, r.Err()
+		return r.Err()
 	}
 	idx, err := encode.DecodeIndices(idxBlock)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	out := make([]float32, size)
+	for i := range dst {
+		dst[i] = 0
+	}
 	for _, i := range idx {
-		if i < 0 || i >= size {
-			return nil, fmt.Errorf("cbase: sparse index %d out of size %d", i, size)
+		if i < 0 || i >= len(dst) {
+			return fmt.Errorf("cbase: sparse index %d out of size %d", i, len(dst))
 		}
-		out[i] = r.F32()
+		dst[i] = r.F32()
 	}
-	if r.Err() != nil {
-		return nil, r.Err()
-	}
-	return out, nil
+	return r.Err()
 }
 
 // TopK returns the indices of the k elements of g with the largest absolute

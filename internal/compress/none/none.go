@@ -48,3 +48,18 @@ func (Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32
 	}
 	return append([]float32(nil), p.Dense...), nil
 }
+
+// DecompressInto copies the dense payload into dst without allocating
+// (grace.DecompressorInto).
+func (Compressor) DecompressInto(p *grace.Payload, info grace.TensorInfo, dst []float32) error {
+	if p.Dense == nil {
+		return fmt.Errorf("none: payload has no dense data")
+	}
+	if len(p.Dense) != len(dst) {
+		return fmt.Errorf("none: payload has %d elements, tensor has %d", len(p.Dense), len(dst))
+	}
+	copy(dst, p.Dense)
+	return nil
+}
+
+var _ grace.DecompressorInto = Compressor{}

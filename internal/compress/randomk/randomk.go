@@ -74,3 +74,11 @@ func (c *Compressor) Compress(g []float32, info grace.TensorInfo) (*grace.Payloa
 func (c *Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32, error) {
 	return cbase.DecodeSparse(p.Bytes, info.Size())
 }
+
+// DecompressInto restores the dense gradient into dst without allocating
+// (grace.DecompressorInto).
+func (c *Compressor) DecompressInto(p *grace.Payload, info grace.TensorInfo, dst []float32) error {
+	return cbase.DecodeSparseInto(p.Bytes, dst)
+}
+
+var _ grace.DecompressorInto = (*Compressor)(nil)

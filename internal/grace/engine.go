@@ -1,0 +1,496 @@
+package grace
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// Engine is the per-worker, step-scoped exchange orchestrator: it accepts
+// the full set of named layer gradients of one training step and runs the
+// per-tensor exchange of Algorithm 1 over all of them with codec compute
+// overlapping wire time — while tensor i sits in its collective, tensors
+// i+1, i+2, ... are already being compressed.
+//
+// Architecture: codec work (compensate, compress, local decompress, decode,
+// aggregate) runs on a bounded pool of "lanes" (GOMAXPROCS-aware,
+// EngineConfig.Parallelism). Tensor i is pinned to lane i mod P for the
+// engine's lifetime, so per-tensor compressor state (momentum, low-rank warm
+// starts, error residuals) always lives in one instance even though lanes
+// run concurrently. All collective calls are funneled through the Step
+// caller's goroutine in ascending tensor order, honoring comm.Collective's
+// lockstep contract: every worker issues the identical operation sequence,
+// and no Collective handle is ever used concurrently.
+//
+// Buffers persist across steps (outputs, compensated gradients, gather-size
+// slices) or come from a sync.Pool (allreduce working copies, decode
+// scratch), so a steady-state Step performs near-zero framework allocation.
+//
+// An Engine belongs to one worker; Step must not be called concurrently.
+// The returned gradients and report are valid until the next Step call.
+type Engine struct {
+	coll  comm.Collective
+	mem   *Memory
+	lanes []*engineLane
+	n     float32 // worker count
+
+	// ready carries tensor indices from lanes to the comm driver as their
+	// payloads become available; buffered to len(infos) so lanes never block.
+	ready chan int
+
+	// Step-scoped state, reused across steps while tensor shapes are stable.
+	sizes   []int
+	out     [][]float32 // aggregated gradient per tensor
+	comp    [][]float32 // compensated gradient per tensor (mem != nil)
+	compVec [][]float32 // what went into the codec (comp[i] or the raw grad)
+	pays    []*Payload
+	gathers [][][]byte // allgather results awaiting decode
+	summed  [][]float32
+	gsz     [][]int // persistent GatherSizes backing store
+	have    []bool  // driver-side arrival tracking
+	rep     StepReport
+
+	errMu    sync.Mutex
+	firstErr error
+}
+
+// engineLane is one codec worker: a compressor instance plus its probed
+// capabilities and a decode-task queue fed by the comm driver.
+type engineLane struct {
+	comp    Compressor
+	caps    Caps
+	dec     chan int // tensor indices to decode; -1 ends the step
+	scratch []float32
+}
+
+// EngineConfig configures a per-worker Engine.
+type EngineConfig struct {
+	// Coll is this worker's collective handle. The Engine serializes every
+	// collective call on the Step caller's goroutine.
+	Coll comm.Collective
+	// New constructs one compressor instance per codec lane. Instances must
+	// be configured identically (same method, same options); per-tensor
+	// state stays consistent because tensors are pinned to lanes. Required
+	// unless Comp is set.
+	New func() (Compressor, error)
+	// Comp is a pre-built compressor used as the single lane when New is
+	// nil; the engine still overlaps its codec work with communication.
+	Comp Compressor
+	// Mem is the optional framework error-feedback memory (Eq. 4).
+	Mem *Memory
+	// Parallelism bounds the codec lane count; 0 selects GOMAXPROCS. It is
+	// ignored (forced to 1) when New is nil.
+	Parallelism int
+}
+
+// StrategyStats is the per-strategy slice of a step's exchange volume.
+type StrategyStats struct {
+	// Tensors is how many tensors used the strategy this step.
+	Tensors int
+	// SentBytes is the wire volume those tensors cost this worker.
+	SentBytes int
+}
+
+// StepReport aggregates one Engine.Step: per-tensor stats (same semantics as
+// Pipeline.Exchange's StepStats, consumed by simnet cost models) plus merged
+// totals. The report is owned by the Engine and valid until the next Step.
+type StepReport struct {
+	// Tensors holds one StepStats per input tensor, in input order.
+	Tensors []StepStats
+	// SentBytes is this worker's total wire volume for the step.
+	SentBytes int
+	// CodecTime sums measured compress/decompress/memory time across all
+	// tensors (lane time, not wall time — lanes run concurrently).
+	CodecTime time.Duration
+	// WallTime is the measured wall-clock duration of the whole Step,
+	// including time blocked in collectives; WallTime < CodecTime +
+	// collective wait indicates overlap is working.
+	WallTime time.Duration
+	// ByStrategy breaks the step down per communication strategy, indexed
+	// by Strategy (Allgather, Allreduce, Custom).
+	ByStrategy [3]StrategyStats
+}
+
+// NewEngine builds an Engine. All lane compressors must agree on method name
+// and strategy; Custom-strategy methods must implement CustomComm.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Coll == nil {
+		return nil, fmt.Errorf("grace: engine needs a collective")
+	}
+	var comps []Compressor
+	switch {
+	case cfg.New != nil:
+		p := cfg.Parallelism
+		if p <= 0 {
+			p = runtime.GOMAXPROCS(0)
+		}
+		for i := 0; i < p; i++ {
+			c, err := cfg.New()
+			if err != nil {
+				return nil, fmt.Errorf("grace: engine lane %d: %w", i, err)
+			}
+			comps = append(comps, c)
+		}
+	case cfg.Comp != nil:
+		comps = []Compressor{cfg.Comp}
+	default:
+		return nil, fmt.Errorf("grace: engine needs a compressor (Comp) or factory (New)")
+	}
+	first := comps[0]
+	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size())}
+	for i, c := range comps {
+		if c.Name() != first.Name() || c.Strategy() != first.Strategy() {
+			return nil, fmt.Errorf("grace: engine lanes disagree: lane 0 is %s/%v, lane %d is %s/%v",
+				first.Name(), first.Strategy(), i, c.Name(), c.Strategy())
+		}
+		caps := Capabilities(c)
+		if caps.Strategy == Custom && caps.Custom == nil {
+			return nil, fmt.Errorf("grace: %s declares Custom strategy but lacks CustomComm", c.Name())
+		}
+		e.lanes = append(e.lanes, &engineLane{comp: c, caps: caps})
+	}
+	return e, nil
+}
+
+// Lanes reports the codec lane count.
+func (e *Engine) Lanes() int { return len(e.lanes) }
+
+// Step exchanges one training step's gradients: grads[i] is the gradient of
+// the tensor described by infos[i]. It returns the aggregated gradients in
+// input order plus the merged step report; both are valid until the next
+// Step. The tensor list should be stable across steps (same names, same
+// order) — that is what keeps per-tensor codec state and buffer reuse
+// coherent, and what guarantees every worker issues the same collective
+// sequence.
+//
+// On error the collective group must be considered poisoned, exactly as with
+// Pipeline.Exchange: peers blocked in a collective this worker never entered
+// will not recover.
+func (e *Engine) Step(grads [][]float32, infos []TensorInfo) ([][]float32, *StepReport, error) {
+	start := time.Now()
+	if len(grads) != len(infos) {
+		return nil, nil, fmt.Errorf("grace: engine got %d gradients for %d tensor infos", len(grads), len(infos))
+	}
+	m := len(infos)
+	for i := range grads {
+		if len(grads[i]) != infos[i].Size() {
+			return nil, nil, fmt.Errorf("grace: engine tensor %d (%s): gradient has %d elements, info says %d",
+				i, infos[i].Name, len(grads[i]), infos[i].Size())
+		}
+	}
+	e.ensure(infos)
+	if m == 0 {
+		e.rep.WallTime = time.Since(start)
+		return e.out, &e.rep, nil
+	}
+
+	p := len(e.lanes)
+	var wg sync.WaitGroup
+	for l := 0; l < p; l++ {
+		wg.Add(1)
+		go func(l int) {
+			defer wg.Done()
+			ln := e.lanes[l]
+			// Compress phase: this lane's tensors in ascending order, so the
+			// comm driver (which consumes in global ascending order) is fed
+			// as early as possible.
+			for i := l; i < m; i += p {
+				e.compressOne(ln, i, grads[i], infos[i])
+			}
+			// Decode phase: aggregate results the driver hands back as each
+			// tensor's collective completes, overlapping with collectives
+			// still in flight.
+			for i := range ln.dec {
+				if i < 0 {
+					return
+				}
+				e.decodeOne(ln, i, infos[i])
+			}
+		}(l)
+	}
+
+	// Comm driver: issue each tensor's collective in ascending order as soon
+	// as its payload is ready. This is the only goroutine touching e.coll.
+	next := 0
+driver:
+	for next < m {
+		i := <-e.ready
+		e.have[i] = true
+		for next < m && e.have[next] {
+			if e.err() != nil {
+				break driver
+			}
+			if err := e.issue(next, infos[next]); err != nil {
+				e.setErr(err)
+				break driver
+			}
+			next++
+		}
+	}
+
+	for _, ln := range e.lanes {
+		ln.dec <- -1
+	}
+	wg.Wait()
+	// On abort some ready signals may be unconsumed; drain so the next step
+	// starts clean.
+	for len(e.ready) > 0 {
+		<-e.ready
+	}
+	if err := e.err(); err != nil {
+		return nil, nil, err
+	}
+
+	for i := range e.rep.Tensors {
+		st := &e.rep.Tensors[i]
+		e.rep.SentBytes += st.SentBytes
+		e.rep.CodecTime += st.CodecTime
+		bs := &e.rep.ByStrategy[st.Strategy]
+		bs.Tensors++
+		bs.SentBytes += st.SentBytes
+	}
+	e.rep.WallTime = time.Since(start)
+	return e.out, &e.rep, nil
+}
+
+// compressOne runs the pre-communication codec work for tensor i on its
+// lane: memory compensation, compression, and the local decompression the
+// memory update needs. It always signals the driver, even on error.
+func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo) {
+	defer func() { e.ready <- i }()
+	t0 := time.Now()
+	st := &e.rep.Tensors[i]
+	st.Strategy = ln.caps.Strategy
+
+	comp := g
+	if e.mem != nil {
+		comp = e.comp[i]
+		e.mem.compensateInto(comp, info.Name, g)
+	}
+	e.compVec[i] = comp
+
+	if ln.caps.Strategy == Custom {
+		// The compressor drives communication itself; all codec happens
+		// inside CommunicateAggregate on the driver goroutine.
+		st.CodecTime = time.Since(t0)
+		return
+	}
+
+	pay, err := ln.comp.Compress(comp, info)
+	if err != nil {
+		e.setErr(fmt.Errorf("grace: %s compress %s: %w", ln.comp.Name(), info.Name, err))
+		return
+	}
+	e.pays[i] = pay
+	st.SentBytes = pay.WireBytes()
+
+	if e.mem != nil {
+		// Worker-local approximation for the memory update, before the
+		// collective so codec time excludes wire wait.
+		if ln.caps.Into != nil {
+			scratch := ln.scratch[:info.Size()]
+			if err := ln.caps.Into.DecompressInto(pay, info, scratch); err != nil {
+				e.setErr(fmt.Errorf("grace: %s local decompress: %w", ln.comp.Name(), err))
+				return
+			}
+			e.mem.Update(info.Name, comp, scratch)
+		} else {
+			approx, err := ln.comp.Decompress(pay, info)
+			if err != nil {
+				e.setErr(fmt.Errorf("grace: %s local decompress: %w", ln.comp.Name(), err))
+				return
+			}
+			e.mem.Update(info.Name, comp, approx)
+		}
+	}
+	st.CodecTime = time.Since(t0)
+}
+
+// issue runs tensor i's collective on the driver goroutine and hands the
+// result back to the owning lane for decode.
+func (e *Engine) issue(i int, info TensorInfo) error {
+	ln := e.lanes[i%len(e.lanes)]
+	st := &e.rep.Tensors[i]
+	switch ln.caps.Strategy {
+	case Custom:
+		agg, sent, err := ln.caps.Custom.CommunicateAggregate(e.compVec[i], info, e.coll)
+		if err != nil {
+			return fmt.Errorf("grace: %s custom comm: %w", ln.comp.Name(), err)
+		}
+		st.SentBytes = sent
+		if e.mem != nil {
+			t := time.Now()
+			e.mem.Update(info.Name, e.compVec[i], agg)
+			st.CodecTime += time.Since(t)
+		}
+		e.out[i] = agg
+		return nil
+
+	case Allreduce:
+		pay := e.pays[i]
+		if pay.Dense == nil {
+			return fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", ln.comp.Name())
+		}
+		summed := getF32(len(pay.Dense))
+		copy(summed, pay.Dense)
+		if err := e.coll.AllreduceF32(summed); err != nil {
+			return fmt.Errorf("grace: allreduce: %w", err)
+		}
+		e.summed[i] = summed
+		ln.dec <- i
+		return nil
+
+	case Allgather:
+		pay := e.pays[i]
+		if pay.Bytes == nil && pay.Dense != nil {
+			return fmt.Errorf("grace: %s uses Allgather but produced a dense payload", ln.comp.Name())
+		}
+		all, err := e.coll.AllgatherBytes(pay.Bytes)
+		if err != nil {
+			return fmt.Errorf("grace: allgather: %w", err)
+		}
+		e.gathers[i] = all
+		ln.dec <- i
+		return nil
+
+	default:
+		return fmt.Errorf("grace: unhandled strategy %v", ln.caps.Strategy)
+	}
+}
+
+// decodeOne runs the post-communication codec work for tensor i on its lane:
+// decompressing the collective's result and aggregating into the output
+// buffer.
+func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
+	if e.err() != nil {
+		return
+	}
+	t0 := time.Now()
+	st := &e.rep.Tensors[i]
+	switch ln.caps.Strategy {
+	case Allreduce:
+		summed := e.summed[i]
+		e.summed[i] = nil
+		if ln.caps.Into != nil {
+			if err := ln.caps.Into.DecompressInto(&Payload{Dense: summed}, info, e.out[i]); err != nil {
+				e.setErr(fmt.Errorf("grace: %s decompress sum: %w", ln.comp.Name(), err))
+				return
+			}
+			scale(e.out[i], 1/e.n)
+		} else {
+			agg, err := ln.comp.Decompress(&Payload{Dense: summed}, info)
+			if err != nil {
+				e.setErr(fmt.Errorf("grace: %s decompress sum: %w", ln.comp.Name(), err))
+				return
+			}
+			scale(agg, 1/e.n)
+			e.out[i] = agg
+		}
+		putF32(summed)
+
+	case Allgather:
+		all := e.gathers[i]
+		e.gathers[i] = nil
+		sizes := e.gsz[i][:len(all)]
+		for rank, b := range all {
+			sizes[rank] = len(b)
+		}
+		st.GatherSizes = sizes
+		if err := decodeAggregate(ln.comp, ln.caps, all, info, e.out[i], e.n); err != nil {
+			e.setErr(err)
+			return
+		}
+	}
+	st.CodecTime += time.Since(t0)
+}
+
+// ensure sizes the engine's step-scoped state for the given tensor set,
+// reusing everything when shapes are unchanged from the previous step.
+func (e *Engine) ensure(infos []TensorInfo) {
+	m := len(infos)
+	same := len(e.sizes) == m
+	if same {
+		for i := range infos {
+			if e.sizes[i] != infos[i].Size() {
+				same = false
+				break
+			}
+		}
+	}
+	if !same {
+		p := len(e.lanes)
+		strategy := e.lanes[0].caps.Strategy
+		e.sizes = make([]int, m)
+		e.out = make([][]float32, m)
+		e.comp = make([][]float32, m)
+		e.compVec = make([][]float32, m)
+		e.pays = make([]*Payload, m)
+		e.gathers = make([][][]byte, m)
+		e.summed = make([][]float32, m)
+		e.gsz = make([][]int, m)
+		e.have = make([]bool, m)
+		e.rep.Tensors = make([]StepStats, m)
+		laneMax := make([]int, p)
+		for i, info := range infos {
+			size := info.Size()
+			e.sizes[i] = size
+			if strategy != Custom {
+				// Custom-strategy compressors return their own aggregate
+				// slice; everything else aggregates into a persistent buffer.
+				e.out[i] = make([]float32, size)
+			}
+			if e.mem != nil {
+				e.comp[i] = make([]float32, size)
+			}
+			e.gsz[i] = make([]int, e.coll.Size())
+			if size > laneMax[i%p] {
+				laneMax[i%p] = size
+			}
+		}
+		for l, ln := range e.lanes {
+			ln.scratch = nil
+			if e.mem != nil && ln.caps.Into != nil && laneMax[l] > 0 {
+				ln.scratch = make([]float32, laneMax[l])
+			}
+			if cap(ln.dec) < m/p+2 {
+				ln.dec = make(chan int, m/p+2)
+			}
+		}
+		if cap(e.ready) < m {
+			e.ready = make(chan int, m)
+		}
+	}
+
+	// Per-step reset.
+	e.firstErr = nil
+	e.rep.SentBytes = 0
+	e.rep.CodecTime = 0
+	e.rep.WallTime = 0
+	e.rep.ByStrategy = [3]StrategyStats{}
+	for i := 0; i < m; i++ {
+		e.rep.Tensors[i] = StepStats{}
+		e.have[i] = false
+		e.pays[i] = nil
+		e.compVec[i] = nil
+		e.gathers[i] = nil
+		e.summed[i] = nil
+	}
+}
+
+func (e *Engine) setErr(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+}
+
+func (e *Engine) err() error {
+	e.errMu.Lock()
+	err := e.firstErr
+	e.errMu.Unlock()
+	return err
+}

@@ -1,6 +1,9 @@
 package grace
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // Memory implements the paper's error-feedback mechanism (Eq. 4):
 //
@@ -10,8 +13,15 @@ import "math"
 // where g̃ is the worker-local decompressed approximation Q⁻¹(Q(φ(m,g))).
 // State is per tensor, keyed by TensorInfo.Name. The zero value is not
 // usable; construct with NewMemory.
+//
+// Concurrency: a Memory is safe for concurrent use across *distinct* tensor
+// names — the map is internally locked, and per-tensor residual slices are
+// only ever touched by the caller working on that tensor. Calls for the same
+// name must be externally serialized (the Engine guarantees this by pinning
+// each tensor to one codec lane).
 type Memory struct {
 	beta, gamma float32
+	mu          sync.RWMutex
 	state       map[string][]float32
 }
 
@@ -21,28 +31,44 @@ func NewMemory(beta, gamma float32) *Memory {
 	return &Memory{beta: beta, gamma: gamma, state: make(map[string][]float32)}
 }
 
+// residual returns the stored residual slice for a tensor (nil if none).
+func (m *Memory) residual(name string) []float32 {
+	m.mu.RLock()
+	st := m.state[name]
+	m.mu.RUnlock()
+	return st
+}
+
 // Compensate returns φ(m, g) = β·m + γ·g as a fresh slice; g is not mutated.
 func (m *Memory) Compensate(name string, g []float32) []float32 {
 	out := make([]float32, len(g))
-	st := m.state[name]
+	m.compensateInto(out, name, g)
+	return out
+}
+
+// compensateInto writes φ(m, g) into dst (len(dst) == len(g)); the engine's
+// allocation-free path over persistent or pooled buffers.
+func (m *Memory) compensateInto(dst []float32, name string, g []float32) {
+	st := m.residual(name)
 	if st == nil {
 		for i, v := range g {
-			out[i] = m.gamma * v
+			dst[i] = m.gamma * v
 		}
-		return out
+		return
 	}
 	for i, v := range g {
-		out[i] = m.beta*st[i] + m.gamma*v
+		dst[i] = m.beta*st[i] + m.gamma*v
 	}
-	return out
 }
 
 // Update stores ψ = compensated − approx as the new memory for the tensor.
 func (m *Memory) Update(name string, compensated, approx []float32) {
-	st := m.state[name]
+	st := m.residual(name)
 	if st == nil {
 		st = make([]float32, len(compensated))
+		m.mu.Lock()
 		m.state[name] = st
+		m.mu.Unlock()
 	}
 	for i := range st {
 		st[i] = compensated[i] - approx[i]
@@ -52,7 +78,7 @@ func (m *Memory) Update(name string, compensated, approx []float32) {
 // Norm2 reports the Euclidean norm of a tensor's residual memory (0 when the
 // tensor has no state yet); used by tests and diagnostics.
 func (m *Memory) Norm2(name string) float64 {
-	st := m.state[name]
+	st := m.residual(name)
 	var s float64
 	for _, v := range st {
 		s += float64(v) * float64(v)

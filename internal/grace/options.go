@@ -1,0 +1,88 @@
+package grace
+
+// Option configures compressor construction. Options are applied in order
+// onto a zero Options carrier, so later options win. Two kinds of values
+// satisfy Option: the With* functional options below, and the Options struct
+// itself (which merges its non-zero fields), so legacy call sites that pass
+// a literal carrier keep working:
+//
+//	c, err := grace.New("topk", grace.WithRatio(0.01))
+//	c, err := grace.New("qsgd", grace.WithLevels(64), grace.WithSeed(7))
+//	c, err := grace.New("topk", grace.Options{Ratio: 0.01}) // legacy form
+type Option interface {
+	apply(*Options)
+}
+
+// optionFunc adapts a function to the Option interface.
+type optionFunc func(*Options)
+
+func (f optionFunc) apply(o *Options) { f(o) }
+
+// apply merges the non-zero fields of o into dst, making a literal Options
+// usable anywhere an Option is expected. Zero fields are skipped because the
+// zero value of every knob means "use the method's documented default".
+func (o Options) apply(dst *Options) {
+	if o.Ratio != 0 {
+		dst.Ratio = o.Ratio
+	}
+	if o.Levels != 0 {
+		dst.Levels = o.Levels
+	}
+	if o.Rank != 0 {
+		dst.Rank = o.Rank
+	}
+	if o.Threshold != 0 {
+		dst.Threshold = o.Threshold
+	}
+	if o.Momentum != 0 {
+		dst.Momentum = o.Momentum
+	}
+	if o.Seed != 0 {
+		dst.Seed = o.Seed
+	}
+}
+
+// WithRatio sets the sparsification ratio k/d (Top-k, Random-k, DGC,
+// Adaptive).
+func WithRatio(ratio float64) Option {
+	return optionFunc(func(o *Options) { o.Ratio = ratio })
+}
+
+// WithLevels sets the quantization level count s (QSGD) or bucket count
+// (SketchML).
+func WithLevels(levels int) Option {
+	return optionFunc(func(o *Options) { o.Levels = levels })
+}
+
+// WithRank sets the factorization rank r (PowerSGD, ATOMO).
+func WithRank(rank int) Option {
+	return optionFunc(func(o *Options) { o.Rank = rank })
+}
+
+// WithThreshold sets the fixed threshold τ (Threshold-v) or sparsity
+// multiplier (3LC).
+func WithThreshold(t float64) Option {
+	return optionFunc(func(o *Options) { o.Threshold = t })
+}
+
+// WithMomentum sets the momentum coefficient for methods with built-in
+// momentum (SIGNUM, DGC).
+func WithMomentum(m float64) Option {
+	return optionFunc(func(o *Options) { o.Momentum = m })
+}
+
+// WithSeed seeds the method's private RNG (randomized compressors).
+func WithSeed(seed uint64) Option {
+	return optionFunc(func(o *Options) { o.Seed = seed })
+}
+
+// BuildOptions folds a list of options into the Options carrier the
+// registry's factories consume. Exposed for callers (CLIs, harnesses) that
+// assemble a carrier once and reuse it across constructions.
+func BuildOptions(opts ...Option) Options {
+	var o Options
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	return o
+}

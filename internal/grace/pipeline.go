@@ -24,34 +24,52 @@ type StepStats struct {
 
 // Pipeline binds a compressor, an optional framework error-feedback memory,
 // and a collective into the per-tensor exchange of Algorithm 1 (lines 5-14).
-// One Pipeline belongs to one worker.
+// One Pipeline belongs to one worker. It is the single-tensor primitive; the
+// Engine composes it across a whole step's tensors with codec/communication
+// overlap.
 type Pipeline struct {
 	Comp Compressor
 	Mem  *Memory // nil disables framework EF
 	Coll comm.Collective
+
+	// caps memoizes Capabilities(Comp) after the first Exchange.
+	caps    Caps
+	capsSet bool
 }
 
 // Exchange runs one tensor through compress → communicate → aggregate and
-// returns the aggregated (mean) gradient every worker agrees on.
+// returns the aggregated (mean) gradient every worker agrees on. The
+// returned slice is freshly allocated and owned by the caller.
 func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats, error) {
+	if !p.capsSet {
+		p.caps = Capabilities(p.Comp)
+		p.capsSet = true
+	}
 	var stats StepStats
-	stats.Strategy = p.Comp.Strategy()
+	stats.Strategy = p.caps.Strategy
 	n := float32(p.Coll.Size())
 
 	start := time.Now()
 	comp := g
+	pooled := false
 	if p.Mem != nil {
-		comp = p.Mem.Compensate(info.Name, g)
+		comp = getF32(len(g))
+		pooled = true
+		p.Mem.compensateInto(comp, info.Name, g)
 	}
+	defer func() {
+		if pooled {
+			putF32(comp)
+		}
+	}()
 
 	// Custom strategy: the compressor drives communication itself.
 	if stats.Strategy == Custom {
-		cc, ok := p.Comp.(CustomComm)
-		if !ok {
+		if p.caps.Custom == nil {
 			return nil, stats, fmt.Errorf("grace: %s declares Custom strategy but lacks CustomComm", p.Comp.Name())
 		}
 		stats.CodecTime = time.Since(start)
-		agg, sent, err := cc.CommunicateAggregate(comp, info, p.Coll)
+		agg, sent, err := p.caps.Custom.CommunicateAggregate(comp, info, p.Coll)
 		if err != nil {
 			return nil, stats, fmt.Errorf("grace: %s custom comm: %w", p.Comp.Name(), err)
 		}
@@ -72,13 +90,21 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 
 	// Worker-local approximation, needed for the memory update; computed
 	// before communication so codec time excludes collective wait.
-	var approx []float32
 	if p.Mem != nil {
-		approx, err = p.Comp.Decompress(pay, info)
-		if err != nil {
-			return nil, stats, fmt.Errorf("grace: %s local decompress: %w", p.Comp.Name(), err)
+		if p.caps.Into != nil {
+			approx := getF32(info.Size())
+			if err := p.caps.Into.DecompressInto(pay, info, approx); err != nil {
+				return nil, stats, fmt.Errorf("grace: %s local decompress: %w", p.Comp.Name(), err)
+			}
+			p.Mem.Update(info.Name, comp, approx)
+			putF32(approx)
+		} else {
+			approx, err := p.Comp.Decompress(pay, info)
+			if err != nil {
+				return nil, stats, fmt.Errorf("grace: %s local decompress: %w", p.Comp.Name(), err)
+			}
+			p.Mem.Update(info.Name, comp, approx)
 		}
-		p.Mem.Update(info.Name, comp, approx)
 	}
 	stats.CodecTime = time.Since(start)
 
@@ -88,12 +114,14 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 		if pay.Dense == nil {
 			return nil, stats, fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", p.Comp.Name())
 		}
-		summed := append([]float32(nil), pay.Dense...)
+		summed := getF32(len(pay.Dense))
+		copy(summed, pay.Dense)
 		if err := p.Coll.AllreduceF32(summed); err != nil {
 			return nil, stats, fmt.Errorf("grace: allreduce: %w", err)
 		}
 		t := time.Now()
 		agg, err = p.Comp.Decompress(&Payload{Dense: summed}, info)
+		putF32(summed)
 		if err != nil {
 			return nil, stats, fmt.Errorf("grace: %s decompress sum: %w", p.Comp.Name(), err)
 		}
@@ -109,33 +137,13 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 			return nil, stats, fmt.Errorf("grace: allgather: %w", err)
 		}
 		stats.GatherSizes = make([]int, len(all))
-		t := time.Now()
-		decoded := make([][]float32, len(all))
 		for rank, b := range all {
 			stats.GatherSizes[rank] = len(b)
-			dec, err := p.Comp.Decompress(&Payload{Bytes: b}, info)
-			if err != nil {
-				return nil, stats, fmt.Errorf("grace: %s decompress rank %d: %w", p.Comp.Name(), rank, err)
-			}
-			if len(dec) != info.Size() {
-				return nil, stats, fmt.Errorf("grace: %s decompressed %d elements, want %d", p.Comp.Name(), len(dec), info.Size())
-			}
-			decoded[rank] = dec
 		}
-		if aggc, ok := p.Comp.(Aggregator); ok {
-			// Custom Agg function (Algorithm 1, line 13).
-			agg = aggc.Aggregate(decoded, info)
-			if len(agg) != info.Size() {
-				return nil, stats, fmt.Errorf("grace: %s aggregated %d elements, want %d", p.Comp.Name(), len(agg), info.Size())
-			}
-		} else {
-			agg = make([]float32, info.Size())
-			for _, dec := range decoded {
-				for i, v := range dec {
-					agg[i] += v
-				}
-			}
-			scale(agg, 1/n)
+		t := time.Now()
+		agg = make([]float32, info.Size())
+		if err := decodeAggregate(p.Comp, p.caps, all, info, agg, n); err != nil {
+			return nil, stats, err
 		}
 		stats.CodecTime += time.Since(t)
 
@@ -143,4 +151,67 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 		return nil, stats, fmt.Errorf("grace: unhandled strategy %v", stats.Strategy)
 	}
 	return agg, stats, nil
+}
+
+// decodeAggregate decompresses every rank's Allgather payload and writes the
+// aggregate into dst (len(dst) == info.Size(), contents ignored). The default
+// aggregation is the mean, accumulated in rank order so results are bitwise
+// identical on every worker; compressors with a custom Agg function
+// (caps.Aggregator) replace it. When the compressor supports DecompressInto,
+// the mean path runs allocation-free over a pooled scratch buffer.
+func decodeAggregate(c Compressor, caps Caps, all [][]byte, info TensorInfo, dst []float32, n float32) error {
+	size := info.Size()
+	if caps.Aggregator != nil {
+		// Custom Agg function (Algorithm 1, line 13) needs every rank's
+		// decoded gradient at once.
+		decoded := make([][]float32, len(all))
+		for rank, b := range all {
+			dec, err := c.Decompress(&Payload{Bytes: b}, info)
+			if err != nil {
+				return fmt.Errorf("grace: %s decompress rank %d: %w", c.Name(), rank, err)
+			}
+			if len(dec) != size {
+				return fmt.Errorf("grace: %s decompressed %d elements, want %d", c.Name(), len(dec), size)
+			}
+			decoded[rank] = dec
+		}
+		agg := caps.Aggregator.Aggregate(decoded, info)
+		if len(agg) != size {
+			return fmt.Errorf("grace: %s aggregated %d elements, want %d", c.Name(), len(agg), size)
+		}
+		copy(dst, agg)
+		return nil
+	}
+
+	for i := range dst {
+		dst[i] = 0
+	}
+	var scratch []float32
+	if caps.Into != nil {
+		scratch = getF32(size)
+		defer putF32(scratch)
+	}
+	for rank, b := range all {
+		var dec []float32
+		if caps.Into != nil {
+			if err := caps.Into.DecompressInto(&Payload{Bytes: b}, info, scratch); err != nil {
+				return fmt.Errorf("grace: %s decompress rank %d: %w", c.Name(), rank, err)
+			}
+			dec = scratch
+		} else {
+			var err error
+			dec, err = c.Decompress(&Payload{Bytes: b}, info)
+			if err != nil {
+				return fmt.Errorf("grace: %s decompress rank %d: %w", c.Name(), rank, err)
+			}
+			if len(dec) != size {
+				return fmt.Errorf("grace: %s decompressed %d elements, want %d", c.Name(), len(dec), size)
+			}
+		}
+		for i, v := range dec {
+			dst[i] += v
+		}
+	}
+	scale(dst, 1/n)
+	return nil
 }

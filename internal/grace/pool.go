@@ -1,0 +1,51 @@
+package grace
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Scratch-buffer reuse. Exchanges allocate several gradient-sized float32
+// slices per tensor per step (compensated gradients, allreduce working
+// copies, decode scratch); at thousands of steps over dozens of tensors that
+// churn dominates the allocator. Buffers are pooled in power-of-two size
+// classes so a Get never returns a slice with less capacity than requested
+// and mixed tensor sizes still hit the pool.
+
+const f32PoolClasses = 31
+
+var f32Pools [f32PoolClasses]sync.Pool
+
+// getF32 returns a length-n float32 slice, reusing a pooled buffer when one
+// is available. Contents are unspecified; callers must fully overwrite or
+// zero it.
+func getF32(n int) []float32 {
+	if n <= 0 {
+		return nil
+	}
+	c := poolClass(n)
+	if c >= f32PoolClasses {
+		return make([]float32, n)
+	}
+	if p, _ := f32Pools[c].Get().(*[]float32); p != nil {
+		return (*p)[:n]
+	}
+	return make([]float32, n, 1<<c)
+}
+
+// putF32 returns a slice obtained from getF32 to its pool. Slices whose
+// capacity is not an exact size class (i.e. not from getF32) are dropped.
+func putF32(s []float32) {
+	c := cap(s)
+	if c == 0 || c&(c-1) != 0 || poolClass(c) >= f32PoolClasses {
+		return
+	}
+	s = s[:c]
+	f32Pools[poolClass(c)].Put(&s)
+}
+
+// poolClass is ceil(log2(n)): the smallest class whose buffers hold n
+// elements.
+func poolClass(n int) int {
+	return bits.Len(uint(n - 1))
+}

@@ -85,13 +85,18 @@ func Lookup(name string) (Meta, error) {
 	return m, nil
 }
 
-// New constructs a compressor by name.
-func New(name string, o Options) (Compressor, error) {
+// New constructs a compressor by name. Configuration is given as functional
+// options (WithRatio, WithLevels, ...); a literal Options struct is itself an
+// Option, so both styles compose:
+//
+//	grace.New("topk", grace.WithRatio(0.01))
+//	grace.New("qsgd", grace.Options{Levels: 64}, grace.WithSeed(7))
+func New(name string, opts ...Option) (Compressor, error) {
 	m, err := Lookup(name)
 	if err != nil {
 		return nil, err
 	}
-	return m.New(o)
+	return m.New(BuildOptions(opts...))
 }
 
 // Names lists registered methods in sorted order.

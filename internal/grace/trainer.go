@@ -50,6 +50,12 @@ type Config struct {
 	UseMemory   bool
 	Beta, Gamma float32
 
+	// CodecParallelism bounds each worker's Engine codec lanes (concurrent
+	// compress/decompress goroutines); 0 selects GOMAXPROCS. 1 still
+	// overlaps codec compute with collective wait, it just doesn't run two
+	// tensors' codec work at once.
+	CodecParallelism int
+
 	// SyncEvery > 1 enables local-SGD training (Qsparse-local-SGD [20] /
 	// periodic averaging [75]): workers take SyncEvery local optimizer
 	// steps between synchronizations, then exchange the *compressed model
@@ -219,15 +225,19 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		infos[i] = NewTensorInfo(p.Name, p.Value.Shape())
 	}
 	opt := cfg.NewOptimizer()
-	compr, err := cfg.NewCompressor(rank)
-	if err != nil {
-		return nil, err
-	}
 	var mem *Memory
 	if cfg.UseMemory {
 		mem = NewMemory(beta, gamma)
 	}
-	pipe := &Pipeline{Comp: compr, Mem: mem, Coll: coll}
+	eng, err := NewEngine(EngineConfig{
+		Coll:        coll,
+		New:         func() (Compressor, error) { return cfg.NewCompressor(rank) },
+		Mem:         mem,
+		Parallelism: cfg.CodecParallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
 	sampler := data.NewSampler(cfg.Dataset.Len(), cfg.Workers, rank, cfg.Seed)
 
 	rep := &Report{}
@@ -247,21 +257,40 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	}
 	sinceSync := 0
 
+	// Step-scoped vectors handed to the Engine, reused every iteration.
+	gradVecs := make([][]float32, len(params))
+	gradTensors := make([]*tensor.Dense, len(params))
+
+	// exchange runs one whole-step Engine exchange over gradVecs and
+	// accumulates the time/volume accounting.
+	exchange := func(codecScale float64) ([][]float32, time.Duration, time.Duration, error) {
+		aggs, stepRep, err := eng.Step(gradVecs, infos)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		codecDur := time.Duration(float64(stepRep.CodecTime) * codecScale)
+		var commDur time.Duration
+		for _, st := range stepRep.Tensors {
+			commDur += commTime(cluster, st)
+		}
+		totalBytes += int64(stepRep.SentBytes)
+		return aggs, codecDur, commDur, nil
+	}
+
 	// syncDeltas exchanges compressed model deltas and resets every replica
 	// to syncPoint + mean(delta) (Qsparse-local-SGD's synchronization).
 	syncDeltas := func(codecScale float64) (codecDur, commDur time.Duration, err error) {
 		for i, p := range params {
-			delta := p.Value.Clone().Sub(syncPoint[i])
-			agg, stats, err := pipe.Exchange(delta.Data(), infos[i])
-			if err != nil {
-				return 0, 0, err
-			}
+			gradVecs[i] = p.Value.Clone().Sub(syncPoint[i]).Data()
+		}
+		aggs, codecDur, commDur, err := exchange(codecScale)
+		if err != nil {
+			return 0, 0, err
+		}
+		for i, p := range params {
 			p.Value.CopyFrom(syncPoint[i])
-			p.Value.Add(tensor.FromSlice(agg, p.Value.Shape()...))
+			p.Value.Add(tensor.FromSlice(aggs[i], p.Value.Shape()...))
 			syncPoint[i].CopyFrom(p.Value)
-			codecDur += time.Duration(float64(stats.CodecTime) * codecScale)
-			commDur += commTime(cluster, stats)
-			totalBytes += int64(stats.SentBytes)
 		}
 		return codecDur, commDur, nil
 	}
@@ -305,18 +334,21 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 					}
 				}
 			} else {
-				grads := make([]*tensor.Dense, len(params))
+				// Whole-step exchange: the Engine overlaps codec compute for
+				// later tensors with earlier tensors' collectives.
 				for i, p := range params {
-					agg, stats, err := pipe.Exchange(p.Grad.Data(), infos[i])
-					if err != nil {
-						return nil, err
-					}
-					grads[i] = tensor.FromSlice(agg, p.Grad.Shape()...)
-					codecDur += time.Duration(float64(stats.CodecTime) * codecScale)
-					commDur += commTime(cluster, stats)
-					totalBytes += int64(stats.SentBytes)
+					gradVecs[i] = p.Grad.Data()
 				}
-				opt.Step(params, grads)
+				var aggs [][]float32
+				var err error
+				aggs, codecDur, commDur, err = exchange(codecScale)
+				if err != nil {
+					return nil, err
+				}
+				for i, p := range params {
+					gradTensors[i] = tensor.FromSlice(aggs[i], p.Grad.Shape()...)
+				}
+				opt.Step(params, gradTensors)
 			}
 
 			clock.Advance(computeDur + codecDur + commDur)

@@ -74,6 +74,9 @@ type SweepConfig struct {
 	// fidelity for runtime; 1.0 = DESIGN.md defaults).
 	Scale float64
 	Seed  uint64
+	// CodecParallelism bounds each worker's Engine codec lanes; 0 selects
+	// GOMAXPROCS (see grace.EngineConfig).
+	CodecParallelism int
 }
 
 // DefaultSweep matches the paper's default system setup: 8 workers on
@@ -98,6 +101,7 @@ func RunOne(b Benchmark, spec MethodSpec, sc SweepConfig) (*grace.Report, error)
 			return grace.New(spec.Name, opts)
 		},
 		UseMemory:            spec.EF,
+		CodecParallelism:     sc.CodecParallelism,
 		Net:                  sc.Net,
 		ComputePerIter:       b.ComputePerIter,
 		Eval:                 b.NewEval(),
