@@ -1,6 +1,6 @@
 # Tier-1 gate: everything must compile, vet clean, and pass the full test
 # suite under the race detector (the Engine and collective tests rely on it).
-.PHONY: check build test vet race bench
+.PHONY: check build test vet race bench fuzz
 
 check: vet build race
 
@@ -20,3 +20,15 @@ race:
 # benchmarks.
 bench:
 	go test -run xxx -bench BenchmarkStepExchange -benchmem .
+
+# Fuzz smoke: run every fuzz target for a short burst. Decoders must reject
+# hostile payloads with errors — never panic or over-allocate.
+FUZZTIME ?= 10s
+fuzz:
+	go test -run xxx -fuzz FuzzReadFrame -fuzztime $(FUZZTIME) ./internal/comm
+	go test -run xxx -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME) ./internal/comm
+	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/topk
+	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/randomk
+	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/qsgd
+	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/eightbit
+	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/huffcoded

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	_ "repro/internal/compress/all"
 	"repro/internal/grace"
@@ -36,8 +37,14 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "run seed")
 		benchlist = flag.Bool("benchlist", false, "list benchmarks")
 		methods   = flag.Bool("methods", false, "list methods")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep instead of training")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(*workers, *seed)
+		return
+	}
 
 	if *benchlist {
 		for _, b := range harness.Benchmarks() {
@@ -97,6 +104,33 @@ func main() {
 	fmt.Printf("volume/iteration: %.0f bytes/worker\n", rep.BytesPerIter)
 	fmt.Printf("time split:       compute %v | codec %v | network %v\n",
 		rep.ComputeTime, rep.CodecTime, rep.CommTime)
+}
+
+// runChaos executes the default fault-injection battery: engines over a
+// Faulty-wrapped hub, one scenario per fault kind, with a watchdog converting
+// any deadlock into a failed row. Exits nonzero if any scenario fails.
+func runChaos(workers int, seed uint64) {
+	cfg := harness.DefaultChaos(workers, seed)
+	fmt.Printf("chaos sweep: %d workers, %d tensors x %d steps, method %s\n\n",
+		cfg.Workers, cfg.Tensors, cfg.Steps, cfg.Method)
+	fmt.Printf("%-18s %-6s %-9s %-9s %-10s %-8s\n",
+		"scenario", "pass", "injected", "faults", "fallbacks", "elapsed")
+	failed := 0
+	for _, r := range harness.RunChaos(cfg) {
+		verdict := "ok"
+		if !r.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-18s %-6s %-9d %-9d %-10d %-8s\n",
+			r.Scenario, verdict, r.Injected, r.Faults, r.Fallbacks, r.Elapsed.Round(time.Millisecond))
+		if r.Detail != "" {
+			fmt.Printf("    %s\n", r.Detail)
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d chaos scenario(s) failed", failed))
+	}
 }
 
 func fatal(err error) {

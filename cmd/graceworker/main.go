@@ -38,6 +38,10 @@ func main() {
 		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
 		seed      = flag.Uint64("seed", 42, "shared run seed")
 		timeout   = flag.Duration("timeout", 30*time.Second, "ring setup timeout")
+		optimeout = flag.Duration("optimeout", comm.DefaultOpTimeout, "per-collective-op deadline (<0 disables)")
+		maxframe  = flag.Int("maxframe", comm.DefaultMaxFrameBytes, "largest accepted wire frame in bytes")
+		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. 'drop:rank=1,op=allgather,from=10' (see comm.ParsePlan)")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for probabilistic fault rules")
 	)
 	flag.Parse()
 
@@ -57,12 +61,35 @@ func main() {
 		fatal(err)
 	}
 
-	ring, err := comm.DialTCPRing(*rank, addrs, *timeout)
+	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
+		Rank:          *rank,
+		Addrs:         addrs,
+		SetupTimeout:  *timeout,
+		OpTimeout:     *optimeout,
+		MaxFrameBytes: *maxframe,
+	})
 	if err != nil {
 		fatal(fmt.Errorf("ring setup: %w", err))
 	}
 	defer ring.Close()
 	fmt.Printf("rank %d/%d joined the ring\n", *rank, len(addrs))
+
+	// The worker's collective handle: the hardened ring, optionally wrapped in
+	// a fault injector when a -chaos plan is given.
+	var coll comm.Collective = ring
+	if *chaos != "" {
+		plan, err := comm.ParsePlan(*chaos, *chaosSeed)
+		if err != nil {
+			fatal(fmt.Errorf("bad -chaos plan: %w", err))
+		}
+		fy := comm.NewFaulty(ring, plan)
+		defer func() {
+			c := fy.Counts()
+			fmt.Printf("rank %d injected faults: %d delays, %d drops, %d corruptions, %d resets, %d stalls\n",
+				*rank, c.Delays, c.Drops, c.Corruptions, c.Resets, c.Stalls)
+		}()
+		coll = fy
+	}
 
 	workers := len(addrs)
 	cfg := grace.Config{
@@ -88,7 +115,7 @@ func main() {
 		cfg.Eval = b.NewEval()
 	}
 
-	rep, err := grace.RunWorker(cfg, *rank, ring, simnet.NewCluster(link, workers))
+	rep, err := grace.RunWorker(cfg, *rank, coll, simnet.NewCluster(link, workers))
 	if err != nil {
 		fatal(err)
 	}

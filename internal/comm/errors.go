@@ -1,0 +1,71 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op identifies the collective (or transport sub-) operation during which a
+// communication failure occurred; it is carried by Error so callers can
+// dispatch on what was being attempted, not just on the failure text.
+type Op string
+
+// Operation labels used in Error.Op.
+const (
+	OpDial      Op = "dial"
+	OpAllreduce Op = "allreduce"
+	OpAllgather Op = "allgather"
+	OpBroadcast Op = "broadcast"
+	OpBarrier   Op = "barrier"
+	OpSend      Op = "send"
+	OpRecv      Op = "recv"
+)
+
+// Sentinel causes recognizable with errors.Is across wrapping layers.
+var (
+	// ErrFrameTooLarge reports a length-prefixed frame whose header claims
+	// more than the transport's configured MaxFrameBytes. The frame body is
+	// never allocated or read; the connection must be considered corrupt.
+	ErrFrameTooLarge = errors.New("comm: frame exceeds max frame bytes")
+
+	// ErrInjected marks a failure manufactured by the Faulty wrapper; chaos
+	// tests assert on it to separate injected faults from genuine bugs.
+	ErrInjected = errors.New("comm: injected fault")
+
+	// ErrAborted reports that the collective group was torn down (Hub.Abort
+	// or a peer dropping out) while this worker was inside, or entering, a
+	// round.
+	ErrAborted = errors.New("comm: collective group aborted")
+)
+
+// Error is the typed failure every hardened Collective implementation wraps
+// transport and protocol errors in: which rank observed it, during which
+// operation, and at which step (the per-handle count of collective calls made
+// so far, so lockstep groups can correlate failures across ranks).
+type Error struct {
+	Rank int
+	Op   Op
+	Step int64
+	Err  error
+}
+
+// Error formats the failure with its rank/op/step coordinates.
+func (e *Error) Error() string {
+	return fmt.Sprintf("comm: rank %d %s (step %d): %v", e.Rank, e.Op, e.Step, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// wrapErr builds a typed Error unless err is nil or already typed (the
+// innermost coordinates are the most precise ones, so they are preserved).
+func wrapErr(rank int, op Op, step int64, err error) error {
+	if err == nil {
+		return nil
+	}
+	var ce *Error
+	if errors.As(err, &ce) {
+		return err
+	}
+	return &Error{Rank: rank, Op: op, Step: step, Err: err}
+}

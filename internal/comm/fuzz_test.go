@@ -1,0 +1,58 @@
+package comm
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadFrame drives the ring's frame codec with arbitrary byte streams:
+// it must either return a frame within the configured bound or a clean
+// error — never panic, and never allocate a body larger than maxFrame from a
+// hostile length prefix.
+func FuzzReadFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendFrame(nil, []byte("hello")))
+	f.Add(appendFrame(appendFrame(nil, nil), []byte{1, 2, 3}))
+	f.Add(hostileFrame(1<<32 - 1))
+	f.Add(hostileFrame(1 << 20))
+	f.Add([]byte{0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 16
+		r := bufio.NewReader(bytes.NewReader(data))
+		for {
+			frame, err := readFrame(r, maxFrame)
+			if err != nil {
+				if errors.Is(err, ErrFrameTooLarge) && len(data) < 4 {
+					t.Fatalf("too-large verdict from a %d-byte stream", len(data))
+				}
+				return
+			}
+			if len(frame) > maxFrame {
+				t.Fatalf("frame of %d bytes exceeds bound %d", len(frame), maxFrame)
+			}
+		}
+	})
+}
+
+// FuzzFrameRoundTrip checks append/read are inverses for arbitrary payloads
+// under the bound.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		if len(payload) > 1<<20 {
+			t.Skip()
+		}
+		stream := appendFrame(nil, payload)
+		r := bufio.NewReader(bytes.NewReader(stream))
+		got, err := readFrame(r, 1<<20)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(got), len(payload))
+		}
+	})
+}

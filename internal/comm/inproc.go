@@ -11,10 +11,17 @@ import (
 // gives real concurrency and real synchronization semantics without network
 // overhead, so computation costs can be measured while transfer time is
 // modeled separately (see internal/simnet).
+//
+// A Hub can be aborted: Abort poisons the group so every worker blocked in —
+// or later entering — a collective returns a typed *Error wrapping ErrAborted
+// instead of waiting forever for peers that will never arrive. This is what
+// keeps chaos tests (a rank dropping out mid-allreduce) deadlock-free.
 type Hub struct {
-	n   int
-	mu  sync.Mutex
-	cur *round
+	n        int
+	mu       sync.Mutex
+	cur      *round
+	aborted  chan struct{} // closed on Abort
+	abortErr error
 }
 
 type round struct {
@@ -28,7 +35,7 @@ func NewHub(n int) *Hub {
 	if n <= 0 {
 		panic("comm: hub size must be positive")
 	}
-	return &Hub{n: n, cur: newRound(n)}
+	return &Hub{n: n, cur: newRound(n), aborted: make(chan struct{})}
 }
 
 func newRound(n int) *round {
@@ -43,12 +50,47 @@ func (h *Hub) Worker(rank int) *InProc {
 	return &InProc{hub: h, rank: rank}
 }
 
+// Abort poisons the hub: every worker currently blocked in a round and every
+// future collective call fails with an error wrapping ErrAborted (and cause,
+// when non-nil). Abort is idempotent; the first cause wins.
+func (h *Hub) Abort(cause error) {
+	h.mu.Lock()
+	select {
+	case <-h.aborted:
+	default:
+		h.abortErr = cause
+		close(h.aborted)
+	}
+	h.mu.Unlock()
+}
+
+// abortedErr reports the abort cause wrapped in ErrAborted, or nil when the
+// hub is healthy. Callers must hold no locks.
+func (h *Hub) abortedErr() error {
+	select {
+	case <-h.aborted:
+	default:
+		return nil
+	}
+	h.mu.Lock()
+	cause := h.abortErr
+	h.mu.Unlock()
+	if cause != nil {
+		return fmt.Errorf("%w: %w", ErrAborted, cause)
+	}
+	return ErrAborted
+}
+
 // exchange deposits this worker's payload and returns everyone's payloads in
 // rank order. Each round object is written only before its done channel
 // closes and read only after, so rounds are race-free; the last depositor
 // installs a fresh round before waking the others, letting fast workers
-// proceed to the next operation immediately.
-func (h *Hub) exchange(rank int, payload []byte) [][]byte {
+// proceed to the next operation immediately. An aborted hub fails the
+// exchange instead of blocking on peers that will never deposit.
+func (h *Hub) exchange(rank int, payload []byte) ([][]byte, error) {
+	if err := h.abortedErr(); err != nil {
+		return nil, err
+	}
 	h.mu.Lock()
 	r := h.cur
 	r.slots[rank] = payload
@@ -58,14 +100,21 @@ func (h *Hub) exchange(rank int, payload []byte) [][]byte {
 		close(r.done)
 	}
 	h.mu.Unlock()
-	<-r.done
-	return r.slots
+	select {
+	case <-r.done:
+		return r.slots, nil
+	case <-h.aborted:
+		// The round may still complete concurrently, but once the group is
+		// poisoned no result can be trusted; fail deterministically.
+		return nil, h.abortedErr()
+	}
 }
 
 // InProc is one worker's handle onto a Hub.
 type InProc struct {
 	hub  *Hub
 	rank int
+	step int64
 }
 
 var _ Collective = (*InProc)(nil)
@@ -76,18 +125,26 @@ func (w *InProc) Rank() int { return w.rank }
 // Size returns the group size.
 func (w *InProc) Size() int { return w.hub.n }
 
+// Abort poisons the whole group this handle belongs to (see Hub.Abort).
+func (w *InProc) Abort(cause error) { w.hub.Abort(cause) }
+
 // AllreduceF32 sums x across workers in place. Every worker reduces the
 // gathered slices in rank order, so results are bitwise identical everywhere.
 func (w *InProc) AllreduceF32(x []float32) error {
+	w.step++
 	buf := f32ToBytes(x)
-	all := w.hub.exchange(w.rank, buf)
+	all, err := w.hub.exchange(w.rank, buf)
+	if err != nil {
+		return wrapErr(w.rank, OpAllreduce, w.step, err)
+	}
 	for i := range x {
 		x[i] = 0
 	}
 	for _, b := range all {
 		other := bytesToF32(b)
 		if len(other) != len(x) {
-			return fmt.Errorf("comm: allreduce length mismatch: %d vs %d", len(other), len(x))
+			return wrapErr(w.rank, OpAllreduce, w.step,
+				fmt.Errorf("allreduce length mismatch: %d vs %d", len(other), len(x)))
 		}
 		for i, v := range other {
 			x[i] += v
@@ -98,7 +155,11 @@ func (w *InProc) AllreduceF32(x []float32) error {
 
 // AllgatherBytes distributes every worker's payload to all workers.
 func (w *InProc) AllgatherBytes(b []byte) ([][]byte, error) {
-	all := w.hub.exchange(w.rank, b)
+	w.step++
+	all, err := w.hub.exchange(w.rank, b)
+	if err != nil {
+		return nil, wrapErr(w.rank, OpAllgather, w.step, err)
+	}
 	out := make([][]byte, len(all))
 	copy(out, all)
 	return out, nil
@@ -106,20 +167,27 @@ func (w *InProc) AllgatherBytes(b []byte) ([][]byte, error) {
 
 // BroadcastBytes distributes root's payload.
 func (w *InProc) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	w.step++
 	if root < 0 || root >= w.hub.n {
-		return nil, fmt.Errorf("comm: broadcast root %d out of range", root)
+		return nil, wrapErr(w.rank, OpBroadcast, w.step, fmt.Errorf("broadcast root %d out of range", root))
 	}
 	var payload []byte
 	if w.rank == root {
 		payload = b
 	}
-	all := w.hub.exchange(w.rank, payload)
+	all, err := w.hub.exchange(w.rank, payload)
+	if err != nil {
+		return nil, wrapErr(w.rank, OpBroadcast, w.step, err)
+	}
 	return all[root], nil
 }
 
 // Barrier blocks until all workers arrive.
 func (w *InProc) Barrier() error {
-	w.hub.exchange(w.rank, nil)
+	w.step++
+	if _, err := w.hub.exchange(w.rank, nil); err != nil {
+		return wrapErr(w.rank, OpBarrier, w.step, err)
+	}
 	return nil
 }
 

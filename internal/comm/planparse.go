@@ -1,0 +1,105 @@
+package comm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParsePlan builds a fault Plan from a compact command-line spec, so chaos
+// runs can be described on a flag:
+//
+//	kind[:key=val[,key=val...]][;kind...]
+//
+// Kinds: delay, drop, corrupt, reset, stall. Keys: rank (int or "*", default
+// any), op (allreduce, allgather, broadcast, barrier, or "*"), from/to (step
+// window, to=0 open-ended), prob (0..1), delay (Go duration, for delay/stall).
+// Examples:
+//
+//	drop:rank=1,op=allgather,from=10,to=10
+//	corrupt:rank=0,op=allgather,prob=0.2;delay:delay=2ms,prob=0.5
+func ParsePlan(spec string, seed uint64) (Plan, error) {
+	plan := Plan{Seed: seed}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, _ := strings.Cut(part, ":")
+		f := Fault{Rank: AnyRank}
+		switch strings.TrimSpace(kindStr) {
+		case "delay":
+			f.Kind = FaultDelay
+		case "drop":
+			f.Kind = FaultDrop
+		case "corrupt":
+			f.Kind = FaultCorrupt
+		case "reset":
+			f.Kind = FaultReset
+		case "stall":
+			f.Kind = FaultStall
+		default:
+			return Plan{}, fmt.Errorf("comm: unknown fault kind %q (want delay|drop|corrupt|reset|stall)", kindStr)
+		}
+		if rest != "" {
+			for _, kv := range strings.Split(rest, ",") {
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return Plan{}, fmt.Errorf("comm: fault option %q is not key=value", kv)
+				}
+				k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+				var err error
+				switch k {
+				case "rank":
+					if v == "*" {
+						f.Rank = AnyRank
+					} else if f.Rank, err = strconv.Atoi(v); err != nil {
+						return Plan{}, fmt.Errorf("comm: bad fault rank %q", v)
+					}
+				case "op":
+					if f.Op, err = parseOp(v); err != nil {
+						return Plan{}, err
+					}
+				case "from":
+					if f.FromStep, err = strconv.ParseInt(v, 10, 64); err != nil {
+						return Plan{}, fmt.Errorf("comm: bad fault from-step %q", v)
+					}
+				case "to":
+					if f.ToStep, err = strconv.ParseInt(v, 10, 64); err != nil {
+						return Plan{}, fmt.Errorf("comm: bad fault to-step %q", v)
+					}
+				case "prob":
+					if f.Prob, err = strconv.ParseFloat(v, 64); err != nil || f.Prob < 0 || f.Prob > 1 {
+						return Plan{}, fmt.Errorf("comm: bad fault probability %q (want 0..1)", v)
+					}
+				case "delay":
+					if f.Delay, err = time.ParseDuration(v); err != nil {
+						return Plan{}, fmt.Errorf("comm: bad fault delay %q: %v", v, err)
+					}
+				default:
+					return Plan{}, fmt.Errorf("comm: unknown fault option %q", k)
+				}
+			}
+		}
+		plan.Faults = append(plan.Faults, f)
+	}
+	return plan, nil
+}
+
+func parseOp(v string) (Op, error) {
+	switch v {
+	case "*", "any", "":
+		return "", nil
+	case "allreduce":
+		return OpAllreduce, nil
+	case "allgather":
+		return OpAllgather, nil
+	case "broadcast":
+		return OpBroadcast, nil
+	case "barrier":
+		return OpBarrier, nil
+	default:
+		return "", fmt.Errorf("comm: unknown fault op %q", v)
+	}
+}

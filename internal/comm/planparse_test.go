@@ -1,0 +1,44 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("drop:rank=1,op=allgather,from=10,to=10; corrupt:prob=0.25 ;delay:delay=2ms", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 9 || len(plan.Faults) != 3 {
+		t.Fatalf("plan = %+v, want seed 9 and 3 faults", plan)
+	}
+	want := []Fault{
+		{Kind: FaultDrop, Rank: 1, Op: OpAllgather, FromStep: 10, ToStep: 10},
+		{Kind: FaultCorrupt, Rank: AnyRank, Prob: 0.25},
+		{Kind: FaultDelay, Rank: AnyRank, Delay: 2 * time.Millisecond},
+	}
+	for i, w := range want {
+		if plan.Faults[i] != w {
+			t.Errorf("fault %d = %+v, want %+v", i, plan.Faults[i], w)
+		}
+	}
+
+	if plan, err := ParsePlan("", 1); err != nil || len(plan.Faults) != 0 {
+		t.Fatalf("empty spec: plan %+v err %v, want empty plan", plan, err)
+	}
+
+	for _, bad := range []string{
+		"explode",
+		"drop:rank=x",
+		"drop:prob=1.5",
+		"drop:op=sideways",
+		"drop:rank",
+		"stall:delay=fast",
+		"drop:magic=1",
+	} {
+		if _, err := ParsePlan(bad, 0); err == nil {
+			t.Errorf("spec %q should be rejected", bad)
+		}
+	}
+}

@@ -5,9 +5,41 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 )
+
+// Transport hardening defaults. Production gradients are large but bounded;
+// a frame header claiming more than MaxFrameBytes is treated as corruption —
+// the body is rejected before any allocation happens.
+const (
+	// DefaultMaxFrameBytes bounds a single ring frame (256 MiB).
+	DefaultMaxFrameBytes = 256 << 20
+	// DefaultOpTimeout bounds each frame read/write on the wire. A peer that
+	// stalls longer than this mid-collective surfaces a timeout error instead
+	// of hanging the group forever.
+	DefaultOpTimeout = 2 * time.Minute
+)
+
+// RingConfig tunes the hardened TCP ring transport beyond the required rank
+// and address list. The zero value of every knob selects the documented
+// default.
+type RingConfig struct {
+	// Rank is this worker's id; Addrs[i] is the listen address of rank i.
+	Rank  int
+	Addrs []string
+	// SetupTimeout bounds the whole ring establishment (accept + dial),
+	// default 30s.
+	SetupTimeout time.Duration
+	// OpTimeout is the per-frame read/write deadline; 0 selects
+	// DefaultOpTimeout, negative disables deadlines entirely.
+	OpTimeout time.Duration
+	// MaxFrameBytes rejects incoming frames larger than this without
+	// allocating; 0 selects DefaultMaxFrameBytes.
+	MaxFrameBytes int
+}
 
 // TCPRing is a real network implementation of Collective over a TCP ring:
 // worker i accepts a connection from worker i-1 and dials worker i+1
@@ -15,20 +47,36 @@ import (
 // (reduce-scatter followed by allgather, 2(n-1) steps), which is the same
 // algorithm whose cost model internal/simnet uses for throughput projection —
 // so the simulated and real substrates agree on communication structure.
+//
+// The transport is hardened against a hostile or failing wire: every frame
+// read/write carries a deadline, incoming frame lengths are bounded by
+// MaxFrameBytes before allocation, ring setup retries dials with jittered
+// exponential backoff, and every failure is wrapped in a typed *Error
+// carrying (rank, op, step).
 type TCPRing struct {
-	rank, n int
-	next    net.Conn // to rank+1
-	prev    net.Conn // from rank-1
-	nextW   *bufio.Writer
-	prevR   *bufio.Reader
+	rank, n  int
+	next     net.Conn // to rank+1
+	prev     net.Conn // from rank-1
+	nextW    *bufio.Writer
+	prevR    *bufio.Reader
+	opTO     time.Duration
+	maxFrame int
+	step     atomic.Int64
+	closed   atomic.Bool
 }
 
 var _ Collective = (*TCPRing)(nil)
 
-// DialTCPRing establishes the ring. addrs[i] is the listen address of rank i;
-// every participant must call DialTCPRing concurrently. The timeout bounds
-// the whole setup.
+// DialTCPRing establishes the ring with default hardening knobs. addrs[i] is
+// the listen address of rank i; every participant must call DialTCPRing
+// concurrently. The timeout bounds the whole setup.
 func DialTCPRing(rank int, addrs []string, timeout time.Duration) (*TCPRing, error) {
+	return DialTCPRingConfig(RingConfig{Rank: rank, Addrs: addrs, SetupTimeout: timeout})
+}
+
+// DialTCPRingConfig establishes the ring with explicit hardening knobs.
+func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
+	rank, addrs := cfg.Rank, cfg.Addrs
 	n := len(addrs)
 	if n < 2 {
 		return nil, fmt.Errorf("comm: tcp ring needs >= 2 workers, got %d", n)
@@ -36,9 +84,13 @@ func DialTCPRing(rank int, addrs []string, timeout time.Duration) (*TCPRing, err
 	if rank < 0 || rank >= n {
 		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", rank, n)
 	}
+	setupTO := cfg.SetupTimeout
+	if setupTO <= 0 {
+		setupTO = 30 * time.Second
+	}
 	ln, err := net.Listen("tcp", addrs[rank])
 	if err != nil {
-		return nil, fmt.Errorf("comm: listen %s: %w", addrs[rank], err)
+		return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("listen %s: %w", addrs[rank], err))
 	}
 	defer ln.Close()
 
@@ -52,38 +104,60 @@ func DialTCPRing(rank int, addrs []string, timeout time.Duration) (*TCPRing, err
 		acceptCh <- acceptResult{c, err}
 	}()
 
-	// Dial the successor with retries until its listener is up.
-	deadline := time.Now().Add(timeout)
+	// Dial the successor with jittered exponential backoff until its listener
+	// is up or the setup deadline passes. Jitter desynchronizes the retry
+	// storms of many ranks starting at once.
+	deadline := time.Now().Add(setupTO)
+	succ := addrs[(rank+1)%n]
+	backoff := 10 * time.Millisecond
 	var next net.Conn
 	for {
-		next, err = net.DialTimeout("tcp", addrs[(rank+1)%n], time.Second)
+		next, err = net.DialTimeout("tcp", succ, time.Second)
 		if err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("comm: dial %s: %w", addrs[(rank+1)%n], err)
+			return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("dial %s: %w", succ, err))
 		}
-		time.Sleep(10 * time.Millisecond)
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		if remain := time.Until(deadline); sleep > remain {
+			sleep = remain
+		}
+		time.Sleep(sleep)
+		if backoff < 500*time.Millisecond {
+			backoff *= 2
+		}
 	}
 
 	select {
 	case ar := <-acceptCh:
 		if ar.err != nil {
 			next.Close()
-			return nil, fmt.Errorf("comm: accept: %w", ar.err)
+			return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("accept: %w", ar.err))
 		}
-		r := &TCPRing{rank: rank, n: n, next: next, prev: ar.conn}
-		r.nextW = bufio.NewWriterSize(next, 1<<16)
-		r.prevR = bufio.NewReaderSize(ar.conn, 1<<16)
-		return r, nil
+		t := &TCPRing{rank: rank, n: n, next: next, prev: ar.conn}
+		t.nextW = bufio.NewWriterSize(next, 1<<16)
+		t.prevR = bufio.NewReaderSize(ar.conn, 1<<16)
+		t.opTO = cfg.OpTimeout
+		if t.opTO == 0 {
+			t.opTO = DefaultOpTimeout
+		}
+		t.maxFrame = cfg.MaxFrameBytes
+		if t.maxFrame <= 0 {
+			t.maxFrame = DefaultMaxFrameBytes
+		}
+		return t, nil
 	case <-time.After(time.Until(deadline)):
 		next.Close()
-		return nil, fmt.Errorf("comm: timed out waiting for predecessor of rank %d", rank)
+		return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("timed out waiting for predecessor of rank %d", rank))
 	}
 }
 
-// Close tears down both ring connections.
+// Close tears down both ring connections. Safe to call from another
+// goroutine to reset a worker stuck mid-collective: its pending frame ops
+// fail immediately.
 func (t *TCPRing) Close() error {
+	t.closed.Store(true)
 	err1 := t.next.Close()
 	err2 := t.prev.Close()
 	if err1 != nil {
@@ -98,8 +172,23 @@ func (t *TCPRing) Rank() int { return t.rank }
 // Size returns the ring size.
 func (t *TCPRing) Size() int { return t.n }
 
-// sendFrame writes one length-prefixed frame to the successor.
+// MaxFrameBytes reports the configured incoming-frame bound.
+func (t *TCPRing) MaxFrameBytes() int { return t.maxFrame }
+
+// Step reports how many collective operations this handle has performed.
+func (t *TCPRing) Step() int64 { return t.step.Load() }
+
+// sendFrame writes one length-prefixed frame to the successor under the
+// per-op write deadline.
 func (t *TCPRing) sendFrame(b []byte) error {
+	if len(b) > t.maxFrame {
+		return fmt.Errorf("%w: sending %d bytes > limit %d", ErrFrameTooLarge, len(b), t.maxFrame)
+	}
+	if t.opTO > 0 {
+		if err := t.next.SetWriteDeadline(time.Now().Add(t.opTO)); err != nil {
+			return fmt.Errorf("set write deadline: %w", err)
+		}
+	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
 	if _, err := t.nextW.Write(hdr[:]); err != nil {
@@ -111,18 +200,45 @@ func (t *TCPRing) sendFrame(b []byte) error {
 	return t.nextW.Flush()
 }
 
-// recvFrame reads one length-prefixed frame from the predecessor.
+// recvFrame reads one length-prefixed frame from the predecessor under the
+// per-op read deadline. A header announcing more than MaxFrameBytes is
+// rejected before any body allocation: a corrupt or hostile 4-byte prefix
+// must not be able to demand a multi-gigabyte buffer.
 func (t *TCPRing) recvFrame() ([]byte, error) {
+	if t.opTO > 0 {
+		if err := t.prev.SetReadDeadline(time.Now().Add(t.opTO)); err != nil {
+			return nil, fmt.Errorf("set read deadline: %w", err)
+		}
+	}
+	return readFrame(t.prevR, t.maxFrame)
+}
+
+// readFrame decodes one length-prefixed frame from r, rejecting bodies
+// larger than maxFrame without allocating them. It is the ring's frame codec,
+// factored out so the fuzz harness can drive it with arbitrary byte streams.
+func readFrame(r *bufio.Reader, maxFrame int) ([]byte, error) {
 	var hdr [4]byte
-	if _, err := ioReadFull(t.prevR, hdr[:]); err != nil {
+	if _, err := ioReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
+	if uint64(n) > uint64(maxFrame) {
+		return nil, fmt.Errorf("%w: header claims %d bytes > limit %d", ErrFrameTooLarge, n, maxFrame)
+	}
 	buf := make([]byte, n)
-	if _, err := ioReadFull(t.prevR, buf); err != nil {
+	if _, err := ioReadFull(r, buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
+}
+
+// appendFrame encodes b as a length-prefixed frame onto dst; the inverse of
+// readFrame, exposed for the codec fuzz harness.
+func appendFrame(dst, b []byte) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
+	dst = append(dst, hdr[:]...)
+	return append(dst, b...)
 }
 
 // sendRecv overlaps a send to the successor with a receive from the
@@ -133,16 +249,17 @@ func (t *TCPRing) sendRecv(out []byte) ([]byte, error) {
 	in, rerr := t.recvFrame()
 	serr := <-errCh
 	if serr != nil {
-		return nil, fmt.Errorf("comm: ring send: %w", serr)
+		return nil, fmt.Errorf("ring send: %w", serr)
 	}
 	if rerr != nil {
-		return nil, fmt.Errorf("comm: ring recv: %w", rerr)
+		return nil, fmt.Errorf("ring recv: %w", rerr)
 	}
 	return in, nil
 }
 
 // AllreduceF32 performs ring allreduce: reduce-scatter then allgather.
 func (t *TCPRing) AllreduceF32(x []float32) error {
+	step := t.step.Add(1)
 	n := t.n
 	chunk := func(i int) (lo, hi int) {
 		i = ((i % n) + n) % n
@@ -157,11 +274,11 @@ func (t *TCPRing) AllreduceF32(x []float32) error {
 		recvLo, recvHi := chunk(t.rank - s - 1)
 		in, err := t.sendRecv(f32ToBytes(x[sendLo:sendHi]))
 		if err != nil {
-			return err
+			return wrapErr(t.rank, OpAllreduce, step, err)
 		}
 		recv := bytesToF32(in)
 		if len(recv) != recvHi-recvLo {
-			return fmt.Errorf("comm: allreduce chunk size mismatch")
+			return wrapErr(t.rank, OpAllreduce, step, fmt.Errorf("allreduce chunk size mismatch"))
 		}
 		for i, v := range recv {
 			x[recvLo+i] += v
@@ -173,11 +290,11 @@ func (t *TCPRing) AllreduceF32(x []float32) error {
 		recvLo, recvHi := chunk(t.rank - s)
 		in, err := t.sendRecv(f32ToBytes(x[sendLo:sendHi]))
 		if err != nil {
-			return err
+			return wrapErr(t.rank, OpAllreduce, step, err)
 		}
 		recv := bytesToF32(in)
 		if len(recv) != recvHi-recvLo {
-			return fmt.Errorf("comm: allgather chunk size mismatch")
+			return wrapErr(t.rank, OpAllreduce, step, fmt.Errorf("allgather chunk size mismatch"))
 		}
 		copy(x[recvLo:recvHi], recv)
 	}
@@ -186,13 +303,14 @@ func (t *TCPRing) AllreduceF32(x []float32) error {
 
 // AllgatherBytes circulates payloads around the ring for n-1 steps.
 func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
+	step := t.step.Add(1)
 	out := make([][]byte, t.n)
 	out[t.rank] = b
 	cur := b
 	for s := 0; s < t.n-1; s++ {
 		in, err := t.sendRecv(cur)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr(t.rank, OpAllgather, step, err)
 		}
 		origin := ((t.rank-s-1)%t.n + t.n) % t.n
 		out[origin] = in
@@ -203,25 +321,26 @@ func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
 
 // BroadcastBytes forwards root's payload around the ring.
 func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	step := t.step.Add(1)
 	if root < 0 || root >= t.n {
-		return nil, fmt.Errorf("comm: broadcast root %d out of range", root)
+		return nil, wrapErr(t.rank, OpBroadcast, step, fmt.Errorf("broadcast root %d out of range", root))
 	}
 	if t.rank == root {
 		if err := t.sendFrame(b); err != nil {
-			return nil, err
+			return nil, wrapErr(t.rank, OpBroadcast, step, err)
 		}
 		// Absorb the frame completing the loop.
 		if _, err := t.recvFrame(); err != nil {
-			return nil, err
+			return nil, wrapErr(t.rank, OpBroadcast, step, err)
 		}
 		return b, nil
 	}
 	in, err := t.recvFrame()
 	if err != nil {
-		return nil, err
+		return nil, wrapErr(t.rank, OpBroadcast, step, err)
 	}
 	if err := t.sendFrame(in); err != nil {
-		return nil, err
+		return nil, wrapErr(t.rank, OpBroadcast, step, err)
 	}
 	return in, nil
 }
@@ -229,9 +348,10 @@ func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
 // Barrier circulates an empty token twice so that completion implies every
 // worker has entered.
 func (t *TCPRing) Barrier() error {
+	step := t.step.Add(1)
 	for s := 0; s < 2; s++ {
 		if _, err := t.sendRecv(nil); err != nil {
-			return err
+			return wrapErr(t.rank, OpBarrier, step, err)
 		}
 	}
 	return nil

@@ -1,0 +1,206 @@
+package comm
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hostileFrame builds a frame header claiming n body bytes with no body.
+func hostileFrame(n uint32) []byte {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], n)
+	return hdr[:]
+}
+
+// TestReadFrameRejectsOversizedHeader: a corrupt/hostile 4-byte length prefix
+// must be rejected before the body buffer is allocated.
+func TestReadFrameRejectsOversizedHeader(t *testing.T) {
+	for _, claim := range []uint32{1 << 20, 1<<31 - 1, 1<<32 - 1} {
+		r := bufio.NewReader(bytes.NewReader(hostileFrame(claim)))
+		buf, err := readFrame(r, 1<<16)
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("claim %d: err = %v, want ErrFrameTooLarge", claim, err)
+		}
+		if buf != nil {
+			t.Fatalf("claim %d: got a buffer despite rejection", claim)
+		}
+	}
+}
+
+func TestReadFrameRejectionAllocatesNothingLarge(t *testing.T) {
+	payload := hostileFrame(1<<32 - 1)
+	allocs := testing.AllocsPerRun(100, func() {
+		r := bufio.NewReader(bytes.NewReader(payload))
+		_, _ = readFrame(r, 1<<20)
+	})
+	// bufio.Reader + readers dominate; the point is no 4 GiB body buffer.
+	// A handful of small allocations is fine.
+	if allocs > 20 {
+		t.Fatalf("rejection path allocated %v objects per run", allocs)
+	}
+}
+
+func TestReadFrameRoundTrip(t *testing.T) {
+	var stream []byte
+	frames := [][]byte{nil, {1}, bytes.Repeat([]byte{0xCD}, 70000)}
+	for _, f := range frames {
+		stream = appendFrame(stream, f)
+	}
+	r := bufio.NewReader(bytes.NewReader(stream))
+	for i, want := range frames {
+		got, err := readFrame(r, DefaultMaxFrameBytes)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: round trip mismatch (%d vs %d bytes)", i, len(got), len(want))
+		}
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	stream := hostileFrame(100) // claims 100 bytes, delivers 3
+	stream = append(stream, 1, 2, 3)
+	r := bufio.NewReader(bytes.NewReader(stream))
+	if _, err := readFrame(r, 1<<16); err == nil {
+		t.Fatal("expected error for truncated body")
+	}
+}
+
+// TestTCPRingSendRejectsOversizedFrame: the sender side refuses to emit
+// frames beyond the bound instead of poisoning the peer.
+func TestTCPRingSendRejectsOversizedFrame(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	withDeadline(t, 10*time.Second, func() {
+		for rank := 0; rank < 2; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ring, err := DialTCPRingConfig(RingConfig{
+					Rank: rank, Addrs: addrs,
+					SetupTimeout:  5 * time.Second,
+					OpTimeout:     2 * time.Second,
+					MaxFrameBytes: 1 << 10,
+				})
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				defer ring.Close()
+				_, errs[rank] = ring.AllgatherBytes(make([]byte, 1<<12))
+			}(rank)
+		}
+		wg.Wait()
+	})
+	for rank, err := range errs {
+		if !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("rank %d: err = %v, want ErrFrameTooLarge", rank, err)
+		}
+		var ce *Error
+		if !errors.As(err, &ce) || ce.Op != OpAllgather || ce.Step != 1 {
+			t.Fatalf("rank %d: error %v lacks (op, step) coordinates", rank, err)
+		}
+	}
+}
+
+// TestTCPRingOpDeadline: a peer that goes silent mid-collective must surface
+// a timeout error on the healthy rank, not a hang.
+func TestTCPRingOpDeadline(t *testing.T) {
+	addrs := freeAddrs(t, 2)
+	var healthyErr error
+	withDeadline(t, 15*time.Second, func() {
+		var wg sync.WaitGroup
+		release := make(chan struct{})
+		for rank := 0; rank < 2; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ring, err := DialTCPRingConfig(RingConfig{
+					Rank: rank, Addrs: addrs,
+					SetupTimeout: 5 * time.Second,
+					OpTimeout:    200 * time.Millisecond,
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer ring.Close()
+				if rank == 1 {
+					// Silent peer: never enters the collective.
+					<-release
+					return
+				}
+				healthyErr = ring.AllreduceF32(make([]float32, 16))
+				close(release)
+			}(rank)
+		}
+		wg.Wait()
+	})
+	if healthyErr == nil {
+		t.Fatal("allreduce against a silent peer should time out")
+	}
+	var ce *Error
+	if !errors.As(healthyErr, &ce) || ce.Rank != 0 || ce.Op != OpAllreduce {
+		t.Fatalf("error %v lacks typed (rank, op) coordinates", healthyErr)
+	}
+	var ne interface{ Timeout() bool }
+	if !errors.As(healthyErr, &ne) || !ne.Timeout() {
+		t.Fatalf("error %v should be a net timeout", healthyErr)
+	}
+}
+
+// TestTCPRingResetFault: a Faulty-injected connection reset at one rank
+// surfaces typed errors on every rank within the deadline.
+func TestTCPRingResetFault(t *testing.T) {
+	const n = 3
+	addrs := freeAddrs(t, n)
+	errs := make([]error, n)
+	withDeadline(t, 15*time.Second, func() {
+		var wg sync.WaitGroup
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ring, err := DialTCPRingConfig(RingConfig{
+					Rank: rank, Addrs: addrs,
+					SetupTimeout: 5 * time.Second,
+					OpTimeout:    2 * time.Second,
+				})
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				defer ring.Close()
+				w := NewFaulty(ring, Plan{Faults: []Fault{
+					{Kind: FaultReset, Rank: 1, Op: OpAllgather, FromStep: 2},
+				}})
+				for k := 0; k < 5; k++ {
+					if _, err := w.AllgatherBytes([]byte{byte(rank), byte(k)}); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+			}(rank)
+		}
+		wg.Wait()
+	})
+	for rank, err := range errs {
+		if err == nil {
+			t.Fatalf("rank %d: completed despite injected reset", rank)
+		}
+		var ce *Error
+		if !errors.As(err, &ce) {
+			t.Fatalf("rank %d: error %v is not typed", rank, err)
+		}
+	}
+	if !errors.Is(errs[1], ErrInjected) {
+		t.Fatalf("victim error %v should wrap ErrInjected", errs[1])
+	}
+}

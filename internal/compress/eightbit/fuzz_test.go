@@ -1,0 +1,37 @@
+package eightbit
+
+import (
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+// FuzzDecompress feeds the fp8-payload decoder arbitrary bytes: hostile input
+// must yield an error or a correctly-sized vector — never a panic or an
+// allocation driven by a corrupt length prefix.
+func FuzzDecompress(f *testing.F) {
+	info := grace.NewTensorInfo("w", []int{5, 13})
+	r := fxrand.New(5)
+	g := make([]float32, info.Size())
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	if pay, err := (Compressor{}).Compress(g, info); err == nil {
+		f.Add(pay.Bytes)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x80, 0x7F, 0xAA})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		dec, err := (Compressor{}).Decompress(&grace.Payload{Bytes: data}, info)
+		if err != nil {
+			return
+		}
+		if len(dec) != info.Size() {
+			t.Fatalf("decoded %d elements, want %d", len(dec), info.Size())
+		}
+	})
+}

@@ -1,0 +1,52 @@
+package huffcoded
+
+import (
+	"testing"
+
+	_ "repro/internal/compress/qsgd" // registers the inner codec
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+func newHuffQSGD(tb testing.TB) *Compressor {
+	tb.Helper()
+	inner, err := grace.New("qsgd", grace.WithLevels(8), grace.WithSeed(7))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Wrap(inner)
+}
+
+// FuzzDecompress drives the Huffman stage plus the inner quantized decoder
+// with arbitrary bytes: the entropy coder's header fields (symbol count,
+// payload bit count) are fully attacker-controlled, and hostile values must
+// produce an error or a correctly-sized vector — never a panic or a huge
+// allocation.
+func FuzzDecompress(f *testing.F) {
+	info := grace.NewTensorInfo("w", []int{7, 8})
+	seedComp := newHuffQSGD(f)
+	r := fxrand.New(5)
+	g := make([]float32, info.Size())
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	if pay, err := seedComp.Compress(g, info); err == nil {
+		f.Add(pay.Bytes)
+	}
+	f.Add([]byte{})
+	// Hostile header: enormous symbol count, no payload.
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		c := newHuffQSGD(t)
+		dec, err := c.Decompress(&grace.Payload{Bytes: data}, info)
+		if err != nil {
+			return
+		}
+		if len(dec) != info.Size() {
+			t.Fatalf("decoded %d elements, want %d", len(dec), info.Size())
+		}
+	})
+}

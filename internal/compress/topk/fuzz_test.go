@@ -1,0 +1,43 @@
+package topk
+
+import (
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+// FuzzDecompress feeds the sparse-payload decoder arbitrary bytes: hostile
+// input must yield an error or a correctly-sized vector — never a panic or an
+// allocation driven by a corrupt length prefix.
+func FuzzDecompress(f *testing.F) {
+	info := grace.NewTensorInfo("w", []int{9, 7})
+	seedComp := &Compressor{ratio: 0.25}
+	r := fxrand.New(5)
+	g := make([]float32, info.Size())
+	for i := range g {
+		g[i] = r.NormFloat32()
+	}
+	if pay, err := seedComp.Compress(g, info); err == nil {
+		f.Add(pay.Bytes)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			t.Skip()
+		}
+		c := &Compressor{ratio: 0.25}
+		dec, err := c.Decompress(&grace.Payload{Bytes: data}, info)
+		if err != nil {
+			return
+		}
+		if len(dec) != info.Size() {
+			t.Fatalf("decoded %d elements, want %d", len(dec), info.Size())
+		}
+		dst := make([]float32, info.Size())
+		if err := c.DecompressInto(&grace.Payload{Bytes: data}, info, dst); err != nil {
+			t.Fatalf("Decompress accepted what DecompressInto rejected: %v", err)
+		}
+	})
+}

@@ -89,6 +89,12 @@ func (r *Reader) take(n int) []byte {
 	if r.err != nil {
 		return nil
 	}
+	if n < 0 {
+		// A negative count means an upstream length computation overflowed
+		// on hostile input; fail instead of slicing with a negative index.
+		r.err = fmt.Errorf("encode: negative read of %d bytes", n)
+		return nil
+	}
 	if r.off+n > len(r.buf) {
 		r.err = fmt.Errorf("encode: buffer underflow: need %d bytes at offset %d of %d", n, r.off, len(r.buf))
 		return nil
@@ -171,7 +177,9 @@ func (r *Reader) F32Slice() []float32 {
 	if r.err != nil {
 		return nil
 	}
-	if uint64(r.Remaining()) < n*4 {
+	if n > uint64(r.Remaining())/4 {
+		// Compare divided, not multiplied: n*4 can wrap uint64 on a hostile
+		// length prefix and sneak past the bound into a huge allocation.
 		r.err = fmt.Errorf("encode: F32Slice length %d exceeds remaining %d bytes", n, r.Remaining())
 		return nil
 	}

@@ -59,6 +59,17 @@ func HuffmanDecode(src []byte) ([]byte, error) {
 	if r.Err() != nil {
 		return nil, r.Err()
 	}
+	// Bound the attacker-controlled sizes before allocating anything: the
+	// packed payload cannot hold more bits than the remaining bytes, and
+	// every decoded symbol costs at least one bit, so a symbol count beyond
+	// totalBits is unsatisfiable. Without these checks a corrupt header
+	// drives a near-unbounded allocation (or a negative Raw count) below.
+	if totalBits > uint64(r.Remaining())*8 {
+		return nil, fmt.Errorf("encode: huffman payload claims %d bits, %d available", totalBits, uint64(r.Remaining())*8)
+	}
+	if n > totalBits {
+		return nil, fmt.Errorf("encode: huffman claims %d symbols in %d payload bits", n, totalBits)
+	}
 	payload := r.Raw(int((totalBits + 7) / 8))
 	if r.Err() != nil {
 		return nil, r.Err()

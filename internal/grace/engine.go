@@ -32,10 +32,11 @@ import (
 // An Engine belongs to one worker; Step must not be called concurrently.
 // The returned gradients and report are valid until the next Step call.
 type Engine struct {
-	coll  comm.Collective
-	mem   *Memory
-	lanes []*engineLane
-	n     float32 // worker count
+	coll     comm.Collective
+	mem      *Memory
+	lanes    []*engineLane
+	n        float32 // worker count
+	fallback bool    // DecodeFallback: recover decode failures via raw resend
 
 	// ready carries tensor indices from lanes to the comm driver as their
 	// payloads become available; buffered to len(infos) so lanes never block.
@@ -51,6 +52,7 @@ type Engine struct {
 	summed  [][]float32
 	gsz     [][]int // persistent GatherSizes backing store
 	have    []bool  // driver-side arrival tracking
+	failed  []bool  // recoverable per-tensor decode failures (DecodeFallback)
 	rep     StepReport
 
 	errMu    sync.Mutex
@@ -84,6 +86,16 @@ type EngineConfig struct {
 	// Parallelism bounds the codec lane count; 0 selects GOMAXPROCS. It is
 	// ignored (forced to 1) when New is nil.
 	Parallelism int
+	// DecodeFallback enables graceful degradation for decode failures: when a
+	// payload fails to decompress or aggregate (e.g. corrupted on the wire),
+	// the step is not poisoned. Instead, after the normal exchange, workers
+	// allgather a small per-tensor failure bitmask, take its union, and
+	// re-exchange every affected tensor uncompressed — the NoneCompressor
+	// path: one AllreduceF32 of the compensated gradient, averaged — so a
+	// corrupt payload costs one step of compression savings instead of the
+	// run. The flag must be set identically on every worker (it changes the
+	// collective sequence); transport and compress errors remain fatal.
+	DecodeFallback bool
 }
 
 // StrategyStats is the per-strategy slice of a step's exchange volume.
@@ -112,6 +124,14 @@ type StepReport struct {
 	// ByStrategy breaks the step down per communication strategy, indexed
 	// by Strategy (Allgather, Allreduce, Custom).
 	ByStrategy [3]StrategyStats
+	// Faults counts tensors whose payloads failed to decode on this worker
+	// this step (only populated under EngineConfig.DecodeFallback; without
+	// it the first such failure is fatal).
+	Faults int
+	// Fallbacks counts tensors re-exchanged uncompressed by the recovery
+	// round — the union of all workers' faults, so it is identical on every
+	// rank and ≥ this worker's own Faults.
+	Fallbacks int
 }
 
 // NewEngine builds an Engine. All lane compressors must agree on method name
@@ -140,7 +160,7 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("grace: engine needs a compressor (Comp) or factory (New)")
 	}
 	first := comps[0]
-	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size())}
+	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size()), fallback: cfg.DecodeFallback}
 	for i, c := range comps {
 		if c.Name() != first.Name() || c.Strategy() != first.Strategy() {
 			return nil, fmt.Errorf("grace: engine lanes disagree: lane 0 is %s/%v, lane %d is %s/%v",
@@ -166,9 +186,14 @@ func (e *Engine) Lanes() int { return len(e.lanes) }
 // coherent, and what guarantees every worker issues the same collective
 // sequence.
 //
-// On error the collective group must be considered poisoned, exactly as with
-// Pipeline.Exchange: peers blocked in a collective this worker never entered
-// will not recover.
+// Failures surface as a structured *StepError pinning the tensor and phase,
+// with the underlying cause (including any typed *comm.Error) reachable via
+// errors.Is/As. On error the collective group must be considered poisoned,
+// exactly as with Pipeline.Exchange: peers blocked in a collective this
+// worker never entered will not recover (substrates with group abort — the
+// in-process Hub — fail those peers with comm.ErrAborted instead of hanging).
+// With EngineConfig.DecodeFallback, decode failures are downgraded from fatal
+// to a per-tensor recovery: see the config field for the protocol.
 func (e *Engine) Step(grads [][]float32, infos []TensorInfo) ([][]float32, *StepReport, error) {
 	start := time.Now()
 	if len(grads) != len(infos) {
@@ -243,6 +268,11 @@ driver:
 	if err := e.err(); err != nil {
 		return nil, nil, err
 	}
+	if e.fallback {
+		if err := e.recoverStep(infos); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	for i := range e.rep.Tensors {
 		st := &e.rep.Tensors[i]
@@ -251,6 +281,10 @@ driver:
 		bs := &e.rep.ByStrategy[st.Strategy]
 		bs.Tensors++
 		bs.SentBytes += st.SentBytes
+	}
+	if e.fallback {
+		// The recovery round's failure bitmask is wire volume too.
+		e.rep.SentBytes += (m + 7) / 8
 	}
 	e.rep.WallTime = time.Since(start)
 	return e.out, &e.rep, nil
@@ -281,7 +315,8 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 
 	pay, err := ln.comp.Compress(comp, info)
 	if err != nil {
-		e.setErr(fmt.Errorf("grace: %s compress %s: %w", ln.comp.Name(), info.Name, err))
+		e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
+			Err: fmt.Errorf("%s: %w", ln.comp.Name(), err)})
 		return
 	}
 	e.pays[i] = pay
@@ -293,14 +328,16 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 		if ln.caps.Into != nil {
 			scratch := ln.scratch[:info.Size()]
 			if err := ln.caps.Into.DecompressInto(pay, info, scratch); err != nil {
-				e.setErr(fmt.Errorf("grace: %s local decompress: %w", ln.comp.Name(), err))
+				e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
+					Err: fmt.Errorf("%s local decompress: %w", ln.comp.Name(), err)})
 				return
 			}
 			e.mem.Update(info.Name, comp, scratch)
 		} else {
 			approx, err := ln.comp.Decompress(pay, info)
 			if err != nil {
-				e.setErr(fmt.Errorf("grace: %s local decompress: %w", ln.comp.Name(), err))
+				e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
+					Err: fmt.Errorf("%s local decompress: %w", ln.comp.Name(), err)})
 				return
 			}
 			e.mem.Update(info.Name, comp, approx)
@@ -318,7 +355,8 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 	case Custom:
 		agg, sent, err := ln.caps.Custom.CommunicateAggregate(e.compVec[i], info, e.coll)
 		if err != nil {
-			return fmt.Errorf("grace: %s custom comm: %w", ln.comp.Name(), err)
+			return &StepError{Tensor: i, Name: info.Name, Phase: "custom",
+				Err: fmt.Errorf("%s: %w", ln.comp.Name(), err)}
 		}
 		st.SentBytes = sent
 		if e.mem != nil {
@@ -337,7 +375,8 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 		summed := getF32(len(pay.Dense))
 		copy(summed, pay.Dense)
 		if err := e.coll.AllreduceF32(summed); err != nil {
-			return fmt.Errorf("grace: allreduce: %w", err)
+			putF32(summed)
+			return &StepError{Tensor: i, Name: info.Name, Phase: "collective", Err: err}
 		}
 		e.summed[i] = summed
 		ln.dec <- i
@@ -350,7 +389,7 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 		}
 		all, err := e.coll.AllgatherBytes(pay.Bytes)
 		if err != nil {
-			return fmt.Errorf("grace: allgather: %w", err)
+			return &StepError{Tensor: i, Name: info.Name, Phase: "collective", Err: err}
 		}
 		e.gathers[i] = all
 		ln.dec <- i
@@ -376,14 +415,16 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 		e.summed[i] = nil
 		if ln.caps.Into != nil {
 			if err := ln.caps.Into.DecompressInto(&Payload{Dense: summed}, info, e.out[i]); err != nil {
-				e.setErr(fmt.Errorf("grace: %s decompress sum: %w", ln.comp.Name(), err))
+				putF32(summed)
+				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
 				return
 			}
 			scale(e.out[i], 1/e.n)
 		} else {
 			agg, err := ln.comp.Decompress(&Payload{Dense: summed}, info)
 			if err != nil {
-				e.setErr(fmt.Errorf("grace: %s decompress sum: %w", ln.comp.Name(), err))
+				putF32(summed)
+				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
 				return
 			}
 			scale(agg, 1/e.n)
@@ -400,11 +441,76 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 		}
 		st.GatherSizes = sizes
 		if err := decodeAggregate(ln.comp, ln.caps, all, info, e.out[i], e.n); err != nil {
-			e.setErr(err)
+			e.failTensor(i, info, err)
 			return
 		}
 	}
 	st.CodecTime += time.Since(t0)
+}
+
+// failTensor handles a decode failure for tensor i: under DecodeFallback it
+// is recoverable — marked for the recovery round and survived — otherwise it
+// poisons the step. failed[i] is only ever touched by the lane owning tensor
+// i during the exchange and by the driver after wg.Wait, so plain writes are
+// race-free.
+func (e *Engine) failTensor(i int, info TensorInfo, err error) {
+	if e.fallback {
+		e.failed[i] = true
+		return
+	}
+	e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "decode", Err: err})
+}
+
+// recoverStep is the deterministic graceful-degradation round run when
+// DecodeFallback is enabled. Workers allgather a per-tensor failure bitmask
+// and take its union, so every rank agrees on which tensors to salvage even
+// when only some ranks observed the bad payload; each affected tensor is then
+// re-exchanged uncompressed — the NoneCompressor path: AllreduceF32 of the
+// compensated gradient, averaged — in ascending order. Every worker issues
+// the identical collective sequence, preserving the lockstep contract, and a
+// corrupt payload costs one step of compression savings instead of the run.
+func (e *Engine) recoverStep(infos []TensorInfo) error {
+	m := len(infos)
+	mask := make([]byte, (m+7)/8)
+	for i, bad := range e.failed {
+		if bad {
+			mask[i/8] |= 1 << (i % 8)
+			e.rep.Faults++
+		}
+	}
+	all, err := e.coll.AllgatherBytes(mask)
+	if err != nil {
+		return &StepError{Tensor: -1, Phase: "recovery", Err: err}
+	}
+	union := make([]byte, len(mask))
+	for _, b := range all {
+		if len(b) != len(mask) {
+			return &StepError{Tensor: -1, Phase: "recovery",
+				Err: fmt.Errorf("fault mask length mismatch: %d vs %d bytes", len(b), len(mask))}
+		}
+		for j := range union {
+			union[j] |= b[j]
+		}
+	}
+	for i := 0; i < m; i++ {
+		if union[i/8]&(1<<(i%8)) == 0 {
+			continue
+		}
+		if e.out[i] == nil || e.compVec[i] == nil {
+			// Custom-strategy tensors own their aggregation and never mark
+			// failures; a peer claiming one is a protocol violation.
+			return &StepError{Tensor: i, Name: infos[i].Name, Phase: "recovery",
+				Err: fmt.Errorf("tensor is not recoverable")}
+		}
+		copy(e.out[i], e.compVec[i])
+		if err := e.coll.AllreduceF32(e.out[i]); err != nil {
+			return &StepError{Tensor: i, Name: infos[i].Name, Phase: "recovery", Err: err}
+		}
+		scale(e.out[i], 1/e.n)
+		e.rep.Fallbacks++
+		e.rep.Tensors[i].SentBytes += len(e.out[i]) * 4
+	}
+	return nil
 }
 
 // ensure sizes the engine's step-scoped state for the given tensor set,
@@ -432,6 +538,7 @@ func (e *Engine) ensure(infos []TensorInfo) {
 		e.summed = make([][]float32, m)
 		e.gsz = make([][]int, m)
 		e.have = make([]bool, m)
+		e.failed = make([]bool, m)
 		e.rep.Tensors = make([]StepStats, m)
 		laneMax := make([]int, p)
 		for i, info := range infos {
@@ -470,9 +577,12 @@ func (e *Engine) ensure(infos []TensorInfo) {
 	e.rep.CodecTime = 0
 	e.rep.WallTime = 0
 	e.rep.ByStrategy = [3]StrategyStats{}
+	e.rep.Faults = 0
+	e.rep.Fallbacks = 0
 	for i := 0; i < m; i++ {
 		e.rep.Tensors[i] = StepStats{}
 		e.have[i] = false
+		e.failed[i] = false
 		e.pays[i] = nil
 		e.compVec[i] = nil
 		e.gathers[i] = nil

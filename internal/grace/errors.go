@@ -1,0 +1,34 @@
+package grace
+
+import "fmt"
+
+// StepError is the structured failure surfaced by Engine.Step: it pins the
+// failure to a tensor (by input index and name) and to the phase of
+// Algorithm 1 that broke, while Unwrap preserves the underlying cause so
+// errors.Is/As still reach transport sentinels like comm.ErrAborted or a
+// typed *comm.Error with (rank, op, step) coordinates.
+type StepError struct {
+	// Tensor is the input index of the failing tensor, or -1 when the error
+	// is not tensor-scoped (e.g. the recovery round's mask exchange).
+	Tensor int
+	// Name is the failing tensor's TensorInfo.Name ("" when Tensor is -1).
+	Name string
+	// Phase is where the step broke: "compress" (pre-wire codec work),
+	// "collective" (the transport), "custom" (a CustomComm compressor's own
+	// communication), "decode" (post-wire codec work), or "recovery" (the
+	// DecodeFallback round).
+	Phase string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error formats the step coordinates and cause.
+func (e *StepError) Error() string {
+	if e.Tensor < 0 {
+		return fmt.Sprintf("grace: step failed in %s phase: %v", e.Phase, e.Err)
+	}
+	return fmt.Sprintf("grace: tensor %d (%s) failed in %s phase: %v", e.Tensor, e.Name, e.Phase, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *StepError) Unwrap() error { return e.Err }

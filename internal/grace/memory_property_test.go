@@ -1,0 +1,110 @@
+package grace_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	_ "repro/internal/compress/all"
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+// TestMemoryTelescopingProperty checks the defining invariant of error
+// feedback (Eq. 4 with β = γ = 1): the residual memory is exactly the
+// information the codec has dropped so far, so over any run
+//
+//	Σ_t approx_t + residual_T = Σ_t g_t
+//
+// up to float32 rounding — regardless of how lossy the compressor is. The
+// property is exercised over randomized multi-step runs for a spread of codec
+// families (sparsification, quantization, threshold methods).
+func TestMemoryTelescopingProperty(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []grace.Option
+	}{
+		{"topk", []grace.Option{grace.WithRatio(0.25)}},
+		{"randomk", []grace.Option{grace.WithRatio(0.25), grace.WithSeed(11)}},
+		{"qsgd", []grace.Option{grace.WithLevels(8), grace.WithSeed(11)}},
+		{"eightbit", nil},
+		{"thresholdv", []grace.Option{grace.WithThreshold(0.05)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 3; trial++ {
+				c, err := grace.New(tc.name, tc.opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := fxrand.New(uint64(trial)*977 + 13)
+				shape := []int{5 + trial, 17}
+				info := grace.NewTensorInfo(fmt.Sprintf("w%d", trial), shape)
+				d := info.Size()
+				mem := grace.NewMemory(1, 1)
+
+				steps := 8 + 4*trial
+				sumG := make([]float64, d)
+				sumA := make([]float64, d)
+				var lastComp, lastApprox []float32
+				for step := 0; step < steps; step++ {
+					g := make([]float32, d)
+					for i := range g {
+						g[i] = rng.NormFloat32() * 0.1
+					}
+					comp := mem.Compensate(info.Name, g)
+					pay, err := c.Compress(comp, info)
+					if err != nil {
+						t.Fatalf("step %d compress: %v", step, err)
+					}
+					approx, err := c.Decompress(pay, info)
+					if err != nil {
+						t.Fatalf("step %d decompress: %v", step, err)
+					}
+					if len(approx) != d {
+						t.Fatalf("step %d: approx has %d elements, want %d", step, len(approx), d)
+					}
+					mem.Update(info.Name, comp, approx)
+					for i := range g {
+						sumG[i] += float64(g[i])
+						sumA[i] += float64(approx[i])
+					}
+					lastComp, lastApprox = comp, approx
+				}
+
+				// residual_T = comp_T − approx_T, by definition of Update.
+				for i := 0; i < d; i++ {
+					residual := float64(lastComp[i]) - float64(lastApprox[i])
+					got := sumA[i] + residual
+					tol := 1e-3 * math.Max(1, math.Abs(sumG[i]))
+					if math.Abs(got-sumG[i]) > tol {
+						t.Fatalf("trial %d elem %d: Σapprox+residual = %v, Σg = %v (diff %v)",
+							trial, i, got, sumG[i], got-sumG[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMemoryDecayWeights checks the generalized form φ(m,g) = β·m + γ·g used
+// by methods like DGC-style momentum-corrected feedback.
+func TestMemoryDecayWeights(t *testing.T) {
+	mem := grace.NewMemory(0.5, 2)
+	g := []float32{1, -2, 4}
+	c1 := mem.Compensate("w", g)
+	for i, v := range g {
+		if c1[i] != 2*v {
+			t.Fatalf("first compensate elem %d = %v, want %v", i, c1[i], 2*v)
+		}
+	}
+	// Drop everything: residual becomes the full compensated vector.
+	mem.Update("w", c1, make([]float32, len(g)))
+	c2 := mem.Compensate("w", g)
+	for i, v := range g {
+		want := float32(0.5)*c1[i] + 2*v
+		if c2[i] != want {
+			t.Fatalf("second compensate elem %d = %v, want %v", i, c2[i], want)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+// ChaosScenario is one fault-injection experiment: a comm.Plan applied to
+// every worker's collective handle, plus the expected outcome.
+type ChaosScenario struct {
+	Name string
+	Plan comm.Plan
+	// DecodeFallback enables the Engine's graceful decode recovery.
+	DecodeFallback bool
+	// ExpectError marks scenarios whose faults are fatal by design (drop,
+	// reset): the scenario passes when every rank surfaces a typed error
+	// within the timeout, rather than when the run completes.
+	ExpectError bool
+}
+
+// ChaosConfig describes a chaos sweep: a synthetic multi-tensor exchange
+// workload (no model, no optimizer — just the Engine over a fault-injected
+// hub) run once per scenario.
+type ChaosConfig struct {
+	Workers   int
+	Tensors   int
+	Steps     int
+	Method    string
+	Opts      grace.Options
+	Timeout   time.Duration
+	Scenarios []ChaosScenario
+}
+
+// ChaosResult is one scenario's verdict.
+type ChaosResult struct {
+	Scenario string
+	// Pass is the scenario-level verdict: completed cleanly when expected
+	// to, or produced typed errors everywhere when a fatal fault was
+	// injected — and never hung.
+	Pass bool
+	// Hung reports that the watchdog fired; the group was aborted to
+	// reclaim the workers.
+	Hung    bool
+	Elapsed time.Duration
+	// Injected counts the faults the plan actually fired, across ranks.
+	Injected int64
+	// Faults / Fallbacks sum the Engines' decode-fault and recovery
+	// counters across ranks and steps.
+	Faults    int
+	Fallbacks int
+	// Errs holds each rank's first error (nil entries for clean ranks).
+	Errs []error
+	// Detail explains a failed verdict.
+	Detail string
+}
+
+// DefaultChaos is the standard chaos battery: benign latency faults that must
+// not change results, a corruption scenario that must degrade gracefully
+// under DecodeFallback, and fatal drop/reset scenarios that must surface
+// typed errors on every rank instead of deadlocking.
+func DefaultChaos(workers int, seed uint64) ChaosConfig {
+	if workers < 3 {
+		workers = 3
+	}
+	return ChaosConfig{
+		Workers: workers,
+		Tensors: 6,
+		Steps:   6,
+		Method:  "topk",
+		Opts:    grace.Options{Ratio: 0.25},
+		Timeout: 30 * time.Second,
+		Scenarios: []ChaosScenario{
+			{Name: "clean", Plan: comm.Plan{Seed: seed}},
+			{Name: "delay", Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+				{Kind: comm.FaultDelay, Rank: 0, Op: comm.OpAllgather, Prob: 0.5, Delay: 200 * time.Microsecond},
+			}}},
+			{Name: "stall", Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+				{Kind: comm.FaultStall, Rank: 1, Prob: 0.5, Delay: 200 * time.Microsecond},
+			}}},
+			{Name: "corrupt+fallback", DecodeFallback: true, Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+				{Kind: comm.FaultCorrupt, Rank: 0, Op: comm.OpAllgather, Prob: 0.5},
+			}}},
+			{Name: "drop", ExpectError: true, Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+				{Kind: comm.FaultDrop, Rank: 1, Op: comm.OpAllgather, FromStep: 8},
+			}}},
+			{Name: "reset", ExpectError: true, Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+				{Kind: comm.FaultReset, Rank: 2, Op: comm.OpAllgather, FromStep: 14},
+			}}},
+		},
+	}
+}
+
+// RunChaos executes every scenario and returns one result per scenario. A
+// watchdog aborts the collective group if a scenario exceeds cfg.Timeout, so
+// a deadlock becomes a failed (Hung) result instead of a stuck process.
+func RunChaos(cfg ChaosConfig) []ChaosResult {
+	results := make([]ChaosResult, 0, len(cfg.Scenarios))
+	for _, sc := range cfg.Scenarios {
+		results = append(results, runChaosScenario(cfg, sc))
+	}
+	return results
+}
+
+func runChaosScenario(cfg ChaosConfig, sc ChaosScenario) ChaosResult {
+	res := ChaosResult{Scenario: sc.Name, Errs: make([]error, cfg.Workers)}
+	infos := chaosInfos(cfg.Tensors)
+	hub := comm.NewHub(cfg.Workers)
+	faulties := make([]*comm.Faulty, cfg.Workers)
+	var faultSum, fallbackSum int
+
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for rank := 0; rank < cfg.Workers; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				fy := comm.NewFaulty(hub.Worker(rank), sc.Plan)
+				faulties[rank] = fy
+				eng, err := grace.NewEngine(grace.EngineConfig{
+					Coll: fy,
+					New: func() (grace.Compressor, error) {
+						return grace.New(cfg.Method, cfg.Opts)
+					},
+					Parallelism:    2,
+					DecodeFallback: sc.DecodeFallback,
+				})
+				if err != nil {
+					res.Errs[rank] = err
+					return
+				}
+				for step := 0; step < cfg.Steps; step++ {
+					_, rep, err := eng.Step(chaosGrads(rank, step, infos), infos)
+					if err != nil {
+						res.Errs[rank] = err
+						return
+					}
+					mu.Lock()
+					faultSum += rep.Faults
+					fallbackSum += rep.Fallbacks
+					mu.Unlock()
+				}
+			}(rank)
+		}
+		wg.Wait()
+	}()
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		res.Hung = true
+		// Reclaim the blocked workers so the sweep can continue.
+		hub.Abort(fmt.Errorf("chaos watchdog: scenario %q exceeded %v", sc.Name, timeout))
+		<-done
+	}
+	res.Elapsed = time.Since(start)
+	res.Faults = faultSum
+	res.Fallbacks = fallbackSum
+	for _, fy := range faulties {
+		if fy != nil {
+			res.Injected += fy.Counts().Total()
+		}
+	}
+	res.Pass, res.Detail = chaosVerdict(sc, &res)
+	return res
+}
+
+// chaosVerdict applies the scenario's expectation to what happened.
+func chaosVerdict(sc ChaosScenario, res *ChaosResult) (bool, string) {
+	if res.Hung {
+		return false, "deadlock: watchdog aborted the group"
+	}
+	if !sc.ExpectError {
+		for rank, err := range res.Errs {
+			if err != nil {
+				return false, fmt.Sprintf("rank %d failed: %v", rank, err)
+			}
+		}
+		return true, ""
+	}
+	for rank, err := range res.Errs {
+		if err == nil {
+			return false, fmt.Sprintf("rank %d completed despite a fatal fault", rank)
+		}
+		var se *grace.StepError
+		var ce *comm.Error
+		if !errors.As(err, &se) && !errors.As(err, &ce) {
+			return false, fmt.Sprintf("rank %d error is untyped: %v", rank, err)
+		}
+	}
+	return true, ""
+}
+
+// chaosInfos builds the synthetic tensor set: alternating matrices and
+// vectors, as in the engine tests.
+func chaosInfos(m int) []grace.TensorInfo {
+	infos := make([]grace.TensorInfo, m)
+	for i := range infos {
+		shape := []int{16, 8}
+		if i%2 == 1 {
+			shape = []int{23}
+		}
+		infos[i] = grace.NewTensorInfo(fmt.Sprintf("chaos%d", i), shape)
+	}
+	return infos
+}
+
+func chaosGrads(rank, step int, infos []grace.TensorInfo) [][]float32 {
+	r := fxrand.New(uint64(rank)*7919 + uint64(step) + 1)
+	out := make([][]float32, len(infos))
+	for i, info := range infos {
+		g := make([]float32, info.Size())
+		for j := range g {
+			g[j] = r.NormFloat32() * 0.1
+		}
+		out[i] = g
+	}
+	return out
+}
