@@ -32,3 +32,4 @@ fuzz:
 	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/qsgd
 	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/eightbit
 	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/huffcoded
+	go test -run xxx -fuzz FuzzCheckpointDecode -fuzztime $(FUZZTIME) ./internal/ckpt

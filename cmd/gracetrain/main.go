@@ -131,6 +131,51 @@ func runChaos(workers int, seed uint64) {
 	if failed > 0 {
 		fatal(fmt.Errorf("%d chaos scenario(s) failed", failed))
 	}
+	runRecoveryScenarios()
+}
+
+// runRecoveryScenarios executes the supervised kill/restart battery: one
+// worker dies mid-run, the group rolls back to the newest common checkpoint,
+// and the recovered finals must match an uninterrupted run bit for bit — on
+// both the in-process hub and a real heartbeat-enabled TCP ring, for a
+// stateless codec with framework error feedback and a codec with internal
+// state.
+func runRecoveryScenarios() {
+	fmt.Printf("\nrecovery scenarios: kill one rank mid-run, restart from the newest common checkpoint\n")
+	fmt.Printf("%-14s %-6s %-12s %-8s\n", "scenario", "pass", "resume-step", "elapsed")
+	failed := 0
+	for _, sc := range []struct {
+		transport, method string
+		mem               bool
+	}{
+		{harness.TransportHub, "topk", true},
+		{harness.TransportHub, "dgc", false},
+		{harness.TransportTCP, "topk", true},
+		{harness.TransportTCP, "dgc", false},
+	} {
+		name := sc.transport + "/" + sc.method
+		dir, err := os.MkdirTemp("", "grace-recovery-*")
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		res, err := harness.RunRecovery(harness.DefaultRecovery(sc.transport, sc.method, sc.mem, dir))
+		elapsed := time.Since(start).Round(time.Millisecond)
+		os.RemoveAll(dir)
+		switch {
+		case err != nil:
+			failed++
+			fmt.Printf("%-14s %-6s %-12s %-8s\n    %v\n", name, "FAIL", "-", elapsed, err)
+		case !res.Match:
+			failed++
+			fmt.Printf("%-14s %-6s %-12d %-8s\n    %s\n", name, "FAIL", res.ResumeStep, elapsed, res.Detail)
+		default:
+			fmt.Printf("%-14s %-6s %-12d %-8s\n", name, "ok", res.ResumeStep, elapsed)
+		}
+	}
+	if failed > 0 {
+		fatal(fmt.Errorf("%d recovery scenario(s) failed", failed))
+	}
 }
 
 func fatal(err error) {

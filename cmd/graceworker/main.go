@@ -7,15 +7,24 @@
 //
 // Every process builds the same synthetic dataset and model from the shared
 // seed, so replicas agree exactly as the in-process trainer's do.
+//
+// With -checkpoint-dir/-checkpoint-every each rank snapshots its full
+// training state crash-consistently; after a crash, relaunching every rank
+// with -resume rolls the whole group back to the newest checkpoint all ranks
+// hold and continues bitwise-identically. -heartbeat enables the ring's
+// liveness layer so a dead peer fails collectives in a few intervals instead
+// of a long stall timeout.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/ckpt"
 	"repro/internal/comm"
 	_ "repro/internal/compress/all"
 	"repro/internal/grace"
@@ -42,6 +51,10 @@ func main() {
 		maxframe  = flag.Int("maxframe", comm.DefaultMaxFrameBytes, "largest accepted wire frame in bytes")
 		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. 'drop:rank=1,op=allgather,from=10' (see comm.ParsePlan)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for probabilistic fault rules")
+		heartbeat = flag.Duration("heartbeat", 0, "liveness ping interval; >0 makes a dead neighbor fail collectives within 3 intervals (all ranks must agree)")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for crash-consistent per-rank checkpoints")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every N optimizer steps (0 = final only)")
+		resume    = flag.Bool("resume", false, "resume from the newest checkpoint step every rank can load (negotiated over the ring)")
 	)
 	flag.Parse()
 
@@ -61,12 +74,17 @@ func main() {
 		fatal(err)
 	}
 
+	if *resume && *ckptDir == "" {
+		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+
 	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
 		Rank:          *rank,
 		Addrs:         addrs,
 		SetupTimeout:  *timeout,
 		OpTimeout:     *optimeout,
 		MaxFrameBytes: *maxframe,
+		Heartbeat:     *heartbeat,
 	})
 	if err != nil {
 		fatal(fmt.Errorf("ring setup: %w", err))
@@ -115,6 +133,38 @@ func main() {
 		cfg.Eval = b.NewEval()
 	}
 
+	// Crash-consistent checkpointing. Each rank snapshots its own full state;
+	// on -resume the ranks negotiate the newest step they ALL hold (dirs may
+	// live on different machines, and a crash can leave the victim an
+	// interval behind), so every replica rolls back to the same point.
+	if *ckptDir != "" {
+		d, err := ckpt.OpenDir(*ckptDir, *rank)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Checkpoint = &grace.CheckpointConfig{
+			Every: *ckptEvery,
+			Final: true,
+			Save:  d.SaveStep,
+		}
+		if *resume {
+			step, err := negotiateResume(ring, d)
+			if err != nil {
+				fatal(fmt.Errorf("resume negotiation: %w", err))
+			}
+			if step < 0 {
+				fmt.Printf("rank %d: no common checkpoint, starting fresh\n", *rank)
+			} else {
+				s, err := ckpt.Load(d.Path(step))
+				if err != nil {
+					fatal(err)
+				}
+				cfg.Checkpoint.Resume = s
+				fmt.Printf("rank %d: resuming from step %d\n", *rank, step)
+			}
+		}
+	}
+
 	rep, err := grace.RunWorker(cfg, *rank, coll, simnet.NewCluster(link, workers))
 	if err != nil {
 		fatal(err)
@@ -129,6 +179,46 @@ func main() {
 	} else {
 		fmt.Printf("rank %d finished %d iterations (%.0f bytes/iter)\n", *rank, rep.Iters, rep.BytesPerIter)
 	}
+}
+
+// negotiateResume allgathers every rank's loadable checkpoint steps over the
+// ring and returns the newest step present on all ranks, or -1 when the
+// intersection is empty.
+func negotiateResume(ring *comm.TCPRing, d *ckpt.Dir) (int64, error) {
+	steps, err := d.Steps()
+	if err != nil {
+		return -1, err
+	}
+	var mine []string
+	for _, step := range steps {
+		if _, err := ckpt.Load(d.Path(step)); err == nil {
+			mine = append(mine, strconv.FormatInt(step, 10))
+		}
+	}
+	gathered, err := ring.AllgatherBytes([]byte(strings.Join(mine, ",")))
+	if err != nil {
+		return -1, err
+	}
+	counts := map[int64]int{}
+	for _, b := range gathered {
+		if len(b) == 0 {
+			continue
+		}
+		for _, f := range strings.Split(string(b), ",") {
+			step, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return -1, fmt.Errorf("malformed step list %q from a peer", b)
+			}
+			counts[step]++
+		}
+	}
+	common := int64(-1)
+	for step, n := range counts {
+		if n == ring.Size() && step > common {
+			common = step
+		}
+	}
+	return common, nil
 }
 
 func scaledEpochs(b harness.Benchmark, scale float64) int {

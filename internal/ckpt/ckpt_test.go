@@ -1,0 +1,307 @@
+package ckpt
+
+import (
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+	"repro/internal/optim"
+)
+
+func sampleSnapshot() *Snapshot {
+	return &Snapshot{
+		Step:      42,
+		Epoch:     3,
+		Iter:      7,
+		SinceSync: 2,
+		Seed:      0xdeadbeef,
+		Rank:      1,
+		Workers:   4,
+		Method:    "dgc",
+		Params: []Tensor{
+			{Name: "w0", Shape: []int{2, 3}, Data: []float32{1, 2, 3, 4, 5, 6}},
+			{Name: "b0", Shape: []int{3}, Data: []float32{-0.5, 0, 0.5}},
+		},
+		SyncPoint: []Tensor{
+			{Name: "w0", Shape: []int{2, 3}, Data: []float32{1, 1, 1, 1, 1, 1}},
+			{Name: "b0", Shape: []int{3}, Data: []float32{0, 0, 0}},
+		},
+		Opt: optim.State{
+			Name: "momentum-sgd",
+			Step: 42,
+			Slots: []optim.Slot{
+				{Name: "velocity", Data: [][]float32{{6, 5, 4, 3, 2, 1}, nil}},
+			},
+		},
+		Memory: map[string][]float32{
+			"w0": {0.1, 0.2, 0.3, 0.4, 0.5, 0.6},
+			"b0": {-1, -2, -3},
+		},
+		Codec: grace.EngineCodecState{
+			Method: "dgc",
+			Tensors: map[string]map[string][]float32{
+				"u": {"w0": {9, 8, 7, 6, 5, 4}},
+				"v": {"w0": {1, 0, 1, 0, 1, 0}},
+			},
+			LaneRNGs: []fxrand.State{
+				{Word: 12345, HasSpare: true, Spare: -0.25},
+				{Word: 67890},
+			},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	want := sampleSnapshot()
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeDecodeMinimal(t *testing.T) {
+	want := &Snapshot{Method: "topk", Opt: optim.State{Name: "sgd"}}
+	got, err := Decode(Encode(want))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("minimal round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	a, b := Encode(sampleSnapshot()), Encode(sampleSnapshot())
+	if string(a) != string(b) {
+		t.Fatal("two encodings of the same snapshot differ (map-order leak)")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid := Encode(sampleSnapshot())
+	cases := map[string][]byte{
+		"empty":         {},
+		"short":         valid[:8],
+		"bad-magic":     append([]byte("JUNK"), valid[4:]...),
+		"truncated":     valid[:len(valid)-5],
+		"no-body":       valid[:8],
+		"extra-byte":    append(append([]byte(nil), valid...), 0),
+		"missing-crc":   valid[:len(valid)-4],
+		"version-burst": func() []byte { b := append([]byte(nil), valid...); b[4] = 0xff; return b }(),
+	}
+	// Flip a byte in the middle of the body.
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	cases["bit-flip"] = flipped
+
+	for name, b := range cases {
+		if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+// TestDecodeHostileCountsBounded: a forged record whose CRC is valid but
+// whose counts claim far more elements than the file holds must error
+// without huge allocation. The CRC gate already rejects casual corruption,
+// so forge the CRC too.
+func TestDecodeHostileCountsBounded(t *testing.T) {
+	s := sampleSnapshot()
+	b := Encode(s)
+	// Overwrite a region with 0xff (huge uvarints), then re-seal the CRC.
+	for i := 20; i < 40 && i < len(b)-4; i++ {
+		b[i] = 0xff
+	}
+	reseal(b)
+	if _, err := Decode(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("hostile counts: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	want := sampleSnapshot()
+	if err := Save(path, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("Save/Load round trip mismatch")
+	}
+	// Overwrite with a new snapshot: still atomic, still loadable.
+	want.Step = 99
+	if err := Save(path, want); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+	got, err = Load(path)
+	if err != nil || got.Step != 99 {
+		t.Fatalf("after overwrite: snapshot %+v, err %v", got, err)
+	}
+	// No stray temp files survive.
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after saves, want 1", len(entries))
+	}
+}
+
+// TestCrashMidWriteLeavesPrevious simulates a crash mid-write: a partial
+// temp file next to a published checkpoint must not affect loading, and a
+// torn file at the final path (simulating a non-atomic writer) is rejected
+// rather than half-trusted.
+func TestCrashMidWriteLeavesPrevious(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.ckpt")
+	want := sampleSnapshot()
+	if err := Save(path, want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// A crash between CreateTemp and Rename leaves a partial temp file.
+	torn := Encode(want)[:30]
+	if err := os.WriteFile(filepath.Join(dir, "a.ckpt.tmp123"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil || got.Step != want.Step {
+		t.Fatalf("previous checkpoint unloadable next to torn temp: %v", err)
+	}
+	// A torn final file is detected.
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("torn final file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDirSavePruneLatest(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDir(root, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Keep = 2
+	s := sampleSnapshot()
+	s.Rank = 2
+	for _, step := range []int64{10, 20, 30, 40} {
+		s.Step = step
+		if err := d.SaveStep(s); err != nil {
+			t.Fatalf("SaveStep(%d): %v", step, err)
+		}
+	}
+	steps, err := d.Steps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(steps, []int64{30, 40}) {
+		t.Fatalf("after pruning steps = %v, want [30 40]", steps)
+	}
+	latest, err := d.Latest()
+	if err != nil || latest.Step != 40 {
+		t.Fatalf("Latest = %+v, %v", latest, err)
+	}
+	if got := d.LatestStep(); got != 40 {
+		t.Fatalf("LatestStep = %d", got)
+	}
+}
+
+func TestDirLatestSkipsCorrupt(t *testing.T) {
+	root := t.TempDir()
+	d, err := OpenDir(root, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sampleSnapshot()
+	s.Rank = 0
+	for _, step := range []int64{1, 2} {
+		s.Step = step
+		if err := d.SaveStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest file; Latest must fall back to step 1.
+	if err := os.WriteFile(d.Path(2), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	latest, err := d.Latest()
+	if err != nil || latest.Step != 1 {
+		t.Fatalf("Latest = %+v, %v; want step 1", latest, err)
+	}
+	// Corrupt both: ErrNoCheckpoint.
+	if err := os.WriteFile(d.Path(1), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Latest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("all-corrupt Latest err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestCommonStep(t *testing.T) {
+	root := t.TempDir()
+	s := sampleSnapshot()
+	write := func(rank int, step int64) {
+		d, err := OpenDir(root, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Rank, s.Step = rank, step
+		if err := d.SaveStep(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := CommonStep(root, 2); got != -1 {
+		t.Fatalf("empty dir CommonStep = %d, want -1", got)
+	}
+	// Rank 0 (crashed early) has {10, 20}; rank 1 ran ahead to {10, 20, 30}.
+	write(0, 10)
+	write(0, 20)
+	write(1, 10)
+	write(1, 20)
+	write(1, 30)
+	if got := CommonStep(root, 2); got != 20 {
+		t.Fatalf("CommonStep = %d, want 20", got)
+	}
+	// Corrupting rank 0's step 20 drops the common point to 10.
+	d0 := &Dir{root: root, rank: 0}
+	if err := os.WriteFile(d0.Path(20), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := CommonStep(root, 2); got != 10 {
+		t.Fatalf("CommonStep after corruption = %d, want 10", got)
+	}
+}
+
+func TestBitwiseStability(t *testing.T) {
+	s := sampleSnapshot()
+	s.Params[0].Data[0] = float32(math.Float32frombits(0x7f800001)) // NaN payload preserved?
+	got, err := Decode(Encode(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float32bits(got.Params[0].Data[0]) != 0x7f800001 {
+		t.Fatal("NaN bit pattern not preserved through the codec")
+	}
+}
+
+// reseal recomputes and overwrites the trailing CRC so tests can forge
+// structurally hostile but checksum-valid records.
+func reseal(b []byte) {
+	body := b[:len(b)-4]
+	c := crc32.Checksum(body, castagnoli)
+	b[len(b)-4] = byte(c)
+	b[len(b)-3] = byte(c >> 8)
+	b[len(b)-2] = byte(c >> 16)
+	b[len(b)-1] = byte(c >> 24)
+}

@@ -19,6 +19,7 @@ const (
 	OpBarrier   Op = "barrier"
 	OpSend      Op = "send"
 	OpRecv      Op = "recv"
+	OpHeartbeat Op = "heartbeat"
 )
 
 // Sentinel causes recognizable with errors.Is across wrapping layers.
@@ -36,6 +37,14 @@ var (
 	// or a peer dropping out) while this worker was inside, or entering, a
 	// round.
 	ErrAborted = errors.New("comm: collective group aborted")
+
+	// ErrPeerDead reports that the liveness layer declared a ring neighbor
+	// dead: its heartbeat stream went silent past the configured deadline or
+	// its connection reset. Unlike a per-op timeout (a stall — the peer may
+	// merely be slow), ErrPeerDead means the process is gone and the ring
+	// must be reformed; supervisors treat it as the restart-from-checkpoint
+	// signal.
+	ErrPeerDead = errors.New("comm: peer dead")
 )
 
 // Error is the typed failure every hardened Collective implementation wraps

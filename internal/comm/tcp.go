@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -21,6 +22,21 @@ const (
 	// stalls longer than this mid-collective surfaces a timeout error instead
 	// of hanging the group forever.
 	DefaultOpTimeout = 2 * time.Minute
+	// DefaultHeartbeatMisses is how many consecutive silent heartbeat
+	// intervals declare a neighbor dead.
+	DefaultHeartbeatMisses = 3
+)
+
+// Connection preambles distinguish the data stream from the heartbeat side
+// channel when RingConfig.Heartbeat is enabled; without heartbeats the wire
+// format carries no preamble and stays byte-compatible with older rings.
+const (
+	preambleData      = 'G'
+	preambleHeartbeat = 'H'
+	// hbBye is sent on the heartbeat channel by a rank closing gracefully,
+	// so neighbors still draining their final collective can tell an orderly
+	// departure from a crash.
+	hbBye = 'B'
 )
 
 // RingConfig tunes the hardened TCP ring transport beyond the required rank
@@ -39,6 +55,19 @@ type RingConfig struct {
 	// MaxFrameBytes rejects incoming frames larger than this without
 	// allocating; 0 selects DefaultMaxFrameBytes.
 	MaxFrameBytes int
+	// Heartbeat, when positive, enables the liveness side channel: each
+	// neighbor pair keeps a dedicated heartbeat connection, pings flow both
+	// ways every Heartbeat interval, and a neighbor silent for Heartbeat ×
+	// HeartbeatMisses (or whose connection resets) is declared dead. The
+	// ring then fails every pending and future collective immediately with
+	// a typed *Error wrapping ErrPeerDead — seconds-fast crash detection
+	// decoupled from OpTimeout, which stays long enough for slow but live
+	// peers. All ranks must agree on whether heartbeats are on (it changes
+	// the connection handshake).
+	Heartbeat time.Duration
+	// HeartbeatMisses is the consecutive-miss threshold; 0 selects
+	// DefaultHeartbeatMisses.
+	HeartbeatMisses int
 }
 
 // TCPRing is a real network implementation of Collective over a TCP ring:
@@ -63,6 +92,25 @@ type TCPRing struct {
 	maxFrame int
 	step     atomic.Int64
 	closed   atomic.Bool
+
+	// Liveness side channel (nil/zero when RingConfig.Heartbeat is off).
+	hbNext     *hbLink // heartbeat link to rank+1 (this side dialed)
+	hbPrev     *hbLink // heartbeat link from rank-1 (this side accepted)
+	hbInterval time.Duration
+	hbMisses   int
+	hbStop     chan struct{}
+
+	peerMu  sync.Mutex
+	peerErr error // first liveness failure; poisons all frame ops
+}
+
+// hbLink is one heartbeat connection plus the neighbor behind it. departed
+// flips when the neighbor announces a graceful close (hbBye): its silence
+// afterwards is expected, not a death.
+type hbLink struct {
+	conn     net.Conn
+	peer     int
+	departed atomic.Bool
 }
 
 var _ Collective = (*TCPRing)(nil)
@@ -94,30 +142,131 @@ func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 	}
 	defer ln.Close()
 
+	hb := cfg.Heartbeat > 0
+	wantAccepts := 1
+	if hb {
+		wantAccepts = 2 // data + heartbeat from the predecessor
+	}
 	type acceptResult struct {
 		conn net.Conn
 		err  error
 	}
-	acceptCh := make(chan acceptResult, 1)
+	acceptCh := make(chan acceptResult, wantAccepts)
 	go func() {
-		c, err := ln.Accept()
-		acceptCh <- acceptResult{c, err}
+		for i := 0; i < wantAccepts; i++ {
+			c, err := ln.Accept()
+			acceptCh <- acceptResult{c, err}
+			if err != nil {
+				return
+			}
+		}
 	}()
 
-	// Dial the successor with jittered exponential backoff until its listener
-	// is up or the setup deadline passes. Jitter desynchronizes the retry
-	// storms of many ranks starting at once.
 	deadline := time.Now().Add(setupTO)
 	succ := addrs[(rank+1)%n]
+
+	// cleanup closes whatever connections setup opened before a failure.
+	var opened []net.Conn
+	fail := func(err error) (*TCPRing, error) {
+		for _, c := range opened {
+			c.Close()
+		}
+		return nil, wrapErr(rank, OpDial, 0, err)
+	}
+
+	// Dial the successor's data connection (and, with heartbeats, the
+	// liveness connection). Each dialed connection announces its role with a
+	// preamble byte so the acceptor can classify them in either arrival
+	// order; without heartbeats no preamble is sent and the wire format is
+	// unchanged.
+	next, err := dialRetry(succ, deadline)
+	if err != nil {
+		return fail(err)
+	}
+	opened = append(opened, next)
+	var hbNext net.Conn
+	if hb {
+		if err := writePreamble(next, preambleData, deadline); err != nil {
+			return fail(err)
+		}
+		if hbNext, err = dialRetry(succ, deadline); err != nil {
+			return fail(err)
+		}
+		opened = append(opened, hbNext)
+		if err := writePreamble(hbNext, preambleHeartbeat, deadline); err != nil {
+			return fail(err)
+		}
+	}
+
+	// Collect and classify the predecessor's connections.
+	var prev, hbPrev net.Conn
+	for i := 0; i < wantAccepts; i++ {
+		select {
+		case ar := <-acceptCh:
+			if ar.err != nil {
+				return fail(fmt.Errorf("accept: %w", ar.err))
+			}
+			opened = append(opened, ar.conn)
+			if !hb {
+				prev = ar.conn
+				continue
+			}
+			role, err := readPreamble(ar.conn, deadline)
+			if err != nil {
+				return fail(fmt.Errorf("reading connection preamble: %w", err))
+			}
+			switch {
+			case role == preambleData && prev == nil:
+				prev = ar.conn
+			case role == preambleHeartbeat && hbPrev == nil:
+				hbPrev = ar.conn
+			default:
+				return fail(fmt.Errorf("unexpected connection preamble %q", role))
+			}
+		case <-time.After(time.Until(deadline)):
+			return fail(fmt.Errorf("timed out waiting for predecessor of rank %d", rank))
+		}
+	}
+
+	t := &TCPRing{rank: rank, n: n, next: next, prev: prev}
+	t.nextW = bufio.NewWriterSize(next, 1<<16)
+	t.prevR = bufio.NewReaderSize(prev, 1<<16)
+	t.opTO = cfg.OpTimeout
+	if t.opTO == 0 {
+		t.opTO = DefaultOpTimeout
+	}
+	t.maxFrame = cfg.MaxFrameBytes
+	if t.maxFrame <= 0 {
+		t.maxFrame = DefaultMaxFrameBytes
+	}
+	if hb {
+		t.hbNext = &hbLink{conn: hbNext, peer: (rank + 1) % n}
+		t.hbPrev = &hbLink{conn: hbPrev, peer: (rank - 1 + n) % n}
+		t.hbInterval = cfg.Heartbeat
+		t.hbMisses = cfg.HeartbeatMisses
+		if t.hbMisses <= 0 {
+			t.hbMisses = DefaultHeartbeatMisses
+		}
+		t.hbStop = make(chan struct{})
+		go t.pingLoop()
+		go t.watchLoop(t.hbPrev)
+		go t.watchLoop(t.hbNext)
+	}
+	return t, nil
+}
+
+// dialRetry dials addr with jittered exponential backoff until it connects
+// or the deadline passes. Jitter desynchronizes the retry storms of many
+// ranks starting at once.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	backoff := 10 * time.Millisecond
-	var next net.Conn
 	for {
-		next, err = net.DialTimeout("tcp", succ, time.Second)
+		c, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
-			break
+			return c, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("dial %s: %w", succ, err))
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
 		}
 		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
 		if remain := time.Until(deadline); sleep > remain {
@@ -128,42 +277,164 @@ func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 			backoff *= 2
 		}
 	}
+}
 
-	select {
-	case ar := <-acceptCh:
-		if ar.err != nil {
-			next.Close()
-			return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("accept: %w", ar.err))
+func writePreamble(c net.Conn, role byte, deadline time.Time) error {
+	if err := c.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	defer c.SetWriteDeadline(time.Time{})
+	_, err := c.Write([]byte{role})
+	return err
+}
+
+func readPreamble(c net.Conn, deadline time.Time) (byte, error) {
+	if err := c.SetReadDeadline(deadline); err != nil {
+		return 0, err
+	}
+	defer c.SetReadDeadline(time.Time{})
+	var b [1]byte
+	if _, err := c.Read(b[:]); err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+// pingLoop writes one byte to each heartbeat neighbor every interval. A
+// write failure means the neighbor's socket reset — declare it dead rather
+// than waiting for the read side to time out.
+func (t *TCPRing) pingLoop() {
+	ticker := time.NewTicker(t.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.hbStop:
+			return
+		case <-ticker.C:
 		}
-		t := &TCPRing{rank: rank, n: n, next: next, prev: ar.conn}
-		t.nextW = bufio.NewWriterSize(next, 1<<16)
-		t.prevR = bufio.NewReaderSize(ar.conn, 1<<16)
-		t.opTO = cfg.OpTimeout
-		if t.opTO == 0 {
-			t.opTO = DefaultOpTimeout
+		for _, link := range []*hbLink{t.hbNext, t.hbPrev} {
+			if link.departed.Load() {
+				continue
+			}
+			link.conn.SetWriteDeadline(time.Now().Add(t.hbInterval))
+			if _, err := link.conn.Write([]byte{preambleHeartbeat}); err != nil {
+				if !t.closed.Load() && !link.departed.Load() {
+					t.failPeer(link.peer, fmt.Errorf("heartbeat write: %w", err))
+				}
+				return
+			}
 		}
-		t.maxFrame = cfg.MaxFrameBytes
-		if t.maxFrame <= 0 {
-			t.maxFrame = DefaultMaxFrameBytes
-		}
-		return t, nil
-	case <-time.After(time.Until(deadline)):
-		next.Close()
-		return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("timed out waiting for predecessor of rank %d", rank))
 	}
 }
 
-// Close tears down both ring connections. Safe to call from another
-// goroutine to reset a worker stuck mid-collective: its pending frame ops
-// fail immediately.
+// watchLoop reads pings from one heartbeat connection. Silence for
+// hbInterval × hbMisses, or a connection reset, declares the peer dead; a
+// goodbye byte instead marks an orderly departure and ends the watch without
+// declaring anything.
+func (t *TCPRing) watchLoop(link *hbLink) {
+	window := t.hbInterval * time.Duration(t.hbMisses)
+	buf := make([]byte, 64)
+	for {
+		link.conn.SetReadDeadline(time.Now().Add(window))
+		n, err := link.conn.Read(buf)
+		for _, b := range buf[:n] {
+			if b == hbBye {
+				link.departed.Store(true)
+				link.conn.Close()
+				return
+			}
+		}
+		if err != nil {
+			if !t.closed.Load() && !link.departed.Load() {
+				t.failPeer(link.peer, fmt.Errorf("heartbeat silent/reset: %w", err))
+			} else {
+				link.conn.Close()
+			}
+			return
+		}
+	}
+}
+
+// failPeer records the first liveness failure as a typed *Error wrapping
+// ErrPeerDead and closes every connection: pending frame ops fail
+// immediately instead of running out their OpTimeout, and the teardown
+// cascades the death announcement to the other neighbor.
+func (t *TCPRing) failPeer(peer int, cause error) {
+	t.peerMu.Lock()
+	if t.peerErr == nil {
+		t.peerErr = &Error{
+			Rank: t.rank,
+			Op:   OpHeartbeat,
+			Step: t.step.Load(),
+			Err:  fmt.Errorf("ring neighbor rank %d: %w (%v)", peer, ErrPeerDead, cause),
+		}
+	}
+	t.peerMu.Unlock()
+	t.next.Close()
+	t.prev.Close()
+	if t.hbNext != nil {
+		t.hbNext.conn.Close()
+	}
+	if t.hbPrev != nil {
+		t.hbPrev.conn.Close()
+	}
+}
+
+// livenessErr returns the recorded peer-death error, if any.
+func (t *TCPRing) livenessErr() error {
+	t.peerMu.Lock()
+	defer t.peerMu.Unlock()
+	return t.peerErr
+}
+
+// frameErr maps a raw frame-op failure to the liveness error when one is
+// recorded: the interesting fact is that the neighbor died, not that the
+// locally-closed socket reported "use of closed connection".
+func (t *TCPRing) frameErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if le := t.livenessErr(); le != nil {
+		return le
+	}
+	return err
+}
+
+// Close tears down both ring connections (and the heartbeat channel, when
+// enabled). Safe to call from another goroutine to reset a worker stuck
+// mid-collective: its pending frame ops fail immediately.
 func (t *TCPRing) Close() error {
-	t.closed.Store(true)
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if t.hbStop != nil {
+		close(t.hbStop)
+		window := t.hbInterval * time.Duration(t.hbMisses)
+		sayGoodbye(t.hbNext, window)
+		sayGoodbye(t.hbPrev, window)
+	}
 	err1 := t.next.Close()
 	err2 := t.prev.Close()
 	if err1 != nil {
 		return err1
 	}
 	return err2
+}
+
+// sayGoodbye announces an orderly departure on one heartbeat link: the bye
+// byte followed by a write-side FIN. The connection is fully closed only
+// after the neighbor has had a whole miss window to read the announcement —
+// an immediate close could reset the connection and destroy the bye in
+// flight, turning a clean shutdown into a false death.
+func sayGoodbye(link *hbLink, window time.Duration) {
+	link.conn.SetWriteDeadline(time.Now().Add(window))
+	link.conn.Write([]byte{hbBye})
+	if tc, ok := link.conn.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		time.AfterFunc(2*window, func() { tc.Close() })
+	} else {
+		link.conn.Close()
+	}
 }
 
 // Rank returns this worker's rank.
@@ -181,23 +452,26 @@ func (t *TCPRing) Step() int64 { return t.step.Load() }
 // sendFrame writes one length-prefixed frame to the successor under the
 // per-op write deadline.
 func (t *TCPRing) sendFrame(b []byte) error {
+	if err := t.livenessErr(); err != nil {
+		return err
+	}
 	if len(b) > t.maxFrame {
 		return fmt.Errorf("%w: sending %d bytes > limit %d", ErrFrameTooLarge, len(b), t.maxFrame)
 	}
 	if t.opTO > 0 {
 		if err := t.next.SetWriteDeadline(time.Now().Add(t.opTO)); err != nil {
-			return fmt.Errorf("set write deadline: %w", err)
+			return t.frameErr(fmt.Errorf("set write deadline: %w", err))
 		}
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(b)))
 	if _, err := t.nextW.Write(hdr[:]); err != nil {
-		return err
+		return t.frameErr(err)
 	}
 	if _, err := t.nextW.Write(b); err != nil {
-		return err
+		return t.frameErr(err)
 	}
-	return t.nextW.Flush()
+	return t.frameErr(t.nextW.Flush())
 }
 
 // recvFrame reads one length-prefixed frame from the predecessor under the
@@ -205,12 +479,16 @@ func (t *TCPRing) sendFrame(b []byte) error {
 // rejected before any body allocation: a corrupt or hostile 4-byte prefix
 // must not be able to demand a multi-gigabyte buffer.
 func (t *TCPRing) recvFrame() ([]byte, error) {
+	if err := t.livenessErr(); err != nil {
+		return nil, err
+	}
 	if t.opTO > 0 {
 		if err := t.prev.SetReadDeadline(time.Now().Add(t.opTO)); err != nil {
-			return nil, fmt.Errorf("set read deadline: %w", err)
+			return nil, t.frameErr(fmt.Errorf("set read deadline: %w", err))
 		}
 	}
-	return readFrame(t.prevR, t.maxFrame)
+	b, err := readFrame(t.prevR, t.maxFrame)
+	return b, t.frameErr(err)
 }
 
 // readFrame decodes one length-prefixed frame from r, rejecting bodies

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -154,6 +155,157 @@ func TestTCPRingOpDeadline(t *testing.T) {
 	if !errors.As(healthyErr, &ne) || !ne.Timeout() {
 		t.Fatalf("error %v should be a net timeout", healthyErr)
 	}
+}
+
+// fakeSilentRank performs the heartbeat-era ring handshake for rank and then
+// goes silent: connections held open, no heartbeats, no frames. This is the
+// failure mode only the liveness layer can detect — a hung or partitioned
+// process emits no RST, so the data connections of its neighbors stay
+// "healthy" right up to their (long) OpTimeout.
+func fakeSilentRank(t *testing.T, rank int, addrs []string) (stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conns []net.Conn
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(5 * time.Second)
+		succ := addrs[(rank+1)%len(addrs)]
+		for _, role := range []byte{preambleData, preambleHeartbeat} {
+			c, err := dialRetry(succ, deadline)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conns = append(conns, c)
+			if err := writePreamble(c, role, deadline); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		for i := 0; i < 2; i++ {
+			c, err := ln.Accept()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conns = append(conns, c)
+			if _, err := readPreamble(c, deadline); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	return func() {
+		<-done
+		ln.Close()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+}
+
+// TestTCPRingHeartbeatDeadPeerAndReform: with heartbeats on, a rank that
+// hangs after joining the ring is declared dead within the heartbeat window —
+// surfacing a typed *Error wrapping ErrPeerDead on the survivors seconds
+// before the per-op stall timeout would fire — and a replacement ring formed
+// afterwards (restarted worker included) operates normally.
+func TestTCPRingHeartbeatDeadPeerAndReform(t *testing.T) {
+	const n = 3
+	const hbInterval = 25 * time.Millisecond
+	addrs := freeAddrs(t, n)
+	stop := fakeSilentRank(t, 1, addrs)
+	defer stop()
+
+	errs := make([]error, n)
+	elapsed := make([]time.Duration, n)
+	withDeadline(t, 20*time.Second, func() {
+		var wg sync.WaitGroup
+		for _, rank := range []int{0, 2} {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ring, err := DialTCPRingConfig(RingConfig{
+					Rank: rank, Addrs: addrs,
+					SetupTimeout:    5 * time.Second,
+					OpTimeout:       30 * time.Second, // stall tolerance stays long
+					Heartbeat:       hbInterval,
+					HeartbeatMisses: 3,
+				})
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				defer ring.Close()
+				start := time.Now()
+				errs[rank] = ring.AllreduceF32(make([]float32, 64))
+				elapsed[rank] = time.Since(start)
+			}(rank)
+		}
+		wg.Wait()
+	})
+	for _, rank := range []int{0, 2} {
+		err := errs[rank]
+		if !errors.Is(err, ErrPeerDead) {
+			t.Fatalf("rank %d: err = %v, want ErrPeerDead", rank, err)
+		}
+		var ce *Error
+		if !errors.As(err, &ce) || ce.Op != OpHeartbeat {
+			t.Fatalf("rank %d: error %v is not a typed heartbeat failure", rank, err)
+		}
+		if elapsed[rank] > 5*time.Second {
+			t.Fatalf("rank %d: detection took %v, should be near the heartbeat window", rank, elapsed[rank])
+		}
+	}
+
+	// The supervisor restarts the dead worker; the ring reforms on fresh
+	// addresses and runs real collectives — including an idle stretch much
+	// longer than the miss window, which must NOT trigger a false positive
+	// because idle pings keep flowing.
+	stop()
+	fresh := freeAddrs(t, n)
+	withDeadline(t, 30*time.Second, func() {
+		var wg sync.WaitGroup
+		reformErrs := make([]error, n)
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				ring, err := DialTCPRingConfig(RingConfig{
+					Rank: rank, Addrs: fresh,
+					SetupTimeout:    5 * time.Second,
+					OpTimeout:       10 * time.Second,
+					Heartbeat:       hbInterval,
+					HeartbeatMisses: 3,
+				})
+				if err != nil {
+					reformErrs[rank] = err
+					return
+				}
+				defer ring.Close()
+				x := []float32{float32(rank), 1}
+				if err := ring.AllreduceF32(x); err != nil {
+					reformErrs[rank] = err
+					return
+				}
+				if x[0] != 3 || x[1] != 3 { // 0+1+2, 1+1+1
+					reformErrs[rank] = errors.New("wrong allreduce sum after reform")
+					return
+				}
+				time.Sleep(8 * hbInterval) // idle >> miss window
+				reformErrs[rank] = ring.Barrier()
+			}(rank)
+		}
+		wg.Wait()
+		for rank, err := range reformErrs {
+			if err != nil {
+				t.Errorf("reformed ring rank %d: %v", rank, err)
+			}
+		}
+	})
 }
 
 // TestTCPRingResetFault: a Faulty-injected connection reset at one rank

@@ -111,6 +111,34 @@ func (c *Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]floa
 	return cbase.DecodeSparse(p.Bytes, info.Size())
 }
 
+// CodecState exports a deep copy of the per-tensor momentum (slot "u") and
+// accumulator (slot "v") state for checkpointing.
+func (c *Compressor) CodecState() grace.CodecState {
+	return grace.CodecState{Tensors: map[string]map[string][]float32{
+		"u": copyState(c.u),
+		"v": copyState(c.v),
+	}}
+}
+
+// LoadCodecState replaces the momentum and accumulator state with a deep
+// copy of the snapshot; training resumed from it reproduces the
+// uninterrupted run bit for bit.
+func (c *Compressor) LoadCodecState(st grace.CodecState) error {
+	c.u = copyState(st.Tensors["u"])
+	c.v = copyState(st.Tensors["v"])
+	return nil
+}
+
+var _ grace.Stateful = (*Compressor)(nil)
+
+func copyState(m map[string][]float32) map[string][]float32 {
+	out := make(map[string][]float32, len(m))
+	for name, s := range m {
+		out[name] = append([]float32(nil), s...)
+	}
+	return out
+}
+
 func (c *Compressor) state(m map[string][]float32, name string, d int) []float32 {
 	s := m[name]
 	if s == nil {

@@ -88,6 +88,24 @@ func (c *Compressor) Compress(g []float32, info grace.TensorInfo) (*grace.Payloa
 	return &grace.Payload{Bytes: w.Bytes()}, nil
 }
 
+// CodecState exports the randomized-rounding RNG stream position so a
+// restored run draws the identical continuation of rounding decisions.
+func (c *Compressor) CodecState() grace.CodecState {
+	st := c.rng.State()
+	return grace.CodecState{RNG: &st}
+}
+
+// LoadCodecState rewinds the rounding RNG to a captured stream position.
+func (c *Compressor) LoadCodecState(st grace.CodecState) error {
+	if st.RNG == nil {
+		return fmt.Errorf("qsgd: codec state has no RNG stream")
+	}
+	c.rng.Restore(*st.RNG)
+	return nil
+}
+
+var _ grace.Stateful = (*Compressor)(nil)
+
 // Decompress reconstructs sign·‖g‖₂·level/s.
 func (c *Compressor) Decompress(p *grace.Payload, info grace.TensorInfo) ([]float32, error) {
 	r := encode.NewReader(p.Bytes)

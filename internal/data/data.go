@@ -68,6 +68,12 @@ func (s *Sampler) EpochBatches(bs int) [][]int {
 	return batches
 }
 
+// Seek positions the sampler so the next EpochBatches call produces the
+// schedule for the given epoch. Epoch schedules are a pure function of
+// (seed, epoch), so a resumed worker that seeks to its checkpointed epoch
+// replays exactly the batches the uninterrupted run would have drawn.
+func (s *Sampler) Seek(epoch int) { s.epoch = epoch }
+
 // StepsPerEpoch reports how many batches of size bs each worker runs.
 func (s *Sampler) StepsPerEpoch(bs int) int {
 	return (s.n / s.workers) / bs

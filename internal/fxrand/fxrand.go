@@ -29,6 +29,29 @@ func New(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State is a serializable snapshot of a generator's complete internal state:
+// the splitmix64 state word plus the Box-Muller spare cache. Restoring it
+// replays the exact continuation of the stream, which is what crash-consistent
+// checkpointing needs from every randomized component.
+type State struct {
+	Word     uint64
+	HasSpare bool
+	Spare    float64
+}
+
+// State captures the generator's current state.
+func (r *RNG) State() State {
+	return State{Word: r.state, HasSpare: r.hasSpare, Spare: r.spare}
+}
+
+// Restore rewinds the generator to a previously captured state; subsequent
+// draws reproduce the stream that followed the capture bit for bit.
+func (r *RNG) Restore(st State) {
+	r.state = st.Word
+	r.hasSpare = st.HasSpare
+	r.spare = st.Spare
+}
+
 // Fork derives an independent generator from r. The derived stream is a
 // deterministic function of r's current state and the provided salt, so
 // distinct salts yield distinct streams.

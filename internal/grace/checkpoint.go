@@ -1,0 +1,191 @@
+package grace
+
+import (
+	"fmt"
+
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// ParamTensor is one named dense tensor captured in a Snapshot (a model
+// parameter or a local-SGD sync-point copy).
+type ParamTensor struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// Snapshot is the complete per-rank training state at an optimizer-step
+// boundary. Restoring it into an identically configured worker and
+// replaying the remaining batches reproduces the uninterrupted run bit for
+// bit: model parameters, optimizer slots, the error-feedback residual
+// memory, compressor-internal codec state (DGC momentum/accumulators, QSGD
+// rounding RNG streams), and the loop position are all covered. The
+// serialized on-disk form lives in internal/ckpt.
+type Snapshot struct {
+	// Step counts completed optimizer steps (the global lockstep position).
+	Step int64
+	// Epoch and Iter locate the training loop: the next batch to process is
+	// batch Iter of epoch Epoch.
+	Epoch, Iter int
+	// SinceSync is the local-SGD counter (steps since the last model sync).
+	SinceSync int
+	// Seed, Rank and Workers identify the run; restores validate them so a
+	// checkpoint cannot silently resume a different configuration.
+	Seed    uint64
+	Rank    int
+	Workers int
+	// Method is the compression method name the run uses.
+	Method string
+	// Params are the model parameters in Params() order.
+	Params []ParamTensor
+	// SyncPoint is the local-SGD synchronization point (nil when SyncEvery
+	// is off).
+	SyncPoint []ParamTensor
+	// Opt is the optimizer state, index-ordered against Params.
+	Opt optim.State
+	// Memory is the framework error-feedback residual per tensor name (nil
+	// when EF memory is off).
+	Memory map[string][]float32
+	// Codec is the compressor-internal state (empty for stateless methods).
+	Codec EngineCodecState
+}
+
+// CheckpointConfig wires crash-consistent checkpointing into a training
+// run.
+type CheckpointConfig struct {
+	// Every is the snapshot period in optimizer steps; 0 disables periodic
+	// snapshots (Final may still produce one). All ranks run in lockstep,
+	// so every rank snapshots at the same steps.
+	Every int
+	// Save persists one snapshot (typically ckpt.Dir.SaveStep); required
+	// when Every > 0 or Final is set. A Save error aborts the worker — a
+	// run that cannot persist its progress should fail loudly, not lose
+	// recovery points silently.
+	Save func(s *Snapshot) error
+	// Resume, when non-nil, restores the worker to the snapshot before its
+	// first step. Snapshots are per-rank, so Resume is only valid with
+	// RunWorker; Run rejects it.
+	Resume *Snapshot
+	// Final snapshots once more after the last step, so a completed run's
+	// terminal state is recoverable too.
+	Final bool
+}
+
+// trainerPos is the loop position a snapshot pins.
+type trainerPos struct {
+	step      int64
+	epoch     int
+	iter      int
+	sinceSync int
+}
+
+// captureSnapshot deep-copies the worker's full training state.
+func captureSnapshot(cfg *Config, rank int, model Model, opt optim.Optimizer,
+	mem *Memory, eng *Engine, syncPoint []*tensor.Dense, pos trainerPos) (*Snapshot, error) {
+	sf, ok := opt.(optim.Stateful)
+	if !ok {
+		return nil, fmt.Errorf("grace: optimizer %q does not export state; checkpointing needs optim.Stateful", opt.Name())
+	}
+	params := model.Params()
+	s := &Snapshot{
+		Step:      pos.step,
+		Epoch:     pos.epoch,
+		Iter:      pos.iter,
+		SinceSync: pos.sinceSync,
+		Seed:      cfg.Seed,
+		Rank:      rank,
+		Workers:   cfg.Workers,
+		Method:    eng.Method(),
+		Opt:       sf.State(params),
+		Codec:     eng.CodecState(),
+	}
+	s.Params = make([]ParamTensor, len(params))
+	for i, p := range params {
+		s.Params[i] = copyTensor(p.Name, p.Value)
+	}
+	if mem != nil {
+		s.Memory = mem.State()
+	}
+	if syncPoint != nil {
+		s.SyncPoint = make([]ParamTensor, len(syncPoint))
+		for i, t := range syncPoint {
+			s.SyncPoint[i] = copyTensor(params[i].Name, t)
+		}
+	}
+	return s, nil
+}
+
+// applySnapshot validates the snapshot against the worker's configuration
+// and restores every piece of state, returning the loop position to resume
+// from.
+func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Optimizer,
+	mem *Memory, eng *Engine, syncPoint []*tensor.Dense) (trainerPos, error) {
+	var pos trainerPos
+	if s.Seed != cfg.Seed {
+		return pos, fmt.Errorf("grace: checkpoint is for seed %d, run uses %d", s.Seed, cfg.Seed)
+	}
+	if s.Workers != cfg.Workers {
+		return pos, fmt.Errorf("grace: checkpoint is for %d workers, run has %d", s.Workers, cfg.Workers)
+	}
+	if s.Rank != rank {
+		return pos, fmt.Errorf("grace: checkpoint belongs to rank %d, not rank %d", s.Rank, rank)
+	}
+	if s.Method != eng.Method() {
+		return pos, fmt.Errorf("grace: checkpoint is for method %q, run uses %q", s.Method, eng.Method())
+	}
+	params := model.Params()
+	if len(s.Params) != len(params) {
+		return pos, fmt.Errorf("grace: checkpoint has %d parameters, model has %d", len(s.Params), len(params))
+	}
+	for i, p := range params {
+		pt := s.Params[i]
+		if pt.Name != p.Name || len(pt.Data) != p.Value.Size() {
+			return pos, fmt.Errorf("grace: checkpoint param %d is %s[%d], model wants %s[%d]",
+				i, pt.Name, len(pt.Data), p.Name, p.Value.Size())
+		}
+		copy(p.Value.Data(), pt.Data)
+	}
+	sf, ok := opt.(optim.Stateful)
+	if !ok {
+		return pos, fmt.Errorf("grace: optimizer %q does not load state; checkpointing needs optim.Stateful", opt.Name())
+	}
+	if err := sf.LoadState(params, s.Opt); err != nil {
+		return pos, err
+	}
+	if (mem != nil) != (s.Memory != nil) {
+		return pos, fmt.Errorf("grace: checkpoint and run disagree on error-feedback memory (checkpoint %v, run %v)",
+			s.Memory != nil, mem != nil)
+	}
+	if mem != nil {
+		mem.LoadState(s.Memory)
+	}
+	if err := eng.LoadCodecState(s.Codec); err != nil {
+		return pos, err
+	}
+	if (syncPoint != nil) != (s.SyncPoint != nil) {
+		return pos, fmt.Errorf("grace: checkpoint and run disagree on local-SGD (checkpoint sync point %v, run %v)",
+			s.SyncPoint != nil, syncPoint != nil)
+	}
+	if syncPoint != nil {
+		if len(s.SyncPoint) != len(syncPoint) {
+			return pos, fmt.Errorf("grace: checkpoint sync point has %d tensors, run has %d", len(s.SyncPoint), len(syncPoint))
+		}
+		for i, t := range syncPoint {
+			if len(s.SyncPoint[i].Data) != t.Size() {
+				return pos, fmt.Errorf("grace: checkpoint sync point %d has %d elements, run wants %d",
+					i, len(s.SyncPoint[i].Data), t.Size())
+			}
+			copy(t.Data(), s.SyncPoint[i].Data)
+		}
+	}
+	return trainerPos{step: s.Step, epoch: s.Epoch, iter: s.Iter, sinceSync: s.SinceSync}, nil
+}
+
+func copyTensor(name string, t *tensor.Dense) ParamTensor {
+	return ParamTensor{
+		Name:  name,
+		Shape: append([]int(nil), t.Shape()...),
+		Data:  append([]float32(nil), t.Data()...),
+	}
+}

@@ -1,0 +1,226 @@
+package grace_test
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	_ "repro/internal/compress/all"
+	"repro/internal/data"
+	"repro/internal/grace"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/simnet"
+)
+
+// ckptConfig is a tiny run sized so checkpoints land mid-epoch: 3 workers ×
+// 4 iters/epoch × 2 epochs = 8 lockstep steps.
+func ckptConfig(method string, mem bool) grace.Config {
+	ds := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 8, W: 8, N: 96, Noise: 0.3, Seed: 5})
+	return grace.Config{
+		Workers:   3,
+		BatchSize: 8,
+		Epochs:    2,
+		Seed:      11,
+		NewModel: func(seed uint64) grace.Model {
+			return models.NewMLPClassifier(seed, 64, []int{24}, 4)
+		},
+		Dataset:      ds,
+		NewOptimizer: func() optim.Optimizer { return optim.NewMomentumSGD(0.05, 0.9) },
+		NewCompressor: func(rank int) (grace.Compressor, error) {
+			return grace.New(method, grace.Options{Seed: uint64(rank) + 1, Ratio: 0.25, Levels: 8})
+		},
+		UseMemory:        mem,
+		CodecParallelism: 2,
+		Net:              simnet.TCP10G,
+	}
+}
+
+// runCheckpointed drives RunWorker for every rank over one hub, saving
+// periodic checkpoints into dir and returning each rank's final snapshot
+// (captured via Checkpoint.Final). resume[rank], when non-nil, restores that
+// rank before its first step.
+func runCheckpointed(t *testing.T, cfg grace.Config, dir string, every int,
+	resume []*grace.Snapshot) []*grace.Snapshot {
+	t.Helper()
+	hub := comm.NewHub(cfg.Workers)
+	cluster := simnet.NewCluster(cfg.Net, cfg.Workers)
+	finals := make([]*grace.Snapshot, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for rank := 0; rank < cfg.Workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := cfg
+			d, err := ckpt.OpenDir(dir, rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			c.Checkpoint = &grace.CheckpointConfig{
+				Every: every,
+				Final: true,
+				Save: func(s *grace.Snapshot) error {
+					finals[rank] = s
+					return d.SaveStep(s)
+				},
+			}
+			if resume != nil {
+				c.Checkpoint.Resume = resume[rank]
+			}
+			_, errs[rank] = grace.RunWorker(c, rank, hub.Worker(rank), cluster)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return finals
+}
+
+func assertSnapshotsBitwiseEqual(t *testing.T, got, want []*grace.Snapshot, label string) {
+	t.Helper()
+	for rank := range want {
+		g, w := got[rank], want[rank]
+		if g.Step != w.Step {
+			t.Fatalf("%s: rank %d final step %d, want %d", label, rank, g.Step, w.Step)
+		}
+		for i := range w.Params {
+			for j := range w.Params[i].Data {
+				gb := math.Float32bits(g.Params[i].Data[j])
+				wb := math.Float32bits(w.Params[i].Data[j])
+				if gb != wb {
+					t.Fatalf("%s: rank %d param %s[%d]: %08x != %08x",
+						label, rank, w.Params[i].Name, j, gb, wb)
+				}
+			}
+		}
+	}
+}
+
+// TestTrainerCheckpointResumeBitwise: for a stateless method with framework
+// EF memory (topk), a built-in-EF method (dgc), and an RNG-carrying method
+// (qsgd), a run restored from its on-disk mid-run checkpoint must finish
+// with weights bitwise identical to the uninterrupted run — through the full
+// ckpt encode→fsync→decode path, mid-epoch and at an epoch boundary.
+func TestTrainerCheckpointResumeBitwise(t *testing.T) {
+	cases := []struct {
+		method string
+		mem    bool
+	}{
+		{"topk", true},
+		{"dgc", false},
+		{"qsgd", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method, func(t *testing.T) {
+			cfg := ckptConfig(tc.method, tc.mem)
+			refDir := t.TempDir()
+			want := runCheckpointed(t, cfg, refDir, 3, nil)
+
+			// Checkpoints exist at steps 3 and 6 (every=3, 8 steps total);
+			// resume from each — step 3 is mid-epoch 0, step 6 is mid-epoch 1.
+			for _, step := range []int64{3, 6} {
+				resume := make([]*grace.Snapshot, cfg.Workers)
+				for rank := range resume {
+					d, err := ckpt.OpenDir(refDir, rank)
+					if err != nil {
+						t.Fatal(err)
+					}
+					s, err := ckpt.Load(d.Path(step))
+					if err != nil {
+						t.Fatalf("loading rank %d step %d: %v", rank, step, err)
+					}
+					resume[rank] = s
+				}
+				got := runCheckpointed(t, cfg, t.TempDir(), 3, resume)
+				assertSnapshotsBitwiseEqual(t, got, want, tc.method)
+			}
+		})
+	}
+}
+
+// TestTrainerCheckpointResumeLocalSGD: the sync point and since-sync counter
+// survive a resume in local-SGD mode.
+func TestTrainerCheckpointResumeLocalSGD(t *testing.T) {
+	cfg := ckptConfig("topk", true)
+	cfg.SyncEvery = 3 // sync boundaries at steps 3 and 6; checkpoint every 2
+	refDir := t.TempDir()
+	want := runCheckpointed(t, cfg, refDir, 2, nil)
+
+	resume := make([]*grace.Snapshot, cfg.Workers)
+	for rank := range resume {
+		d, err := ckpt.OpenDir(refDir, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Step 4: mid sync-window (sinceSync = 1).
+		s, err := ckpt.Load(d.Path(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.SinceSync != 1 {
+			t.Fatalf("rank %d step 4 sinceSync = %d, want 1", rank, s.SinceSync)
+		}
+		if s.SyncPoint == nil {
+			t.Fatalf("rank %d snapshot lacks a sync point", rank)
+		}
+		resume[rank] = s
+	}
+	got := runCheckpointed(t, cfg, t.TempDir(), 2, resume)
+	assertSnapshotsBitwiseEqual(t, got, want, "local-sgd")
+}
+
+// TestTrainerCheckpointValidation: a snapshot from a different
+// configuration is rejected with a descriptive error, not silently resumed.
+func TestTrainerCheckpointValidation(t *testing.T) {
+	cfg := ckptConfig("topk", true)
+	dir := t.TempDir()
+	finals := runCheckpointed(t, cfg, dir, 0, nil) // Final-only snapshots
+
+	tryResume := func(mutate func(c *grace.Config, s *grace.Snapshot)) error {
+		c := ckptConfig("topk", true)
+		s := *finals[0]
+		mutate(&c, &s)
+		hub := comm.NewHub(1)
+		c.Workers = 1
+		s.Workers = 1
+		c.Checkpoint = &grace.CheckpointConfig{Resume: &s}
+		_, err := grace.RunWorker(c, 0, hub.Worker(0), simnet.NewCluster(c.Net, 1))
+		return err
+	}
+
+	cases := map[string]struct {
+		mutate func(c *grace.Config, s *grace.Snapshot)
+		want   string
+	}{
+		"seed":   {func(c *grace.Config, s *grace.Snapshot) { s.Seed = 999 }, "seed"},
+		"rank":   {func(c *grace.Config, s *grace.Snapshot) { s.Rank = 2 }, "rank"},
+		"method": {func(c *grace.Config, s *grace.Snapshot) { s.Method = "dgc" }, "method"},
+		"memory": {func(c *grace.Config, s *grace.Snapshot) { c.UseMemory = false }, "error-feedback"},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			err := tryResume(tc.mutate)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestRunRejectsResume: the multi-goroutine Run entry point refuses a
+// shared Resume snapshot.
+func TestRunRejectsResume(t *testing.T) {
+	cfg := ckptConfig("topk", true)
+	cfg.Checkpoint = &grace.CheckpointConfig{Resume: &grace.Snapshot{}}
+	if _, err := grace.Run(cfg); err == nil || !strings.Contains(err.Error(), "per-rank") {
+		t.Fatalf("err = %v, want per-rank rejection", err)
+	}
+}

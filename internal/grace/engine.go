@@ -42,6 +42,10 @@ type Engine struct {
 	// payloads become available; buffered to len(infos) so lanes never block.
 	ready chan int
 
+	// nameIdx maps tensor name → index for the current tensor set; the
+	// lane-ownership filter for CodecState (lane = index mod lane count).
+	nameIdx map[string]int
+
 	// Step-scoped state, reused across steps while tensor shapes are stable.
 	sizes   []int
 	out     [][]float32 // aggregated gradient per tensor
@@ -540,10 +544,12 @@ func (e *Engine) ensure(infos []TensorInfo) {
 		e.have = make([]bool, m)
 		e.failed = make([]bool, m)
 		e.rep.Tensors = make([]StepStats, m)
+		e.nameIdx = make(map[string]int, m)
 		laneMax := make([]int, p)
 		for i, info := range infos {
 			size := info.Size()
 			e.sizes[i] = size
+			e.nameIdx[info.Name] = i
 			if strategy != Custom {
 				// Custom-strategy compressors return their own aggregate
 				// slice; everything else aggregates into a persistent buffer.

@@ -75,6 +75,31 @@ func (m *Memory) Update(name string, compensated, approx []float32) {
 	}
 }
 
+// State returns a deep copy of every tensor's residual memory, keyed by
+// tensor name. The copy is safe to serialize or mutate; it shares nothing
+// with the live memory.
+func (m *Memory) State() map[string][]float32 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make(map[string][]float32, len(m.state))
+	for name, st := range m.state {
+		out[name] = append([]float32(nil), st...)
+	}
+	return out
+}
+
+// LoadState replaces the memory's residual state with a deep copy of st,
+// discarding any existing residuals. β and γ are construction-time
+// parameters and are not part of the state.
+func (m *Memory) LoadState(st map[string][]float32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = make(map[string][]float32, len(st))
+	for name, v := range st {
+		m.state[name] = append([]float32(nil), v...)
+	}
+}
+
 // Norm2 reports the Euclidean norm of a tensor's residual memory (0 when the
 // tensor has no state yet); used by tests and diagnostics.
 func (m *Memory) Norm2(name string) float64 {

@@ -85,6 +85,15 @@ type Config struct {
 	// overstate compression overhead by the Go-vs-GPU gap.
 	ComputePerIter time.Duration
 
+	// Checkpoint, when non-nil, enables crash-consistent snapshots of the
+	// full per-rank training state (and, via Resume, restores from one).
+	Checkpoint *CheckpointConfig
+	// OnStep, when set, is called after every completed optimizer step —
+	// after any checkpoint for that step has been saved — with the rank and
+	// the global step count. Returning an error aborts the worker; the
+	// supervisor harness uses this to simulate a crash at a chosen step.
+	OnStep func(rank int, step int64) error
+
 	// Eval computes the quality metric (rank 0, every EvalEvery epochs,
 	// default 1). Optional.
 	Eval func(m Model) float64
@@ -129,6 +138,11 @@ func Run(cfg Config) (*Report, error) {
 	}
 	if cfg.NewModel == nil || cfg.Dataset == nil || cfg.NewOptimizer == nil || cfg.NewCompressor == nil {
 		return nil, fmt.Errorf("grace: incomplete config")
+	}
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Resume != nil {
+		// Snapshots are per-rank; a single shared Resume cannot restore all
+		// workers. Multi-rank restarts drive RunWorker per rank instead.
+		return nil, fmt.Errorf("grace: Checkpoint.Resume is per-rank; use RunWorker")
 	}
 	if cfg.EvalEvery <= 0 {
 		cfg.EvalEvery = 1
@@ -261,6 +275,52 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	gradVecs := make([][]float32, len(params))
 	gradTensors := make([]*tensor.Dense, len(params))
 
+	// Checkpoint resume: restore the full state and fast-forward the loop
+	// position. Epoch schedules are pure functions of (seed, epoch), so
+	// seeking the sampler and skipping the already-consumed batches of the
+	// resume epoch replays exactly the uninterrupted run's remaining batches.
+	var globalStep int64
+	startEpoch, skipIters := 0, 0
+	if ck := cfg.Checkpoint; ck != nil {
+		if (ck.Every > 0 || ck.Final) && ck.Save == nil {
+			return nil, fmt.Errorf("grace: CheckpointConfig needs Save when Every or Final is set")
+		}
+		if ck.Resume != nil {
+			pos, err := applySnapshot(&cfg, rank, ck.Resume, model, opt, mem, eng, syncPoint)
+			if err != nil {
+				return nil, err
+			}
+			globalStep = pos.step
+			startEpoch, skipIters = pos.epoch, pos.iter
+			sinceSync = pos.sinceSync
+			sampler.Seek(startEpoch)
+		}
+	}
+
+	// stepDone runs the post-step bookkeeping shared by both training modes:
+	// periodic checkpointing first (so a crash right after the boundary can
+	// roll back to it), then the OnStep hook.
+	stepDone := func(epoch, iter int) error {
+		globalStep++
+		ck := cfg.Checkpoint
+		if ck != nil && ck.Every > 0 && globalStep%int64(ck.Every) == 0 {
+			snap, err := captureSnapshot(&cfg, rank, model, opt, mem, eng, syncPoint,
+				trainerPos{step: globalStep, epoch: epoch, iter: iter + 1, sinceSync: sinceSync})
+			if err != nil {
+				return err
+			}
+			if err := ck.Save(snap); err != nil {
+				return fmt.Errorf("grace: checkpoint save at step %d: %w", globalStep, err)
+			}
+		}
+		if cfg.OnStep != nil {
+			if err := cfg.OnStep(rank, globalStep); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
 	// exchange runs one whole-step Engine exchange over gradVecs and
 	// accumulates the time/volume accounting.
 	exchange := func(codecScale float64) ([][]float32, time.Duration, time.Duration, error) {
@@ -295,13 +355,16 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		return codecDur, commDur, nil
 	}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		if cfg.LRSchedule != nil {
 			opt.SetLR(cfg.LRSchedule(epoch))
 		}
 		lastEpochStart = clock.Elapsed()
 		lastEpochIters = 0
-		for _, batchIdx := range sampler.EpochBatches(cfg.BatchSize) {
+		for iter, batchIdx := range sampler.EpochBatches(cfg.BatchSize) {
+			if epoch == startEpoch && iter < skipIters {
+				continue
+			}
 			batch := cfg.Dataset.Batch(batchIdx)
 			nn.ZeroGrads(params)
 			t0 := time.Now()
@@ -357,6 +420,9 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			rep.CommTime += commDur
 			rep.Iters++
 			lastEpochIters++
+			if err := stepDone(epoch, iter); err != nil {
+				return nil, err
+			}
 		}
 
 		if rank == 0 {
@@ -375,6 +441,17 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 				}
 			}
 			rep.EpochQuality = append(rep.EpochQuality, q)
+		}
+	}
+
+	if ck := cfg.Checkpoint; ck != nil && ck.Final {
+		snap, err := captureSnapshot(&cfg, rank, model, opt, mem, eng, syncPoint,
+			trainerPos{step: globalStep, epoch: cfg.Epochs, iter: 0, sinceSync: sinceSync})
+		if err != nil {
+			return nil, err
+		}
+		if err := ck.Save(snap); err != nil {
+			return nil, fmt.Errorf("grace: final checkpoint save: %w", err)
 		}
 	}
 

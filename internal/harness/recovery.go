@@ -1,0 +1,369 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/grace"
+	"repro/internal/models"
+	"repro/internal/optim"
+	"repro/internal/simnet"
+)
+
+// Transport selects the collective substrate a recovery experiment runs on.
+// Hub and TCP rings reduce in different floating-point orders, so the
+// uninterrupted reference run always uses the same transport as the
+// crash/recovery run — bitwise comparison is only meaningful within one.
+const (
+	TransportHub = "hub"
+	TransportTCP = "tcp"
+)
+
+// ErrSimulatedCrash marks the kill a recovery scenario injects into one
+// worker: the rank stops dead right after its step-boundary checkpoint, as a
+// SIGKILL would, and the supervisor must recover the group from disk.
+var ErrSimulatedCrash = errors.New("harness: simulated worker crash")
+
+// RecoveryConfig describes one supervised crash/recovery experiment: train
+// with periodic checkpoints, kill one rank mid-run, roll every rank back to
+// the newest checkpoint step they all hold, restart, and require the final
+// weights to match an uninterrupted run bit for bit.
+type RecoveryConfig struct {
+	// Train is the base run. Checkpoint and OnStep are owned by the
+	// supervisor and must be nil.
+	Train grace.Config
+	// Dir is the checkpoint root; per-rank subdirectories are created inside.
+	Dir string
+	// Every is the checkpoint cadence in optimizer steps.
+	Every int
+	// KillRank dies immediately after step KillStep's checkpoint is durable.
+	KillRank int
+	KillStep int64
+	// Transport is TransportHub (default) or TransportTCP.
+	Transport string
+	// Heartbeat configures the TCP ring liveness layer; 0 selects 25ms.
+	// Ignored on the hub, which has supervisor-driven abort instead.
+	Heartbeat time.Duration
+	// Timeout is the per-phase watchdog; 0 selects 60s.
+	Timeout time.Duration
+}
+
+// RecoveryResult reports what the supervisor observed.
+type RecoveryResult struct {
+	// ResumeStep is the step every rank was rolled back to (the newest
+	// checkpoint all ranks hold).
+	ResumeStep int64
+	// KillErrs holds each rank's error from the crashed phase: the victim's
+	// simulated kill, the survivors' typed collective failures.
+	KillErrs []error
+	// Match reports bitwise equality of the recovered and reference finals.
+	Match  bool
+	Detail string
+	// Reference and Recovered are the per-rank final snapshots.
+	Reference, Recovered []*grace.Snapshot
+}
+
+// DefaultRecovery builds the standard kill/restart scenario: a small MLP
+// classification run sized so checkpoints land mid-epoch (3 workers × 4
+// iters/epoch × 2 epochs = 8 lockstep steps), checkpointing every 3 steps,
+// with rank 1 dying at step 5 — between two checkpoint boundaries, so the
+// rollback replays steps the victim had already taken.
+func DefaultRecovery(transport, method string, mem bool, dir string) RecoveryConfig {
+	ds := data.NewImages(data.ImagesConfig{Classes: 4, C: 1, H: 8, W: 8, N: 96, Noise: 0.3, Seed: 7})
+	return RecoveryConfig{
+		Train: grace.Config{
+			Workers:   3,
+			BatchSize: 8,
+			Epochs:    2,
+			Seed:      13,
+			NewModel: func(seed uint64) grace.Model {
+				return models.NewMLPClassifier(seed, 64, []int{24}, 4)
+			},
+			Dataset:      ds,
+			NewOptimizer: func() optim.Optimizer { return optim.NewMomentumSGD(0.05, 0.9) },
+			NewCompressor: func(rank int) (grace.Compressor, error) {
+				return grace.New(method, grace.Options{Seed: uint64(rank) + 1, Ratio: 0.25, Levels: 8})
+			},
+			UseMemory:        mem,
+			CodecParallelism: 2,
+			Net:              simnet.TCP10G,
+		},
+		Dir:       dir,
+		Every:     3,
+		KillRank:  1,
+		KillStep:  5,
+		Transport: transport,
+	}
+}
+
+// RunRecovery executes the full supervised kill/restart scenario.
+func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
+	n := cfg.Train.Workers
+	if cfg.Train.Checkpoint != nil || cfg.Train.OnStep != nil {
+		return nil, fmt.Errorf("harness: recovery owns Checkpoint and OnStep")
+	}
+	if cfg.Dir == "" || cfg.Every <= 0 {
+		return nil, fmt.Errorf("harness: recovery needs Dir and Every")
+	}
+	if cfg.KillRank < 0 || cfg.KillRank >= n {
+		return nil, fmt.Errorf("harness: kill rank %d out of [0,%d)", cfg.KillRank, n)
+	}
+	if cfg.KillStep <= 0 {
+		return nil, fmt.Errorf("harness: kill step must be positive")
+	}
+	switch cfg.Transport {
+	case "", TransportHub, TransportTCP:
+	default:
+		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
+	}
+
+	// Uninterrupted reference on the same transport.
+	refFinals, refErrs, err := runRecoveryPhase(cfg, phaseOpts{})
+	if err != nil {
+		return nil, err
+	}
+	for rank, err := range refErrs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: reference rank %d: %w", rank, err)
+		}
+	}
+
+	// Supervised run, attempt 0: checkpoints to disk, one rank dies.
+	_, killErrs, err := runRecoveryPhase(cfg, phaseOpts{dir: cfg.Dir, kill: true})
+	if err != nil {
+		return nil, err
+	}
+	res := &RecoveryResult{KillErrs: killErrs, Reference: refFinals}
+	if !errors.Is(killErrs[cfg.KillRank], ErrSimulatedCrash) {
+		return nil, fmt.Errorf("harness: victim rank %d error = %v, want simulated crash",
+			cfg.KillRank, killErrs[cfg.KillRank])
+	}
+	for rank, err := range killErrs {
+		if rank != cfg.KillRank && err == nil {
+			return nil, fmt.Errorf("harness: rank %d completed despite the crash (kill step too late?)", rank)
+		}
+	}
+
+	// Roll back to the newest step every rank can actually load — ranks may
+	// have checkpointed unevenly around the crash — and restart all of them.
+	res.ResumeStep = ckpt.CommonStep(cfg.Dir, n)
+	if res.ResumeStep < 0 {
+		return nil, fmt.Errorf("harness: no common checkpoint step across %d ranks", n)
+	}
+	resume := make([]*grace.Snapshot, n)
+	for rank := range resume {
+		d, err := ckpt.OpenDir(cfg.Dir, rank)
+		if err != nil {
+			return nil, err
+		}
+		if resume[rank], err = ckpt.Load(d.Path(res.ResumeStep)); err != nil {
+			return nil, fmt.Errorf("harness: loading rank %d step %d: %w", rank, res.ResumeStep, err)
+		}
+	}
+	recFinals, recErrs, err := runRecoveryPhase(cfg, phaseOpts{dir: cfg.Dir, resume: resume})
+	if err != nil {
+		return nil, err
+	}
+	for rank, err := range recErrs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: recovered rank %d: %w", rank, err)
+		}
+	}
+	res.Recovered = recFinals
+	res.Match, res.Detail = snapshotsBitwiseEqual(recFinals, refFinals)
+	return res, nil
+}
+
+// phaseOpts selects one phase of the scenario: reference (zero value),
+// crash (kill), or restart (resume).
+type phaseOpts struct {
+	dir    string // "" disables on-disk checkpoints (finals still captured)
+	kill   bool
+	resume []*grace.Snapshot
+}
+
+// runRecoveryPhase runs all ranks once over a fresh collective group and
+// returns their final snapshots and errors. The returned error reports
+// infrastructure problems only; training/crash errors land in errs.
+func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snapshot, errs []error, _ error) {
+	n := cfg.Train.Workers
+	finals = make([]*grace.Snapshot, n)
+	errs = make([]error, n)
+
+	// Transport-specific pieces: a per-rank collective factory, the victim's
+	// death action, and the watchdog's group teardown.
+	var collFor func(rank int) (comm.Collective, func(), error)
+	var teardown func()
+	if cfg.Transport == TransportTCP {
+		addrs, err := freeLoopbackAddrs(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		hb := cfg.Heartbeat
+		if hb <= 0 {
+			hb = 25 * time.Millisecond
+		}
+		var mu sync.Mutex
+		var rings []*comm.TCPRing
+		collFor = func(rank int) (comm.Collective, func(), error) {
+			ring, err := comm.DialTCPRingConfig(comm.RingConfig{
+				Rank: rank, Addrs: addrs,
+				SetupTimeout: 10 * time.Second,
+				OpTimeout:    30 * time.Second,
+				Heartbeat:    hb,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			mu.Lock()
+			rings = append(rings, ring)
+			mu.Unlock()
+			// Process death closes the victim's sockets; the survivors
+			// notice via the liveness layer, not via a supervisor message.
+			return ring, func() { ring.Close() }, nil
+		}
+		teardown = func() {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range rings {
+				r.Close()
+			}
+		}
+	} else {
+		hub := comm.NewHub(n)
+		abort := func() {
+			hub.Abort(fmt.Errorf("supervisor: rank %d declared dead: %w", cfg.KillRank, ErrSimulatedCrash))
+		}
+		collFor = func(rank int) (comm.Collective, func(), error) {
+			// On the in-process hub there is no wire to reset, so the
+			// supervisor aborts the group when it sees the victim die.
+			return hub.Worker(rank), abort, nil
+		}
+		teardown = abort
+	}
+
+	cluster := simnetClusterFor(cfg.Train)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				coll, die, err := collFor(rank)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				if c, ok := coll.(*comm.TCPRing); ok {
+					defer c.Close()
+				}
+				tc := cfg.Train
+				var d *ckpt.Dir
+				if opts.dir != "" {
+					if d, err = ckpt.OpenDir(opts.dir, rank); err != nil {
+						errs[rank] = err
+						return
+					}
+				}
+				tc.Checkpoint = &grace.CheckpointConfig{
+					Every: cfg.Every,
+					Final: true,
+					Save: func(s *grace.Snapshot) error {
+						finals[rank] = s
+						if d != nil {
+							return d.SaveStep(s)
+						}
+						return nil
+					},
+				}
+				if opts.resume != nil {
+					tc.Checkpoint.Resume = opts.resume[rank]
+				}
+				if opts.kill && rank == cfg.KillRank {
+					tc.OnStep = func(_ int, step int64) error {
+						if step == cfg.KillStep {
+							die()
+							return ErrSimulatedCrash
+						}
+						return nil
+					}
+				}
+				_, errs[rank] = grace.RunWorker(tc, rank, coll, cluster)
+			}(rank)
+		}
+		wg.Wait()
+	}()
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	select {
+	case <-done:
+		return finals, errs, nil
+	case <-time.After(timeout):
+		teardown()
+		<-done
+		return nil, nil, fmt.Errorf("harness: recovery phase watchdog fired after %v", timeout)
+	}
+}
+
+// snapshotsBitwiseEqual compares per-rank final params bit for bit.
+func snapshotsBitwiseEqual(got, want []*grace.Snapshot) (bool, string) {
+	for rank := range want {
+		g, w := got[rank], want[rank]
+		if g == nil || w == nil {
+			return false, fmt.Sprintf("rank %d: missing final snapshot", rank)
+		}
+		if g.Step != w.Step {
+			return false, fmt.Sprintf("rank %d: final step %d, want %d", rank, g.Step, w.Step)
+		}
+		if len(g.Params) != len(w.Params) {
+			return false, fmt.Sprintf("rank %d: %d params, want %d", rank, len(g.Params), len(w.Params))
+		}
+		for i := range w.Params {
+			for j := range w.Params[i].Data {
+				gb := math.Float32bits(g.Params[i].Data[j])
+				wb := math.Float32bits(w.Params[i].Data[j])
+				if gb != wb {
+					return false, fmt.Sprintf("rank %d: %s[%d] = %08x, want %08x",
+						rank, w.Params[i].Name, j, gb, wb)
+				}
+			}
+		}
+	}
+	return true, ""
+}
+
+// simnetClusterFor builds the virtual-time cluster matching the run's
+// communication architecture.
+func simnetClusterFor(tc grace.Config) simnet.Cluster {
+	if tc.ParamServer {
+		return simnet.NewStarCluster(tc.Net, tc.Workers)
+	}
+	return simnet.NewCluster(tc.Net, tc.Workers)
+}
+
+// freeLoopbackAddrs reserves n distinct loopback ports by briefly listening
+// on them.
+func freeLoopbackAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}

@@ -1,0 +1,281 @@
+package harness
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/grace"
+	"repro/internal/simnet"
+)
+
+// TestMain doubles as the entry point for the SIGKILL recovery test's worker
+// processes: the test re-execs its own binary with GRACE_RECOVERY_WORKER set,
+// so each rank of the real TCP ring is a genuine OS process that can be
+// killed dead.
+func TestMain(m *testing.M) {
+	if os.Getenv("GRACE_RECOVERY_WORKER") != "" {
+		os.Exit(recoveryWorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// runRecoveryCase executes the supervised kill/restart scenario on one
+// transport and requires bitwise-identical finals plus properly typed
+// failure evidence from the crash phase.
+func runRecoveryCase(t *testing.T, transport, method string, mem bool) {
+	t.Helper()
+	res, err := RunRecovery(DefaultRecovery(transport, method, mem, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResumeStep != 3 {
+		t.Fatalf("resumed from step %d, want 3", res.ResumeStep)
+	}
+	if !res.Match {
+		t.Fatalf("recovered run diverged: %s", res.Detail)
+	}
+	if !errors.Is(res.KillErrs[1], ErrSimulatedCrash) {
+		t.Fatalf("victim error = %v", res.KillErrs[1])
+	}
+	for _, rank := range []int{0, 2} {
+		var ce *comm.Error
+		if !errors.As(res.KillErrs[rank], &ce) {
+			t.Fatalf("survivor rank %d error is untyped: %v", rank, res.KillErrs[rank])
+		}
+	}
+}
+
+func TestRecoveryBitwiseHub(t *testing.T) {
+	for _, tc := range []struct {
+		method string
+		mem    bool
+	}{
+		{"topk", true}, // stateless codec + framework EF memory
+		{"dgc", false}, // codec-internal EF state
+	} {
+		t.Run(tc.method, func(t *testing.T) {
+			runRecoveryCase(t, TransportHub, tc.method, tc.mem)
+		})
+	}
+}
+
+func TestRecoveryBitwiseTCP(t *testing.T) {
+	for _, tc := range []struct {
+		method string
+		mem    bool
+	}{
+		{"topk", true},
+		{"dgc", false},
+	} {
+		t.Run(tc.method, func(t *testing.T) {
+			runRecoveryCase(t, TransportTCP, tc.method, tc.mem)
+		})
+	}
+}
+
+// recoveryWorkerMain is one rank of the SIGKILL scenario: a real TCP-ring
+// worker checkpointing to disk, optionally resuming, optionally slowed down
+// so the parent can time its kill.
+func recoveryWorkerMain() int {
+	fail := func(err error) int {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	rank, err := strconv.Atoi(os.Getenv("GRACE_RANK"))
+	if err != nil {
+		return fail(fmt.Errorf("bad GRACE_RANK: %w", err))
+	}
+	addrs := strings.Split(os.Getenv("GRACE_ADDRS"), ",")
+	dir := os.Getenv("GRACE_DIR")
+	resumeStep, err := strconv.ParseInt(os.Getenv("GRACE_RESUME"), 10, 64)
+	if err != nil {
+		return fail(fmt.Errorf("bad GRACE_RESUME: %w", err))
+	}
+	delayMS, _ := strconv.Atoi(os.Getenv("GRACE_STEP_DELAY_MS"))
+
+	cfg := DefaultRecovery(TransportTCP, "topk", true, dir).Train
+	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
+		Rank: rank, Addrs: addrs,
+		SetupTimeout: 20 * time.Second,
+		OpTimeout:    30 * time.Second,
+		Heartbeat:    25 * time.Millisecond,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer ring.Close()
+	d, err := ckpt.OpenDir(dir, rank)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.Checkpoint = &grace.CheckpointConfig{Every: 2, Final: true, Save: d.SaveStep}
+	if resumeStep >= 0 {
+		s, err := ckpt.Load(d.Path(resumeStep))
+		if err != nil {
+			return fail(err)
+		}
+		cfg.Checkpoint.Resume = s
+	}
+	if delayMS > 0 {
+		cfg.OnStep = func(int, int64) error {
+			time.Sleep(time.Duration(delayMS) * time.Millisecond)
+			return nil
+		}
+	}
+	if _, err := grace.RunWorker(cfg, rank, ring, simnet.NewCluster(cfg.Net, cfg.Workers)); err != nil {
+		return fail(err)
+	}
+	return 0
+}
+
+type workerProc struct {
+	cmd *exec.Cmd
+	out bytes.Buffer
+}
+
+func startWorkers(t *testing.T, exe, dir string, addrs []string, resume int64, delayMS int) []*workerProc {
+	t.Helper()
+	procs := make([]*workerProc, len(addrs))
+	for rank := range addrs {
+		p := &workerProc{cmd: exec.Command(exe)}
+		p.cmd.Env = append(os.Environ(),
+			"GRACE_RECOVERY_WORKER=1",
+			"GRACE_RANK="+strconv.Itoa(rank),
+			"GRACE_ADDRS="+strings.Join(addrs, ","),
+			"GRACE_DIR="+dir,
+			"GRACE_RESUME="+strconv.FormatInt(resume, 10),
+			"GRACE_STEP_DELAY_MS="+strconv.Itoa(delayMS),
+		)
+		p.cmd.Stdout = &p.out
+		p.cmd.Stderr = &p.out
+		if err := p.cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		procs[rank] = p
+	}
+	return procs
+}
+
+// TestRecoverySIGKILLTCP is the end-to-end chaos scenario: three OS
+// processes on a real heartbeat-enabled TCP ring, one SIGKILLed mid-run, all
+// restarted from the newest common checkpoint, finals bitwise-identical to
+// an uninterrupted multi-process run.
+func TestRecoverySIGKILLTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const n = 3
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	refDir := root + "/ref"
+	dir := root + "/run"
+
+	// Kill every stray child if the test aborts early.
+	var all []*workerProc
+	defer func() {
+		for _, p := range all {
+			p.cmd.Process.Kill()
+		}
+	}()
+	wait := func(procs []*workerProc, rank int) error {
+		return procs[rank].cmd.Wait()
+	}
+
+	// Uninterrupted multi-process reference.
+	addrs, err := freeLoopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := startWorkers(t, exe, refDir, addrs, -1, 0)
+	all = append(all, ref...)
+	for rank := 0; rank < n; rank++ {
+		if err := wait(ref, rank); err != nil {
+			t.Fatalf("reference rank %d: %v\n%s", rank, err, &ref[rank].out)
+		}
+	}
+
+	// Crash run: slowed steps so the SIGKILL lands mid-run. The parent waits
+	// until the victim's step-4 checkpoint is durable, then kills it dead.
+	if addrs, err = freeLoopbackAddrs(n); err != nil {
+		t.Fatal(err)
+	}
+	const victim = 1
+	procs := startWorkers(t, exe, dir, addrs, -1, 200)
+	all = append(all, procs...)
+	victimDir, err := ckpt.OpenDir(dir, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killDeadline := time.Now().Add(60 * time.Second)
+	for victimDir.LatestStep() < 4 {
+		if time.Now().After(killDeadline) {
+			t.Fatalf("victim never reached step 4; output:\n%s", &procs[victim].out)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := procs[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(procs, victim); err == nil {
+		t.Fatal("victim exited cleanly despite SIGKILL")
+	}
+	for _, rank := range []int{0, 2} {
+		if err := wait(procs, rank); err == nil {
+			t.Fatalf("survivor rank %d completed despite the dead peer", rank)
+		}
+		if out := procs[rank].out.String(); !strings.Contains(out, "comm: rank") {
+			t.Fatalf("survivor rank %d exited without a typed comm error:\n%s", rank, out)
+		}
+	}
+
+	// Supervised restart from the newest step all ranks hold.
+	common := ckpt.CommonStep(dir, n)
+	if common < 2 {
+		t.Fatalf("no usable common checkpoint (step %d)", common)
+	}
+	if addrs, err = freeLoopbackAddrs(n); err != nil {
+		t.Fatal(err)
+	}
+	resumed := startWorkers(t, exe, dir, addrs, common, 0)
+	all = append(all, resumed...)
+	for rank := 0; rank < n; rank++ {
+		if err := wait(resumed, rank); err != nil {
+			t.Fatalf("resumed rank %d: %v\n%s", rank, err, &resumed[rank].out)
+		}
+	}
+
+	// Finals (the step-8 checkpoints) must match the reference bit for bit.
+	got := make([]*grace.Snapshot, n)
+	want := make([]*grace.Snapshot, n)
+	for rank := 0; rank < n; rank++ {
+		gd, err := ckpt.OpenDir(dir, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, err := ckpt.OpenDir(refDir, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[rank], err = ckpt.Load(gd.Path(8)); err != nil {
+			t.Fatalf("recovered rank %d final: %v", rank, err)
+		}
+		if want[rank], err = ckpt.Load(wd.Path(8)); err != nil {
+			t.Fatalf("reference rank %d final: %v", rank, err)
+		}
+	}
+	if ok, detail := snapshotsBitwiseEqual(got, want); !ok {
+		t.Fatalf("SIGKILL recovery diverged: %s", detail)
+	}
+}
