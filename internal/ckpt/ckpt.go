@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"sort"
 
 	"repro/internal/encode"
@@ -314,10 +315,11 @@ func boundedCount(r *encode.Reader, minBytes int) int {
 	return int(n)
 }
 
-// boundedInt reads a uvarint that must fit a non-negative int.
+// boundedInt reads a uvarint that must fit a non-negative int32, so the
+// value stays positive even where int is 32 bits (GOARCH=386/arm).
 func boundedInt(r *encode.Reader) int {
 	v := r.Uvarint()
-	if v > 1<<31 {
+	if v > math.MaxInt32 {
 		poison(r)
 		return 0
 	}

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/fxrand"
@@ -157,31 +158,94 @@ func TestSaveLoadAtomic(t *testing.T) {
 	}
 }
 
-// TestCrashMidWriteLeavesPrevious simulates a crash mid-write: a partial
-// temp file next to a published checkpoint must not affect loading, and a
-// torn file at the final path (simulating a non-atomic writer) is rejected
-// rather than half-trusted.
+// TestCrashMidWriteLeavesPrevious simulates a crash mid-write using the
+// exact file names a real crash produces: partial temp files named the way
+// Save stages them (canonical name + ".tmp" + random suffix) must not be
+// mistaken for checkpoint steps, must not break pruning, and are swept by
+// OpenDir; a torn file at the final path (simulating a non-atomic writer) is
+// rejected rather than half-trusted.
 func TestCrashMidWriteLeavesPrevious(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "a.ckpt")
-	want := sampleSnapshot()
-	if err := Save(path, want); err != nil {
-		t.Fatalf("Save: %v", err)
+	root := t.TempDir()
+	s := sampleSnapshot()
+	write := func(rank int, step int64) {
+		d, err := OpenDir(root, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Rank, s.Step = rank, step
+		if err := d.SaveStep(s); err != nil {
+			t.Fatalf("SaveStep(rank %d, step %d): %v", rank, step, err)
+		}
 	}
-	// A crash between CreateTemp and Rename leaves a partial temp file.
-	torn := Encode(want)[:30]
-	if err := os.WriteFile(filepath.Join(dir, "a.ckpt.tmp123"), torn, 0o644); err != nil {
+	write(0, 10)
+	write(1, 10)
+	write(1, 20)
+
+	// Rank 1 crashed once mid-save of a new step 42 and once mid-re-save of
+	// the existing step 20, leaving partial temps with Save's real naming.
+	torn := Encode(s)[:30]
+	for _, name := range []string{
+		"rank001-step000000000042.ckpt.tmp367812345",
+		"rank001-step000000000020.ckpt.tmp99",
+	} {
+		if err := os.WriteFile(filepath.Join(root, name), torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The phantom step 42 must not be listed, and the half-re-saved step 20
+	// must not be double-counted.
+	d1 := &Dir{root: root, rank: 1}
+	steps, err := d1.Steps()
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Load(path)
-	if err != nil || got.Step != want.Step {
-		t.Fatalf("previous checkpoint unloadable next to torn temp: %v", err)
+	if !reflect.DeepEqual(steps, []int64{10, 20}) {
+		t.Fatalf("Steps next to stale temps = %v, want [10 20]", steps)
 	}
-	// A torn final file is detected.
-	if err := os.WriteFile(path, torn, 0o644); err != nil {
+	latest, err := d1.Latest()
+	if err != nil || latest.Step != 20 {
+		t.Fatalf("Latest next to stale temps = %+v, %v; want step 20", latest, err)
+	}
+	if got := CommonStep(root, 2); got != 10 {
+		t.Fatalf("CommonStep next to stale temps = %d, want 10", got)
+	}
+
+	// Pruning keeps working (it must never try to remove the phantom step's
+	// canonical path).
+	d1.Keep = 1
+	s.Rank, s.Step = 1, 30
+	if err := d1.SaveStep(s); err != nil {
+		t.Fatalf("SaveStep next to stale temps: %v", err)
+	}
+	if steps, err = d1.Steps(); err != nil || !reflect.DeepEqual(steps, []int64{30}) {
+		t.Fatalf("after prune Steps = %v, %v; want [30]", steps, err)
+	}
+
+	// Reopening the rank's directory — what a restarted worker does — sweeps
+	// its stale temps; rank 0's files are untouched.
+	if _, err := OpenDir(root, 1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".ckpt.tmp") {
+			t.Fatalf("stale temp %s survived OpenDir", e.Name())
+		}
+	}
+	d0 := &Dir{root: root, rank: 0}
+	if got := d0.LatestStep(); got != 10 {
+		t.Fatalf("rank 0 LatestStep after rank 1's sweep = %d, want 10", got)
+	}
+
+	// A torn file at the final path is detected.
+	if err := os.WriteFile(d0.Path(10), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(d0.Path(10)); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("torn final file: err = %v, want ErrCorrupt", err)
 	}
 }

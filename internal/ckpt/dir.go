@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 )
 
 // ErrNoCheckpoint is returned by Latest when a rank has no loadable
@@ -81,7 +82,8 @@ type Dir struct {
 	Keep int
 }
 
-// OpenDir creates (if needed) and wraps a checkpoint directory for a rank.
+// OpenDir creates (if needed) and wraps a checkpoint directory for a rank,
+// sweeping any stale temp files a crash mid-Save left behind for that rank.
 func OpenDir(root string, rank int) (*Dir, error) {
 	if rank < 0 {
 		return nil, fmt.Errorf("ckpt: negative rank %d", rank)
@@ -89,7 +91,34 @@ func OpenDir(root string, rank int) (*Dir, error) {
 	if err := os.MkdirAll(root, 0o755); err != nil {
 		return nil, fmt.Errorf("ckpt: creating %s: %w", root, err)
 	}
-	return &Dir{root: root, rank: rank}, nil
+	d := &Dir{root: root, rank: rank}
+	if err := d.sweepStaleTemps(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// sweepStaleTemps removes temp files that a previous incarnation of this
+// rank, crashing mid-Save, left behind. Only this rank's temps are touched:
+// other ranks sharing the directory may have a save in flight right now, but
+// this rank cannot — its saves are synchronous and OpenDir precedes the
+// first one.
+func (d *Dir) sweepStaleTemps() error {
+	entries, err := os.ReadDir(d.root)
+	if err != nil {
+		return fmt.Errorf("ckpt: listing %s: %w", d.root, err)
+	}
+	prefix := fmt.Sprintf("rank%03d-", d.rank)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, prefix) || !strings.Contains(name, ".ckpt.tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(d.root, name)); err != nil {
+			return fmt.Errorf("ckpt: sweeping stale temp %s: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // Path returns the file path for this rank's checkpoint at a step.
@@ -121,6 +150,12 @@ func (d *Dir) Steps() ([]int64, error) {
 		var rank int
 		var step int64
 		if _, err := fmt.Sscanf(e.Name(), "rank%03d-step%012d.ckpt", &rank, &step); err != nil || rank != d.rank {
+			continue
+		}
+		// Sscanf does not anchor the end of the name, so a stale temp file
+		// from a crash mid-Save (rank001-step…042.ckpt.tmp367812345) would
+		// parse as a real step; require an exact reconstruction match.
+		if e.Name() != fmt.Sprintf("rank%03d-step%012d.ckpt", rank, step) {
 			continue
 		}
 		steps = append(steps, step)

@@ -397,6 +397,19 @@ func (t *TCPRing) frameErr(err error) error {
 	if le := t.livenessErr(); le != nil {
 		return le
 	}
+	// A frame op failing because the neighbor just died races the watchLoop's
+	// verdict: the data and heartbeat sockets reset at the same instant. Give
+	// the liveness layer one miss window to render its judgment so callers see
+	// ErrPeerDead rather than a bare EOF/reset.
+	if t.hbStop != nil && !t.closed.Load() {
+		deadline := time.Now().Add(t.hbInterval * time.Duration(t.hbMisses))
+		for time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+			if le := t.livenessErr(); le != nil {
+				return le
+			}
+		}
+	}
 	return err
 }
 
@@ -419,6 +432,28 @@ func (t *TCPRing) Close() error {
 		return err1
 	}
 	return err2
+}
+
+// Kill abruptly severs every ring and heartbeat connection without the
+// goodbye handshake, reproducing the socket teardown of a process death:
+// neighbors observe resets/silence with no preceding bye and declare this
+// rank dead with ErrPeerDead. For fault-injection harnesses; an orderly
+// shutdown is Close. A later Close is a no-op.
+func (t *TCPRing) Kill() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if t.hbStop != nil {
+		close(t.hbStop)
+	}
+	t.next.Close()
+	t.prev.Close()
+	if t.hbNext != nil {
+		t.hbNext.conn.Close()
+	}
+	if t.hbPrev != nil {
+		t.hbPrev.conn.Close()
+	}
 }
 
 // sayGoodbye announces an orderly departure on one heartbeat link: the bye

@@ -146,8 +146,14 @@ func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 			cfg.KillRank, killErrs[cfg.KillRank])
 	}
 	for rank, err := range killErrs {
-		if rank != cfg.KillRank && err == nil {
+		if rank == cfg.KillRank {
+			continue
+		}
+		if err == nil {
 			return nil, fmt.Errorf("harness: rank %d completed despite the crash (kill step too late?)", rank)
+		}
+		if cfg.Transport == TransportTCP && !errors.Is(err, comm.ErrPeerDead) {
+			return nil, fmt.Errorf("harness: survivor rank %d error = %v, want the liveness layer's ErrPeerDead", rank, err)
 		}
 	}
 
@@ -225,9 +231,11 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 			mu.Lock()
 			rings = append(rings, ring)
 			mu.Unlock()
-			// Process death closes the victim's sockets; the survivors
-			// notice via the liveness layer, not via a supervisor message.
-			return ring, func() { ring.Close() }, nil
+			// Process death severs the victim's sockets with no goodbye
+			// handshake (Kill, not Close — Close's orderly bye would make
+			// the survivors treat the departure as graceful); the survivors'
+			// liveness layer declares the rank dead with ErrPeerDead.
+			return ring, func() { ring.Kill() }, nil
 		}
 		teardown = func() {
 			mu.Lock()

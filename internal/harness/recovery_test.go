@@ -51,6 +51,10 @@ func runRecoveryCase(t *testing.T, transport, method string, mem bool) {
 		if !errors.As(res.KillErrs[rank], &ce) {
 			t.Fatalf("survivor rank %d error is untyped: %v", rank, res.KillErrs[rank])
 		}
+		if transport == TransportTCP && !errors.Is(res.KillErrs[rank], comm.ErrPeerDead) {
+			t.Fatalf("survivor rank %d error = %v, want comm.ErrPeerDead from the liveness layer",
+				rank, res.KillErrs[rank])
+		}
 	}
 }
 
