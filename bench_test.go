@@ -6,6 +6,8 @@ package repro_test
 
 import (
 	"io"
+	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -14,7 +16,18 @@ import (
 	"repro/internal/grace"
 	"repro/internal/harness"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
+
+// benchArtifactDir is where bench targets drop BENCH_<name>.json artifacts
+// (committed as the perf trajectory across PRs). Override with
+// GRACE_BENCH_DIR; only benchmark runs write here, plain `go test` does not.
+func benchArtifactDir() string {
+	if dir := os.Getenv("GRACE_BENCH_DIR"); dir != "" {
+		return dir
+	}
+	return "results"
+}
 
 // benchSweep is the reduced-scale system configuration for bench targets.
 func benchSweep() harness.SweepConfig {
@@ -99,6 +112,11 @@ func BenchmarkFig8Codec(b *testing.B) {
 // model's real layer-size distribution (8 tensors, conv kernels through the
 // classifier head), with framework error feedback. ns/op is one whole step
 // across all workers; allocs/op shows the Engine's buffer reuse.
+//
+// The engine variant runs twice — telemetry disabled (the default fast path,
+// which must not regress Step) and with span recording enabled — and each
+// sub-benchmark writes a BENCH_step_exchange_*.json artifact so the
+// comparison is committed, not just printed.
 func BenchmarkStepExchange(b *testing.B) {
 	const workers = 4
 	bench, err := harness.BenchmarkByName("cnnsmall")
@@ -125,6 +143,35 @@ func BenchmarkStepExchange(b *testing.B) {
 		return grace.New("topk", grace.WithRatio(0.05))
 	}
 
+	rawBytes := 0
+	for _, info := range infos {
+		rawBytes += 4 * info.Size()
+	}
+
+	// emit writes one sub-benchmark's result as a committed JSON artifact.
+	// Allocation figures come from whole-process MemStats deltas over the
+	// timed region (the testing package's per-op numbers are not readable
+	// from inside the benchmark), so they cover all four workers' goroutines.
+	emit := func(b *testing.B, name string, rep *grace.StepReport, ms0, ms1 *runtime.MemStats) {
+		a := telemetry.BenchArtifact{
+			Name:        "step_exchange_" + name,
+			NsPerOp:     float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N),
+			BytesPerOp:  float64(ms1.TotalAlloc-ms0.TotalAlloc) / float64(b.N),
+			Extra:       map[string]float64{"workers": workers, "tensors": float64(len(infos))},
+		}
+		if rep != nil {
+			a.SentBytes = int64(rep.SentBytes)
+			a.RecvBytes = int64(rep.RecvBytes)
+			a.CompressionRatio = float64(rawBytes) / float64(rep.SentBytes)
+		}
+		path, err := telemetry.WriteBenchArtifact(benchArtifactDir(), a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
+	}
+
 	b.Run("pipeline-sequential", func(b *testing.B) {
 		hub := comm.NewHub(workers)
 		pipes := make([]*grace.Pipeline, workers)
@@ -136,6 +183,8 @@ func BenchmarkStepExchange(b *testing.B) {
 			pipes[rank] = &grace.Pipeline{Comp: c, Coll: hub.Worker(rank), Mem: grace.NewMemory(1, 1)}
 		}
 		b.ReportAllocs()
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			var wg sync.WaitGroup
@@ -152,38 +201,62 @@ func BenchmarkStepExchange(b *testing.B) {
 			}
 			wg.Wait()
 		}
+		b.StopTimer()
+		runtime.ReadMemStats(&ms1)
+		emit(b, "pipeline", nil, &ms0, &ms1)
 	})
 
-	b.Run("engine", func(b *testing.B) {
-		hub := comm.NewHub(workers)
-		engines := make([]*grace.Engine, workers)
-		for rank := range engines {
-			eng, err := grace.NewEngine(grace.EngineConfig{
-				Coll: hub.Worker(rank),
-				New:  newComp,
-				Mem:  grace.NewMemory(1, 1),
-			})
-			if err != nil {
-				b.Fatal(err)
+	// engine runs the telemetry-disabled fast path; engine-telemetry the same
+	// workload with span recording on. Comparing their artifacts is the
+	// committed proof that disabled telemetry does not tax Engine.Step.
+	for _, variant := range []struct {
+		name string
+		tel  bool
+	}{{"engine", false}, {"engine-telemetry", true}} {
+		b.Run(variant.name, func(b *testing.B) {
+			prev := telemetry.Default.Enabled()
+			telemetry.Default.Enable(variant.tel)
+			defer telemetry.Default.Enable(prev)
+			hub := comm.NewHub(workers)
+			engines := make([]*grace.Engine, workers)
+			for rank := range engines {
+				eng, err := grace.NewEngine(grace.EngineConfig{
+					Coll: hub.Worker(rank),
+					New:  newComp,
+					Mem:  grace.NewMemory(1, 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				engines[rank] = eng
 			}
-			engines[rank] = eng
-		}
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			var wg sync.WaitGroup
-			for rank := 0; rank < workers; rank++ {
-				wg.Add(1)
-				go func(rank int) {
-					defer wg.Done()
-					if _, _, err := engines[rank].Step(grads[rank], infos); err != nil {
-						panic(err)
-					}
-				}(rank)
+			var rep *grace.StepReport
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for rank := 0; rank < workers; rank++ {
+					wg.Add(1)
+					go func(rank int) {
+						defer wg.Done()
+						_, r, err := engines[rank].Step(grads[rank], infos)
+						if err != nil {
+							panic(err)
+						}
+						if rank == 0 {
+							rep = r
+						}
+					}(rank)
+				}
+				wg.Wait()
 			}
-			wg.Wait()
-		}
-	})
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			emit(b, variant.name, rep, &ms0, &ms1)
+		})
+	}
 }
 
 func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }

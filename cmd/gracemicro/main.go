@@ -3,7 +3,11 @@
 //
 // Usage:
 //
-//	gracemicro [-sizes 1,10,100] [-reps 30] [-method topk]
+//	gracemicro [-sizes 1,10,100] [-reps 30] [-method topk] [-json results]
+//
+// With -json, each (method, size) point also lands as a machine-readable
+// BENCH_codec_<method>_<size>.json artifact carrying mean ns/op, payload
+// wire bytes, and the compression ratio.
 package main
 
 import (
@@ -16,13 +20,15 @@ import (
 
 	_ "repro/internal/compress/all"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		sizes  = flag.String("sizes", "1,10", "input sizes in MB, comma separated")
-		reps   = flag.Int("reps", 10, "repetitions per point (paper: 30)")
-		method = flag.String("method", "", "restrict to one method label (e.g. 'Topk(0.01)')")
+		sizes   = flag.String("sizes", "1,10", "input sizes in MB, comma separated")
+		reps    = flag.Int("reps", 10, "repetitions per point (paper: 30)")
+		method  = flag.String("method", "", "restrict to one method label (e.g. 'Topk(0.01)')")
+		jsonDir = flag.String("json", "", "also write BENCH_codec_*.json artifacts into this directory")
 	)
 	flag.Parse()
 
@@ -63,6 +69,28 @@ func main() {
 			fmt.Printf("%-16s %-8s %-10.3f %-10.3f %-10.3f\n",
 				spec.Label, fmt.Sprintf("%dMB", mb),
 				float64(min)/1e6, float64(mean)/1e6, float64(max)/1e6)
+			if *jsonDir != "" {
+				wire, err := harness.CodecVolume(spec, d, 7)
+				if err != nil {
+					fatal(err)
+				}
+				a := telemetry.BenchArtifact{
+					Name:             fmt.Sprintf("codec_%s_%dMB", spec.Label, mb),
+					NsPerOp:          float64(mean.Nanoseconds()),
+					SentBytes:        int64(wire),
+					CompressionRatio: float64(4*d) / float64(wire),
+					Extra: map[string]float64{
+						"min_ns": float64(min.Nanoseconds()),
+						"max_ns": float64(max.Nanoseconds()),
+						"reps":   float64(len(durs)),
+					},
+				}
+				path, err := telemetry.WriteBenchArtifact(*jsonDir, a)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Printf("    wrote %s\n", path)
+			}
 		}
 	}
 }

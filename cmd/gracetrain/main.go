@@ -5,26 +5,34 @@
 // Usage:
 //
 //	gracetrain -bench ncf -method topk -ratio 0.01 -ef -workers 8 -net tcp-10g
+//	gracetrain -bench ncf -method topk,qsgd,powersgd -telemetry-addr 127.0.0.1:9090
 //	gracetrain -benchlist
 //	gracetrain -methods
+//
+// -method accepts a comma-separated list; each method trains in turn inside
+// the one process, so a single live telemetry endpoint (-telemetry-addr)
+// observes all of them. -trace writes a Chrome trace_event file of every
+// phase span; -runjson writes a machine-readable run summary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	_ "repro/internal/compress/all"
 	"repro/internal/grace"
 	"repro/internal/harness"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
 		bench     = flag.String("bench", "cnnsmall", "benchmark name (see -benchlist)")
-		method    = flag.String("method", "none", "compression method (see -methods)")
+		method    = flag.String("method", "none", "compression method, or comma-separated list (see -methods)")
 		ratio     = flag.Float64("ratio", 0, "sparsification ratio / adaptive alpha")
 		levels    = flag.Int("levels", 0, "quantization levels / sketch buckets")
 		rank      = flag.Int("rank", 0, "low-rank factorization rank")
@@ -37,13 +45,41 @@ func main() {
 		seed      = flag.Uint64("seed", 42, "run seed")
 		benchlist = flag.Bool("benchlist", false, "list benchmarks")
 		methods   = flag.Bool("methods", false, "list methods")
-		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep instead of training")
+		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep (add an explicit -bench/-method to also train afterwards in the same process)")
+		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing); also enables span recording")
+		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
+		runJSON   = flag.String("runjson", "", "write a machine-readable run summary (JSON) to this path")
 	)
 	flag.Parse()
 
+	finishTel := startTelemetry(*telAddr, *tracePath, *telLinger)
+
+	// -chaos alone replaces training; combined with an explicit -bench or
+	// -method it runs first, so one process (and one telemetry endpoint)
+	// covers fault/recovery counters and multi-strategy training.
+	trainRequested := !*chaos
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bench" || f.Name == "method" {
+			trainRequested = true
+		}
+	})
+	summary := &harness.RunSummary{Kind: "train", Workers: *workers, Seed: *seed, Pass: true}
+	chaosFailed := 0
 	if *chaos {
-		runChaos(*workers, *seed)
-		return
+		summary.Kind = "chaos"
+		if trainRequested {
+			summary.Kind = "chaos+train"
+		}
+		chaosFailed = runChaos(*workers, *seed, summary)
+		if !trainRequested {
+			writeSummary(*runJSON, summary)
+			finishTel()
+			if chaosFailed > 0 {
+				fatal(fmt.Errorf("%d chaos/recovery scenario(s) failed", chaosFailed))
+			}
+			return
+		}
 	}
 
 	if *benchlist {
@@ -67,49 +103,121 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	meta, err := grace.Lookup(*method)
-	if err != nil {
-		fatal(err)
-	}
-	useEF := *ef
-	if meta.BuiltinEF && useEF {
-		fmt.Fprintf(os.Stderr, "gracetrain: %s has built-in memory; disabling framework EF\n", *method)
-		useEF = false
-	}
-	spec := harness.MethodSpec{
-		Label: *method,
-		Name:  *method,
-		Opts: grace.BuildOptions(
-			grace.WithRatio(*ratio), grace.WithLevels(*levels),
-			grace.WithRank(*rank), grace.WithThreshold(*threshold),
-		),
-		EF: useEF,
-	}
 	sc := harness.SweepConfig{
 		Workers: *workers, Net: link, Scale: *scale, Seed: *seed,
 		CodecParallelism: *codecpar,
 	}
-	fmt.Printf("training %s (%s) with %s on %d workers over %s\n",
-		b.Name, b.PaperModel, *method, *workers, link.Name)
-	rep, err := harness.RunOne(b, spec, sc)
-	if err != nil {
+
+	for _, name := range strings.Split(*method, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		meta, err := grace.Lookup(name)
+		if err != nil {
+			fatal(err)
+		}
+		useEF := *ef
+		if meta.BuiltinEF && useEF {
+			fmt.Fprintf(os.Stderr, "gracetrain: %s has built-in memory; disabling framework EF\n", name)
+			useEF = false
+		}
+		spec := harness.MethodSpec{
+			Label: name,
+			Name:  name,
+			Opts: grace.BuildOptions(
+				grace.WithRatio(*ratio), grace.WithLevels(*levels),
+				grace.WithRank(*rank), grace.WithThreshold(*threshold),
+			),
+			EF: useEF,
+		}
+		fmt.Printf("training %s (%s) with %s on %d workers over %s\n",
+			b.Name, b.PaperModel, name, *workers, link.Name)
+		rep, err := harness.RunOne(b, spec, sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\n%-6s %-12s %-12s\n", "epoch", b.Metric, "time (s)")
+		for i := range rep.EpochQuality {
+			fmt.Printf("%-6d %-12.4f %-12.2f\n", i+1, rep.EpochQuality[i], rep.EpochVirtualTime[i].Seconds())
+		}
+		fmt.Printf("\nbest %s:        %.4f\n", b.Metric, rep.BestQuality)
+		fmt.Printf("throughput:       %.1f samples/s (virtual)\n", rep.Throughput)
+		fmt.Printf("volume/iteration: %.0f bytes/worker sent, %.0f received\n", rep.BytesPerIter, rep.RecvPerIter)
+		fmt.Printf("time split:       compute %v | codec %v | network %v\n\n",
+			rep.ComputeTime, rep.CodecTime, rep.CommTime)
+		summary.Train = append(summary.Train, harness.TrainJSON(b.Name, name, rep))
+	}
+
+	writeSummary(*runJSON, summary)
+	finishTel()
+	if chaosFailed > 0 {
+		fatal(fmt.Errorf("%d chaos/recovery scenario(s) failed", chaosFailed))
+	}
+}
+
+// startTelemetry enables span recording and stands up the exporters the
+// flags ask for; the returned func finishes them (linger for a last scrape,
+// flush and close the trace). With no flags set, both are no-ops.
+func startTelemetry(addr, tracePath string, linger time.Duration) func() {
+	if addr == "" && tracePath == "" {
+		return func() {}
+	}
+	telemetry.Default.Enable(true)
+	var tr *telemetry.Tracer
+	if tracePath != "" {
+		var err error
+		if tr, err = telemetry.CreateTrace(tracePath); err != nil {
+			fatal(err)
+		}
+		telemetry.Default.SetTracer(tr)
+	}
+	var srv *telemetry.MetricsServer
+	if addr != "" {
+		var err error
+		if srv, err = telemetry.Default.Serve(addr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
+	return func() {
+		if srv != nil && linger > 0 {
+			fmt.Printf("telemetry: lingering %v for a final scrape of http://%s/metrics\n", linger, srv.Addr())
+			time.Sleep(linger)
+		}
+		if tr != nil {
+			telemetry.Default.SetTracer(nil)
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "gracetrain: closing trace:", err)
+			} else {
+				fmt.Printf("telemetry: trace written to %s\n", tracePath)
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
+	}
+}
+
+// writeSummary snapshots the telemetry registry into the summary and writes
+// it; a "" path disables.
+func writeSummary(path string, s *harness.RunSummary) {
+	if path == "" {
+		return
+	}
+	snap := telemetry.Default.Snapshot()
+	s.Telemetry = &snap
+	if err := harness.WriteRunSummary(path, s); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("\n%-6s %-12s %-12s\n", "epoch", b.Metric, "time (s)")
-	for i := range rep.EpochQuality {
-		fmt.Printf("%-6d %-12.4f %-12.2f\n", i+1, rep.EpochQuality[i], rep.EpochVirtualTime[i].Seconds())
-	}
-	fmt.Printf("\nbest %s:        %.4f\n", b.Metric, rep.BestQuality)
-	fmt.Printf("throughput:       %.1f samples/s (virtual)\n", rep.Throughput)
-	fmt.Printf("volume/iteration: %.0f bytes/worker\n", rep.BytesPerIter)
-	fmt.Printf("time split:       compute %v | codec %v | network %v\n",
-		rep.ComputeTime, rep.CodecTime, rep.CommTime)
+	fmt.Printf("run summary written to %s\n", path)
 }
 
 // runChaos executes the default fault-injection battery: engines over a
 // Faulty-wrapped hub, one scenario per fault kind, with a watchdog converting
-// any deadlock into a failed row. Exits nonzero if any scenario fails.
-func runChaos(workers int, seed uint64) {
+// any deadlock into a failed row. Scenario rows land in summary; the return
+// value is the number of failed scenarios.
+func runChaos(workers int, seed uint64, summary *harness.RunSummary) int {
 	cfg := harness.DefaultChaos(workers, seed)
 	fmt.Printf("chaos sweep: %d workers, %d tensors x %d steps, method %s\n\n",
 		cfg.Workers, cfg.Tensors, cfg.Steps, cfg.Method)
@@ -121,17 +229,16 @@ func runChaos(workers int, seed uint64) {
 		if !r.Pass {
 			verdict = "FAIL"
 			failed++
+			summary.Pass = false
 		}
 		fmt.Printf("%-18s %-6s %-9d %-9d %-10d %-8s\n",
 			r.Scenario, verdict, r.Injected, r.Faults, r.Fallbacks, r.Elapsed.Round(time.Millisecond))
 		if r.Detail != "" {
 			fmt.Printf("    %s\n", r.Detail)
 		}
+		summary.Chaos = append(summary.Chaos, harness.ChaosJSON(r))
 	}
-	if failed > 0 {
-		fatal(fmt.Errorf("%d chaos scenario(s) failed", failed))
-	}
-	runRecoveryScenarios()
+	return failed + runRecoveryScenarios(summary)
 }
 
 // runRecoveryScenarios executes the supervised kill/restart battery: one
@@ -140,42 +247,54 @@ func runChaos(workers int, seed uint64) {
 // both the in-process hub and a real heartbeat-enabled TCP ring, for a
 // stateless codec with framework error feedback and a codec with internal
 // state.
-func runRecoveryScenarios() {
+func runRecoveryScenarios(summary *harness.RunSummary) int {
 	fmt.Printf("\nrecovery scenarios: kill one rank mid-run, restart from the newest common checkpoint\n")
 	fmt.Printf("%-14s %-6s %-12s %-8s\n", "scenario", "pass", "resume-step", "elapsed")
 	failed := 0
 	for _, sc := range []struct {
 		transport, method string
 		mem               bool
+		// hang freezes the victim instead of severing its sockets, so the
+		// survivors convict it through the heartbeat miss window.
+		hang bool
 	}{
-		{harness.TransportHub, "topk", true},
-		{harness.TransportHub, "dgc", false},
-		{harness.TransportTCP, "topk", true},
-		{harness.TransportTCP, "dgc", false},
+		{harness.TransportHub, "topk", true, false},
+		{harness.TransportHub, "dgc", false, false},
+		{harness.TransportTCP, "topk", true, false},
+		{harness.TransportTCP, "dgc", false, true},
 	} {
 		name := sc.transport + "/" + sc.method
+		if sc.hang {
+			name += "/hang"
+		}
 		dir, err := os.MkdirTemp("", "grace-recovery-*")
 		if err != nil {
 			fatal(err)
 		}
 		start := time.Now()
-		res, err := harness.RunRecovery(harness.DefaultRecovery(sc.transport, sc.method, sc.mem, dir))
+		rcfg := harness.DefaultRecovery(sc.transport, sc.method, sc.mem, dir)
+		if sc.hang {
+			rcfg.KillMode = "hang"
+		}
+		res, err := harness.RunRecovery(rcfg)
 		elapsed := time.Since(start).Round(time.Millisecond)
 		os.RemoveAll(dir)
+		row := harness.RecoveryJSON(name, res, elapsed, err)
+		summary.Recovery = append(summary.Recovery, row)
 		switch {
 		case err != nil:
 			failed++
+			summary.Pass = false
 			fmt.Printf("%-14s %-6s %-12s %-8s\n    %v\n", name, "FAIL", "-", elapsed, err)
 		case !res.Match:
 			failed++
+			summary.Pass = false
 			fmt.Printf("%-14s %-6s %-12d %-8s\n    %s\n", name, "FAIL", res.ResumeStep, elapsed, res.Detail)
 		default:
 			fmt.Printf("%-14s %-6s %-12d %-8s\n", name, "ok", res.ResumeStep, elapsed)
 		}
 	}
-	if failed > 0 {
-		fatal(fmt.Errorf("%d recovery scenario(s) failed", failed))
-	}
+	return failed
 }
 
 func fatal(err error) {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/grace"
 	"repro/internal/harness"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -55,8 +56,13 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for crash-consistent per-rank checkpoints")
 		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every N optimizer steps (0 = final only)")
 		resume    = flag.Bool("resume", false, "resume from the newest checkpoint step every rank can load (negotiated over the ring)")
+		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event file for this rank; also enables span recording")
+		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
 	)
 	flag.Parse()
+
+	finishTel := startTelemetry(*telAddr, *tracePath, *telLinger)
 
 	addrs := strings.Split(*addrsFlag, ",")
 	if *addrsFlag == "" || len(addrs) < 2 {
@@ -178,6 +184,52 @@ func main() {
 			b.Metric, rep.BestQuality, rep.Throughput, rep.BytesPerIter)
 	} else {
 		fmt.Printf("rank %d finished %d iterations (%.0f bytes/iter)\n", *rank, rep.Iters, rep.BytesPerIter)
+	}
+	finishTel()
+}
+
+// startTelemetry enables span recording and stands up the exporters the
+// flags ask for; the returned func finishes them (linger for a last scrape,
+// flush and close the trace). With no flags set, both are no-ops. Each rank
+// is its own process, so each serves its own endpoint and writes its own
+// trace file.
+func startTelemetry(addr, tracePath string, linger time.Duration) func() {
+	if addr == "" && tracePath == "" {
+		return func() {}
+	}
+	telemetry.Default.Enable(true)
+	var tr *telemetry.Tracer
+	if tracePath != "" {
+		var err error
+		if tr, err = telemetry.CreateTrace(tracePath); err != nil {
+			fatal(err)
+		}
+		telemetry.Default.SetTracer(tr)
+	}
+	var srv *telemetry.MetricsServer
+	if addr != "" {
+		var err error
+		if srv, err = telemetry.Default.Serve(addr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
+	return func() {
+		if srv != nil && linger > 0 {
+			fmt.Printf("telemetry: lingering %v for a final scrape of http://%s/metrics\n", linger, srv.Addr())
+			time.Sleep(linger)
+		}
+		if tr != nil {
+			telemetry.Default.SetTracer(nil)
+			if err := tr.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "graceworker: closing trace:", err)
+			} else {
+				fmt.Printf("telemetry: trace written to %s\n", tracePath)
+			}
+		}
+		if srv != nil {
+			srv.Close()
+		}
 	}
 }
 

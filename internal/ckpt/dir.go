@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // ErrNoCheckpoint is returned by Latest when a rank has no loadable
@@ -28,7 +30,8 @@ func Save(path string, s *Snapshot) error {
 		return fmt.Errorf("ckpt: staging temp file: %w", err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(Encode(s)); err != nil {
+	buf := Encode(s)
+	if _, err := tmp.Write(buf); err != nil {
 		tmp.Close()
 		return fmt.Errorf("ckpt: writing %s: %w", tmp.Name(), err)
 	}
@@ -42,7 +45,12 @@ func Save(path string, s *Snapshot) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("ckpt: publishing %s: %w", path, err)
 	}
-	return syncDir(dir)
+	if err := syncDir(dir); err != nil {
+		return err
+	}
+	telemetry.Default.Add(telemetry.CtrCheckpointSaves, 1)
+	telemetry.Default.Add(telemetry.CtrCheckpointBytes, int64(len(buf)))
+	return nil
 }
 
 // Load reads and validates the checkpoint at path.

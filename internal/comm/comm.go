@@ -65,13 +65,18 @@ func (Serial) BroadcastBytes(b []byte, root int) ([]byte, error) { return b, nil
 // Barrier is a no-op.
 func (Serial) Barrier() error { return nil }
 
-// Meter wraps a Collective and counts the bytes this worker sends, which is
-// the paper's "data volume each worker generates" metric (§V). For
-// AllreduceF32 the logical send volume is the full vector (4 bytes/element);
-// for AllgatherBytes and BroadcastBytes it is the worker's own payload.
+// Meter wraps a Collective and counts the bytes this worker sends and
+// receives. Sends are the paper's "data volume each worker generates" metric
+// (§V): for AllreduceF32 the logical send volume is the full vector
+// (4 bytes/element); for AllgatherBytes and BroadcastBytes it is the worker's
+// own payload. Receives are the mirror image — the peer payload bytes this
+// worker collects — which is what allgather-heavy sparsifiers need for an
+// honest wire-cost figure: each worker sends one compressed payload but
+// receives n-1 of them.
 type Meter struct {
 	inner Collective
 	sent  atomic.Int64
+	recv  atomic.Int64
 	ops   atomic.Int64
 }
 
@@ -86,27 +91,46 @@ func (m *Meter) Rank() int { return m.inner.Rank() }
 // Size forwards to the wrapped collective.
 func (m *Meter) Size() int { return m.inner.Size() }
 
-// AllreduceF32 forwards, accounting 4 bytes per element.
+// AllreduceF32 forwards, accounting 4 bytes per element in each direction
+// (the reduced vector comes back at full width).
 func (m *Meter) AllreduceF32(x []float32) error {
 	m.sent.Add(int64(len(x) * 4))
 	m.ops.Add(1)
-	return m.inner.AllreduceF32(x)
+	err := m.inner.AllreduceF32(x)
+	if err == nil {
+		m.recv.Add(int64(len(x) * 4))
+	}
+	return err
 }
 
-// AllgatherBytes forwards, accounting the local payload length.
+// AllgatherBytes forwards, accounting the local payload length as sent and
+// the n-1 peer payloads as received.
 func (m *Meter) AllgatherBytes(b []byte) ([][]byte, error) {
 	m.sent.Add(int64(len(b)))
 	m.ops.Add(1)
-	return m.inner.AllgatherBytes(b)
+	all, err := m.inner.AllgatherBytes(b)
+	if err == nil {
+		for i, p := range all {
+			if i != m.inner.Rank() {
+				m.recv.Add(int64(len(p)))
+			}
+		}
+	}
+	return all, err
 }
 
-// BroadcastBytes forwards, accounting the payload only on the root.
+// BroadcastBytes forwards, accounting the payload as sent only on the root
+// and as received everywhere else.
 func (m *Meter) BroadcastBytes(b []byte, root int) ([]byte, error) {
 	if m.inner.Rank() == root {
 		m.sent.Add(int64(len(b)))
 	}
 	m.ops.Add(1)
-	return m.inner.BroadcastBytes(b, root)
+	out, err := m.inner.BroadcastBytes(b, root)
+	if err == nil && m.inner.Rank() != root {
+		m.recv.Add(int64(len(out)))
+	}
+	return out, err
 }
 
 // Barrier forwards without accounting.
@@ -115,11 +139,15 @@ func (m *Meter) Barrier() error { return m.inner.Barrier() }
 // BytesSent reports the total payload bytes this worker has sent.
 func (m *Meter) BytesSent() int64 { return m.sent.Load() }
 
+// BytesRecv reports the total peer payload bytes this worker has received.
+func (m *Meter) BytesRecv() int64 { return m.recv.Load() }
+
 // Ops reports the number of collective operations performed.
 func (m *Meter) Ops() int64 { return m.ops.Load() }
 
 // Reset zeroes the counters.
 func (m *Meter) Reset() {
 	m.sent.Store(0)
+	m.recv.Store(0)
 	m.ops.Store(0)
 }

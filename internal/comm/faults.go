@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fxrand"
+	"repro/internal/telemetry"
 )
 
 // FaultKind enumerates the failure modes the Faulty wrapper can inject into
@@ -150,6 +151,15 @@ func (f *Faulty) Counts() FaultCounts {
 	}
 }
 
+// note records one injection in the handle's counters, mirrors it into the
+// telemetry registry, and stamps the incident on the trace timeline. The
+// FaultKind order matches the CtrFaultDelays..CtrFaultStalls counter block.
+func (f *Faulty) note(kind FaultKind, op Op) {
+	f.counts[kind].Add(1)
+	telemetry.Default.Add(telemetry.CtrFaultDelays+telemetry.Counter(kind), 1)
+	telemetry.Default.Mark("fault:"+kind.String()+":"+string(op), f.inner.Rank())
+}
+
 // pick returns the first plan rule matching this operation, rolling the
 // seeded RNG for probabilistic rules.
 func (f *Faulty) pick(op Op, step int64) *Fault {
@@ -232,7 +242,7 @@ func (f *Faulty) AllreduceF32(x []float32) error {
 	if ft == nil {
 		return f.inner.AllreduceF32(x)
 	}
-	f.counts[ft.Kind].Add(1)
+	f.note(ft.Kind, OpAllreduce)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
@@ -257,7 +267,7 @@ func (f *Faulty) AllgatherBytes(b []byte) ([][]byte, error) {
 	if ft == nil {
 		return f.inner.AllgatherBytes(b)
 	}
-	f.counts[ft.Kind].Add(1)
+	f.note(ft.Kind, OpAllgather)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
@@ -281,7 +291,7 @@ func (f *Faulty) BroadcastBytes(b []byte, root int) ([]byte, error) {
 	if ft == nil {
 		return f.inner.BroadcastBytes(b, root)
 	}
-	f.counts[ft.Kind].Add(1)
+	f.note(ft.Kind, OpBroadcast)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
@@ -308,7 +318,7 @@ func (f *Faulty) Barrier() error {
 	if ft == nil {
 		return f.inner.Barrier()
 	}
-	f.counts[ft.Kind].Add(1)
+	f.note(ft.Kind, OpBarrier)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()

@@ -3,6 +3,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Hub coordinates an in-process collective group: n worker goroutines in one
@@ -87,10 +89,16 @@ func (h *Hub) abortedErr() error {
 // installs a fresh round before waking the others, letting fast workers
 // proceed to the next operation immediately. An aborted hub fails the
 // exchange instead of blocking on peers that will never deposit.
+//
+// Though no packet leaves the process, the deposited payload is accounted as
+// wire traffic in the telemetry registry: the hub substitutes for a network,
+// so its "wire" volume is what a real transport would have carried.
 func (h *Hub) exchange(rank int, payload []byte) ([][]byte, error) {
 	if err := h.abortedErr(); err != nil {
 		return nil, err
 	}
+	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
+	telemetry.Default.Add(telemetry.CtrWireBytesSent, int64(len(payload)))
 	h.mu.Lock()
 	r := h.cur
 	r.slots[rank] = payload
@@ -102,6 +110,13 @@ func (h *Hub) exchange(rank int, payload []byte) ([][]byte, error) {
 	h.mu.Unlock()
 	select {
 	case <-r.done:
+		var recv int64
+		for i, s := range r.slots {
+			if i != rank {
+				recv += int64(len(s))
+			}
+		}
+		telemetry.Default.Add(telemetry.CtrWireBytesRecv, recv)
 		return r.slots, nil
 	case <-h.aborted:
 		// The round may still complete concurrently, but once the group is

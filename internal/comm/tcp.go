@@ -3,13 +3,17 @@ package comm
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Transport hardening defaults. Production gradients are large but bounded;
@@ -323,20 +327,27 @@ func (t *TCPRing) pingLoop() {
 				}
 				return
 			}
+			telemetry.Default.Add(telemetry.CtrHeartbeatPings, 1)
 		}
 	}
 }
 
-// watchLoop reads pings from one heartbeat connection. Silence for
-// hbInterval × hbMisses, or a connection reset, declares the peer dead; a
-// goodbye byte instead marks an orderly departure and ends the watch without
-// declaring anything.
+// watchLoop reads pings from one heartbeat connection. hbMisses consecutive
+// silent intervals, or a connection reset, declare the peer dead; a goodbye
+// byte instead marks an orderly departure and ends the watch without
+// declaring anything. Watching interval by interval (rather than one read
+// with a window-sized deadline) keeps the same death timing — hbInterval ×
+// hbMisses of total silence — while making each individual miss observable
+// as a telemetry counter tick before the verdict lands.
 func (t *TCPRing) watchLoop(link *hbLink) {
-	window := t.hbInterval * time.Duration(t.hbMisses)
 	buf := make([]byte, 64)
+	misses := 0
 	for {
-		link.conn.SetReadDeadline(time.Now().Add(window))
+		link.conn.SetReadDeadline(time.Now().Add(t.hbInterval))
 		n, err := link.conn.Read(buf)
+		if n > 0 {
+			misses = 0
+		}
 		for _, b := range buf[:n] {
 			if b == hbBye {
 				link.departed.Store(true)
@@ -344,14 +355,26 @@ func (t *TCPRing) watchLoop(link *hbLink) {
 				return
 			}
 		}
-		if err != nil {
-			if !t.closed.Load() && !link.departed.Load() {
-				t.failPeer(link.peer, fmt.Errorf("heartbeat silent/reset: %w", err))
-			} else {
-				link.conn.Close()
-			}
-			return
+		if err == nil {
+			continue
 		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			misses++
+			if !t.closed.Load() && !link.departed.Load() {
+				telemetry.Default.Add(telemetry.CtrHeartbeatMisses, 1)
+			}
+			if misses < t.hbMisses {
+				continue
+			}
+			err = fmt.Errorf("silent for %d intervals: %w", misses, err)
+		}
+		if !t.closed.Load() && !link.departed.Load() {
+			t.failPeer(link.peer, fmt.Errorf("heartbeat silent/reset: %w", err))
+		} else {
+			link.conn.Close()
+		}
+		return
 	}
 }
 
@@ -361,7 +384,8 @@ func (t *TCPRing) watchLoop(link *hbLink) {
 // cascades the death announcement to the other neighbor.
 func (t *TCPRing) failPeer(peer int, cause error) {
 	t.peerMu.Lock()
-	if t.peerErr == nil {
+	first := t.peerErr == nil
+	if first {
 		t.peerErr = &Error{
 			Rank: t.rank,
 			Op:   OpHeartbeat,
@@ -370,6 +394,10 @@ func (t *TCPRing) failPeer(peer int, cause error) {
 		}
 	}
 	t.peerMu.Unlock()
+	if first {
+		telemetry.Default.Add(telemetry.CtrPeerDeaths, 1)
+		telemetry.Default.Mark("peer_dead:rank"+strconv.Itoa(peer), t.rank)
+	}
 	t.next.Close()
 	t.prev.Close()
 	if t.hbNext != nil {
@@ -456,6 +484,21 @@ func (t *TCPRing) Kill() {
 	}
 }
 
+// Hang freezes this rank without touching its sockets, reproducing a stalled
+// process (SIGSTOP, a wedged disk, a pathological GC pause): connections stay
+// open and ACKing, but pings stop, so neighbors' liveness layer must reach
+// its verdict through the full miss window rather than a socket reset. For
+// fault-injection harnesses; the abrupt socket teardown of a process death
+// is Kill. A later Close is a no-op.
+func (t *TCPRing) Hang() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if t.hbStop != nil {
+		close(t.hbStop)
+	}
+}
+
 // sayGoodbye announces an orderly departure on one heartbeat link: the bye
 // byte followed by a write-side FIN. The connection is fully closed only
 // after the neighbor has had a whole miss window to read the announcement —
@@ -493,6 +536,7 @@ func (t *TCPRing) sendFrame(b []byte) error {
 	if len(b) > t.maxFrame {
 		return fmt.Errorf("%w: sending %d bytes > limit %d", ErrFrameTooLarge, len(b), t.maxFrame)
 	}
+	span := telemetry.Default.Start()
 	if t.opTO > 0 {
 		if err := t.next.SetWriteDeadline(time.Now().Add(t.opTO)); err != nil {
 			return t.frameErr(fmt.Errorf("set write deadline: %w", err))
@@ -506,7 +550,12 @@ func (t *TCPRing) sendFrame(b []byte) error {
 	if _, err := t.nextW.Write(b); err != nil {
 		return t.frameErr(err)
 	}
-	return t.frameErr(t.nextW.Flush())
+	if err := t.frameErr(t.nextW.Flush()); err != nil {
+		return err
+	}
+	telemetry.Default.Add(telemetry.CtrWireBytesSent, int64(4+len(b)))
+	telemetry.Default.Observe(telemetry.PhaseWireSend, t.rank, telemetry.TIDWireSend, "", span)
+	return nil
 }
 
 // recvFrame reads one length-prefixed frame from the predecessor under the
@@ -517,13 +566,19 @@ func (t *TCPRing) recvFrame() ([]byte, error) {
 	if err := t.livenessErr(); err != nil {
 		return nil, err
 	}
+	span := telemetry.Default.Start()
 	if t.opTO > 0 {
 		if err := t.prev.SetReadDeadline(time.Now().Add(t.opTO)); err != nil {
 			return nil, t.frameErr(fmt.Errorf("set read deadline: %w", err))
 		}
 	}
 	b, err := readFrame(t.prevR, t.maxFrame)
-	return b, t.frameErr(err)
+	if err != nil {
+		return b, t.frameErr(err)
+	}
+	telemetry.Default.Add(telemetry.CtrWireBytesRecv, int64(4+len(b)))
+	telemetry.Default.Observe(telemetry.PhaseWireRecv, t.rank, telemetry.TIDWireRecv, "", span)
+	return b, nil
 }
 
 // readFrame decodes one length-prefixed frame from r, rejecting bodies
@@ -573,6 +628,7 @@ func (t *TCPRing) sendRecv(out []byte) ([]byte, error) {
 // AllreduceF32 performs ring allreduce: reduce-scatter then allgather.
 func (t *TCPRing) AllreduceF32(x []float32) error {
 	step := t.step.Add(1)
+	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
 	n := t.n
 	chunk := func(i int) (lo, hi int) {
 		i = ((i % n) + n) % n
@@ -617,6 +673,7 @@ func (t *TCPRing) AllreduceF32(x []float32) error {
 // AllgatherBytes circulates payloads around the ring for n-1 steps.
 func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
 	step := t.step.Add(1)
+	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
 	out := make([][]byte, t.n)
 	out[t.rank] = b
 	cur := b
@@ -635,6 +692,7 @@ func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
 // BroadcastBytes forwards root's payload around the ring.
 func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
 	step := t.step.Add(1)
+	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
 	if root < 0 || root >= t.n {
 		return nil, wrapErr(t.rank, OpBroadcast, step, fmt.Errorf("broadcast root %d out of range", root))
 	}
@@ -662,6 +720,7 @@ func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
 // worker has entered.
 func (t *TCPRing) Barrier() error {
 	step := t.step.Add(1)
+	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
 	for s := 0; s < 2; s++ {
 		if _, err := t.sendRecv(nil); err != nil {
 			return wrapErr(t.rank, OpBarrier, step, err)

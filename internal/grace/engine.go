@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/telemetry"
 )
 
 // Engine is the per-worker, step-scoped exchange orchestrator: it accepts
@@ -36,7 +37,14 @@ type Engine struct {
 	mem      *Memory
 	lanes    []*engineLane
 	n        float32 // worker count
-	fallback bool    // DecodeFallback: recover decode failures via raw resend
+	rank     int
+	fallback bool // DecodeFallback: recover decode failures via raw resend
+
+	// drv is the comm driver's telemetry scope; drvNs is its per-phase
+	// accumulator (driver goroutine only, merged into rep.PhaseNs at step
+	// end together with the lanes' accumulators).
+	drv   telScope
+	drvNs [telemetry.NumPhases]int64
 
 	// ready carries tensor indices from lanes to the comm driver as their
 	// payloads become available; buffered to len(infos) so lanes never block.
@@ -70,6 +78,11 @@ type engineLane struct {
 	caps    Caps
 	dec     chan int // tensor indices to decode; -1 ends the step
 	scratch []float32
+
+	// ts is this lane's telemetry scope; phaseNs is its private per-phase
+	// accumulator, merged by the driver after the lanes join.
+	ts      telScope
+	phaseNs [telemetry.NumPhases]int64
 }
 
 // EngineConfig configures a per-worker Engine.
@@ -108,6 +121,9 @@ type StrategyStats struct {
 	Tensors int
 	// SentBytes is the wire volume those tensors cost this worker.
 	SentBytes int
+	// RecvBytes is the peer payload volume those tensors delivered to this
+	// worker (see StepStats.RecvBytes for per-strategy semantics).
+	RecvBytes int
 }
 
 // StepReport aggregates one Engine.Step: per-tensor stats (same semantics as
@@ -118,6 +134,9 @@ type StepReport struct {
 	Tensors []StepStats
 	// SentBytes is this worker's total wire volume for the step.
 	SentBytes int
+	// RecvBytes is this worker's total received peer payload volume for the
+	// step (the mirror of SentBytes; see StepStats.RecvBytes).
+	RecvBytes int
 	// CodecTime sums measured compress/decompress/memory time across all
 	// tensors (lane time, not wall time — lanes run concurrently).
 	CodecTime time.Duration
@@ -136,6 +155,12 @@ type StepReport struct {
 	// round — the union of all workers' faults, so it is identical on every
 	// rank and ≥ this worker's own Faults.
 	Fallbacks int
+	// PhaseNs breaks the step's codec and communication time down per
+	// telemetry.Phase (index = int(phase), nanoseconds summed across the
+	// driver and all lanes). Populated only while telemetry span recording
+	// is enabled (telemetry.Default.Enable); all zeros otherwise, so the
+	// disabled fast path stays free of extra clock reads.
+	PhaseNs [telemetry.NumPhases]int64
 }
 
 // NewEngine builds an Engine. All lane compressors must agree on method name
@@ -164,7 +189,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		return nil, fmt.Errorf("grace: engine needs a compressor (Comp) or factory (New)")
 	}
 	first := comps[0]
-	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size()), fallback: cfg.DecodeFallback}
+	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size()),
+		rank: cfg.Coll.Rank(), fallback: cfg.DecodeFallback}
+	e.drv = telScope{rank: e.rank, tid: telemetry.TIDDriver, acc: &e.drvNs}
 	for i, c := range comps {
 		if c.Name() != first.Name() || c.Strategy() != first.Strategy() {
 			return nil, fmt.Errorf("grace: engine lanes disagree: lane 0 is %s/%v, lane %d is %s/%v",
@@ -174,7 +201,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		if caps.Strategy == Custom && caps.Custom == nil {
 			return nil, fmt.Errorf("grace: %s declares Custom strategy but lacks CustomComm", c.Name())
 		}
-		e.lanes = append(e.lanes, &engineLane{comp: c, caps: caps})
+		ln := &engineLane{comp: c, caps: caps}
+		ln.ts = telScope{rank: e.rank, tid: 1 + i, acc: &ln.phaseNs}
+		e.lanes = append(e.lanes, ln)
 	}
 	return e, nil
 }
@@ -281,16 +310,38 @@ driver:
 	for i := range e.rep.Tensors {
 		st := &e.rep.Tensors[i]
 		e.rep.SentBytes += st.SentBytes
+		e.rep.RecvBytes += st.RecvBytes
 		e.rep.CodecTime += st.CodecTime
 		bs := &e.rep.ByStrategy[st.Strategy]
 		bs.Tensors++
 		bs.SentBytes += st.SentBytes
+		bs.RecvBytes += st.RecvBytes
 	}
 	if e.fallback {
 		// The recovery round's failure bitmask is wire volume too.
 		e.rep.SentBytes += (m + 7) / 8
 	}
 	e.rep.WallTime = time.Since(start)
+
+	// Merge the per-phase accumulators (driver + lanes, each written only by
+	// its own goroutine) and feed the always-on registry counters.
+	for p := 0; p < telemetry.NumPhases; p++ {
+		e.rep.PhaseNs[p] = e.drvNs[p]
+		for _, ln := range e.lanes {
+			e.rep.PhaseNs[p] += ln.phaseNs[p]
+		}
+	}
+	tel := telemetry.Default
+	tel.Add(telemetry.CtrSteps, 1)
+	tel.Add(telemetry.CtrStepBytesSent, int64(e.rep.SentBytes))
+	tel.Add(telemetry.CtrStepBytesRecv, int64(e.rep.RecvBytes))
+	tel.Add(telemetry.CtrDecodeFaults, int64(e.rep.Faults))
+	tel.Add(telemetry.CtrDecodeFallbacks, int64(e.rep.Fallbacks))
+	for s, bs := range e.rep.ByStrategy {
+		if bs.Tensors > 0 {
+			tel.AddStrategyBytes(s, int64(bs.SentBytes), int64(bs.RecvBytes))
+		}
+	}
 	return e.out, &e.rep, nil
 }
 
@@ -305,8 +356,10 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 
 	comp := g
 	if e.mem != nil {
+		span := ln.ts.start()
 		comp = e.comp[i]
 		e.mem.compensateInto(comp, info.Name, g)
+		ln.ts.end(telemetry.PhaseCompensate, info.Name, span)
 	}
 	e.compVec[i] = comp
 
@@ -317,18 +370,23 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 		return
 	}
 
+	span := ln.ts.start()
 	pay, err := ln.comp.Compress(comp, info)
 	if err != nil {
 		e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
 			Err: fmt.Errorf("%s: %w", ln.comp.Name(), err)})
 		return
 	}
+	ln.ts.end(telemetry.PhaseCompress, info.Name, span)
 	e.pays[i] = pay
 	st.SentBytes = pay.WireBytes()
 
 	if e.mem != nil {
 		// Worker-local approximation for the memory update, before the
-		// collective so codec time excludes wire wait.
+		// collective so codec time excludes wire wait. Attributed to the
+		// compensate phase: the decompression here exists only to feed the
+		// residual update (Eq. 4).
+		span = ln.ts.start()
 		if ln.caps.Into != nil {
 			scratch := ln.scratch[:info.Size()]
 			if err := ln.caps.Into.DecompressInto(pay, info, scratch); err != nil {
@@ -346,6 +404,7 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 			}
 			e.mem.Update(info.Name, comp, approx)
 		}
+		ln.ts.end(telemetry.PhaseCompensate, info.Name, span)
 	}
 	st.CodecTime = time.Since(t0)
 }
@@ -357,15 +416,22 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 	st := &e.rep.Tensors[i]
 	switch ln.caps.Strategy {
 	case Custom:
+		span := e.drv.start()
 		agg, sent, err := ln.caps.Custom.CommunicateAggregate(e.compVec[i], info, e.coll)
 		if err != nil {
 			return &StepError{Tensor: i, Name: info.Name, Phase: "custom",
 				Err: fmt.Errorf("%s: %w", ln.comp.Name(), err)}
 		}
+		e.drv.end(telemetry.PhaseCollective, info.Name, span)
 		st.SentBytes = sent
+		// CustomComm reports only its send volume; assume a symmetric
+		// exchange for the receive side rather than report zero.
+		st.RecvBytes = sent
 		if e.mem != nil {
 			t := time.Now()
+			span = e.drv.start()
 			e.mem.Update(info.Name, e.compVec[i], agg)
+			e.drv.end(telemetry.PhaseCompensate, info.Name, span)
 			st.CodecTime += time.Since(t)
 		}
 		e.out[i] = agg
@@ -376,12 +442,17 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 		if pay.Dense == nil {
 			return fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", ln.comp.Name())
 		}
+		span := e.drv.start()
 		summed := getF32(len(pay.Dense))
 		copy(summed, pay.Dense)
+		e.drv.end(telemetry.PhaseEncode, info.Name, span)
+		span = e.drv.start()
 		if err := e.coll.AllreduceF32(summed); err != nil {
 			putF32(summed)
 			return &StepError{Tensor: i, Name: info.Name, Phase: "collective", Err: err}
 		}
+		e.drv.end(telemetry.PhaseCollective, info.Name, span)
+		st.RecvBytes = len(summed) * 4
 		e.summed[i] = summed
 		ln.dec <- i
 		return nil
@@ -391,9 +462,16 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 		if pay.Bytes == nil && pay.Dense != nil {
 			return fmt.Errorf("grace: %s uses Allgather but produced a dense payload", ln.comp.Name())
 		}
+		span := e.drv.start()
 		all, err := e.coll.AllgatherBytes(pay.Bytes)
 		if err != nil {
 			return &StepError{Tensor: i, Name: info.Name, Phase: "collective", Err: err}
+		}
+		e.drv.end(telemetry.PhaseCollective, info.Name, span)
+		for rank, b := range all {
+			if rank != e.rank {
+				st.RecvBytes += len(b)
+			}
 		}
 		e.gathers[i] = all
 		ln.dec <- i
@@ -417,13 +495,17 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 	case Allreduce:
 		summed := e.summed[i]
 		e.summed[i] = nil
+		span := ln.ts.start()
 		if ln.caps.Into != nil {
 			if err := ln.caps.Into.DecompressInto(&Payload{Dense: summed}, info, e.out[i]); err != nil {
 				putF32(summed)
 				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
 				return
 			}
+			ln.ts.end(telemetry.PhaseDecode, info.Name, span)
+			span = ln.ts.start()
 			scale(e.out[i], 1/e.n)
+			ln.ts.end(telemetry.PhaseAggregate, info.Name, span)
 		} else {
 			agg, err := ln.comp.Decompress(&Payload{Dense: summed}, info)
 			if err != nil {
@@ -431,7 +513,10 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
 				return
 			}
+			ln.ts.end(telemetry.PhaseDecode, info.Name, span)
+			span = ln.ts.start()
 			scale(agg, 1/e.n)
+			ln.ts.end(telemetry.PhaseAggregate, info.Name, span)
 			e.out[i] = agg
 		}
 		putF32(summed)
@@ -444,7 +529,7 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 			sizes[rank] = len(b)
 		}
 		st.GatherSizes = sizes
-		if err := decodeAggregate(ln.comp, ln.caps, all, info, e.out[i], e.n); err != nil {
+		if err := decodeAggregate(ln.comp, ln.caps, all, info, e.out[i], e.n, ln.ts); err != nil {
 			e.failTensor(i, info, err)
 			return
 		}
@@ -474,6 +559,7 @@ func (e *Engine) failTensor(i int, info TensorInfo, err error) {
 // the identical collective sequence, preserving the lockstep contract, and a
 // corrupt payload costs one step of compression savings instead of the run.
 func (e *Engine) recoverStep(infos []TensorInfo) error {
+	span := e.drv.start()
 	m := len(infos)
 	mask := make([]byte, (m+7)/8)
 	for i, bad := range e.failed {
@@ -486,6 +572,8 @@ func (e *Engine) recoverStep(infos []TensorInfo) error {
 	if err != nil {
 		return &StepError{Tensor: -1, Phase: "recovery", Err: err}
 	}
+	// Every peer's mask arrives over the wire; ours does not.
+	e.rep.RecvBytes += (len(all) - 1) * len(mask)
 	union := make([]byte, len(mask))
 	for _, b := range all {
 		if len(b) != len(mask) {
@@ -513,7 +601,9 @@ func (e *Engine) recoverStep(infos []TensorInfo) error {
 		scale(e.out[i], 1/e.n)
 		e.rep.Fallbacks++
 		e.rep.Tensors[i].SentBytes += len(e.out[i]) * 4
+		e.rep.Tensors[i].RecvBytes += len(e.out[i]) * 4
 	}
+	e.drv.end(telemetry.PhaseRecovery, "", span)
 	return nil
 }
 
@@ -580,11 +670,17 @@ func (e *Engine) ensure(infos []TensorInfo) {
 	// Per-step reset.
 	e.firstErr = nil
 	e.rep.SentBytes = 0
+	e.rep.RecvBytes = 0
 	e.rep.CodecTime = 0
 	e.rep.WallTime = 0
 	e.rep.ByStrategy = [3]StrategyStats{}
 	e.rep.Faults = 0
 	e.rep.Fallbacks = 0
+	e.rep.PhaseNs = [telemetry.NumPhases]int64{}
+	e.drvNs = [telemetry.NumPhases]int64{}
+	for _, ln := range e.lanes {
+		ln.phaseNs = [telemetry.NumPhases]int64{}
+	}
 	for i := 0; i < m; i++ {
 		e.rep.Tensors[i] = StepStats{}
 		e.have[i] = false

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/telemetry"
 )
 
 // StepStats reports what one Exchange did, for volume accounting and
@@ -14,6 +15,12 @@ type StepStats struct {
 	// SentBytes is this worker's wire payload (the paper's data-volume
 	// metric).
 	SentBytes int
+	// RecvBytes is the peer payload volume this worker collected for the
+	// tensor: the reduced vector for Allreduce (full width), the n-1 peer
+	// payloads for Allgather — which is where sparsifiers' true wire cost
+	// hides at scale — and, for Custom strategies that do not report their
+	// own receive volume, a SentBytes mirror (symmetric-exchange assumption).
+	RecvBytes int
 	// GatherSizes holds every worker's payload size for Allgather exchanges
 	// (nil otherwise); simnet's allgather cost model consumes it.
 	GatherSizes []int
@@ -74,6 +81,7 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 			return nil, stats, fmt.Errorf("grace: %s custom comm: %w", p.Comp.Name(), err)
 		}
 		stats.SentBytes = sent
+		stats.RecvBytes = sent // symmetric-exchange assumption, as in Engine
 		if p.Mem != nil {
 			t := time.Now()
 			p.Mem.Update(info.Name, comp, agg)
@@ -119,6 +127,7 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 		if err := p.Coll.AllreduceF32(summed); err != nil {
 			return nil, stats, fmt.Errorf("grace: allreduce: %w", err)
 		}
+		stats.RecvBytes = len(summed) * 4
 		t := time.Now()
 		agg, err = p.Comp.Decompress(&Payload{Dense: summed}, info)
 		putF32(summed)
@@ -139,10 +148,14 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 		stats.GatherSizes = make([]int, len(all))
 		for rank, b := range all {
 			stats.GatherSizes[rank] = len(b)
+			if rank != p.Coll.Rank() {
+				stats.RecvBytes += len(b)
+			}
 		}
 		t := time.Now()
 		agg = make([]float32, info.Size())
-		if err := decodeAggregate(p.Comp, p.caps, all, info, agg, n); err != nil {
+		ts := telScope{rank: p.Coll.Rank(), tid: telemetry.TIDDriver}
+		if err := decodeAggregate(p.Comp, p.caps, all, info, agg, n, ts); err != nil {
 			return nil, stats, err
 		}
 		stats.CodecTime += time.Since(t)
@@ -158,12 +171,14 @@ func (p *Pipeline) Exchange(g []float32, info TensorInfo) ([]float32, StepStats,
 // aggregation is the mean, accumulated in rank order so results are bitwise
 // identical on every worker; compressors with a custom Agg function
 // (caps.Aggregator) replace it. When the compressor supports DecompressInto,
-// the mean path runs allocation-free over a pooled scratch buffer.
-func decodeAggregate(c Compressor, caps Caps, all [][]byte, info TensorInfo, dst []float32, n float32) error {
+// the mean path runs allocation-free over a pooled scratch buffer. ts scopes
+// the decode/aggregate telemetry spans to the calling lane or pipeline.
+func decodeAggregate(c Compressor, caps Caps, all [][]byte, info TensorInfo, dst []float32, n float32, ts telScope) error {
 	size := info.Size()
 	if caps.Aggregator != nil {
 		// Custom Agg function (Algorithm 1, line 13) needs every rank's
 		// decoded gradient at once.
+		span := ts.start()
 		decoded := make([][]float32, len(all))
 		for rank, b := range all {
 			dec, err := c.Decompress(&Payload{Bytes: b}, info)
@@ -175,11 +190,14 @@ func decodeAggregate(c Compressor, caps Caps, all [][]byte, info TensorInfo, dst
 			}
 			decoded[rank] = dec
 		}
+		ts.end(telemetry.PhaseDecode, info.Name, span)
+		span = ts.start()
 		agg := caps.Aggregator.Aggregate(decoded, info)
 		if len(agg) != size {
 			return fmt.Errorf("grace: %s aggregated %d elements, want %d", c.Name(), len(agg), size)
 		}
 		copy(dst, agg)
+		ts.end(telemetry.PhaseAggregate, info.Name, span)
 		return nil
 	}
 
@@ -191,8 +209,10 @@ func decodeAggregate(c Compressor, caps Caps, all [][]byte, info TensorInfo, dst
 		scratch = getF32(size)
 		defer putF32(scratch)
 	}
+	var decodeNs, aggNs time.Duration
 	for rank, b := range all {
 		var dec []float32
+		span := ts.start()
 		if caps.Into != nil {
 			if err := caps.Into.DecompressInto(&Payload{Bytes: b}, info, scratch); err != nil {
 				return fmt.Errorf("grace: %s decompress rank %d: %w", c.Name(), rank, err)
@@ -208,10 +228,19 @@ func decodeAggregate(c Compressor, caps Caps, all [][]byte, info TensorInfo, dst
 				return fmt.Errorf("grace: %s decompressed %d elements, want %d", c.Name(), len(dec), size)
 			}
 		}
+		decodeNs += telemetry.Default.Observe(telemetry.PhaseDecode, ts.rank, ts.tid, info.Name, span)
+		span = ts.start()
 		for i, v := range dec {
 			dst[i] += v
 		}
+		aggNs += telemetry.Default.Observe(telemetry.PhaseAggregate, ts.rank, ts.tid, info.Name, span)
 	}
+	span := ts.start()
 	scale(dst, 1/n)
+	aggNs += telemetry.Default.Observe(telemetry.PhaseAggregate, ts.rank, ts.tid, info.Name, span)
+	if ts.acc != nil {
+		ts.acc[telemetry.PhaseDecode] += int64(decodeNs)
+		ts.acc[telemetry.PhaseAggregate] += int64(aggNs)
+	}
 	return nil
 }

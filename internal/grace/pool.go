@@ -3,6 +3,8 @@ package grace
 import (
 	"math/bits"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Scratch-buffer reuse. Exchanges allocate several gradient-sized float32
@@ -23,11 +25,13 @@ func getF32(n int) []float32 {
 	if n <= 0 {
 		return nil
 	}
+	telemetry.Default.Add(telemetry.CtrPoolGets, 1)
 	c := poolClass(n)
 	if c >= f32PoolClasses {
 		return make([]float32, n)
 	}
 	if p, _ := f32Pools[c].Get().(*[]float32); p != nil {
+		telemetry.Default.Add(telemetry.CtrPoolHits, 1)
 		return (*p)[:n]
 	}
 	return make([]float32, n, 1<<c)

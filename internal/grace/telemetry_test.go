@@ -1,0 +1,321 @@
+package grace_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+	"repro/internal/telemetry"
+)
+
+// telInfos builds a small mixed-shape tensor set for engine telemetry tests.
+func telInfos(m int) []grace.TensorInfo {
+	infos := make([]grace.TensorInfo, m)
+	for i := range infos {
+		shape := []int{32, 4}
+		if i%2 == 1 {
+			shape = []int{41}
+		}
+		infos[i] = grace.NewTensorInfo(fmt.Sprintf("tel%d", i), shape)
+	}
+	return infos
+}
+
+func telGrads(rank int, infos []grace.TensorInfo) [][]float32 {
+	out := make([][]float32, len(infos))
+	for i, info := range infos {
+		g := make([]float32, info.Size())
+		for j := range g {
+			g[j] = float32((j+rank*13+i*7)%101)*0.001 - 0.05
+		}
+		out[i] = g
+	}
+	return out
+}
+
+// runTelStep runs `steps` engine steps on `workers` hub workers and returns
+// rank 0's last report.
+func runTelStep(t *testing.T, workers, steps int, newComp func() (grace.Compressor, error)) *grace.StepReport {
+	t.Helper()
+	infos := telInfos(4)
+	hub := comm.NewHub(workers)
+	var rep *grace.StepReport
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			eng, err := grace.NewEngine(grace.EngineConfig{
+				Coll: hub.Worker(rank), New: newComp, Parallelism: 2,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			grads := telGrads(rank, infos)
+			for s := 0; s < steps; s++ {
+				_, r, err := eng.Step(grads, infos)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				if rank == 0 {
+					rep = r
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return rep
+}
+
+// TestEngineTelemetryAcrossStrategies drives one engine step per strategy
+// with span recording on and checks (a) the per-step phase timings land in
+// StepReport.PhaseNs, (b) RecvBytes follows each strategy's semantics, and
+// (c) the global registry's step and per-strategy byte counters advance by
+// exactly what the reports claim. Counter assertions are deltas: the Default
+// registry is process-global and other tests in this binary also feed it.
+func TestEngineTelemetryAcrossStrategies(t *testing.T) {
+	prev := telemetry.Default.Enabled()
+	telemetry.Default.Enable(true)
+	defer telemetry.Default.Enable(prev)
+
+	cases := []struct {
+		method   string
+		opts     grace.Options
+		strategy grace.Strategy
+	}{
+		{"none", grace.Options{}, grace.Allreduce},
+		{"topk", grace.Options{Ratio: 0.25}, grace.Allgather},
+		{"powersgd", grace.Options{Rank: 2}, grace.Custom},
+	}
+	for _, tc := range cases {
+		t.Run(tc.method, func(t *testing.T) {
+			const workers = 3
+			stepsBefore := telemetry.Default.Value(telemetry.CtrSteps)
+			sentBefore, recvBefore := telemetry.Default.StrategyBytes(int(tc.strategy))
+
+			rep := runTelStep(t, workers, 1, func() (grace.Compressor, error) {
+				return grace.New(tc.method, tc.opts)
+			})
+
+			if rep.SentBytes <= 0 || rep.RecvBytes <= 0 {
+				t.Fatalf("degenerate volume: sent=%d recv=%d", rep.SentBytes, rep.RecvBytes)
+			}
+			bs := rep.ByStrategy[int(tc.strategy)]
+			if bs.Tensors != 4 {
+				t.Fatalf("expected all 4 tensors under %v, got %+v", tc.strategy, rep.ByStrategy)
+			}
+			switch tc.strategy {
+			case grace.Allreduce:
+				// The reduced vector comes back at full dense width: recv ==
+				// sent for an uncompressed allreduce.
+				if rep.RecvBytes != rep.SentBytes {
+					t.Fatalf("allreduce recv=%d, want %d", rep.RecvBytes, rep.SentBytes)
+				}
+			case grace.Allgather:
+				// n-1 peers with equal payload sizes (same ratio, same L).
+				if rep.RecvBytes != (workers-1)*rep.SentBytes {
+					t.Fatalf("allgather recv=%d, want %d", rep.RecvBytes, (workers-1)*rep.SentBytes)
+				}
+			case grace.Custom:
+				// Symmetric-exchange mirror.
+				if rep.RecvBytes != rep.SentBytes {
+					t.Fatalf("custom recv=%d, want %d", rep.RecvBytes, rep.SentBytes)
+				}
+			}
+
+			if rep.PhaseNs[telemetry.PhaseCollective] <= 0 {
+				t.Fatalf("no collective time recorded: %v", rep.PhaseNs)
+			}
+			if tc.strategy == grace.Allgather &&
+				rep.PhaseNs[telemetry.PhaseDecode]+rep.PhaseNs[telemetry.PhaseAggregate] <= 0 {
+				t.Fatalf("allgather recorded no decode/aggregate time: %v", rep.PhaseNs)
+			}
+
+			if got := telemetry.Default.Value(telemetry.CtrSteps) - stepsBefore; got != workers {
+				t.Fatalf("step counter advanced by %d, want %d", got, workers)
+			}
+			sentAfter, recvAfter := telemetry.Default.StrategyBytes(int(tc.strategy))
+			// Every worker sends and receives the same volume on this
+			// symmetric workload.
+			if sentAfter-sentBefore != int64(workers*rep.SentBytes) {
+				t.Fatalf("strategy sent delta = %d, want %d", sentAfter-sentBefore, workers*rep.SentBytes)
+			}
+			if recvAfter-recvBefore != int64(workers*rep.RecvBytes) {
+				t.Fatalf("strategy recv delta = %d, want %d", recvAfter-recvBefore, workers*rep.RecvBytes)
+			}
+		})
+	}
+}
+
+// TestStepReportPhaseNsDisabled checks the flip side: with span recording
+// off, Step still works and PhaseNs stays zero (the disabled fast path does
+// not time anything).
+func TestStepReportPhaseNsDisabled(t *testing.T) {
+	prev := telemetry.Default.Enabled()
+	telemetry.Default.Enable(false)
+	defer telemetry.Default.Enable(prev)
+
+	rep := runTelStep(t, 2, 1, func() (grace.Compressor, error) {
+		return grace.New("topk", grace.Options{Ratio: 0.25})
+	})
+	for p, ns := range rep.PhaseNs {
+		if ns != 0 {
+			t.Fatalf("phase %v recorded %dns with telemetry disabled", telemetry.Phase(p), ns)
+		}
+	}
+	if rep.SentBytes <= 0 || rep.RecvBytes <= 0 {
+		t.Fatalf("volume accounting must not depend on telemetry: %+v", rep)
+	}
+}
+
+// TestTrainerRecvPerIter checks the trainer surfaces the receive volume:
+// for a 2-worker allgather method every worker receives exactly what its one
+// peer sends, so RecvPerIter must equal BytesPerIter.
+func TestTrainerRecvPerIter(t *testing.T) {
+	cfg := baseConfig(2, "topk", true)
+	cfg.Epochs = 1
+	rep, err := grace.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.RecvPerIter <= 0 {
+		t.Fatalf("RecvPerIter = %v, want > 0", rep.RecvPerIter)
+	}
+	// Sent volume is the compressor's modeled WireBytes while received volume
+	// counts actual gathered payload lengths, so the two can differ by a few
+	// bytes of framing — but for one peer they must agree closely.
+	if ratio := rep.RecvPerIter / rep.BytesPerIter; ratio < 0.98 || ratio > 1.02 {
+		t.Fatalf("2-worker allgather: RecvPerIter %v vs BytesPerIter %v", rep.RecvPerIter, rep.BytesPerIter)
+	}
+}
+
+// TestTelemetryConcurrentEngineAndHeartbeat is the race battery: engines on
+// a live heartbeat-enabled TCP ring hammer the span/counter paths from codec
+// lanes, wire goroutines, and heartbeat loops, while scrapers concurrently
+// read Prometheus text, snapshots, and raw counters, and a tracer serializes
+// every span. Run with -race this proves the registry is data-race free end
+// to end.
+func TestTelemetryConcurrentEngineAndHeartbeat(t *testing.T) {
+	prev := telemetry.Default.Enabled()
+	telemetry.Default.Enable(true)
+	defer telemetry.Default.Enable(prev)
+	tr := telemetry.NewTracer(io.Discard)
+	telemetry.Default.SetTracer(tr)
+	defer telemetry.Default.SetTracer(nil)
+
+	pingsBefore := telemetry.Default.Value(telemetry.CtrHeartbeatPings)
+	wireBefore := telemetry.Default.Value(telemetry.CtrWireBytesSent)
+
+	const ranks = 2
+	addrs := freeTelAddrs(t, ranks)
+
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				telemetry.Default.WritePrometheus(io.Discard)
+				telemetry.Default.Snapshot()
+				telemetry.Default.Value(telemetry.CtrWireBytesRecv)
+			}
+		}()
+	}
+
+	infos := telInfos(4)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			// A generous miss budget: the hot scraper goroutines contend for
+			// CPU, and a starved ping loop must not convict a healthy peer.
+			ring, err := comm.DialTCPRingConfig(comm.RingConfig{
+				Rank: rank, Addrs: addrs,
+				SetupTimeout:    10 * time.Second,
+				OpTimeout:       30 * time.Second,
+				Heartbeat:       10 * time.Millisecond,
+				HeartbeatMisses: 20,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer ring.Close()
+			eng, err := grace.NewEngine(grace.EngineConfig{
+				Coll: ring,
+				New: func() (grace.Compressor, error) {
+					return grace.New("topk", grace.Options{Ratio: 0.25})
+				},
+				Parallelism: 2,
+			})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			grads := telGrads(rank, infos)
+			for s := 0; s < 15; s++ {
+				if _, _, err := eng.Step(grads, infos); err != nil {
+					errs[rank] = err
+					return
+				}
+			}
+			// Idle past one heartbeat interval so pings provably tick even
+			// when the steps themselves finish quickly.
+			time.Sleep(25 * time.Millisecond)
+		}(rank)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if telemetry.Default.Value(telemetry.CtrWireBytesSent) <= wireBefore {
+		t.Fatal("no wire bytes counted on the TCP ring")
+	}
+	if telemetry.Default.Value(telemetry.CtrHeartbeatPings) <= pingsBefore {
+		t.Fatal("no heartbeat pings counted")
+	}
+}
+
+// freeTelAddrs reserves n distinct loopback ports by briefly listening.
+func freeTelAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/simnet"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -118,6 +119,10 @@ type Report struct {
 	FinalQuality float64
 	// BytesPerIter is the mean wire bytes one worker sends per iteration.
 	BytesPerIter float64
+	// RecvPerIter is the mean peer payload bytes one worker receives per
+	// iteration — the figure that exposes allgather-heavy sparsifiers' true
+	// wire cost (each worker sends one payload but collects n-1).
+	RecvPerIter float64
 	// Throughput is training samples per virtual second over the last
 	// epoch (all workers combined).
 	Throughput float64
@@ -259,7 +264,8 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	var clock simnet.Clock
 	var lastEpochStart time.Duration
 	var lastEpochIters int
-	var totalBytes int64
+	var totalBytes, totalRecv int64
+	ts := telScope{rank: rank, tid: telemetry.TIDDriver}
 
 	// Local-SGD state: the parameter values at the last synchronization.
 	var syncPoint []*tensor.Dense
@@ -294,6 +300,10 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			startEpoch, skipIters = pos.epoch, pos.iter
 			sinceSync = pos.sinceSync
 			sampler.Seek(startEpoch)
+			// Counted here, at the one successful application, rather than in
+			// ckpt.Load: resume negotiation probes many candidate files.
+			telemetry.Default.Add(telemetry.CtrCheckpointRestores, 1)
+			telemetry.Default.Mark(fmt.Sprintf("restore:step%d", pos.step), rank)
 		}
 	}
 
@@ -304,6 +314,7 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		globalStep++
 		ck := cfg.Checkpoint
 		if ck != nil && ck.Every > 0 && globalStep%int64(ck.Every) == 0 {
+			span := ts.start()
 			snap, err := captureSnapshot(&cfg, rank, model, opt, mem, eng, syncPoint,
 				trainerPos{step: globalStep, epoch: epoch, iter: iter + 1, sinceSync: sinceSync})
 			if err != nil {
@@ -312,6 +323,7 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			if err := ck.Save(snap); err != nil {
 				return fmt.Errorf("grace: checkpoint save at step %d: %w", globalStep, err)
 			}
+			ts.end(telemetry.PhaseCheckpoint, "", span)
 		}
 		if cfg.OnStep != nil {
 			if err := cfg.OnStep(rank, globalStep); err != nil {
@@ -334,6 +346,7 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			commDur += commTime(cluster, st)
 		}
 		totalBytes += int64(stepRep.SentBytes)
+		totalRecv += int64(stepRep.RecvBytes)
 		return aggs, codecDur, commDur, nil
 	}
 
@@ -368,7 +381,9 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			batch := cfg.Dataset.Batch(batchIdx)
 			nn.ZeroGrads(params)
 			t0 := time.Now()
+			span := ts.start()
 			model.ForwardBackward(batch)
+			ts.end(telemetry.PhaseCompute, "", span)
 			computeDur := time.Since(t0)
 			codecScale := 1.0
 			if cfg.ComputePerIter > 0 {
@@ -445,6 +460,7 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	}
 
 	if ck := cfg.Checkpoint; ck != nil && ck.Final {
+		span := ts.start()
 		snap, err := captureSnapshot(&cfg, rank, model, opt, mem, eng, syncPoint,
 			trainerPos{step: globalStep, epoch: cfg.Epochs, iter: 0, sinceSync: sinceSync})
 		if err != nil {
@@ -453,11 +469,13 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		if err := ck.Save(snap); err != nil {
 			return nil, fmt.Errorf("grace: final checkpoint save: %w", err)
 		}
+		ts.end(telemetry.PhaseCheckpoint, "", span)
 	}
 
 	rep.TotalVirtualTime = clock.Elapsed()
 	if rep.Iters > 0 {
 		rep.BytesPerIter = float64(totalBytes) / float64(rep.Iters)
+		rep.RecvPerIter = float64(totalRecv) / float64(rep.Iters)
 	}
 	lastDur := clock.Elapsed() - lastEpochStart
 	if lastDur > 0 && lastEpochIters > 0 {

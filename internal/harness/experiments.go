@@ -321,14 +321,14 @@ func runEFAblation(sc SweepConfig) ([]*Table, error) {
 
 // --- Figure 8 ---
 
-// CodecLatency measures compress+decompress wall time for one method over a
-// d-element tensor, returning per-repetition durations.
-func CodecLatency(spec MethodSpec, d, reps int, seed uint64) ([]time.Duration, error) {
+// codecInput builds the compressor and deterministic d-element gradient the
+// codec micro-benchmarks run over.
+func codecInput(spec MethodSpec, d int, seed uint64) (grace.Compressor, []float32, grace.TensorInfo, error) {
 	opts := spec.Opts
 	opts.Seed = seed
 	c, err := grace.New(spec.Name, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, grace.TensorInfo{}, err
 	}
 	rows := 1
 	for rows*rows < d {
@@ -339,6 +339,16 @@ func CodecLatency(spec MethodSpec, d, reps int, seed uint64) ([]time.Duration, e
 	rng := newLCG(seed)
 	for i := range g {
 		g[i] = rng.norm() * 0.1
+	}
+	return c, g, info, nil
+}
+
+// CodecLatency measures compress+decompress wall time for one method over a
+// d-element tensor, returning per-repetition durations.
+func CodecLatency(spec MethodSpec, d, reps int, seed uint64) ([]time.Duration, error) {
+	c, g, info, err := codecInput(spec, d, seed)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]time.Duration, reps)
 	for r := 0; r < reps; r++ {
@@ -353,6 +363,21 @@ func CodecLatency(spec MethodSpec, d, reps int, seed uint64) ([]time.Duration, e
 		out[r] = time.Since(start)
 	}
 	return out, nil
+}
+
+// CodecVolume compresses one d-element tensor and reports its payload wire
+// bytes — the per-worker sent volume CodecLatency's timing runs over, for
+// benchmark artifact emission.
+func CodecVolume(spec MethodSpec, d int, seed uint64) (int, error) {
+	c, g, info, err := codecInput(spec, d, seed)
+	if err != nil {
+		return 0, err
+	}
+	p, err := c.Compress(g, info)
+	if err != nil {
+		return 0, err
+	}
+	return p.WireBytes(), nil
 }
 
 func runFig8(sc SweepConfig) ([]*Table, error) {

@@ -46,6 +46,11 @@ type RecoveryConfig struct {
 	// KillRank dies immediately after step KillStep's checkpoint is durable.
 	KillRank int
 	KillStep int64
+	// KillMode selects how a TCP victim dies: "kill" (default) severs its
+	// sockets like a process death; "hang" freezes it with sockets open, so
+	// the survivors' liveness layer must convict through the heartbeat miss
+	// window instead of a socket reset. Ignored on the hub.
+	KillMode string
 	// Transport is TransportHub (default) or TransportTCP.
 	Transport string
 	// Heartbeat configures the TCP ring liveness layer; 0 selects 25ms.
@@ -122,6 +127,11 @@ func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 	case "", TransportHub, TransportTCP:
 	default:
 		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
+	}
+	switch cfg.KillMode {
+	case "", "kill", "hang":
+	default:
+		return nil, fmt.Errorf("harness: unknown kill mode %q", cfg.KillMode)
 	}
 
 	// Uninterrupted reference on the same transport.
@@ -234,8 +244,14 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 			// Process death severs the victim's sockets with no goodbye
 			// handshake (Kill, not Close — Close's orderly bye would make
 			// the survivors treat the departure as graceful); the survivors'
-			// liveness layer declares the rank dead with ErrPeerDead.
-			return ring, func() { ring.Kill() }, nil
+			// liveness layer declares the rank dead with ErrPeerDead. In
+			// "hang" mode the victim instead freezes with its sockets open,
+			// forcing the conviction through the heartbeat miss window.
+			die := func() { ring.Kill() }
+			if cfg.KillMode == "hang" {
+				die = func() { ring.Hang() }
+			}
+			return ring, die, nil
 		}
 		teardown = func() {
 			mu.Lock()

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/grace"
+	"repro/internal/telemetry"
+)
+
+// RunSummary is the machine-readable record of one harness invocation —
+// a training run, a chaos sweep, or a recovery battery. Drivers write one
+// per run (results/<run>.json) so sweeps can be diffed and plotted without
+// scraping stdout. The Telemetry field reuses the live registry's snapshot
+// type, so a summary carries exactly what /metrics would have served at
+// process exit.
+type RunSummary struct {
+	// Kind tags what produced the summary: "train", "chaos", or "recovery".
+	Kind    string `json:"kind"`
+	Workers int    `json:"workers,omitempty"`
+	Seed    uint64 `json:"seed,omitempty"`
+	// Pass is the run-level verdict: every scenario (or the training run
+	// itself) succeeded.
+	Pass bool `json:"pass"`
+
+	Train    []TrainResultJSON    `json:"train,omitempty"`
+	Chaos    []ChaosResultJSON    `json:"chaos,omitempty"`
+	Recovery []RecoveryResultJSON `json:"recovery,omitempty"`
+
+	// Telemetry is the process-wide counter/histogram snapshot at the time
+	// the summary was written (nil when telemetry was not snapshotted).
+	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// TrainResultJSON is one training configuration's headline numbers.
+type TrainResultJSON struct {
+	Bench        string  `json:"bench"`
+	Method       string  `json:"method"`
+	BestQuality  float64 `json:"best_quality"`
+	FinalQuality float64 `json:"final_quality"`
+	Throughput   float64 `json:"throughput_samples_per_s"`
+	BytesPerIter float64 `json:"bytes_per_iter"`
+	RecvPerIter  float64 `json:"recv_per_iter"`
+	Iters        int     `json:"iters"`
+	VirtualMs    float64 `json:"virtual_ms"`
+}
+
+// TrainJSON flattens a trainer report into its JSON row.
+func TrainJSON(bench, method string, rep *grace.Report) TrainResultJSON {
+	return TrainResultJSON{
+		Bench:        bench,
+		Method:       method,
+		BestQuality:  rep.BestQuality,
+		FinalQuality: rep.FinalQuality,
+		Throughput:   rep.Throughput,
+		BytesPerIter: rep.BytesPerIter,
+		RecvPerIter:  rep.RecvPerIter,
+		Iters:        rep.Iters,
+		VirtualMs:    float64(rep.TotalVirtualTime) / float64(time.Millisecond),
+	}
+}
+
+// ChaosResultJSON mirrors ChaosResult with errors rendered as strings so the
+// record survives serialization.
+type ChaosResultJSON struct {
+	Scenario  string   `json:"scenario"`
+	Pass      bool     `json:"pass"`
+	Hung      bool     `json:"hung,omitempty"`
+	ElapsedMs float64  `json:"elapsed_ms"`
+	Injected  int64    `json:"faults_injected"`
+	Faults    int      `json:"decode_faults"`
+	Fallbacks int      `json:"decode_fallbacks"`
+	Errs      []string `json:"errors,omitempty"`
+	Detail    string   `json:"detail,omitempty"`
+}
+
+// ChaosJSON converts a scenario verdict to its JSON form. Ranks that
+// finished cleanly are omitted from Errs-by-index by rendering them as ""
+// so rank alignment is preserved; a run with no errors at all serializes
+// with the field absent.
+func ChaosJSON(r ChaosResult) ChaosResultJSON {
+	out := ChaosResultJSON{
+		Scenario:  r.Scenario,
+		Pass:      r.Pass,
+		Hung:      r.Hung,
+		ElapsedMs: float64(r.Elapsed) / float64(time.Millisecond),
+		Injected:  r.Injected,
+		Faults:    r.Faults,
+		Fallbacks: r.Fallbacks,
+		Detail:    r.Detail,
+	}
+	any := false
+	errs := make([]string, len(r.Errs))
+	for i, err := range r.Errs {
+		if err != nil {
+			errs[i] = err.Error()
+			any = true
+		}
+	}
+	if any {
+		out.Errs = errs
+	}
+	return out
+}
+
+// RecoveryResultJSON records one kill/restart scenario: the rollback step
+// every rank resumed from and the bitwise-verify verdict against the
+// uninterrupted reference run.
+type RecoveryResultJSON struct {
+	Scenario   string   `json:"scenario"`
+	Pass       bool     `json:"pass"`
+	ResumeStep int64    `json:"resume_step"`
+	Match      bool     `json:"bitwise_match"`
+	ElapsedMs  float64  `json:"elapsed_ms"`
+	KillErrs   []string `json:"kill_errors,omitempty"`
+	Detail     string   `json:"detail,omitempty"`
+	// Err reports an infrastructure failure that prevented a verdict.
+	Err string `json:"error,omitempty"`
+}
+
+// RecoveryJSON converts a recovery outcome to its JSON form. res may be nil
+// when err is non-nil.
+func RecoveryJSON(scenario string, res *RecoveryResult, elapsed time.Duration, err error) RecoveryResultJSON {
+	out := RecoveryResultJSON{
+		Scenario:  scenario,
+		ElapsedMs: float64(elapsed) / float64(time.Millisecond),
+	}
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.ResumeStep = res.ResumeStep
+	out.Match = res.Match
+	out.Detail = res.Detail
+	out.Pass = res.Match
+	for _, kerr := range res.KillErrs {
+		if kerr != nil {
+			out.KillErrs = append(out.KillErrs, kerr.Error())
+		} else {
+			out.KillErrs = append(out.KillErrs, "")
+		}
+	}
+	return out
+}
+
+// WriteRunSummary writes the summary as indented JSON, creating parent
+// directories as needed.
+func WriteRunSummary(path string, s *RunSummary) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("harness: creating run summary dir: %w", err)
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: encoding run summary: %w", err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("harness: writing run summary: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// BenchArtifact is one machine-readable benchmark result, written as
+// BENCH_<name>.json so the perf trajectory is tracked across PRs instead of
+// living only in scrollback. Zero-valued optional fields are omitted.
+type BenchArtifact struct {
+	Name             string             `json:"name"`
+	NsPerOp          float64            `json:"ns_per_op,omitempty"`
+	AllocsPerOp      float64            `json:"allocs_per_op,omitempty"`
+	BytesPerOp       float64            `json:"bytes_per_op,omitempty"`
+	SentBytes        int64              `json:"sent_bytes,omitempty"`
+	RecvBytes        int64              `json:"recv_bytes,omitempty"`
+	CompressionRatio float64            `json:"compression_ratio,omitempty"`
+	Extra            map[string]float64 `json:"extra,omitempty"`
+}
+
+// artifactSlug maps a benchmark name to a filesystem-safe BENCH_ suffix.
+func artifactSlug(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// WriteBenchArtifact writes a as <dir>/BENCH_<name>.json (creating dir as
+// needed) and returns the path written.
+func WriteBenchArtifact(dir string, a BenchArtifact) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	buf, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+artifactSlug(a.Name)+".json")
+	return path, os.WriteFile(path, append(buf, '\n'), 0o644)
+}

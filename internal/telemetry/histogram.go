@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// HistBuckets is the number of log2 latency buckets. Bucket i counts
+// durations d with 2^(i-1) ns < d <= 2^i ns (bucket 0 catches d <= 1ns);
+// the top bucket absorbs everything past ~2^39 ns (~9 minutes), far beyond
+// any phase this repo times.
+const HistBuckets = 40
+
+// Histogram is a lock-free latency histogram with power-of-two bucket
+// boundaries. Record is a few atomic adds — cheap enough for per-tensor,
+// per-phase spans on the engine's hot path. The zero value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func bucketIdx(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns)) // 0 -> 0, 1 -> 1, 2..3 -> 2, ...
+	if i >= HistBuckets {
+		i = HistBuckets - 1
+	}
+	return i
+}
+
+// BucketUpper returns the inclusive upper bound, in nanoseconds, of bucket i.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= HistBuckets-1 {
+		return int64(1) << (HistBuckets - 1)
+	}
+	return int64(1) << i
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	ns := int64(d)
+	h.buckets[bucketIdx(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// SumNs returns the sum of all observed durations in nanoseconds.
+func (h *Histogram) SumNs() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sumNs.Load()
+}
+
+// Bucket returns the observation count of bucket i.
+func (h *Histogram) Bucket(i int) int64 {
+	if h == nil || i < 0 || i >= HistBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// QuantileNs estimates the q-quantile (0 <= q <= 1) in nanoseconds from the
+// bucket counts: it walks to the bucket containing the target rank and
+// interpolates linearly inside it. Log2 buckets bound the error to the
+// bucket width (a factor of two), which is plenty for "where does the time
+// go" answers. Returns 0 when the histogram is empty.
+//
+// The load is not atomic across buckets; under concurrent writers the result
+// is an estimate over an approximate snapshot, which is the usual and
+// acceptable contract for scraped metrics.
+func (h *Histogram) QuantileNs(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < HistBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			continue
+		}
+		if seen+n > rank {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketUpper(i - 1)
+			}
+			hi := BucketUpper(i)
+			frac := float64(rank-seen+1) / float64(n)
+			return lo + int64(float64(hi-lo)*frac)
+		}
+		seen += n
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Reset zeroes the histogram.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumNs.Store(0)
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+// PhaseStats is one phase's aggregated span statistics in a Snapshot.
+type PhaseStats struct {
+	Count   int64 `json:"count"`
+	TotalNs int64 `json:"total_ns"`
+	P50Ns   int64 `json:"p50_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+}
+
+// StrategyBytesStat is one communication strategy's exchange volume.
+type StrategyBytesStat struct {
+	SentBytes int64 `json:"sent_bytes"`
+	RecvBytes int64 `json:"recv_bytes"`
+}
+
+// Snapshot is a point-in-time, JSON-marshalable view of a registry. The
+// harness embeds it in structured run artifacts (results/<run>.json), and
+// the expvar mirror serializes it under /debug/vars.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Strategies map[string]StrategyBytesStat `json:"strategies"`
+	Phases     map[string]PhaseStats        `json:"phases"`
+}
+
+// Snapshot captures the registry's current totals. Counters read zero and
+// phases with no observations are omitted, so quiet runs produce small
+// artifacts. The capture is not a single atomic cut — counters advance while
+// it runs — which is the standard contract for scraped metrics.
+func (t *T) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Strategies: make(map[string]StrategyBytesStat),
+		Phases:     make(map[string]PhaseStats),
+	}
+	if t == nil {
+		return s
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if v := t.counters[c].Load(); v != 0 {
+			s.Counters[c.String()] = v
+		}
+	}
+	for i := 0; i < NumStrategies; i++ {
+		sent, recv := t.stratSent[i].Load(), t.stratRecv[i].Load()
+		if sent != 0 || recv != 0 {
+			s.Strategies[strategyNames[i]] = StrategyBytesStat{SentBytes: sent, RecvBytes: recv}
+		}
+	}
+	for p := 0; p < NumPhases; p++ {
+		h := &t.phases[p]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		s.Phases[Phase(p).String()] = PhaseStats{
+			Count:   n,
+			TotalNs: h.SumNs(),
+			P50Ns:   h.QuantileNs(0.50),
+			P99Ns:   h.QuantileNs(0.99),
+		}
+	}
+	return s
+}

@@ -1,0 +1,197 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracer streams Chrome trace_event JSON ("[ {event}, {event}, ... ]") to a
+// writer. The output loads in chrome://tracing and https://ui.perfetto.dev:
+// each rank renders as a process, with the driver, codec lanes, and wire
+// send/recv as threads (see the TID* constants).
+//
+// Events are "X" (complete) records emitted at span end, plus "i" (instant)
+// records for Marks; timestamps are microseconds relative to the tracer's
+// creation, keeping numbers small and the trace self-aligned. All methods are
+// safe for concurrent use; one mutex serializes writers, which is fine at
+// trace-enabled (diagnostic) rates.
+type Tracer struct {
+	mu      sync.Mutex
+	w       *bufio.Writer
+	c       io.Closer
+	base    time.Time
+	first   bool
+	named   map[int64]bool // pid<<8|tid pairs already given thread_name metadata
+	scratch []byte
+	err     error
+}
+
+// NewTracer wraps w in a Tracer. If w is an io.Closer, Close closes it after
+// terminating the JSON array.
+func NewTracer(w io.Writer) *Tracer {
+	tr := &Tracer{
+		w:       bufio.NewWriterSize(w, 64<<10),
+		base:    time.Now(),
+		first:   true,
+		named:   make(map[int64]bool),
+		scratch: make([]byte, 0, 256),
+	}
+	if c, ok := w.(io.Closer); ok {
+		tr.c = c
+	}
+	tr.w.WriteString("[\n")
+	return tr
+}
+
+// CreateTrace opens path for writing and returns a Tracer over it.
+func CreateTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(f), nil
+}
+
+// Close terminates the JSON array, flushes, and closes the underlying writer
+// when it is closable. The file stays Chrome-loadable even if the process
+// dies before Close — trace viewers tolerate an unterminated array — but a
+// clean Close yields strictly valid JSON.
+func (tr *Tracer) Close() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.w.WriteString("\n]\n")
+	if err := tr.w.Flush(); err != nil && tr.err == nil {
+		tr.err = err
+	}
+	if tr.c != nil {
+		if err := tr.c.Close(); err != nil && tr.err == nil {
+			tr.err = err
+		}
+	}
+	return tr.err
+}
+
+// Err returns the first write error, if any.
+func (tr *Tracer) Err() error {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.err
+}
+
+func trackName(tid int) string {
+	switch tid {
+	case TIDDriver:
+		return "driver"
+	case TIDWireSend:
+		return "wire send"
+	case TIDWireRecv:
+		return "wire recv"
+	default:
+		return "lane " + strconv.Itoa(tid-1)
+	}
+}
+
+// sep writes the record separator (everything after the first record is
+// preceded by ",\n"). Caller holds mu.
+func (tr *Tracer) sep() {
+	if tr.first {
+		tr.first = false
+		return
+	}
+	tr.w.WriteString(",\n")
+}
+
+// meta emits process_name/thread_name metadata the first time a (pid, tid)
+// track appears, so viewers show "rank 0 / lane 2" instead of bare numbers.
+// Caller holds mu.
+func (tr *Tracer) meta(pid, tid int) {
+	key := int64(pid)<<8 | int64(tid&0xff)
+	if tr.named[key] {
+		return
+	}
+	tr.named[key] = true
+	b := tr.scratch[:0]
+	b = append(b, `{"ph":"M","name":"process_name","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"args":{"name":"rank `...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `"}}`...)
+	b = append(b, ",\n"...)
+	b = append(b, `{"ph":"M","name":"thread_name","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"args":{"name":`...)
+	b = strconv.AppendQuote(b, trackName(tid))
+	b = append(b, `}}`...)
+	tr.sep()
+	tr.w.Write(b)
+	tr.scratch = b[:0]
+}
+
+// appendMicros renders a nanosecond count as microseconds with 3 decimals.
+func appendMicros(b []byte, ns int64) []byte {
+	if ns < 0 {
+		ns = 0
+	}
+	b = strconv.AppendInt(b, ns/1000, 10)
+	frac := ns % 1000
+	b = append(b, '.')
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10))
+	return b
+}
+
+// complete emits a ph:"X" event for a finished span.
+func (tr *Tracer) complete(name string, pid, tid int, start time.Time, dur time.Duration, detail string) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.meta(pid, tid)
+	b := tr.scratch[:0]
+	b = append(b, `{"ph":"X","name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, start.Sub(tr.base).Nanoseconds())
+	b = append(b, `,"dur":`...)
+	b = appendMicros(b, dur.Nanoseconds())
+	if detail != "" {
+		b = append(b, `,"args":{"detail":`...)
+		b = strconv.AppendQuote(b, detail)
+		b = append(b, '}')
+	}
+	b = append(b, '}')
+	tr.sep()
+	if _, err := tr.w.Write(b); err != nil && tr.err == nil {
+		tr.err = err
+	}
+	tr.scratch = b[:0]
+}
+
+// instant emits a ph:"i" event (process-scoped) for a discrete incident.
+func (tr *Tracer) instant(name string, pid int) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.meta(pid, TIDDriver)
+	b := tr.scratch[:0]
+	b = append(b, `{"ph":"i","s":"p","name":`...)
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(TIDDriver), 10)
+	b = append(b, `,"ts":`...)
+	b = appendMicros(b, time.Since(tr.base).Nanoseconds())
+	b = append(b, '}')
+	tr.sep()
+	if _, err := tr.w.Write(b); err != nil && tr.err == nil {
+		tr.err = err
+	}
+	tr.scratch = b[:0]
+}
