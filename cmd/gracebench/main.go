@@ -29,9 +29,13 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "epoch scale factor (lower = faster, less faithful)")
 		seed    = flag.Uint64("seed", 42, "experiment seed")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
-		jsonDir = flag.String("json", "", "also write a BENCH_<exp>.json artifact per experiment into this directory")
+		artDir  = flag.String("artifacts", "", "write auto-named BENCH_<exp>.json artifacts into this directory")
+		jsonDir = flag.String("json", "", "deprecated alias of -artifacts")
 	)
 	flag.Parse()
+	if *artDir == "" {
+		*artDir = *jsonDir
+	}
 
 	if *list {
 		exps := harness.Experiments()
@@ -79,8 +83,8 @@ func main() {
 			}
 		}
 		elapsed := time.Since(start)
-		if *jsonDir != "" {
-			path, err := telemetry.WriteBenchArtifact(*jsonDir, telemetry.BenchArtifact{
+		if *artDir != "" {
+			path, err := telemetry.WriteBenchArtifact(*artDir, telemetry.BenchArtifact{
 				Name:    "exp_" + id,
 				NsPerOp: float64(elapsed.Nanoseconds()),
 				Extra: map[string]float64{

@@ -1,0 +1,100 @@
+// Command gracebenchdiff gates benchmark regressions: it compares freshly
+// written BENCH_<name>.json artifacts against the committed baselines and
+// fails when a machine-independent metric regresses.
+//
+// Usage:
+//
+//	gracebenchdiff -baseline results -candidate /tmp/bench \
+//	    -names step_exchange_manysmall-unfused,step_exchange_manysmall-fused
+//
+// Two metrics are gated. rounds_per_step (from Extra) must not increase at
+// all — collective rounds are a property of the fusion plan, identical on
+// every machine, so any growth is a real scheduling regression.
+// allocs_per_op may not grow by more than -allocs-slack (default 25%):
+// allocation counts are near-deterministic but measured over whole-process
+// MemStats deltas, so a tolerance absorbs run-to-run noise while still
+// catching a lost buffer-reuse path. Wall-clock metrics are reported but
+// never gated; they are not comparable across machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		baseline    = flag.String("baseline", "results", "directory holding the committed BENCH_*.json baselines")
+		candidate   = flag.String("candidate", "", "directory holding the freshly generated BENCH_*.json artifacts")
+		names       = flag.String("names", "", "comma-separated artifact names to gate (the BENCH_<name>.json middle part)")
+		allocsSlack = flag.Float64("allocs-slack", 0.25, "allowed fractional growth in allocs_per_op before failing")
+	)
+	flag.Parse()
+	if *candidate == "" || *names == "" {
+		fmt.Fprintln(os.Stderr, "gracebenchdiff: -candidate and -names are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	failed := 0
+	fmt.Printf("%-36s %-22s %-26s %s\n", "artifact", "rounds/step", "allocs/op", "ns/op (informational)")
+	for _, name := range strings.Split(*names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		base, err := load(*baseline, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: baseline %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		cand, err := load(*candidate, name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: candidate %s: %v\n", name, err)
+			failed++
+			continue
+		}
+		var verdicts []string
+		br, cr := base.Extra["rounds_per_step"], cand.Extra["rounds_per_step"]
+		if cr > br {
+			verdicts = append(verdicts, fmt.Sprintf("rounds/step regressed %v -> %v", br, cr))
+		}
+		limit := base.AllocsPerOp * (1 + *allocsSlack)
+		if cand.AllocsPerOp > limit {
+			verdicts = append(verdicts, fmt.Sprintf("allocs/op regressed %.0f -> %.0f (limit %.0f)",
+				base.AllocsPerOp, cand.AllocsPerOp, limit))
+		}
+		fmt.Printf("%-36s %-22s %-26s %.0f -> %.0f\n", name,
+			fmt.Sprintf("%v -> %v", br, cr),
+			fmt.Sprintf("%.0f -> %.0f", base.AllocsPerOp, cand.AllocsPerOp),
+			base.NsPerOp, cand.NsPerOp)
+		for _, v := range verdicts {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: %s: %s\n", name, v)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "gracebenchdiff: %d regression(s)\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("gracebenchdiff: no regressions")
+}
+
+func load(dir, name string) (telemetry.BenchArtifact, error) {
+	var a telemetry.BenchArtifact
+	blob, err := os.ReadFile(filepath.Join(dir, "BENCH_"+name+".json"))
+	if err != nil {
+		return a, err
+	}
+	if err := json.Unmarshal(blob, &a); err != nil {
+		return a, fmt.Errorf("parsing %s: %w", name, err)
+	}
+	return a, nil
+}

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	gracemicro [-sizes 1,10,100] [-reps 30] [-method topk] [-json results]
+//	gracemicro [-sizes 1,10,100] [-reps 30] [-method topk] [-artifacts results]
 //
-// With -json, each (method, size) point also lands as a machine-readable
-// BENCH_codec_<method>_<size>.json artifact carrying mean ns/op, payload
-// wire bytes, and the compression ratio.
+// With -artifacts (or its deprecated alias -json), each (method, size) point
+// also lands as a machine-readable BENCH_codec_<method>_<size>.json artifact
+// carrying mean ns/op, payload wire bytes, and the compression ratio.
 package main
 
 import (
@@ -28,9 +28,13 @@ func main() {
 		sizes   = flag.String("sizes", "1,10", "input sizes in MB, comma separated")
 		reps    = flag.Int("reps", 10, "repetitions per point (paper: 30)")
 		method  = flag.String("method", "", "restrict to one method label (e.g. 'Topk(0.01)')")
-		jsonDir = flag.String("json", "", "also write BENCH_codec_*.json artifacts into this directory")
+		artDir  = flag.String("artifacts", "", "write auto-named BENCH_codec_*.json artifacts into this directory")
+		jsonDir = flag.String("json", "", "deprecated alias of -artifacts")
 	)
 	flag.Parse()
+	if *artDir == "" {
+		*artDir = *jsonDir
+	}
 
 	var mbs []int
 	for _, s := range strings.Split(*sizes, ",") {
@@ -69,7 +73,7 @@ func main() {
 			fmt.Printf("%-16s %-8s %-10.3f %-10.3f %-10.3f\n",
 				spec.Label, fmt.Sprintf("%dMB", mb),
 				float64(min)/1e6, float64(mean)/1e6, float64(max)/1e6)
-			if *jsonDir != "" {
+			if *artDir != "" {
 				wire, err := harness.CodecVolume(spec, d, 7)
 				if err != nil {
 					fatal(err)
@@ -85,7 +89,7 @@ func main() {
 						"reps":   float64(len(durs)),
 					},
 				}
-				path, err := telemetry.WriteBenchArtifact(*jsonDir, a)
+				path, err := telemetry.WriteBenchArtifact(*artDir, a)
 				if err != nil {
 					fatal(err)
 				}

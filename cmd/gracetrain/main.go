@@ -39,6 +39,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0, "threshold (thresholdv) / sparsity multiplier (threelc)")
 		ef        = flag.Bool("ef", false, "enable framework error feedback")
 		codecpar  = flag.Int("codecpar", 0, "codec lanes per worker Engine (0 = GOMAXPROCS)")
+		fusion    = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds)")
 		workers   = flag.Int("workers", 8, "number of workers")
 		net       = flag.String("net", "tcp-10g", "network preset")
 		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
@@ -49,7 +50,8 @@ func main() {
 		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing); also enables span recording")
 		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
-		runJSON   = flag.String("runjson", "", "write a machine-readable run summary (JSON) to this path")
+		artifacts = flag.String("artifacts", "", "write an auto-named run summary (RUN_<kind>.json) into this directory")
+		runJSON   = flag.String("runjson", "", "write a machine-readable run summary (JSON) to this exact path (deprecated: use -artifacts)")
 	)
 	flag.Parse()
 
@@ -73,7 +75,7 @@ func main() {
 		}
 		chaosFailed = runChaos(*workers, *seed, summary)
 		if !trainRequested {
-			writeSummary(*runJSON, summary)
+			writeSummary(*runJSON, *artifacts, summary)
 			finishTel()
 			if chaosFailed > 0 {
 				fatal(fmt.Errorf("%d chaos/recovery scenario(s) failed", chaosFailed))
@@ -106,6 +108,7 @@ func main() {
 	sc := harness.SweepConfig{
 		Workers: *workers, Net: link, Scale: *scale, Seed: *seed,
 		CodecParallelism: *codecpar,
+		FusionBytes:      *fusion,
 	}
 
 	for _, name := range strings.Split(*method, ",") {
@@ -149,7 +152,7 @@ func main() {
 		summary.Train = append(summary.Train, harness.TrainJSON(b.Name, name, rep))
 	}
 
-	writeSummary(*runJSON, summary)
+	writeSummary(*runJSON, *artifacts, summary)
 	finishTel()
 	if chaosFailed > 0 {
 		fatal(fmt.Errorf("%d chaos/recovery scenario(s) failed", chaosFailed))
@@ -200,17 +203,27 @@ func startTelemetry(addr, tracePath string, linger time.Duration) func() {
 }
 
 // writeSummary snapshots the telemetry registry into the summary and writes
-// it; a "" path disables.
-func writeSummary(path string, s *harness.RunSummary) {
-	if path == "" {
+// it — auto-named into dir (-artifacts) and/or to the exact path (-runjson,
+// the deprecated alias). With neither set, it does nothing.
+func writeSummary(path, dir string, s *harness.RunSummary) {
+	if path == "" && dir == "" {
 		return
 	}
 	snap := telemetry.Default.Snapshot()
 	s.Telemetry = &snap
-	if err := harness.WriteRunSummary(path, s); err != nil {
-		fatal(err)
+	if dir != "" {
+		out, err := harness.WriteRunSummaryDir(dir, s)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run summary written to %s\n", out)
 	}
-	fmt.Printf("run summary written to %s\n", path)
+	if path != "" {
+		if err := harness.WriteRunSummary(path, s); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("run summary written to %s\n", path)
+	}
 }
 
 // runChaos executes the default fault-injection battery: engines over a

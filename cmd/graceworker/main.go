@@ -44,11 +44,12 @@ func main() {
 		rank_     = flag.Int("lowrank", 0, "low-rank factorization rank")
 		ef        = flag.Bool("ef", false, "enable framework error feedback")
 		codecpar  = flag.Int("codecpar", 0, "codec lanes for this worker's Engine (0 = GOMAXPROCS)")
+		fusion    = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds; all ranks must agree)")
 		net       = flag.String("net", "tcp-10g", "modeled network preset for the virtual clock")
 		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
 		seed      = flag.Uint64("seed", 42, "shared run seed")
 		timeout   = flag.Duration("timeout", 30*time.Second, "ring setup timeout")
-		optimeout = flag.Duration("optimeout", comm.DefaultOpTimeout, "per-collective-op deadline (<0 disables)")
+		optimeout = flag.Duration("optimeout", comm.DefaultOpTimeout, "per-collective-op deadline, applied via the context layer (comm.WithTimeout); <=0 disables")
 		maxframe  = flag.Int("maxframe", comm.DefaultMaxFrameBytes, "largest accepted wire frame in bytes")
 		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. 'drop:rank=1,op=allgather,from=10' (see comm.ParsePlan)")
 		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for probabilistic fault rules")
@@ -84,11 +85,14 @@ func main() {
 		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
 	}
 
+	// The ring is dialed with frame deadlines off: op timeouts are owned by
+	// the context layer below (comm.WithTimeout), which bounds each whole
+	// collective instead of each wire frame.
 	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
 		Rank:          *rank,
 		Addrs:         addrs,
 		SetupTimeout:  *timeout,
-		OpTimeout:     *optimeout,
+		OpTimeout:     -1,
 		MaxFrameBytes: *maxframe,
 		Heartbeat:     *heartbeat,
 	})
@@ -99,7 +103,8 @@ func main() {
 	fmt.Printf("rank %d/%d joined the ring\n", *rank, len(addrs))
 
 	// The worker's collective handle: the hardened ring, optionally wrapped in
-	// a fault injector when a -chaos plan is given.
+	// a fault injector when a -chaos plan is given, then in the per-op
+	// deadline wrapper (outermost, so the budget covers injected delays too).
 	var coll comm.Collective = ring
 	if *chaos != "" {
 		plan, err := comm.ParsePlan(*chaos, *chaosSeed)
@@ -114,6 +119,7 @@ func main() {
 		}()
 		coll = fy
 	}
+	coll = comm.WithTimeout(coll, *optimeout)
 
 	workers := len(addrs)
 	cfg := grace.Config{
@@ -131,6 +137,7 @@ func main() {
 		},
 		UseMemory:            *ef,
 		CodecParallelism:     *codecpar,
+		Fusion:               grace.FusionConfig{TargetBytes: *fusion},
 		Net:                  link,
 		ComputePerIter:       b.ComputePerIter,
 		QualityLowerIsBetter: b.LowerIsBetter,

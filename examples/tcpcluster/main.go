@@ -60,14 +60,17 @@ func main() {
 			defer ring.Close()
 
 			meter := comm.NewMeter(ring)
-			eng, err := grace.NewEngine(grace.EngineConfig{
-				Coll: meter,
-				New: func() (grace.Compressor, error) {
+			// Functional options are the construction surface; WithFusionBytes
+			// packs the many small layers into shared collective rounds.
+			eng, err := grace.NewEngine(
+				grace.WithCollective(meter),
+				grace.WithCompressorFactory(func() (grace.Compressor, error) {
 					return grace.New("topk", grace.WithRatio(0.05))
-				},
-				Mem:         grace.NewMemory(1, 1),
-				Parallelism: 2,
-			})
+				}),
+				grace.WithEngineMemory(grace.NewMemory(1, 1)),
+				grace.WithParallelism(2),
+				grace.WithFusionBytes(64<<10),
+			)
 			if err != nil {
 				panic(err)
 			}

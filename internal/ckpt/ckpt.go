@@ -37,8 +37,11 @@ import (
 )
 
 const (
-	// Version is the current checkpoint format version.
-	Version = 1
+	// Version is the current checkpoint format version. Version 2 added the
+	// tensor-fusion policy after the method name; version-1 files are still
+	// accepted and decode with the zero (disabled) policy, so pre-fusion
+	// checkpoints keep resuming unfused runs.
+	Version = 2
 
 	magic      = "GRCK"
 	headerLen  = len(magic) + 4 // magic + version
@@ -76,6 +79,13 @@ func Encode(s *Snapshot) []byte {
 	w.Uvarint(uint64(s.Rank))
 	w.Uvarint(uint64(s.Workers))
 	putString(w, s.Method)
+	w.Uvarint(uint64(s.Fusion.TargetBytes))
+	w.Uvarint(uint64(s.Fusion.MaxTensors))
+	if s.Fusion.ByStrategy {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
 
 	putTensors(w, s.Params)
 	if s.SyncPoint != nil {
@@ -157,8 +167,9 @@ func Decode(b []byte) (*Snapshot, error) {
 	}
 
 	r := encode.NewReader(body[len(magic):])
-	if v := r.U32(); v != Version {
-		return nil, fmt.Errorf("%w: unsupported version %d (want %d)", ErrCorrupt, v, Version)
+	v := r.U32()
+	if v != 1 && v != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (want 1..%d)", ErrCorrupt, v, Version)
 	}
 
 	s := &Snapshot{}
@@ -170,6 +181,11 @@ func Decode(b []byte) (*Snapshot, error) {
 	s.Rank = boundedInt(r)
 	s.Workers = boundedInt(r)
 	s.Method = getString(r)
+	if v >= 2 {
+		s.Fusion.TargetBytes = boundedInt(r)
+		s.Fusion.MaxTensors = boundedInt(r)
+		s.Fusion.ByStrategy = r.U8() == 1
+	}
 
 	var err error
 	if s.Params, err = getTensors(r); err != nil {

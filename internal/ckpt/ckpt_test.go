@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/encode"
 	"repro/internal/fxrand"
 	"repro/internal/grace"
 	"repro/internal/optim"
@@ -25,6 +26,7 @@ func sampleSnapshot() *Snapshot {
 		Rank:      1,
 		Workers:   4,
 		Method:    "dgc",
+		Fusion:    grace.FusionConfig{TargetBytes: 1 << 20, MaxTensors: 8, ByStrategy: true},
 		Params: []Tensor{
 			{Name: "w0", Shape: []int{2, 3}, Data: []float32{1, 2, 3, 4, 5, 6}},
 			{Name: "b0", Shape: []int{3}, Data: []float32{-0.5, 0, 0.5}},
@@ -77,6 +79,43 @@ func TestEncodeDecodeMinimal(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("minimal round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestDecodeAcceptsVersion1 splices the version-2 fusion fields out of an
+// encoded record and stamps it version 1, reproducing a checkpoint written
+// before fusion existed. It must still decode — with the zero (disabled)
+// fusion policy — because operators resume old runs with new binaries.
+func TestDecodeAcceptsVersion1(t *testing.T) {
+	s := sampleSnapshot()
+	s.Fusion = grace.FusionConfig{} // v1 files can only describe unfused runs
+	b := Encode(s)
+
+	// Replay the pre-fusion field sequence to locate where the fusion bytes
+	// start; a zero policy encodes as exactly 3 bytes (two 0 uvarints + flag).
+	w := encode.NewWriter(64)
+	w.Raw([]byte(magic))
+	w.U32(Version)
+	w.U64(uint64(s.Step))
+	w.Uvarint(uint64(s.Epoch))
+	w.Uvarint(uint64(s.Iter))
+	w.Uvarint(uint64(s.SinceSync))
+	w.U64(s.Seed)
+	w.Uvarint(uint64(s.Rank))
+	w.Uvarint(uint64(s.Workers))
+	putString(w, s.Method)
+	off := w.Len()
+
+	v1 := append(append([]byte(nil), b[:off]...), b[off+3:]...)
+	v1[len(magic)] = 1 // version u32, little-endian
+	reseal(v1)
+
+	got, err := Decode(v1)
+	if err != nil {
+		t.Fatalf("Decode(v1): %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("v1 decode mismatch:\ngot  %+v\nwant %+v", got, s)
 	}
 }
 

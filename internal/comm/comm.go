@@ -4,7 +4,10 @@
 // and a byte-metering wrapper used for the paper's data-volume accounting.
 package comm
 
-import "sync/atomic"
+import (
+	"context"
+	"sync/atomic"
+)
 
 // Collective exposes the three primitives GRACE's communication strategies
 // need (§IV-B): Allreduce for summable tensors, Allgather for variable-length
@@ -80,7 +83,7 @@ type Meter struct {
 	ops   atomic.Int64
 }
 
-var _ Collective = (*Meter)(nil)
+var _ ContextCollective = (*Meter)(nil)
 
 // NewMeter wraps inner with byte accounting.
 func NewMeter(inner Collective) *Meter { return &Meter{inner: inner} }
@@ -94,9 +97,15 @@ func (m *Meter) Size() int { return m.inner.Size() }
 // AllreduceF32 forwards, accounting 4 bytes per element in each direction
 // (the reduced vector comes back at full width).
 func (m *Meter) AllreduceF32(x []float32) error {
+	return m.AllreduceF32Ctx(context.Background(), x)
+}
+
+// AllreduceF32Ctx is AllreduceF32 with the context relayed to the wrapped
+// collective (see the package-level dispatch helpers).
+func (m *Meter) AllreduceF32Ctx(ctx context.Context, x []float32) error {
 	m.sent.Add(int64(len(x) * 4))
 	m.ops.Add(1)
-	err := m.inner.AllreduceF32(x)
+	err := AllreduceF32(ctx, m.inner, x)
 	if err == nil {
 		m.recv.Add(int64(len(x) * 4))
 	}
@@ -106,9 +115,14 @@ func (m *Meter) AllreduceF32(x []float32) error {
 // AllgatherBytes forwards, accounting the local payload length as sent and
 // the n-1 peer payloads as received.
 func (m *Meter) AllgatherBytes(b []byte) ([][]byte, error) {
+	return m.AllgatherBytesCtx(context.Background(), b)
+}
+
+// AllgatherBytesCtx is AllgatherBytes with the context relayed.
+func (m *Meter) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
 	m.sent.Add(int64(len(b)))
 	m.ops.Add(1)
-	all, err := m.inner.AllgatherBytes(b)
+	all, err := AllgatherBytes(ctx, m.inner, b)
 	if err == nil {
 		for i, p := range all {
 			if i != m.inner.Rank() {
@@ -122,11 +136,16 @@ func (m *Meter) AllgatherBytes(b []byte) ([][]byte, error) {
 // BroadcastBytes forwards, accounting the payload as sent only on the root
 // and as received everywhere else.
 func (m *Meter) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	return m.BroadcastBytesCtx(context.Background(), b, root)
+}
+
+// BroadcastBytesCtx is BroadcastBytes with the context relayed.
+func (m *Meter) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
 	if m.inner.Rank() == root {
 		m.sent.Add(int64(len(b)))
 	}
 	m.ops.Add(1)
-	out, err := m.inner.BroadcastBytes(b, root)
+	out, err := BroadcastBytes(ctx, m.inner, b, root)
 	if err == nil && m.inner.Rank() != root {
 		m.recv.Add(int64(len(out)))
 	}
@@ -135,6 +154,9 @@ func (m *Meter) BroadcastBytes(b []byte, root int) ([]byte, error) {
 
 // Barrier forwards without accounting.
 func (m *Meter) Barrier() error { return m.inner.Barrier() }
+
+// BarrierCtx forwards with the context relayed, without accounting.
+func (m *Meter) BarrierCtx(ctx context.Context) error { return Barrier(ctx, m.inner) }
 
 // BytesSent reports the total payload bytes this worker has sent.
 func (m *Meter) BytesSent() int64 { return m.sent.Load() }

@@ -1,0 +1,163 @@
+package comm
+
+import (
+	"context"
+	"time"
+)
+
+// ContextCollective is the optional context-aware extension of Collective:
+// every primitive gains a variant that honors ctx cancellation and deadlines.
+// It is an extension interface rather than a change to Collective so existing
+// implementations and wrappers keep compiling; callers reach it through the
+// package-level dispatch helpers (AllreduceF32, AllgatherBytes, ...), which
+// fall back to the plain methods — after a ctx.Err() gate — when the handle
+// does not implement it.
+//
+// The lockstep contract is unchanged: a context expiring on one worker fails
+// that worker's op, and the resulting group desync surfaces on the peers as
+// transport errors. Contexts bound how long a worker waits; they do not make
+// collectives unilaterally abortable.
+type ContextCollective interface {
+	Collective
+	// AllreduceF32Ctx is AllreduceF32 bounded by ctx.
+	AllreduceF32Ctx(ctx context.Context, x []float32) error
+	// AllgatherBytesCtx is AllgatherBytes bounded by ctx.
+	AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error)
+	// BroadcastBytesCtx is BroadcastBytes bounded by ctx.
+	BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error)
+	// BarrierCtx is Barrier bounded by ctx.
+	BarrierCtx(ctx context.Context) error
+}
+
+// AllreduceF32 dispatches a context-bounded allreduce: the ContextCollective
+// fast path when c implements it, otherwise a ctx.Err() gate in front of the
+// plain method (an already-expired context never starts the op; one expiring
+// mid-op is then bounded by the transport's own timeouts).
+func AllreduceF32(ctx context.Context, c Collective, x []float32) error {
+	if cc, ok := c.(ContextCollective); ok {
+		return cc.AllreduceF32Ctx(ctx, x)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.AllreduceF32(x)
+}
+
+// AllgatherBytes dispatches a context-bounded allgather (see AllreduceF32).
+func AllgatherBytes(ctx context.Context, c Collective, b []byte) ([][]byte, error) {
+	if cc, ok := c.(ContextCollective); ok {
+		return cc.AllgatherBytesCtx(ctx, b)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.AllgatherBytes(b)
+}
+
+// BroadcastBytes dispatches a context-bounded broadcast (see AllreduceF32).
+func BroadcastBytes(ctx context.Context, c Collective, b []byte, root int) ([]byte, error) {
+	if cc, ok := c.(ContextCollective); ok {
+		return cc.BroadcastBytesCtx(ctx, b, root)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.BroadcastBytes(b, root)
+}
+
+// Barrier dispatches a context-bounded barrier (see AllreduceF32).
+func Barrier(ctx context.Context, c Collective) error {
+	if cc, ok := c.(ContextCollective); ok {
+		return cc.BarrierCtx(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.Barrier()
+}
+
+var _ ContextCollective = Serial{}
+
+// AllreduceF32Ctx is the single-worker identity, gated on ctx.
+func (Serial) AllreduceF32Ctx(ctx context.Context, x []float32) error { return ctx.Err() }
+
+// AllgatherBytesCtx returns the worker's own payload, gated on ctx.
+func (Serial) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return [][]byte{b}, nil
+}
+
+// BroadcastBytesCtx returns the payload unchanged, gated on ctx.
+func (Serial) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// BarrierCtx is a no-op, gated on ctx.
+func (Serial) BarrierCtx(ctx context.Context) error { return ctx.Err() }
+
+// timeoutColl bounds every collective op with a per-op timeout by deriving a
+// context deadline around each call; see WithTimeout.
+type timeoutColl struct {
+	inner Collective
+	d     time.Duration
+}
+
+var _ ContextCollective = (*timeoutColl)(nil)
+
+// WithTimeout wraps a Collective so that every operation runs under a per-op
+// deadline of d, delivered through the context layer: the declarative
+// replacement for threading ad-hoc timeout knobs into each transport's
+// config. Callers that pass their own context get the tighter of the two
+// deadlines (context.WithTimeout composes). d <= 0 returns inner unchanged.
+func WithTimeout(inner Collective, d time.Duration) Collective {
+	if d <= 0 {
+		return inner
+	}
+	return &timeoutColl{inner: inner, d: d}
+}
+
+func (t *timeoutColl) Rank() int { return t.inner.Rank() }
+func (t *timeoutColl) Size() int { return t.inner.Size() }
+
+func (t *timeoutColl) AllreduceF32(x []float32) error {
+	return t.AllreduceF32Ctx(context.Background(), x)
+}
+
+func (t *timeoutColl) AllgatherBytes(b []byte) ([][]byte, error) {
+	return t.AllgatherBytesCtx(context.Background(), b)
+}
+
+func (t *timeoutColl) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	return t.BroadcastBytesCtx(context.Background(), b, root)
+}
+
+func (t *timeoutColl) Barrier() error { return t.BarrierCtx(context.Background()) }
+
+func (t *timeoutColl) AllreduceF32Ctx(ctx context.Context, x []float32) error {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return AllreduceF32(ctx, t.inner, x)
+}
+
+func (t *timeoutColl) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return AllgatherBytes(ctx, t.inner, b)
+}
+
+func (t *timeoutColl) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return BroadcastBytes(ctx, t.inner, b, root)
+}
+
+func (t *timeoutColl) BarrierCtx(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, t.d)
+	defer cancel()
+	return Barrier(ctx, t.inner)
+}

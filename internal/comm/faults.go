@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync/atomic"
@@ -124,7 +125,7 @@ type Faulty struct {
 	counts [5]atomic.Int64
 }
 
-var _ Collective = (*Faulty)(nil)
+var _ ContextCollective = (*Faulty)(nil)
 
 // NewFaulty wraps inner with the given fault plan.
 func NewFaulty(inner Collective, plan Plan) *Faulty {
@@ -237,23 +238,30 @@ func (f *Faulty) corruptF32(x []float32) {
 // AllreduceF32 forwards with fault injection; corruption perturbs this
 // worker's contribution (the sum still completes, wrongly).
 func (f *Faulty) AllreduceF32(x []float32) error {
+	return f.AllreduceF32Ctx(context.Background(), x)
+}
+
+// AllreduceF32Ctx is AllreduceF32 with the context relayed to the wrapped
+// collective; injected delays and stalls still burn real time, so a tight
+// deadline can expire across one.
+func (f *Faulty) AllreduceF32Ctx(ctx context.Context, x []float32) error {
 	step := f.step.Add(1)
 	ft := f.pick(OpAllreduce, step)
 	if ft == nil {
-		return f.inner.AllreduceF32(x)
+		return AllreduceF32(ctx, f.inner, x)
 	}
 	f.note(ft.Kind, OpAllreduce)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
-		return f.inner.AllreduceF32(x)
+		return AllreduceF32(ctx, f.inner, x)
 	case FaultStall:
-		err := f.inner.AllreduceF32(x)
+		err := AllreduceF32(ctx, f.inner, x)
 		ft.sleep()
 		return err
 	case FaultCorrupt:
 		f.corruptF32(x)
-		return f.inner.AllreduceF32(x)
+		return AllreduceF32(ctx, f.inner, x)
 	default: // drop, reset
 		return f.fail(ft, OpAllreduce, step)
 	}
@@ -262,22 +270,27 @@ func (f *Faulty) AllreduceF32(x []float32) error {
 // AllgatherBytes forwards with fault injection; corruption bit-flips this
 // worker's outgoing payload so peers receive garbage bytes.
 func (f *Faulty) AllgatherBytes(b []byte) ([][]byte, error) {
+	return f.AllgatherBytesCtx(context.Background(), b)
+}
+
+// AllgatherBytesCtx is AllgatherBytes with the context relayed.
+func (f *Faulty) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
 	step := f.step.Add(1)
 	ft := f.pick(OpAllgather, step)
 	if ft == nil {
-		return f.inner.AllgatherBytes(b)
+		return AllgatherBytes(ctx, f.inner, b)
 	}
 	f.note(ft.Kind, OpAllgather)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
-		return f.inner.AllgatherBytes(b)
+		return AllgatherBytes(ctx, f.inner, b)
 	case FaultStall:
-		all, err := f.inner.AllgatherBytes(b)
+		all, err := AllgatherBytes(ctx, f.inner, b)
 		ft.sleep()
 		return all, err
 	case FaultCorrupt:
-		return f.inner.AllgatherBytes(f.corrupt(b))
+		return AllgatherBytes(ctx, f.inner, f.corrupt(b))
 	default:
 		return nil, f.fail(ft, OpAllgather, step)
 	}
@@ -286,25 +299,30 @@ func (f *Faulty) AllgatherBytes(b []byte) ([][]byte, error) {
 // BroadcastBytes forwards with fault injection; corruption only matters on
 // the root, whose payload is what everyone receives.
 func (f *Faulty) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	return f.BroadcastBytesCtx(context.Background(), b, root)
+}
+
+// BroadcastBytesCtx is BroadcastBytes with the context relayed.
+func (f *Faulty) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
 	step := f.step.Add(1)
 	ft := f.pick(OpBroadcast, step)
 	if ft == nil {
-		return f.inner.BroadcastBytes(b, root)
+		return BroadcastBytes(ctx, f.inner, b, root)
 	}
 	f.note(ft.Kind, OpBroadcast)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
-		return f.inner.BroadcastBytes(b, root)
+		return BroadcastBytes(ctx, f.inner, b, root)
 	case FaultStall:
-		out, err := f.inner.BroadcastBytes(b, root)
+		out, err := BroadcastBytes(ctx, f.inner, b, root)
 		ft.sleep()
 		return out, err
 	case FaultCorrupt:
 		if f.inner.Rank() == root {
 			b = f.corrupt(b)
 		}
-		return f.inner.BroadcastBytes(b, root)
+		return BroadcastBytes(ctx, f.inner, b, root)
 	default:
 		return nil, f.fail(ft, OpBroadcast, step)
 	}
@@ -313,22 +331,27 @@ func (f *Faulty) BroadcastBytes(b []byte, root int) ([]byte, error) {
 // Barrier forwards with fault injection (corruption is a no-op for the empty
 // token and degrades to a plain passthrough).
 func (f *Faulty) Barrier() error {
+	return f.BarrierCtx(context.Background())
+}
+
+// BarrierCtx is Barrier with the context relayed.
+func (f *Faulty) BarrierCtx(ctx context.Context) error {
 	step := f.step.Add(1)
 	ft := f.pick(OpBarrier, step)
 	if ft == nil {
-		return f.inner.Barrier()
+		return Barrier(ctx, f.inner)
 	}
 	f.note(ft.Kind, OpBarrier)
 	switch ft.Kind {
 	case FaultDelay:
 		ft.sleep()
-		return f.inner.Barrier()
+		return Barrier(ctx, f.inner)
 	case FaultStall:
-		err := f.inner.Barrier()
+		err := Barrier(ctx, f.inner)
 		ft.sleep()
 		return err
 	case FaultCorrupt:
-		return f.inner.Barrier()
+		return Barrier(ctx, f.inner)
 	default:
 		return f.fail(ft, OpBarrier, step)
 	}

@@ -1,0 +1,101 @@
+package comm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Fused-payload framing: the wire format the engine's tensor-fusion layer
+// uses to carry one bucket's per-tensor payloads in a single collective
+// round. The frame is transport-agnostic — it rides inside an
+// AllgatherBytes payload on the in-process hub exactly as on the TCP ring —
+// and deliberately minimal:
+//
+//	u32 count | u32 len_0 ... u32 len_{count-1} | payload_0 ... payload_{count-1}
+//
+// All integers are little-endian. Zero-length parts are legal (a compressor
+// may emit an empty payload for an all-zero tensor). SplitFused returns
+// subslices of the input — no copying — because the engine immediately hands
+// each part to a per-tensor decoder that treats it as read-only.
+//
+// Decoding is hostile-input safe: the header is validated against the bytes
+// actually present before any allocation is sized from it, so a corrupt or
+// adversarial frame can neither over-allocate nor panic (see FuzzSplitFused).
+
+// ErrBadFusedFrame is wrapped by every SplitFused failure: short header,
+// part count or lengths inconsistent with the bytes present, or trailing
+// garbage after the last part.
+var ErrBadFusedFrame = errors.New("comm: malformed fused frame")
+
+// FusedOverhead returns the framing overhead in bytes of a fused frame
+// carrying n parts (the header: count word plus one length word per part).
+func FusedOverhead(n int) int { return 4 + 4*n }
+
+// FusedSize returns the exact encoded size of a fused frame carrying parts.
+func FusedSize(parts [][]byte) int {
+	n := FusedOverhead(len(parts))
+	for _, p := range parts {
+		n += len(p)
+	}
+	return n
+}
+
+// AppendFused appends the fused frame for parts to dst and returns the
+// extended slice. Pass nil dst to allocate exactly; pass a reused buffer to
+// amortize.
+func AppendFused(dst []byte, parts [][]byte) []byte {
+	if need := len(dst) + FusedSize(parts); cap(dst) < need {
+		grown := make([]byte, len(dst), need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(parts)))
+	for _, p := range parts {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(p)))
+	}
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// SplitFused parses a fused frame and returns its parts as subslices of b
+// (zero-copy; the parts alias b). Every structural violation — truncated
+// header, a part count the frame cannot hold, lengths exceeding the bytes
+// present, or trailing bytes after the last part — returns an error wrapping
+// ErrBadFusedFrame. When want >= 0 the part count must equal want exactly;
+// the engine knows its bucket sizes a priori, so a peer disagreeing on the
+// count is a protocol violation, not a recoverable layout.
+func SplitFused(b []byte, want int) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the count header", ErrBadFusedFrame, len(b))
+	}
+	count := binary.LittleEndian.Uint32(b)
+	// Each declared part costs at least its 4-byte length word, so a count
+	// beyond (len(b)-4)/4 cannot be honest; reject before allocating for it.
+	if uint64(count) > uint64(len(b)-4)/4 {
+		return nil, fmt.Errorf("%w: count %d exceeds what %d bytes can frame", ErrBadFusedFrame, count, len(b))
+	}
+	if want >= 0 && int(count) != want {
+		return nil, fmt.Errorf("%w: frame carries %d parts, want %d", ErrBadFusedFrame, count, want)
+	}
+	n := int(count)
+	head := 4 + 4*n
+	body := b[head:]
+	var total uint64
+	for i := 0; i < n; i++ {
+		total += uint64(binary.LittleEndian.Uint32(b[4+4*i:]))
+	}
+	if total != uint64(len(body)) {
+		return nil, fmt.Errorf("%w: parts declare %d payload bytes, frame carries %d", ErrBadFusedFrame, total, len(body))
+	}
+	parts := make([][]byte, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		ln := int(binary.LittleEndian.Uint32(b[4+4*i:]))
+		parts[i] = body[off : off+ln : off+ln]
+		off += ln
+	}
+	return parts, nil
+}

@@ -1,0 +1,102 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestFusedRoundTrip(t *testing.T) {
+	cases := [][][]byte{
+		{},
+		{nil},
+		{[]byte{}},
+		{[]byte("a")},
+		{[]byte("alpha"), []byte("b"), nil, []byte("gamma")},
+		{nil, nil, nil},
+		{bytes.Repeat([]byte{0xAB}, 1<<12), []byte{1}},
+	}
+	for ci, parts := range cases {
+		frame := AppendFused(nil, parts)
+		if len(frame) != FusedSize(parts) {
+			t.Fatalf("case %d: frame is %d bytes, FusedSize says %d", ci, len(frame), FusedSize(parts))
+		}
+		got, err := SplitFused(frame, len(parts))
+		if err != nil {
+			t.Fatalf("case %d: split: %v", ci, err)
+		}
+		if len(got) != len(parts) {
+			t.Fatalf("case %d: got %d parts, want %d", ci, len(got), len(parts))
+		}
+		for i := range parts {
+			if !bytes.Equal(got[i], parts[i]) {
+				t.Fatalf("case %d part %d: %q != %q", ci, i, got[i], parts[i])
+			}
+		}
+		// Any-count mode accepts the same frame.
+		if _, err := SplitFused(frame, -1); err != nil {
+			t.Fatalf("case %d: any-count split: %v", ci, err)
+		}
+	}
+}
+
+func TestFusedAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 1<<10)
+	parts := [][]byte{[]byte("one"), []byte("two")}
+	out := AppendFused(buf, parts)
+	if &out[0] != &buf[:1][0] {
+		t.Fatalf("AppendFused reallocated despite sufficient capacity")
+	}
+}
+
+func TestSplitFusedRejects(t *testing.T) {
+	good := AppendFused(nil, [][]byte{[]byte("abc"), []byte("de")})
+	cases := map[string][]byte{
+		"empty":         {},
+		"short header":  {1, 0, 0},
+		"hostile count": binary.LittleEndian.AppendUint32(nil, 1<<30),
+		"truncated len table": binary.LittleEndian.AppendUint32(
+			binary.LittleEndian.AppendUint32(nil, 2), 1),
+		"payload short": good[:len(good)-1],
+		"trailing byte": append(append([]byte(nil), good...), 0),
+		"len overflow": func() []byte {
+			b := binary.LittleEndian.AppendUint32(nil, 2)
+			b = binary.LittleEndian.AppendUint32(b, 1<<32-4)
+			b = binary.LittleEndian.AppendUint32(b, 8)
+			return append(b, 0, 0, 0, 0)
+		}(),
+	}
+	for name, b := range cases {
+		if _, err := SplitFused(b, -1); !errors.Is(err, ErrBadFusedFrame) {
+			t.Errorf("%s: got %v, want ErrBadFusedFrame", name, err)
+		}
+	}
+	if _, err := SplitFused(good, 3); !errors.Is(err, ErrBadFusedFrame) {
+		t.Errorf("count mismatch: got %v, want ErrBadFusedFrame", err)
+	}
+}
+
+// FuzzSplitFused drives the fused-frame decoder with arbitrary bytes: it must
+// either return parts that exactly tile the body or a clean error wrapping
+// ErrBadFusedFrame — never panic, never over-allocate from hostile lengths.
+func FuzzSplitFused(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendFused(nil, nil))
+	f.Add(AppendFused(nil, [][]byte{[]byte("seed"), nil, []byte{0xFF}}))
+	f.Add(binary.LittleEndian.AppendUint32(nil, 1<<31))
+	f.Add([]byte{2, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, err := SplitFused(data, -1)
+		if err != nil {
+			if !errors.Is(err, ErrBadFusedFrame) {
+				t.Fatalf("non-sentinel error: %v", err)
+			}
+			return
+		}
+		// Valid parse: re-encoding must reproduce the input bit for bit.
+		if re := AppendFused(nil, parts); !bytes.Equal(re, data) {
+			t.Fatalf("re-encode mismatch: %d vs %d bytes", len(re), len(data))
+		}
+	})
+}

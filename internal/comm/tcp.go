@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -97,6 +98,13 @@ type TCPRing struct {
 	step     atomic.Int64
 	closed   atomic.Bool
 
+	// opCtx is the context of the collective op in flight, set by the Ctx
+	// method variants (nil for the plain methods). The handle is
+	// single-goroutine by contract, and sendRecv's helper goroutine is
+	// spawned after the field is written and joined before the op returns,
+	// so no synchronization is needed.
+	opCtx context.Context
+
 	// Liveness side channel (nil/zero when RingConfig.Heartbeat is off).
 	hbNext     *hbLink // heartbeat link to rank+1 (this side dialed)
 	hbPrev     *hbLink // heartbeat link from rank-1 (this side accepted)
@@ -117,7 +125,7 @@ type hbLink struct {
 	departed atomic.Bool
 }
 
-var _ Collective = (*TCPRing)(nil)
+var _ ContextCollective = (*TCPRing)(nil)
 
 // DialTCPRing establishes the ring with default hardening knobs. addrs[i] is
 // the listen address of rank i; every participant must call DialTCPRing
@@ -425,6 +433,13 @@ func (t *TCPRing) frameErr(err error) error {
 	if le := t.livenessErr(); le != nil {
 		return le
 	}
+	// A frame failing under an expired op context is the context's doing
+	// (beginOp pokes the socket deadlines on cancellation): surface the
+	// context error so errors.Is(err, context.Canceled/DeadlineExceeded)
+	// works at the call site.
+	if ce := t.ctxErr(); ce != nil {
+		return fmt.Errorf("%w (%v)", ce, err)
+	}
 	// A frame op failing because the neighbor just died races the watchLoop's
 	// verdict: the data and heartbeat sockets reset at the same instant. Give
 	// the liveness layer one miss window to render its judgment so callers see
@@ -527,18 +542,125 @@ func (t *TCPRing) MaxFrameBytes() int { return t.maxFrame }
 // Step reports how many collective operations this handle has performed.
 func (t *TCPRing) Step() int64 { return t.step.Load() }
 
+// beginOp arms one collective op with a context: an already-expired ctx
+// refuses to start, a ctx deadline caps every frame deadline inside the op
+// (see frameDeadline), and a cancellation fires an immediate socket deadline
+// so in-flight reads/writes unblock promptly instead of running out
+// OpTimeout. The returned func disarms; callers must run it before the op
+// returns.
+func (t *TCPRing) beginOp(ctx context.Context) (func(), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	t.opCtx = ctx
+	var stop func() bool
+	if ctx.Done() != nil {
+		stop = context.AfterFunc(ctx, func() {
+			now := time.Now()
+			t.next.SetDeadline(now)
+			t.prev.SetDeadline(now)
+		})
+	}
+	return func() {
+		if stop != nil {
+			stop()
+		}
+		t.opCtx = nil
+	}, nil
+}
+
+// frameDeadline picks the effective deadline of one frame op: the per-frame
+// OpTimeout, tightened by the op context's deadline when one is set. Zero
+// means no deadline (OpTimeout disabled, no ctx deadline).
+func (t *TCPRing) frameDeadline() time.Time {
+	var dl time.Time
+	if t.opTO > 0 {
+		dl = time.Now().Add(t.opTO)
+	}
+	if t.opCtx != nil {
+		if cd, ok := t.opCtx.Deadline(); ok && (dl.IsZero() || cd.Before(dl)) {
+			dl = cd
+		}
+	}
+	return dl
+}
+
+// ctxErr reports the in-flight op context's error, if any. Checked at frame
+// boundaries so a cancelled op stops between frames even if the
+// cancellation's socket-deadline poke raced a frame op re-arming the
+// deadline. A context whose deadline has passed counts as expired even
+// before its internal timer fires: frame deadlines are set to the ctx
+// deadline, so a socket timeout can beat the context's own cancellation by
+// a few microseconds, and that wire error must still surface as
+// DeadlineExceeded.
+func (t *TCPRing) ctxErr() error {
+	if t.opCtx == nil {
+		return nil
+	}
+	if err := t.opCtx.Err(); err != nil {
+		return err
+	}
+	if dl, ok := t.opCtx.Deadline(); ok && !time.Now().Before(dl) {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// AllreduceF32Ctx is AllreduceF32 bounded by ctx (see beginOp).
+func (t *TCPRing) AllreduceF32Ctx(ctx context.Context, x []float32) error {
+	end, err := t.beginOp(ctx)
+	if err != nil {
+		return wrapErr(t.rank, OpAllreduce, t.step.Load(), err)
+	}
+	defer end()
+	return t.AllreduceF32(x)
+}
+
+// AllgatherBytesCtx is AllgatherBytes bounded by ctx (see beginOp).
+func (t *TCPRing) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
+	end, err := t.beginOp(ctx)
+	if err != nil {
+		return nil, wrapErr(t.rank, OpAllgather, t.step.Load(), err)
+	}
+	defer end()
+	return t.AllgatherBytes(b)
+}
+
+// BroadcastBytesCtx is BroadcastBytes bounded by ctx (see beginOp).
+func (t *TCPRing) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
+	end, err := t.beginOp(ctx)
+	if err != nil {
+		return nil, wrapErr(t.rank, OpBroadcast, t.step.Load(), err)
+	}
+	defer end()
+	return t.BroadcastBytes(b, root)
+}
+
+// BarrierCtx is Barrier bounded by ctx (see beginOp).
+func (t *TCPRing) BarrierCtx(ctx context.Context) error {
+	end, err := t.beginOp(ctx)
+	if err != nil {
+		return wrapErr(t.rank, OpBarrier, t.step.Load(), err)
+	}
+	defer end()
+	return t.Barrier()
+}
+
 // sendFrame writes one length-prefixed frame to the successor under the
 // per-op write deadline.
 func (t *TCPRing) sendFrame(b []byte) error {
 	if err := t.livenessErr(); err != nil {
 		return err
 	}
+	if err := t.ctxErr(); err != nil {
+		return err
+	}
 	if len(b) > t.maxFrame {
 		return fmt.Errorf("%w: sending %d bytes > limit %d", ErrFrameTooLarge, len(b), t.maxFrame)
 	}
 	span := telemetry.Default.Start()
-	if t.opTO > 0 {
-		if err := t.next.SetWriteDeadline(time.Now().Add(t.opTO)); err != nil {
+	if dl := t.frameDeadline(); !dl.IsZero() {
+		if err := t.next.SetWriteDeadline(dl); err != nil {
 			return t.frameErr(fmt.Errorf("set write deadline: %w", err))
 		}
 	}
@@ -566,9 +688,12 @@ func (t *TCPRing) recvFrame() ([]byte, error) {
 	if err := t.livenessErr(); err != nil {
 		return nil, err
 	}
+	if err := t.ctxErr(); err != nil {
+		return nil, err
+	}
 	span := telemetry.Default.Start()
-	if t.opTO > 0 {
-		if err := t.prev.SetReadDeadline(time.Now().Add(t.opTO)); err != nil {
+	if dl := t.frameDeadline(); !dl.IsZero() {
+		if err := t.prev.SetReadDeadline(dl); err != nil {
 			return nil, t.frameErr(fmt.Errorf("set read deadline: %w", err))
 		}
 	}

@@ -1,0 +1,134 @@
+package all_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	_ "repro/internal/compress/all"
+	"repro/internal/fxrand"
+	"repro/internal/grace"
+)
+
+// lockstepInfos is a many-small-tensor layer set sized so a byte-targeted
+// bucketer has real choices to make: mixed shapes, nothing aligned to a
+// bucket boundary.
+func lockstepInfos() []grace.TensorInfo {
+	shapes := [][]int{
+		{24, 4}, {33}, {17}, {8, 8}, {5, 5}, {80}, {12}, {10, 4}, {7}, {3, 4},
+	}
+	infos := make([]grace.TensorInfo, len(shapes))
+	for i, s := range shapes {
+		infos[i] = grace.NewTensorInfo("lt"+string(rune('a'+i)), s)
+	}
+	return infos
+}
+
+// runLockstep drives `workers` engines over the in-process hub for `steps`
+// steps of seeded gradients and returns every rank's final aggregates plus
+// rank 0's last step report. Construction goes through the functional-options
+// surface, the same path the trainer and CLIs use.
+func runLockstep(t *testing.T, method string, fc grace.FusionConfig, ef bool,
+	infos []grace.TensorInfo) ([][][]float32, *grace.StepReport) {
+	t.Helper()
+	const workers, steps, lanes = 3, 2, 2
+	hub := comm.NewHub(workers)
+	final := make([][][]float32, workers)
+	errs := make([]error, workers)
+	var rep grace.StepReport
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var mem *grace.Memory
+			if ef {
+				mem = grace.NewMemory(1, 1)
+			}
+			opts := goldenOptions(method)
+			opts.Seed = 900 + uint64(rank)
+			eng, err := grace.NewEngine(
+				grace.WithCollective(hub.Worker(rank)),
+				grace.WithCompressorFactory(func() (grace.Compressor, error) {
+					return grace.New(method, opts)
+				}),
+				grace.WithEngineMemory(mem),
+				grace.WithParallelism(lanes),
+				grace.WithFusion(fc),
+			)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			grads := make([][]float32, len(infos))
+			for step := 0; step < steps; step++ {
+				for ti, info := range infos {
+					r := fxrand.New(uint64(rank)<<16 | uint64(step)<<8 | uint64(ti) + 1)
+					g := make([]float32, info.Size())
+					for i := range g {
+						g[i] = r.NormFloat32() * 0.1
+					}
+					grads[ti] = g
+				}
+				aggs, sr, err := eng.Step(grads, infos)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				final[rank] = make([][]float32, len(aggs))
+				for i, a := range aggs {
+					final[rank][i] = append([]float32(nil), a...)
+				}
+				if rank == 0 {
+					rep = *sr
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("%s rank %d: %v", method, rank, err)
+		}
+	}
+	return final, &rep
+}
+
+// TestFusedLockstepAllMethods asserts, for every registered method, that a
+// fully fused multi-worker run (every fusable tensor in shared collective
+// rounds) produces bitwise-identical aggregates to the per-tensor schedule —
+// the registry-wide closure of the engine-level fusion identity tests. Run
+// under -race via `make race`, it also exercises the fused exchange's
+// cross-goroutine buffer handoffs on all 22 codecs at once.
+func TestFusedLockstepAllMethods(t *testing.T) {
+	infos := lockstepInfos()
+	for _, method := range wantMethods {
+		t.Run(method, func(t *testing.T) {
+			meta, err := grace.Lookup(method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ef := meta.DefaultEF && !meta.BuiltinEF
+			probe, err := grace.New(method, goldenOptions(method))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, wantRep := runLockstep(t, method, grace.FusionConfig{}, ef, infos)
+			got, gotRep := runLockstep(t, method, grace.FusionConfig{TargetBytes: 1 << 20}, ef, infos)
+			for rank := range got {
+				for ti := range infos {
+					for i := range want[rank][ti] {
+						if got[rank][ti][i] != want[rank][ti][i] {
+							t.Fatalf("rank %d tensor %d elem %d: fused %v != unfused %v",
+								rank, ti, i, got[rank][ti][i], want[rank][ti][i])
+						}
+					}
+				}
+			}
+			if probe.Strategy() != grace.Custom && gotRep.Rounds >= wantRep.Rounds {
+				t.Fatalf("fused run used %d rounds, unfused %d — fusion never engaged",
+					gotRep.Rounds, wantRep.Rounds)
+			}
+		})
+	}
+}

@@ -124,6 +124,72 @@ func computeGolden(method string, in goldenInput) (goldenEntry, error) {
 	return e, nil
 }
 
+func leF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		bits := uint32(b[i*4]) | uint32(b[i*4+1])<<8 | uint32(b[i*4+2])<<16 | uint32(b[i*4+3])<<24
+		out[i] = math.Float32frombits(bits)
+	}
+	return out
+}
+
+// computeFusedGolden freezes the fused-frame view of a method: one compressor
+// instance compresses every golden input in step order (the Engine reuses one
+// codec across a step's tensors, so cross-tensor codec state is pinned too),
+// the payloads are packed into a single comm.AppendFused frame, and each
+// tensor is decoded from its zero-copy SplitFused part. Payload holds the
+// whole fused frame and Output the per-tensor decodes concatenated in input
+// order. Custom-strategy methods never fuse and report ok=false.
+func computeFusedGolden(method string, ins []goldenInput) (goldenEntry, bool, error) {
+	c, err := grace.New(method, goldenOptions(method))
+	if err != nil {
+		return goldenEntry{}, false, fmt.Errorf("New(%q): %w", method, err)
+	}
+	if c.Strategy() == grace.Custom {
+		return goldenEntry{}, false, nil
+	}
+	e := goldenEntry{Method: method, Input: "fused", Strategy: c.Strategy().String()}
+	parts := make([][]byte, len(ins))
+	dense := c.Strategy() == grace.Allreduce
+	for i, in := range ins {
+		pay, err := c.Compress(in.g, in.info)
+		if err != nil {
+			return goldenEntry{}, false, fmt.Errorf("%s fused compress %s: %w", method, in.name, err)
+		}
+		if pay.Dense != nil {
+			parts[i] = f32LE(pay.Dense)
+		} else {
+			parts[i] = append([]byte(nil), pay.Bytes...)
+		}
+		e.WireBytes += pay.WireBytes()
+	}
+	frame := comm.AppendFused(nil, parts)
+	e.WireBytes += comm.FusedOverhead(len(parts))
+	e.Payload = frame
+	split, err := comm.SplitFused(frame, len(ins))
+	if err != nil {
+		return goldenEntry{}, false, fmt.Errorf("%s fused split: %w", method, err)
+	}
+	for i, in := range ins {
+		pay := &grace.Payload{}
+		if dense {
+			pay.Dense = leF32(split[i])
+		} else {
+			pay.Bytes = split[i]
+		}
+		dec, err := c.Decompress(pay, in.info)
+		if err != nil {
+			return goldenEntry{}, false, fmt.Errorf("%s fused decompress %s: %w", method, in.name, err)
+		}
+		if len(dec) != in.info.Size() {
+			return goldenEntry{}, false, fmt.Errorf("%s fused decoded %d elements for %s, want %d",
+				method, len(dec), in.name, in.info.Size())
+		}
+		e.Output = append(e.Output, f32LE(dec)...)
+	}
+	return e, true, nil
+}
+
 const goldenPath = "testdata/golden.json"
 
 // TestGoldenVectors pins every registered compressor's exact wire bytes and
@@ -151,6 +217,20 @@ func TestGoldenVectors(t *testing.T) {
 				t.Fatalf("%s/%s: two fresh runs disagree — codec is not deterministic under a fixed seed", method, in.name)
 			}
 			got = append(got, e)
+		}
+		fe, ok, err := computeFusedGolden(method, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			fe2, _, err := computeFusedGolden(method, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fe.Payload, fe2.Payload) || !bytes.Equal(fe.Output, fe2.Output) {
+				t.Fatalf("%s/fused: two fresh runs disagree — codec is not deterministic under a fixed seed", method)
+			}
+			got = append(got, fe)
 		}
 	}
 

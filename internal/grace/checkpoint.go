@@ -37,6 +37,11 @@ type Snapshot struct {
 	Workers int
 	// Method is the compression method name the run uses.
 	Method string
+	// Fusion is the engine's tensor-fusion policy. It is part of the
+	// collective sequence (the bucket plan must match on every rank), so
+	// restores validate it like Method; checkpoints written before fusion
+	// existed carry the zero value and resume unfused runs unchanged.
+	Fusion FusionConfig
 	// Params are the model parameters in Params() order.
 	Params []ParamTensor
 	// SyncPoint is the local-SGD synchronization point (nil when SyncEvery
@@ -97,6 +102,7 @@ func captureSnapshot(cfg *Config, rank int, model Model, opt optim.Optimizer,
 		Rank:      rank,
 		Workers:   cfg.Workers,
 		Method:    eng.Method(),
+		Fusion:    eng.Fusion(),
 		Opt:       sf.State(params),
 		Codec:     eng.CodecState(),
 	}
@@ -133,6 +139,9 @@ func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Op
 	}
 	if s.Method != eng.Method() {
 		return pos, fmt.Errorf("grace: checkpoint is for method %q, run uses %q", s.Method, eng.Method())
+	}
+	if s.Fusion != eng.Fusion() {
+		return pos, fmt.Errorf("grace: checkpoint is for fusion policy %+v, run uses %+v", s.Fusion, eng.Fusion())
 	}
 	params := model.Params()
 	if len(s.Params) != len(params) {

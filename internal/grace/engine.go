@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm"
@@ -39,6 +40,7 @@ type Engine struct {
 	n        float32 // worker count
 	rank     int
 	fallback bool // DecodeFallback: recover decode failures via raw resend
+	fusion   FusionConfig
 
 	// drv is the comm driver's telemetry scope; drvNs is its per-phase
 	// accumulator (driver goroutine only, merged into rep.PhaseNs at step
@@ -66,6 +68,21 @@ type Engine struct {
 	have    []bool  // driver-side arrival tracking
 	failed  []bool  // recoverable per-tensor decode failures (DecodeFallback)
 	rep     StepReport
+
+	// Fusion state. buckets is the step's bucket plan (contiguous tensor
+	// ranges, identical on every rank); bucketOf inverts it. For multi-tensor
+	// allreduce buckets the summed result is one pooled fused buffer shared
+	// by the bucket's tensors as subslices: fusedBuf holds it, fusedRef
+	// counts outstanding decodes (atomic — lanes decode concurrently), and
+	// sharedSummed[i] tells the decoding lane that tensor i's summed slice is
+	// a shared segment, returned to the pool only by the last decoder. gsplit
+	// is the per-tensor per-rank view of split fused allgather frames.
+	buckets      []Bucket
+	bucketOf     []int
+	fusedBuf     [][]float32
+	fusedRef     []int32
+	sharedSummed []bool
+	gsplit       [][][]byte
 
 	errMu    sync.Mutex
 	firstErr error
@@ -113,6 +130,11 @@ type EngineConfig struct {
 	// run. The flag must be set identically on every worker (it changes the
 	// collective sequence); transport and compress errors remain fatal.
 	DecodeFallback bool
+	// Fusion sets the tensor-fusion batching policy (see FusionConfig). The
+	// zero value disables fusion, reproducing the per-tensor collective
+	// schedule exactly. Like DecodeFallback, it must be set identically on
+	// every worker — the bucket plan is part of the collective sequence.
+	Fusion FusionConfig
 }
 
 // StrategyStats is the per-strategy slice of a step's exchange volume.
@@ -155,6 +177,25 @@ type StepReport struct {
 	// round — the union of all workers' faults, so it is identical on every
 	// rank and ≥ this worker's own Faults.
 	Fallbacks int
+	// Rounds counts the exchange collective rounds this step issued: one per
+	// bucket (recovery-round collectives are excluded). Without fusion this
+	// equals Tensors' length; with fusion it is the figure the paper's
+	// per-tensor-overhead critique cares about.
+	Rounds int
+	// FusedBuckets / FusedTensors count the multi-tensor buckets issued and
+	// the tensors they carried; FusedBytes is the payload volume packed into
+	// them (fill-ratio numerator).
+	FusedBuckets int
+	FusedTensors int
+	FusedBytes   int
+	// FusionOverheadBytes is the framing overhead fused allgather rounds
+	// added to this worker's sent volume (already folded into SentBytes).
+	FusionOverheadBytes int
+	// Buckets is the step's bucket plan as [Lo,Hi) tensor index ranges —
+	// identical on every rank — so cost models can charge wire time per
+	// collective round instead of per tensor. Owned by the Engine; valid
+	// until the next Step.
+	Buckets []Bucket
 	// PhaseNs breaks the step's codec and communication time down per
 	// telemetry.Phase (index = int(phase), nanoseconds summed across the
 	// driver and all lanes). Populated only while telemetry span recording
@@ -163,9 +204,12 @@ type StepReport struct {
 	PhaseNs [telemetry.NumPhases]int64
 }
 
-// NewEngine builds an Engine. All lane compressors must agree on method name
-// and strategy; Custom-strategy methods must implement CustomComm.
-func NewEngine(cfg EngineConfig) (*Engine, error) {
+// NewEngine builds an Engine from functional options (see EngineOption; an
+// EngineConfig literal is itself an option, so both construction styles
+// work). All lane compressors must agree on method name and strategy;
+// Custom-strategy methods must implement CustomComm.
+func NewEngine(opts ...EngineOption) (*Engine, error) {
+	cfg := BuildEngineConfig(opts...)
 	if cfg.Coll == nil {
 		return nil, fmt.Errorf("grace: engine needs a collective")
 	}
@@ -188,9 +232,12 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("grace: engine needs a compressor (Comp) or factory (New)")
 	}
+	if err := cfg.Fusion.validate(); err != nil {
+		return nil, err
+	}
 	first := comps[0]
 	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size()),
-		rank: cfg.Coll.Rank(), fallback: cfg.DecodeFallback}
+		rank: cfg.Coll.Rank(), fallback: cfg.DecodeFallback, fusion: cfg.Fusion}
 	e.drv = telScope{rank: e.rank, tid: telemetry.TIDDriver, acc: &e.drvNs}
 	for i, c := range comps {
 		if c.Name() != first.Name() || c.Strategy() != first.Strategy() {
@@ -210,6 +257,9 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 
 // Lanes reports the codec lane count.
 func (e *Engine) Lanes() int { return len(e.lanes) }
+
+// Fusion reports the engine's tensor-fusion policy.
+func (e *Engine) Fusion() FusionConfig { return e.fusion }
 
 // Step exchanges one training step's gradients: grads[i] is the gradient of
 // the tensor described by infos[i]. It returns the aggregated gradients in
@@ -270,22 +320,27 @@ func (e *Engine) Step(grads [][]float32, infos []TensorInfo) ([][]float32, *Step
 		}(l)
 	}
 
-	// Comm driver: issue each tensor's collective in ascending order as soon
-	// as its payload is ready. This is the only goroutine touching e.coll.
-	next := 0
+	// Comm driver: issue each bucket's collective in ascending order as soon
+	// as every payload in it is ready (unfused runs have one tensor per
+	// bucket, so this degenerates to the per-tensor schedule). This is the
+	// only goroutine touching e.coll.
+	next, nb := 0, 0
 driver:
-	for next < m {
+	for nb < len(e.buckets) {
 		i := <-e.ready
 		e.have[i] = true
 		for next < m && e.have[next] {
+			next++
+		}
+		for nb < len(e.buckets) && e.buckets[nb].Hi <= next {
 			if e.err() != nil {
 				break driver
 			}
-			if err := e.issue(next, infos[next]); err != nil {
+			if err := e.issueBucket(nb, infos); err != nil {
 				e.setErr(err)
 				break driver
 			}
-			next++
+			nb++
 		}
 	}
 
@@ -321,6 +376,9 @@ driver:
 		// The recovery round's failure bitmask is wire volume too.
 		e.rep.SentBytes += (m + 7) / 8
 	}
+	// Fused-allgather framing overhead is wire volume the per-tensor stats
+	// don't see (sent side; the receive side is accounted as it arrives).
+	e.rep.SentBytes += e.rep.FusionOverheadBytes
 	e.rep.WallTime = time.Since(start)
 
 	// Merge the per-phase accumulators (driver + lanes, each written only by
@@ -337,6 +395,12 @@ driver:
 	tel.Add(telemetry.CtrStepBytesRecv, int64(e.rep.RecvBytes))
 	tel.Add(telemetry.CtrDecodeFaults, int64(e.rep.Faults))
 	tel.Add(telemetry.CtrDecodeFallbacks, int64(e.rep.Fallbacks))
+	if e.rep.FusedBuckets > 0 {
+		tel.Add(telemetry.CtrFusionBuckets, int64(e.rep.FusedBuckets))
+		tel.Add(telemetry.CtrFusionTensorsFused, int64(e.rep.FusedTensors))
+		tel.Add(telemetry.CtrFusionRoundsSaved, int64(m-e.rep.Rounds))
+		tel.Add(telemetry.CtrFusionBucketBytes, int64(e.rep.FusedBytes))
+	}
 	for s, bs := range e.rep.ByStrategy {
 		if bs.Tensors > 0 {
 			tel.AddStrategyBytes(s, int64(bs.SentBytes), int64(bs.RecvBytes))
@@ -407,6 +471,157 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 		ln.ts.end(telemetry.PhaseCompensate, info.Name, span)
 	}
 	st.CodecTime = time.Since(t0)
+}
+
+// issueBucket runs bucket bi's collective round on the driver goroutine. A
+// single-tensor bucket takes the legacy per-tensor path — byte-identical wire
+// payloads and accounting — so disabling fusion reproduces the unfused engine
+// exactly; multi-tensor buckets pack their payloads into one fused exchange.
+func (e *Engine) issueBucket(bi int, infos []TensorInfo) error {
+	b := e.buckets[bi]
+	e.rep.Rounds++
+	if b.size() == 1 {
+		return e.issue(b.Lo, infos[b.Lo])
+	}
+	e.rep.FusedBuckets++
+	e.rep.FusedTensors += b.size()
+	if e.lanes[0].caps.Strategy == Allreduce {
+		return e.issueFusedAllreduce(bi, b, infos)
+	}
+	return e.issueFusedAllgather(bi, b, infos)
+}
+
+// issueFusedAllreduce concatenates the bucket's dense payloads into one
+// pooled buffer, allreduces it in a single round, and hands each tensor its
+// segment as a shared subslice. Per-element summation is position-independent
+// on rank-ordered substrates (the in-process hub), so each segment's sum is
+// bitwise identical to the unfused per-tensor allreduce there; ring
+// transports chunk by element position, so fused results remain internally
+// consistent across ranks but may round differently from the unfused
+// schedule (see DESIGN.md).
+func (e *Engine) issueFusedAllreduce(bi int, b Bucket, infos []TensorInfo) error {
+	span := e.drv.start()
+	total := 0
+	for i := b.Lo; i < b.Hi; i++ {
+		pay := e.pays[i]
+		if pay.Dense == nil {
+			return fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", e.lanes[0].comp.Name())
+		}
+		total += len(pay.Dense)
+	}
+	fused := getF32(total)
+	off := 0
+	for i := b.Lo; i < b.Hi; i++ {
+		off += copy(fused[off:], e.pays[i].Dense)
+	}
+	e.rep.FusedBytes += total * 4
+	e.drv.end(telemetry.PhaseFuse, infos[b.Lo].Name, span)
+
+	span = e.drv.start()
+	if err := e.coll.AllreduceF32(fused); err != nil {
+		putF32(fused)
+		return &StepError{Tensor: b.Lo, Name: infos[b.Lo].Name, Phase: "collective", Err: err}
+	}
+	e.drv.end(telemetry.PhaseCollective, infos[b.Lo].Name, span)
+
+	e.fusedBuf[bi] = fused
+	atomic.StoreInt32(&e.fusedRef[bi], int32(b.size()))
+	off = 0
+	for i := b.Lo; i < b.Hi; i++ {
+		n := len(e.pays[i].Dense)
+		e.summed[i] = fused[off : off+n : off+n]
+		e.sharedSummed[i] = true
+		e.rep.Tensors[i].RecvBytes = n * 4
+		off += n
+		e.lanes[i%len(e.lanes)].dec <- i
+	}
+	return nil
+}
+
+// issueFusedAllgather frames the bucket's byte payloads into one fused frame,
+// allgathers it in a single round, and splits every rank's frame back into
+// per-tensor parts (zero-copy subslices). A frame that fails to split is a
+// decode fault for the whole bucket: under DecodeFallback each of its tensors
+// degrades per-tensor through the recovery round, exactly as an unfused
+// corrupt payload would; without it the step fails.
+func (e *Engine) issueFusedAllgather(bi int, b Bucket, infos []TensorInfo) error {
+	span := e.drv.start()
+	parts := make([][]byte, 0, b.size())
+	payloadBytes := 0
+	for i := b.Lo; i < b.Hi; i++ {
+		pay := e.pays[i]
+		if pay.Bytes == nil && pay.Dense != nil {
+			return fmt.Errorf("grace: %s uses Allgather but produced a dense payload", e.lanes[0].comp.Name())
+		}
+		parts = append(parts, pay.Bytes)
+		payloadBytes += len(pay.Bytes)
+	}
+	// The frame is freshly allocated per bucket: on the in-process hub peers
+	// read the deposited slice after the exchange returns, so it must not be
+	// reused while a later bucket is in flight.
+	frame := comm.AppendFused(nil, parts)
+	e.rep.FusedBytes += payloadBytes
+	e.rep.FusionOverheadBytes += comm.FusedOverhead(b.size())
+	// Each peer's frame arrives with the same header overhead.
+	e.rep.RecvBytes += (int(e.n) - 1) * comm.FusedOverhead(b.size())
+	e.drv.end(telemetry.PhaseFuse, infos[b.Lo].Name, span)
+
+	span = e.drv.start()
+	all, err := e.coll.AllgatherBytes(frame)
+	if err != nil {
+		return &StepError{Tensor: b.Lo, Name: infos[b.Lo].Name, Phase: "collective", Err: err}
+	}
+	e.drv.end(telemetry.PhaseCollective, infos[b.Lo].Name, span)
+
+	span = e.drv.start()
+	for r, rframe := range all {
+		rparts, err := comm.SplitFused(rframe, b.size())
+		if err != nil {
+			ferr := fmt.Errorf("fused frame from rank %d: %w", r, err)
+			if !e.fallback {
+				return &StepError{Tensor: b.Lo, Name: infos[b.Lo].Name, Phase: "decode", Err: ferr}
+			}
+			// Degrade the whole bucket per-tensor; the lanes never see these
+			// indices, so the driver owns failed[Lo:Hi] exclusively here.
+			for i := b.Lo; i < b.Hi; i++ {
+				e.failed[i] = true
+			}
+			e.drv.end(telemetry.PhaseFuse, infos[b.Lo].Name, span)
+			return nil
+		}
+		for k, p := range rparts {
+			e.gsplit[b.Lo+k][r] = p
+		}
+	}
+	e.drv.end(telemetry.PhaseFuse, infos[b.Lo].Name, span)
+
+	for i := b.Lo; i < b.Hi; i++ {
+		st := &e.rep.Tensors[i]
+		for r, p := range e.gsplit[i] {
+			if r != e.rank {
+				st.RecvBytes += len(p)
+			}
+		}
+		e.gathers[i] = e.gsplit[i]
+		e.lanes[i%len(e.lanes)].dec <- i
+	}
+	return nil
+}
+
+// releaseSummed returns tensor i's allreduce result buffer to the pool. A
+// tensor from a multi-tensor bucket holds a segment of the bucket's shared
+// fused buffer, which only the last decoder may release; an aborted step
+// leaves the refcount above zero and the buffer falls to the GC, which is
+// safe.
+func (e *Engine) releaseSummed(i int, summed []float32) {
+	if !e.sharedSummed[i] {
+		putF32(summed)
+		return
+	}
+	bi := e.bucketOf[i]
+	if atomic.AddInt32(&e.fusedRef[bi], -1) == 0 {
+		putF32(e.fusedBuf[bi])
+	}
 }
 
 // issue runs tensor i's collective on the driver goroutine and hands the
@@ -498,7 +713,7 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 		span := ln.ts.start()
 		if ln.caps.Into != nil {
 			if err := ln.caps.Into.DecompressInto(&Payload{Dense: summed}, info, e.out[i]); err != nil {
-				putF32(summed)
+				e.releaseSummed(i, summed)
 				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
 				return
 			}
@@ -509,7 +724,7 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 		} else {
 			agg, err := ln.comp.Decompress(&Payload{Dense: summed}, info)
 			if err != nil {
-				putF32(summed)
+				e.releaseSummed(i, summed)
 				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
 				return
 			}
@@ -519,7 +734,7 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 			ln.ts.end(telemetry.PhaseAggregate, info.Name, span)
 			e.out[i] = agg
 		}
-		putF32(summed)
+		e.releaseSummed(i, summed)
 
 	case Allgather:
 		all := e.gathers[i]
@@ -623,6 +838,20 @@ func (e *Engine) ensure(infos []TensorInfo) {
 	if !same {
 		p := len(e.lanes)
 		strategy := e.lanes[0].caps.Strategy
+		e.buckets = planBuckets(infos, e.fusion, strategy)
+		e.bucketOf = make([]int, m)
+		e.fusedBuf = make([][]float32, len(e.buckets))
+		e.fusedRef = make([]int32, len(e.buckets))
+		e.sharedSummed = make([]bool, m)
+		e.gsplit = make([][][]byte, m)
+		for bi, b := range e.buckets {
+			for i := b.Lo; i < b.Hi; i++ {
+				e.bucketOf[i] = bi
+				if b.size() > 1 && strategy == Allgather {
+					e.gsplit[i] = make([][]byte, e.coll.Size())
+				}
+			}
+		}
 		e.sizes = make([]int, m)
 		e.out = make([][]float32, m)
 		e.comp = make([][]float32, m)
@@ -676,6 +905,12 @@ func (e *Engine) ensure(infos []TensorInfo) {
 	e.rep.ByStrategy = [3]StrategyStats{}
 	e.rep.Faults = 0
 	e.rep.Fallbacks = 0
+	e.rep.Rounds = 0
+	e.rep.FusedBuckets = 0
+	e.rep.FusedTensors = 0
+	e.rep.FusedBytes = 0
+	e.rep.FusionOverheadBytes = 0
+	e.rep.Buckets = e.buckets
 	e.rep.PhaseNs = [telemetry.NumPhases]int64{}
 	e.drvNs = [telemetry.NumPhases]int64{}
 	for _, ln := range e.lanes {
@@ -689,6 +924,11 @@ func (e *Engine) ensure(infos []TensorInfo) {
 		e.compVec[i] = nil
 		e.gathers[i] = nil
 		e.summed[i] = nil
+		e.sharedSummed[i] = false
+	}
+	for bi := range e.buckets {
+		e.fusedBuf[bi] = nil
+		e.fusedRef[bi] = 0
 	}
 }
 

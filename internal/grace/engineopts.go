@@ -1,0 +1,112 @@
+package grace
+
+import "repro/internal/comm"
+
+// EngineOption configures NewEngine. Options are applied in order onto a
+// zero EngineConfig, so later options win. Two kinds of values satisfy
+// EngineOption: the With* functional options below — the preferred
+// construction surface —
+//
+//	eng, err := grace.NewEngine(
+//		grace.WithCollective(coll),
+//		grace.WithCompressorFactory(newComp),
+//		grace.WithFusion(grace.FusionConfig{TargetBytes: 1 << 20}),
+//	)
+//
+// and the EngineConfig struct itself (which merges its non-zero fields), so
+// call sites that assemble a literal config keep working:
+//
+//	eng, err := grace.NewEngine(grace.EngineConfig{Coll: coll, Comp: c})
+//
+// Raw struct-literal construction is deprecated in examples and docs in
+// favor of the options form; it remains supported for programmatic callers
+// that build configs field by field (the harness).
+type EngineOption interface {
+	applyEngine(*EngineConfig)
+}
+
+// engineOptionFunc adapts a function to the EngineOption interface.
+type engineOptionFunc func(*EngineConfig)
+
+func (f engineOptionFunc) applyEngine(c *EngineConfig) { f(c) }
+
+// applyEngine merges the non-zero fields of c into dst, making a literal
+// EngineConfig usable anywhere an EngineOption is expected. Zero fields are
+// skipped because the zero value of every knob means "use the default".
+func (c EngineConfig) applyEngine(dst *EngineConfig) {
+	if c.Coll != nil {
+		dst.Coll = c.Coll
+	}
+	if c.New != nil {
+		dst.New = c.New
+	}
+	if c.Comp != nil {
+		dst.Comp = c.Comp
+	}
+	if c.Mem != nil {
+		dst.Mem = c.Mem
+	}
+	if c.Parallelism != 0 {
+		dst.Parallelism = c.Parallelism
+	}
+	if c.DecodeFallback {
+		dst.DecodeFallback = true
+	}
+	if c.Fusion != (FusionConfig{}) {
+		dst.Fusion = c.Fusion
+	}
+}
+
+// WithCollective sets the worker's collective handle (required).
+func WithCollective(coll comm.Collective) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Coll = coll })
+}
+
+// WithCompressorFactory sets the per-lane compressor factory (see
+// EngineConfig.New).
+func WithCompressorFactory(f func() (Compressor, error)) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.New = f })
+}
+
+// WithCompressor sets a single pre-built compressor (see EngineConfig.Comp).
+func WithCompressor(comp Compressor) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Comp = comp })
+}
+
+// WithEngineMemory attaches the framework error-feedback memory (Eq. 4).
+func WithEngineMemory(m *Memory) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Mem = m })
+}
+
+// WithParallelism bounds the codec lane count; 0 selects GOMAXPROCS.
+func WithParallelism(p int) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Parallelism = p })
+}
+
+// WithDecodeFallback enables graceful degradation of decode failures (see
+// EngineConfig.DecodeFallback; must be set identically on every worker).
+func WithDecodeFallback(on bool) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.DecodeFallback = on })
+}
+
+// WithFusion sets the tensor-fusion batching policy (see FusionConfig; must
+// be set identically on every worker).
+func WithFusion(fc FusionConfig) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Fusion = fc })
+}
+
+// WithFusionBytes is WithFusion with just a bucket fill target — the common
+// case, mirroring the CLIs' -fusion-bytes flag. 0 disables fusion.
+func WithFusionBytes(target int) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Fusion = FusionConfig{TargetBytes: target} })
+}
+
+// BuildEngineConfig folds a list of options into the EngineConfig NewEngine
+// consumes. Exposed for callers that assemble a config once and reuse it.
+func BuildEngineConfig(opts ...EngineOption) EngineConfig {
+	var c EngineConfig
+	for _, opt := range opts {
+		opt.applyEngine(&c)
+	}
+	return c
+}

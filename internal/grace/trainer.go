@@ -57,6 +57,12 @@ type Config struct {
 	// tensors' codec work at once.
 	CodecParallelism int
 
+	// Fusion sets the Engine's tensor-fusion batching policy (see
+	// FusionConfig): many tensors' payloads share one collective round. The
+	// zero value keeps the per-tensor schedule. Modeled wire time is charged
+	// per bucket, so fusion shows up as fewer per-round latency charges.
+	Fusion FusionConfig
+
 	// SyncEvery > 1 enables local-SGD training (Qsparse-local-SGD [20] /
 	// periodic averaging [75]): workers take SyncEvery local optimizer
 	// steps between synchronizations, then exchange the *compressed model
@@ -248,12 +254,13 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	if cfg.UseMemory {
 		mem = NewMemory(beta, gamma)
 	}
-	eng, err := NewEngine(EngineConfig{
-		Coll:        coll,
-		New:         func() (Compressor, error) { return cfg.NewCompressor(rank) },
-		Mem:         mem,
-		Parallelism: cfg.CodecParallelism,
-	})
+	eng, err := NewEngine(
+		WithCollective(coll),
+		WithCompressorFactory(func() (Compressor, error) { return cfg.NewCompressor(rank) }),
+		WithEngineMemory(mem),
+		WithParallelism(cfg.CodecParallelism),
+		WithFusion(cfg.Fusion),
+	)
 	if err != nil {
 		return nil, err
 	}
@@ -342,8 +349,8 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		}
 		codecDur := time.Duration(float64(stepRep.CodecTime) * codecScale)
 		var commDur time.Duration
-		for _, st := range stepRep.Tensors {
-			commDur += commTime(cluster, st)
+		for _, b := range stepRep.Buckets {
+			commDur += commTimeBucket(cluster, stepRep.Tensors[b.Lo:b.Hi])
 		}
 		totalBytes += int64(stepRep.SentBytes)
 		totalRecv += int64(stepRep.RecvBytes)
@@ -483,6 +490,49 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		rep.Throughput = samples / lastDur.Seconds()
 	}
 	return rep, nil
+}
+
+// commTimeBucket models the transfer time of one collective round — a fusion
+// bucket — on the cluster. A singleton bucket is the legacy per-tensor charge;
+// a fused bucket merges its tensors' volumes into one round, which is exactly
+// the saving fusion exists for: one latency charge instead of len(span).
+func commTimeBucket(c simnet.Cluster, span []StepStats) time.Duration {
+	if len(span) == 1 {
+		return commTime(c, span[0])
+	}
+	switch span[0].Strategy {
+	case Allreduce:
+		total := 0
+		for _, s := range span {
+			total += s.SentBytes
+		}
+		return c.AllreduceTime(total)
+	case Allgather:
+		// Per-rank fused frame = framing header + that rank's payloads.
+		var sizes []int
+		over := comm.FusedOverhead(len(span))
+		for _, s := range span {
+			if len(sizes) < len(s.GatherSizes) {
+				grown := make([]int, len(s.GatherSizes))
+				copy(grown, sizes)
+				for r := len(sizes); r < len(grown); r++ {
+					grown[r] = over
+				}
+				sizes = grown
+			}
+			for r, sz := range s.GatherSizes {
+				sizes[r] += sz
+			}
+		}
+		return c.AllgatherTime(sizes)
+	default:
+		// Custom-strategy tensors are never fused; charge per tensor.
+		var d time.Duration
+		for _, s := range span {
+			d += commTime(c, s)
+		}
+		return d
+	}
 }
 
 // commTime models the transfer time of one exchange on the cluster.

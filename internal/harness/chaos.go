@@ -34,7 +34,11 @@ type ChaosConfig struct {
 	Method    string
 	Opts      grace.Options
 	Timeout   time.Duration
-	Scenarios []ChaosScenario
+	// FusionBytes, when > 0, runs the battery with tensor-fusion batching at
+	// that bucket fill target, so fault injection also exercises the fused
+	// collective schedule (corrupt fused frames, fused recovery rounds).
+	FusionBytes int
+	Scenarios   []ChaosScenario
 }
 
 // ChaosResult is one scenario's verdict.
@@ -75,6 +79,11 @@ func DefaultChaos(workers int, seed uint64) ChaosConfig {
 		Method:  "topk",
 		Opts:    grace.Options{Ratio: 0.25},
 		Timeout: 30 * time.Second,
+		// Run fused — two tensors per bucket at these shapes, three collective
+		// rounds per step — so faults hit fused frames and recovery degrades
+		// whole buckets, while the drop/reset FromStep op counts below still
+		// land mid-run.
+		FusionBytes: 1024,
 		Scenarios: []ChaosScenario{
 			{Name: "clean", Plan: comm.Plan{Seed: seed}},
 			{Name: "delay", Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
@@ -126,14 +135,15 @@ func runChaosScenario(cfg ChaosConfig, sc ChaosScenario) ChaosResult {
 				defer wg.Done()
 				fy := comm.NewFaulty(hub.Worker(rank), sc.Plan)
 				faulties[rank] = fy
-				eng, err := grace.NewEngine(grace.EngineConfig{
-					Coll: fy,
-					New: func() (grace.Compressor, error) {
+				eng, err := grace.NewEngine(
+					grace.WithCollective(fy),
+					grace.WithCompressorFactory(func() (grace.Compressor, error) {
 						return grace.New(cfg.Method, cfg.Opts)
-					},
-					Parallelism:    2,
-					DecodeFallback: sc.DecodeFallback,
-				})
+					}),
+					grace.WithParallelism(2),
+					grace.WithDecodeFallback(sc.DecodeFallback),
+					grace.WithFusionBytes(cfg.FusionBytes),
+				)
 				if err != nil {
 					res.Errs[rank] = err
 					return

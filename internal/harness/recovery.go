@@ -98,7 +98,10 @@ func DefaultRecovery(transport, method string, mem bool, dir string) RecoveryCon
 			},
 			UseMemory:        mem,
 			CodecParallelism: 2,
-			Net:              simnet.TCP10G,
+			// Run fused so crash/restart also proves the fused schedule
+			// recovers: checkpoints carry the policy and resume validates it.
+			Fusion: grace.FusionConfig{TargetBytes: 4096},
+			Net:    simnet.TCP10G,
 		},
 		Dir:       dir,
 		Every:     3,

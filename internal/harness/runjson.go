@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/grace"
@@ -144,6 +145,27 @@ func RecoveryJSON(scenario string, res *RecoveryResult, elapsed time.Duration, e
 		}
 	}
 	return out
+}
+
+// WriteRunSummaryDir writes the summary into dir as an auto-named artifact,
+// RUN_<kind>.json (kind sanitized for the filesystem), and returns the path
+// written. This is the directory counterpart of WriteRunSummary, so every CLI
+// can take one artifacts directory instead of a per-tool file-path flag.
+func WriteRunSummaryDir(dir string, s *RunSummary) (string, error) {
+	kind := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s.Kind)
+	if kind == "" {
+		kind = "run"
+	}
+	path := filepath.Join(dir, "RUN_"+kind+".json")
+	return path, WriteRunSummary(path, s)
 }
 
 // WriteRunSummary writes the summary as indented JSON, creating parent

@@ -77,6 +77,10 @@ type SweepConfig struct {
 	// CodecParallelism bounds each worker's Engine codec lanes; 0 selects
 	// GOMAXPROCS (see grace.EngineConfig).
 	CodecParallelism int
+	// FusionBytes, when > 0, enables tensor-fusion batching with that bucket
+	// fill target (see grace.FusionConfig.TargetBytes); 0 keeps the paper's
+	// per-tensor collective schedule.
+	FusionBytes int
 }
 
 // DefaultSweep matches the paper's default system setup: 8 workers on
@@ -102,6 +106,7 @@ func RunOne(b Benchmark, spec MethodSpec, sc SweepConfig) (*grace.Report, error)
 		},
 		UseMemory:            spec.EF,
 		CodecParallelism:     sc.CodecParallelism,
+		Fusion:               grace.FusionConfig{TargetBytes: sc.FusionBytes},
 		Net:                  sc.Net,
 		ComputePerIter:       b.ComputePerIter,
 		Eval:                 b.NewEval(),

@@ -68,14 +68,19 @@ const (
 	PhaseCheckpoint
 	// PhaseCompute is the model forward/backward pass.
 	PhaseCompute
+	// PhaseFuse is the tensor-fusion pack/split work: copying per-tensor
+	// payloads into a bucket's fused buffer before its collective and
+	// splitting the fused result back per tensor after it.
+	PhaseFuse
 )
 
 // NumPhases is the number of defined phases (array-sizing constant).
-const NumPhases = int(PhaseCompute) + 1
+const NumPhases = int(PhaseFuse) + 1
 
 var phaseNames = [NumPhases]string{
 	"compensate", "compress", "encode", "wire_send", "wire_recv",
 	"collective", "decode", "aggregate", "recovery", "checkpoint", "compute",
+	"fuse",
 }
 
 // String names the phase as exported (metric label, trace-event name).
@@ -128,6 +133,14 @@ const (
 	// Scratch-buffer pool traffic: Get calls and the subset served by reuse.
 	CtrPoolGets
 	CtrPoolHits
+	// Tensor fusion: buckets exchanged, tensors carried by multi-tensor
+	// buckets, collective rounds saved versus the unfused per-tensor
+	// schedule, and the payload bytes packed into multi-tensor buckets
+	// (fill ratio = CtrFusionBucketBytes / (CtrFusionBuckets × TargetBytes)).
+	CtrFusionBuckets
+	CtrFusionTensorsFused
+	CtrFusionRoundsSaved
+	CtrFusionBucketBytes
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -155,6 +168,10 @@ var counterNames = [NumCounters]string{
 	"checkpoint_restores_total",
 	"pool_gets_total",
 	"pool_hits_total",
+	"fusion_buckets_total",
+	"fusion_tensors_fused_total",
+	"fusion_rounds_saved_total",
+	"fusion_bucket_bytes_total",
 }
 
 // String names the counter as exported (without the "grace_" prefix).
