@@ -47,6 +47,7 @@ func main() {
 		benchlist = flag.Bool("benchlist", false, "list benchmarks")
 		methods   = flag.Bool("methods", false, "list methods")
 		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep (add an explicit -bench/-method to also train afterwards in the same process)")
+		autotune  = flag.Bool("autotune", false, "run the autotune battery on -bench: one tuned run vs every static candidate, compared on modeled step time (writes BENCH_autotune_<bench>.json; ignores -method and -fusion-bytes)")
 		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing); also enables span recording")
 		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
@@ -62,7 +63,7 @@ func main() {
 	// covers fault/recovery counters and multi-strategy training.
 	trainRequested := !*chaos
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "bench" || f.Name == "method" {
+		if f.Name == "bench" || f.Name == "method" || f.Name == "autotune" {
 			trainRequested = true
 		}
 	})
@@ -109,6 +110,24 @@ func main() {
 		Workers: *workers, Net: link, Scale: *scale, Seed: *seed,
 		CodecParallelism: *codecpar,
 		FusionBytes:      *fusion,
+	}
+
+	if *autotune {
+		if *chaos {
+			summary.Kind = "chaos+autotune"
+		} else {
+			summary.Kind = "autotune"
+		}
+		// The Engine rejects fusion in tuner mode; the battery compares
+		// per-tensor collective schedules.
+		sc.FusionBytes = 0
+		runAutotune(b, sc, *artifacts, summary)
+		writeSummary(*runJSON, *artifacts, summary)
+		finishTel()
+		if chaosFailed > 0 {
+			fatal(fmt.Errorf("%d chaos/recovery scenario(s) failed", chaosFailed))
+		}
+		return
 	}
 
 	for _, name := range strings.Split(*method, ",") {
@@ -226,6 +245,41 @@ func writeSummary(path, dir string, s *harness.RunSummary) {
 	}
 }
 
+// runAutotune runs the autotune battery on one benchmark — a tuned training
+// run against every static candidate, all frozen policies rescored on a
+// common replay stream — prints the ranking, and writes the
+// BENCH_autotune_<bench>.json artifact (into -artifacts, or ./results).
+func runAutotune(b harness.Benchmark, sc harness.SweepConfig, artifactsDir string, summary *harness.RunSummary) {
+	fmt.Printf("autotune battery: %s (%s) on %d workers over %s\n\n",
+		b.Name, b.PaperModel, sc.Workers, sc.Net.Name)
+	res, err := harness.RunAutotuneBench(b, sc)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-12s %-14s %-12s %-9s\n", "policy", "step (modeled)", b.Metric, "switches")
+	for _, r := range res.Rows {
+		fmt.Printf("%-12s %-14s %-12.4f %-9d\n",
+			r.Label, r.StepTime.Round(time.Microsecond), r.Report.FinalQuality, r.Switches)
+		summary.Train = append(summary.Train, harness.TrainJSON(b.Name, r.Label, r.Report))
+	}
+	fmt.Printf("\ntuned vs best static (%s): %s vs %s\n",
+		res.BestStatic.Label, res.Tuned.StepTime.Round(time.Microsecond), res.BestStatic.StepTime.Round(time.Microsecond))
+	fmt.Printf("final tuned policy: %s\n", strings.Join(res.Tuned.FinalPolicy, ", "))
+	if res.Tuned.StepTime > res.BestStatic.StepTime {
+		summary.Pass = false
+		fmt.Println("WARNING: tuned policy is slower than the best static method")
+	}
+	dir := artifactsDir
+	if dir == "" {
+		dir = "results"
+	}
+	out, err := telemetry.WriteBenchArtifact(dir, harness.AutotuneArtifact(res))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bench artifact written to %s\n", out)
+}
+
 // runChaos executes the default fault-injection battery: engines over a
 // Faulty-wrapped hub, one scenario per fault kind, with a watchdog converting
 // any deadlock into a failed row. Scenario rows land in summary; the return
@@ -237,19 +291,28 @@ func runChaos(workers int, seed uint64, summary *harness.RunSummary) int {
 	fmt.Printf("%-18s %-6s %-9s %-9s %-10s %-8s\n",
 		"scenario", "pass", "injected", "faults", "fallbacks", "elapsed")
 	failed := 0
-	for _, r := range harness.RunChaos(cfg) {
+	report := func(r harness.ChaosResult, prefix string) {
 		verdict := "ok"
 		if !r.Pass {
 			verdict = "FAIL"
 			failed++
 			summary.Pass = false
 		}
+		r.Scenario = prefix + r.Scenario
 		fmt.Printf("%-18s %-6s %-9d %-9d %-10d %-8s\n",
 			r.Scenario, verdict, r.Injected, r.Faults, r.Fallbacks, r.Elapsed.Round(time.Millisecond))
 		if r.Detail != "" {
 			fmt.Printf("    %s\n", r.Detail)
 		}
 		summary.Chaos = append(summary.Chaos, harness.ChaosJSON(r))
+	}
+	for _, r := range harness.RunChaos(cfg) {
+		report(r, "")
+	}
+	// The same battery with the engines in autotuning mode, so faults also
+	// land on warmup probes, scored switches, and flush handoffs.
+	for _, r := range harness.RunChaos(harness.AutotuneChaos(workers, seed)) {
+		report(r, "tuned/")
 	}
 	return failed + runRecoveryScenarios(summary)
 }
@@ -270,11 +333,16 @@ func runRecoveryScenarios(summary *harness.RunSummary) int {
 		// hang freezes the victim instead of severing its sockets, so the
 		// survivors convict it through the heartbeat miss window.
 		hang bool
+		// autotune runs the workers under the runtime policy engine; the
+		// restart must resume the policy trajectory bitwise too.
+		autotune bool
 	}{
-		{harness.TransportHub, "topk", true, false},
-		{harness.TransportHub, "dgc", false, false},
-		{harness.TransportTCP, "topk", true, false},
-		{harness.TransportTCP, "dgc", false, true},
+		{harness.TransportHub, "topk", true, false, false},
+		{harness.TransportHub, "dgc", false, false, false},
+		{harness.TransportTCP, "topk", true, false, false},
+		{harness.TransportTCP, "dgc", false, true, false},
+		{harness.TransportHub, "autotune", true, false, true},
+		{harness.TransportTCP, "autotune", true, false, true},
 	} {
 		name := sc.transport + "/" + sc.method
 		if sc.hang {
@@ -286,6 +354,9 @@ func runRecoveryScenarios(summary *harness.RunSummary) int {
 		}
 		start := time.Now()
 		rcfg := harness.DefaultRecovery(sc.transport, sc.method, sc.mem, dir)
+		if sc.autotune {
+			rcfg = harness.AutotuneRecovery(sc.transport, dir)
+		}
 		if sc.hang {
 			rcfg.KillMode = "hang"
 		}

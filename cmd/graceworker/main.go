@@ -45,6 +45,7 @@ func main() {
 		ef        = flag.Bool("ef", false, "enable framework error feedback")
 		codecpar  = flag.Int("codecpar", 0, "codec lanes for this worker's Engine (0 = GOMAXPROCS)")
 		fusion    = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds; all ranks must agree)")
+		autotune  = flag.Bool("autotune", false, "run under the runtime compression autotuner instead of a fixed -method (all ranks must agree; mutually exclusive with -fusion-bytes)")
 		net       = flag.String("net", "tcp-10g", "modeled network preset for the virtual clock")
 		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
 		seed      = flag.Uint64("seed", 42, "shared run seed")
@@ -83,6 +84,9 @@ func main() {
 
 	if *resume && *ckptDir == "" {
 		fatal(fmt.Errorf("-resume needs -checkpoint-dir"))
+	}
+	if *autotune && *fusion > 0 {
+		fatal(fmt.Errorf("-autotune is mutually exclusive with -fusion-bytes"))
 	}
 
 	// The ring is dialed with frame deadlines off: op timeouts are owned by
@@ -123,24 +127,35 @@ func main() {
 
 	workers := len(addrs)
 	cfg := grace.Config{
-		Workers:      workers,
-		BatchSize:    b.BatchSize,
-		Epochs:       scaledEpochs(b, *scale),
-		Seed:         *seed,
-		NewModel:     b.NewModel,
-		Dataset:      b.NewDataset(),
-		NewOptimizer: b.NewOptimizer,
-		NewCompressor: func(r int) (grace.Compressor, error) {
-			return grace.New(*method,
-				grace.WithRatio(*ratio), grace.WithLevels(*levels), grace.WithRank(*rank_),
-				grace.WithSeed(*seed*1000+uint64(r)))
-		},
+		Workers:              workers,
+		BatchSize:            b.BatchSize,
+		Epochs:               scaledEpochs(b, *scale),
+		Seed:                 *seed,
+		NewModel:             b.NewModel,
+		Dataset:              b.NewDataset(),
+		NewOptimizer:         b.NewOptimizer,
 		UseMemory:            *ef,
 		CodecParallelism:     *codecpar,
 		Fusion:               grace.FusionConfig{TargetBytes: *fusion},
 		Net:                  link,
 		ComputePerIter:       b.ComputePerIter,
 		QualityLowerIsBetter: b.LowerIsBetter,
+	}
+	if *autotune {
+		// Tuner mode: the policy engine is a pure function of rank-identical
+		// inputs, so every rank building the same tuner from the shared link
+		// preset and group size stays in lockstep without extra collectives.
+		// The Engine rejects fusion in tuner mode, and the tuned run always
+		// trains with the framework error-feedback memory.
+		cfg.Fusion = grace.FusionConfig{}
+		cfg.UseMemory = true
+		cfg.NewTuner = harness.NewDefaultTuner(harness.SweepConfig{Workers: workers, Net: link})
+	} else {
+		cfg.NewCompressor = func(r int) (grace.Compressor, error) {
+			return grace.New(*method,
+				grace.WithRatio(*ratio), grace.WithLevels(*levels), grace.WithRank(*rank_),
+				grace.WithSeed(*seed*1000+uint64(r)))
+		}
 	}
 	if *rank == 0 {
 		cfg.Eval = b.NewEval()
@@ -189,6 +204,10 @@ func main() {
 		}
 		fmt.Printf("\nbest %s: %.4f | %.1f samples/s | %.0f bytes/iter/worker\n",
 			b.Metric, rep.BestQuality, rep.Throughput, rep.BytesPerIter)
+		if *autotune {
+			fmt.Printf("autotune: %d switches | final policy: %s\n",
+				rep.Switches, strings.Join(rep.FinalPolicy, ", "))
+		}
 	} else {
 		fmt.Printf("rank %d finished %d iterations (%.0f bytes/iter)\n", *rank, rep.Iters, rep.BytesPerIter)
 	}

@@ -38,10 +38,11 @@ import (
 
 const (
 	// Version is the current checkpoint format version. Version 2 added the
-	// tensor-fusion policy after the method name; version-1 files are still
-	// accepted and decode with the zero (disabled) policy, so pre-fusion
-	// checkpoints keep resuming unfused runs.
-	Version = 2
+	// tensor-fusion policy after the method name; version 3 added the
+	// autotune policy state after the codec section. Version-1 and -2 files
+	// are still accepted and decode with the corresponding features zeroed
+	// (no fusion, no tuner), so older checkpoints keep resuming their runs.
+	Version = 3
 
 	magic      = "GRCK"
 	headerLen  = len(magic) + 4 // magic + version
@@ -143,6 +144,33 @@ func Encode(s *Snapshot) []byte {
 		w.F64(r.Spare)
 	}
 
+	// Autotune policy state (v3+): presence byte, then the trajectory.
+	if t := s.Tuner; t != nil {
+		w.U8(1)
+		putString(w, t.Sig)
+		w.U64(uint64(t.Step))
+		w.U64(uint64(t.Switches))
+		w.Uvarint(uint64(t.NextSwitches))
+		w.Uvarint(uint64(t.Cands))
+		w.Uvarint(uint64(len(t.Assign)))
+		for i, a := range t.Assign {
+			w.Uvarint(uint64(a))
+			if i < len(t.Pending) && t.Pending[i] {
+				w.U8(1)
+			} else {
+				w.U8(0)
+			}
+		}
+		w.Uvarint(uint64(len(t.LastBytes)))
+		for _, b := range t.LastBytes {
+			// Stored as value+1 so the -1 "never observed" sentinel encodes as
+			// 0 without a sign bit.
+			w.U64(uint64(b + 1))
+		}
+	} else {
+		w.U8(0)
+	}
+
 	w.U32(crc32.Checksum(w.Bytes(), castagnoli))
 	return w.Bytes()
 }
@@ -168,7 +196,7 @@ func Decode(b []byte) (*Snapshot, error) {
 
 	r := encode.NewReader(body[len(magic):])
 	v := r.U32()
-	if v != 1 && v != Version {
+	if v < 1 || v > Version {
 		return nil, fmt.Errorf("%w: unsupported version %d (want 1..%d)", ErrCorrupt, v, Version)
 	}
 
@@ -240,6 +268,38 @@ func Decode(b []byte) (*Snapshot, error) {
 			HasSpare: r.U8() == 1,
 			Spare:    r.F64(),
 		})
+	}
+
+	if v >= 3 && r.U8() == 1 {
+		t := &grace.TunerState{}
+		t.Sig = getString(r)
+		t.Step = int64(r.U64())
+		t.Switches = int64(r.U64())
+		t.NextSwitches = int32(boundedInt(r))
+		t.Cands = int32(boundedInt(r))
+		nAssign := boundedCount(r, 2)
+		if nAssign > 0 {
+			t.Assign = make([]int32, 0, nAssign)
+			t.Pending = make([]bool, 0, nAssign)
+		}
+		for i := 0; i < nAssign && r.Err() == nil; i++ {
+			t.Assign = append(t.Assign, int32(boundedInt(r)))
+			t.Pending = append(t.Pending, r.U8() == 1)
+		}
+		nBytes := boundedCount(r, 8)
+		if nBytes > 0 {
+			t.LastBytes = make([]int64, 0, nBytes)
+		}
+		for i := 0; i < nBytes && r.Err() == nil; i++ {
+			// Stored as value+1 (sentinel -1 encodes as 0).
+			raw := r.U64()
+			if raw > math.MaxInt64 {
+				poison(r)
+				break
+			}
+			t.LastBytes = append(t.LastBytes, int64(raw)-1)
+		}
+		s.Tuner = t
 	}
 
 	if r.Err() != nil {

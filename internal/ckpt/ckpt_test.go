@@ -57,6 +57,16 @@ func sampleSnapshot() *Snapshot {
 				{Word: 67890},
 			},
 		},
+		Tuner: &grace.TunerState{
+			Sig:          "autotune:v1 test",
+			Step:         41,
+			Switches:     3,
+			NextSwitches: 1,
+			Cands:        2,
+			Assign:       []int32{1, 0},
+			Pending:      []bool{true, false},
+			LastBytes:    []int64{-1, 640, 128, -1},
+		},
 	}
 }
 
@@ -82,13 +92,15 @@ func TestEncodeDecodeMinimal(t *testing.T) {
 	}
 }
 
-// TestDecodeAcceptsVersion1 splices the version-2 fusion fields out of an
-// encoded record and stamps it version 1, reproducing a checkpoint written
-// before fusion existed. It must still decode — with the zero (disabled)
-// fusion policy — because operators resume old runs with new binaries.
+// TestDecodeAcceptsVersion1 splices the version-2 fusion fields and the
+// version-3 tuner section out of an encoded record and stamps it version 1,
+// reproducing a checkpoint written before either existed. It must still
+// decode — with the zero (disabled) fusion policy and no tuner state —
+// because operators resume old runs with new binaries.
 func TestDecodeAcceptsVersion1(t *testing.T) {
 	s := sampleSnapshot()
 	s.Fusion = grace.FusionConfig{} // v1 files can only describe unfused runs
+	s.Tuner = nil                   // ... and fixed-method runs
 	b := Encode(s)
 
 	// Replay the pre-fusion field sequence to locate where the fusion bytes
@@ -107,6 +119,9 @@ func TestDecodeAcceptsVersion1(t *testing.T) {
 	off := w.Len()
 
 	v1 := append(append([]byte(nil), b[:off]...), b[off+3:]...)
+	// Drop the v3 tuner presence byte (a nil tuner encodes as one 0 byte at
+	// the end of the body, just before the CRC).
+	v1 = append(v1[:len(v1)-trailerLen-1], v1[len(v1)-trailerLen:]...)
 	v1[len(magic)] = 1 // version u32, little-endian
 	reseal(v1)
 
@@ -116,6 +131,28 @@ func TestDecodeAcceptsVersion1(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, s) {
 		t.Fatalf("v1 decode mismatch:\ngot  %+v\nwant %+v", got, s)
+	}
+}
+
+// TestDecodeAcceptsVersion2 strips only the version-3 tuner section and
+// stamps the record version 2: a checkpoint written by the fusion-era format
+// must keep decoding, with no tuner state.
+func TestDecodeAcceptsVersion2(t *testing.T) {
+	s := sampleSnapshot()
+	s.Tuner = nil // v2 files can only describe fixed-method runs
+	b := Encode(s)
+
+	v2 := append([]byte(nil), b...)
+	v2 = append(v2[:len(v2)-trailerLen-1], v2[len(v2)-trailerLen:]...)
+	v2[len(magic)] = 2 // version u32, little-endian
+	reseal(v2)
+
+	got, err := Decode(v2)
+	if err != nil {
+		t.Fatalf("Decode(v2): %v", err)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("v2 decode mismatch:\ngot  %+v\nwant %+v", got, s)
 	}
 }
 

@@ -46,3 +46,68 @@ func FuzzCheckpointDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzAutotuneState aims hostile bytes specifically at the version-3 tuner
+// section: the seeds carry valid records whose tuner tail is then mutated and
+// CRC-resealed, so the fuzzer starts inside the policy-state decoder instead
+// of bouncing off the checksum gate. Decode must never panic, never allocate
+// disproportionately (a forged Assign/LastBytes count cannot exceed the bytes
+// present), and anything accepted must re-encode canonically with structurally
+// consistent policy state.
+func FuzzAutotuneState(f *testing.F) {
+	valid := Encode(sampleSnapshot())
+	f.Add(valid)
+	// A snapshot whose only payload is the tuner section.
+	bare := Encode(&Snapshot{Tuner: sampleSnapshot().Tuner})
+	f.Add(bare)
+	// No tuner at all (presence byte 0).
+	f.Add(Encode(&Snapshot{}))
+	// Truncate inside the tuner section.
+	f.Add(valid[:len(valid)-6])
+	// Forge the tuner tail with huge uvarints, then reseal so the CRC passes.
+	for _, src := range [][]byte{valid, bare} {
+		forged := append([]byte(nil), src...)
+		for i := len(forged) - 24; i < len(forged)-4; i++ {
+			if i >= 0 {
+				forged[i] = 0xff
+			}
+		}
+		reseal(forged)
+		f.Add(forged)
+		// And a milder mutation: flip bits across the tuner region.
+		flipped := append([]byte(nil), src...)
+		for i := len(flipped) - 30; i < len(flipped)-4; i += 3 {
+			if i >= 0 {
+				flipped[i] ^= 0x24
+			}
+		}
+		reseal(flipped)
+		f.Add(flipped)
+	}
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if tu := s.Tuner; tu != nil {
+			if len(tu.Pending) != len(tu.Assign) {
+				t.Fatalf("decoded tuner state is inconsistent: %d assigns, %d pendings",
+					len(tu.Assign), len(tu.Pending))
+			}
+			for i, v := range tu.LastBytes {
+				if v < -1 {
+					t.Fatalf("decoded tuner byte cell %d holds %d (< -1)", i, v)
+				}
+			}
+		}
+		again := Encode(s)
+		s2, err := Decode(again)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded snapshot failed: %v", err)
+		}
+		if !bytes.Equal(again, Encode(s2)) {
+			t.Fatal("encoding is not a fixed point for decoded snapshots")
+		}
+	})
+}

@@ -1,0 +1,380 @@
+package autotune_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	_ "repro/internal/compress/all"
+	"repro/internal/grace"
+	"repro/internal/grace/autotune"
+	"repro/internal/simnet"
+)
+
+func testInfos(sizes ...int) []grace.TensorInfo {
+	infos := make([]grace.TensorInfo, len(sizes))
+	for i, n := range sizes {
+		infos[i] = grace.NewTensorInfo("t"+string(rune('a'+i)), []int{n})
+	}
+	return infos
+}
+
+func mustPolicy(t *testing.T, cfg autotune.Config) *autotune.Policy {
+	t.Helper()
+	p, err := autotune.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// observe feeds one synthetic step back: every tensor reports its current
+// assignment with the given per-tensor byte volumes.
+func observe(p *autotune.Policy, assigns []grace.TunerAssign, bytes []int64) {
+	obs := make([]grace.TunerObs, len(assigns))
+	for i := range obs {
+		obs[i] = grace.TunerObs{Cand: assigns[i].Cand, Flush: assigns[i].Flush, ExchBytes: bytes[i]}
+	}
+	p.Observe(obs)
+}
+
+func TestNewValidation(t *testing.T) {
+	base := func() autotune.Config { return autotune.Config{Workers: 4} }
+	cases := []struct {
+		name   string
+		mutate func(*autotune.Config)
+	}{
+		{"no-workers", func(c *autotune.Config) { c.Workers = 0 }},
+		{"negative-every", func(c *autotune.Config) { c.Every = -1 }},
+		{"negative-hysteresis", func(c *autotune.Config) { c.Hysteresis = -0.1 }},
+		{"bad-handoff", func(c *autotune.Config) { c.EFHandoff = "defer" }},
+		{"empty-candidates", func(c *autotune.Config) { c.Candidates = []grace.TunerCandidate{} }},
+		{"unlabeled-candidate", func(c *autotune.Config) {
+			c.Candidates = []grace.TunerCandidate{{Method: "none"}}
+		}},
+		{"duplicate-labels", func(c *autotune.Config) {
+			c.Candidates = []grace.TunerCandidate{
+				{Label: "x", Method: "none"},
+				{Label: "x", Method: "topk", Opts: grace.Options{Ratio: 0.1}},
+			}
+		}},
+		{"unknown-method", func(c *autotune.Config) {
+			c.Candidates = []grace.TunerCandidate{{Label: "x", Method: "no-such-codec"}}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mutate(&cfg)
+			if _, err := autotune.New(cfg); err == nil {
+				t.Fatalf("config %+v should be rejected", cfg)
+			}
+		})
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := mustPolicy(t, autotune.Config{Workers: 4})
+	cands := p.Candidates()
+	want := autotune.DefaultCandidates()
+	if len(cands) != len(want) {
+		t.Fatalf("default candidate set has %d entries, want %d", len(cands), len(want))
+	}
+	for i := range cands {
+		if cands[i].Label != want[i].Label {
+			t.Fatalf("candidate %d is %q, want %q", i, cands[i].Label, want[i].Label)
+		}
+	}
+	sig := p.Sig()
+	for _, frag := range []string{"every=5", "hyst=0.1", "handoff=flush", "n=4", simnet.TCP10G.Name} {
+		if !strings.Contains(sig, frag) {
+			t.Fatalf("default sig %q lacks %q", sig, frag)
+		}
+	}
+}
+
+// TestSigPinsConfig: every decision-relevant knob changes the signature, and
+// identical configs agree — the property checkpoint validation relies on.
+func TestSigPinsConfig(t *testing.T) {
+	base := autotune.Config{Workers: 4}
+	sigOf := func(cfg autotune.Config) string { return mustPolicy(t, cfg).Sig() }
+	ref := sigOf(base)
+	if sigOf(autotune.Config{Workers: 4}) != ref {
+		t.Fatal("identical configs produced different signatures")
+	}
+	variants := []autotune.Config{
+		{Workers: 8},
+		{Workers: 4, Every: 3},
+		{Workers: 4, Hysteresis: 0.2},
+		{Workers: 4, Link: simnet.RDMA25G},
+		{Workers: 4, EFHandoff: autotune.HandoffCarry},
+		{Workers: 4, Candidates: []grace.TunerCandidate{{Label: "none", Method: "none"}}},
+	}
+	for i, cfg := range variants {
+		if sigOf(cfg) == ref {
+			t.Fatalf("variant %d (%+v) has the same signature as the base config", i, cfg)
+		}
+	}
+	// Same candidate method under different options must differ too.
+	a := autotune.Config{Workers: 4, Candidates: []grace.TunerCandidate{
+		{Label: "k", Method: "topk", Opts: grace.Options{Ratio: 0.01}}}}
+	b := autotune.Config{Workers: 4, Candidates: []grace.TunerCandidate{
+		{Label: "k", Method: "topk", Opts: grace.Options{Ratio: 0.05}}}}
+	if sigOf(a) == sigOf(b) {
+		t.Fatal("candidate options are not folded into the signature")
+	}
+}
+
+// TestWarmupProbesEveryCandidate: with period Every, decision window w of the
+// first C windows retargets every tensor to candidate w, arming flush
+// handoffs for each switch, so by the end of warmup every (tensor, candidate)
+// pair has a real observation.
+func TestWarmupProbesEveryCandidate(t *testing.T) {
+	const every = 2
+	p := mustPolicy(t, autotune.Config{Workers: 2, Every: every})
+	infos := testInfos(1000, 50)
+	if err := p.Init(infos); err != nil {
+		t.Fatal(err)
+	}
+	C := len(p.Candidates())
+	dst := make([]grace.TunerAssign, len(infos))
+	step := 0
+	for w := 1; w < C; w++ {
+		for k := 0; k < every; k++ {
+			sw := p.Plan(dst)
+			wantCand := w - 1
+			wantSwitch := 0
+			if k == 0 && w > 1 {
+				// The retarget decided at the end of window w-1 lands on the
+				// first Plan of window w.
+				wantSwitch = len(infos)
+			}
+			if sw != wantSwitch {
+				t.Fatalf("window %d step %d: Plan reported %d switches, want %d", w, k, sw, wantSwitch)
+			}
+			for i := range dst {
+				if dst[i].Cand != wantCand {
+					t.Fatalf("window %d step %d tensor %d assigned candidate %d, want %d", w, k, i, dst[i].Cand, wantCand)
+				}
+				wantFlush := k == 0 && w > 1
+				if dst[i].Flush != wantFlush {
+					t.Fatalf("window %d step %d tensor %d flush=%v, want %v", w, k, i, dst[i].Flush, wantFlush)
+				}
+			}
+			observe(p, dst, []int64{4096, 256})
+			step++
+		}
+	}
+	st := p.State()
+	if st.Step != int64(step) {
+		t.Fatalf("policy observed %d steps, ran %d", st.Step, step)
+	}
+	if st.Switches == 0 {
+		t.Fatal("warmup probing recorded no switches")
+	}
+}
+
+// TestScoredDecisionConverges drives the policy past warmup with volumes that
+// make one candidate the clear winner and checks (a) the policy converges on
+// it, (b) a second identically-driven policy lands on the identical state —
+// the cross-rank determinism property at the unit level.
+func TestScoredDecisionConverges(t *testing.T) {
+	cands := []grace.TunerCandidate{
+		{Label: "none", Method: "none"},
+		{Label: "topk@0.01", Method: "topk", Opts: grace.Options{Ratio: 0.01}},
+	}
+	run := func() *autotune.Policy {
+		p := mustPolicy(t, autotune.Config{Workers: 4, Every: 1, Candidates: cands, Link: simnet.TCP1G})
+		infos := testInfos(100000)
+		if err := p.Init(infos); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]grace.TunerAssign, 1)
+		for step := 0; step < 12; step++ {
+			p.Plan(dst)
+			// Volumes by assigned candidate: dense 4n for none, ~1% for topk.
+			bytes := int64(400000)
+			if dst[0].Cand == 1 {
+				bytes = 4 * 8016 // sum of per-rank sparse payloads
+			}
+			observe(p, dst, []int64{bytes})
+		}
+		return p
+	}
+	p := run()
+	dst := make([]grace.TunerAssign, 1)
+	p.Plan(dst)
+	if got := p.Candidates()[dst[0].Cand].Label; got != "topk@0.01" {
+		t.Fatalf("policy settled on %q, want the faster topk@0.01", got)
+	}
+	if !reflect.DeepEqual(p.State(), run().State()) {
+		t.Fatal("two identically-driven policies diverged")
+	}
+}
+
+// TestHysteresisBlocksMarginalSwitch: with a prohibitive hysteresis margin the
+// policy never leaves the incumbent after warmup, however the volumes look.
+func TestHysteresisBlocksMarginalSwitch(t *testing.T) {
+	cands := []grace.TunerCandidate{
+		{Label: "none", Method: "none"},
+		{Label: "topk@0.01", Method: "topk", Opts: grace.Options{Ratio: 0.01}},
+	}
+	p := mustPolicy(t, autotune.Config{Workers: 4, Every: 1, Candidates: cands,
+		Link: simnet.TCP1G, Hysteresis: 0.999999})
+	infos := testInfos(100000)
+	if err := p.Init(infos); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]grace.TunerAssign, 1)
+	warmup := len(cands)
+	for step := 0; step < 12; step++ {
+		sw := p.Plan(dst)
+		if step > warmup && sw != 0 {
+			t.Fatalf("step %d: switch under a ~100%% hysteresis margin", step)
+		}
+		bytes := int64(400000)
+		if dst[0].Cand == 1 {
+			bytes = 4 * 8016
+		}
+		observe(p, dst, []int64{bytes})
+	}
+}
+
+// TestCarryHandoffArmsNoFlush: under HandoffCarry, switches happen without
+// pending flush steps.
+func TestCarryHandoffArmsNoFlush(t *testing.T) {
+	p := mustPolicy(t, autotune.Config{Workers: 2, Every: 1, EFHandoff: autotune.HandoffCarry})
+	infos := testInfos(512)
+	if err := p.Init(infos); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]grace.TunerAssign, 1)
+	sawSwitch := false
+	for step := 0; step < 8; step++ {
+		sw := p.Plan(dst)
+		if sw > 0 {
+			sawSwitch = true
+		}
+		if dst[0].Flush {
+			t.Fatalf("step %d armed a flush handoff under HandoffCarry", step)
+		}
+		observe(p, dst, []int64{2048})
+	}
+	if !sawSwitch {
+		t.Fatal("warmup never switched candidates")
+	}
+}
+
+// TestFlushObservationNotRecorded: a flush step's byte volume describes the
+// uncompressed handoff exchange, not the assigned candidate, and must not
+// enter that candidate's observed-volume cell.
+func TestFlushObservationNotRecorded(t *testing.T) {
+	p := mustPolicy(t, autotune.Config{Workers: 2, Every: 1})
+	infos := testInfos(512)
+	if err := p.Init(infos); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]grace.TunerAssign, 1)
+	p.Plan(dst)
+	before := p.State()
+	p.Observe([]grace.TunerObs{{Cand: dst[0].Cand, Flush: true, ExchBytes: 999999}})
+	after := p.State()
+	C := int(before.Cands)
+	if after.LastBytes[dst[0].Cand] != before.LastBytes[dst[0].Cand] ||
+		after.LastBytes[0*C+dst[0].Cand] != -1 {
+		t.Fatalf("flush observation leaked into candidate volumes: %v", after.LastBytes)
+	}
+}
+
+func TestInitRebind(t *testing.T) {
+	p := mustPolicy(t, autotune.Config{Workers: 2})
+	if err := p.Init(testInfos(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Init(testInfos(10, 20)); err != nil {
+		t.Fatalf("re-binding the same tensor set failed: %v", err)
+	}
+	if err := p.Init(testInfos(10, 20, 30)); err == nil {
+		t.Fatal("re-binding a different tensor count should fail")
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	p := mustPolicy(t, autotune.Config{Workers: 2, Every: 1})
+	infos := testInfos(64, 256)
+	if err := p.Init(infos); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]grace.TunerAssign, len(infos))
+	for step := 0; step < 5; step++ {
+		p.Plan(dst)
+		observe(p, dst, []int64{512, 2048})
+	}
+	st := p.State()
+
+	q := mustPolicy(t, autotune.Config{Workers: 2, Every: 1})
+	if err := q.LoadState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Init(infos); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q.State(), st) {
+		t.Fatalf("restored state %+v != captured %+v", q.State(), st)
+	}
+	// The restored policy must continue the trajectory identically.
+	d1 := make([]grace.TunerAssign, len(infos))
+	d2 := make([]grace.TunerAssign, len(infos))
+	for step := 0; step < 4; step++ {
+		s1 := p.Plan(d1)
+		s2 := q.Plan(d2)
+		if s1 != s2 || !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("step %d after restore: plans diverged (%v/%d vs %v/%d)", step, d1, s1, d2, s2)
+		}
+		observe(p, d1, []int64{512, 2048})
+		observe(q, d2, []int64{512, 2048})
+	}
+	if !reflect.DeepEqual(p.State(), q.State()) {
+		t.Fatal("trajectories diverged after restore")
+	}
+}
+
+func TestLoadStateValidation(t *testing.T) {
+	mk := func() *autotune.Policy { return mustPolicy(t, autotune.Config{Workers: 2, Every: 1}) }
+	good := func() *grace.TunerState {
+		p := mk()
+		if err := p.Init(testInfos(64, 256)); err != nil {
+			t.Fatal(err)
+		}
+		return p.State()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*grace.TunerState) *grace.TunerState
+	}{
+		{"nil", func(*grace.TunerState) *grace.TunerState { return nil }},
+		{"wrong-sig", func(s *grace.TunerState) *grace.TunerState { s.Sig = "other"; return s }},
+		{"wrong-cands", func(s *grace.TunerState) *grace.TunerState { s.Cands = 7; return s }},
+		{"negative-step", func(s *grace.TunerState) *grace.TunerState { s.Step = -1; return s }},
+		{"negative-switches", func(s *grace.TunerState) *grace.TunerState { s.Switches = -2; return s }},
+		{"pending-mismatch", func(s *grace.TunerState) *grace.TunerState { s.Pending = s.Pending[:1]; return s }},
+		{"bytes-mismatch", func(s *grace.TunerState) *grace.TunerState { s.LastBytes = s.LastBytes[:3]; return s }},
+		{"assign-out-of-range", func(s *grace.TunerState) *grace.TunerState { s.Assign[0] = 99; return s }},
+		{"bytes-below-sentinel", func(s *grace.TunerState) *grace.TunerState { s.LastBytes[0] = -2; return s }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := mk().LoadState(tc.mutate(good())); err == nil {
+				t.Fatal("corrupt state should be rejected")
+			}
+		})
+	}
+	// Tensor-count mismatch against an already-bound policy.
+	p := mk()
+	if err := p.Init(testInfos(64)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.LoadState(good()); err == nil {
+		t.Fatal("state for a different tensor count should be rejected")
+	}
+}

@@ -54,6 +54,10 @@ type Snapshot struct {
 	Memory map[string][]float32
 	// Codec is the compressor-internal state (empty for stateless methods).
 	Codec EngineCodecState
+	// Tuner is the autotuning policy state (nil for fixed-method runs).
+	// Restoring it replays the policy trajectory bitwise, so a killed and
+	// resumed autotuned run issues the identical collective sequence.
+	Tuner *TunerState
 }
 
 // CheckpointConfig wires crash-consistent checkpointing into a training
@@ -105,6 +109,7 @@ func captureSnapshot(cfg *Config, rank int, model Model, opt optim.Optimizer,
 		Fusion:    eng.Fusion(),
 		Opt:       sf.State(params),
 		Codec:     eng.CodecState(),
+		Tuner:     eng.TunerState(),
 	}
 	s.Params = make([]ParamTensor, len(params))
 	for i, p := range params {
@@ -170,6 +175,9 @@ func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Op
 		mem.LoadState(s.Memory)
 	}
 	if err := eng.LoadCodecState(s.Codec); err != nil {
+		return pos, err
+	}
+	if err := eng.LoadTunerState(s.Tuner); err != nil {
 		return pos, err
 	}
 	if (syncPoint != nil) != (s.SyncPoint != nil) {

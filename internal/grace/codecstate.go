@@ -51,8 +51,16 @@ type EngineCodecState struct {
 	LaneRNGs []fxrand.State
 }
 
-// Method reports the compressor method name the engine runs.
-func (e *Engine) Method() string { return e.lanes[0].comp.Name() }
+// Method reports the compressor method name the engine runs. In autotuning
+// mode there is no single method; the policy signature stands in, so
+// checkpoints reject a resume under a differently configured policy through
+// the same config check that pins fixed methods.
+func (e *Engine) Method() string {
+	if e.tuner != nil {
+		return e.tuner.Sig()
+	}
+	return e.lanes[0].comp.Name()
+}
 
 // CodecState captures the merged compressor state across all codec lanes as
 // a deep copy. For per-tensor slots, only the lane that owns a tensor

@@ -84,15 +84,30 @@ type Engine struct {
 	sharedSummed []bool
 	gsplit       [][][]byte
 
+	// Autotuning state (nil/empty when the engine runs a fixed method).
+	// assign is the tuner's per-tensor plan for the current step; obs is the
+	// per-tensor observation buffer fed back after it; occup counts tensors
+	// per candidate (plus one trailing flush slot) for the occupancy
+	// telemetry, reused every step.
+	tuner  Tuner
+	cands  []TunerCandidate
+	assign []TunerAssign
+	obs    []TunerObs
+	occup  []int64
+
 	errMu    sync.Mutex
 	firstErr error
 }
 
 // engineLane is one codec worker: a compressor instance plus its probed
-// capabilities and a decode-task queue fed by the comm driver.
+// capabilities and a decode-task queue fed by the comm driver. In autotuning
+// mode comp/caps are unset and comps/capsL hold one instance per Tuner
+// candidate instead; tensors stay pinned to lanes either way.
 type engineLane struct {
 	comp    Compressor
 	caps    Caps
+	comps   []Compressor
+	capsL   []Caps
 	dec     chan int // tensor indices to decode; -1 ends the step
 	scratch []float32
 
@@ -135,6 +150,16 @@ type EngineConfig struct {
 	// schedule exactly. Like DecodeFallback, it must be set identically on
 	// every worker — the bucket plan is part of the collective sequence.
 	Fusion FusionConfig
+	// Tuner, when set, puts the engine in autotuning mode: every lane holds
+	// one compressor instance per Tuner candidate, each tensor's method is
+	// chosen per step by the policy, and the engine feeds rank-identical
+	// exchange observations back after every step (see Tuner). New/Comp are
+	// then ignored. Mutually exclusive with Fusion (a mixed-method step has
+	// no single-strategy buckets to fuse); candidates must be codec-stateless
+	// and must not use the Custom strategy. Every worker must run an
+	// identically configured Tuner — the policy trajectory is part of the
+	// collective sequence.
+	Tuner Tuner
 }
 
 // StrategyStats is the per-strategy slice of a step's exchange volume.
@@ -202,6 +227,15 @@ type StepReport struct {
 	// is enabled (telemetry.Default.Enable); all zeros otherwise, so the
 	// disabled fast path stays free of extra clock reads.
 	PhaseNs [telemetry.NumPhases]int64
+	// Switches counts tensors whose compression method changed at this
+	// step's start (autotuning mode; identical on every rank).
+	Switches int
+	// Flushes counts tensors that ran the EF flush handoff this step.
+	Flushes int
+	// PolicyByTensor labels each tensor's active candidate this step
+	// (autotuning mode; nil otherwise). Owned by the Engine; valid until the
+	// next Step.
+	PolicyByTensor []string
 }
 
 // NewEngine builds an Engine from functional options (see EngineOption; an
@@ -212,6 +246,9 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	cfg := BuildEngineConfig(opts...)
 	if cfg.Coll == nil {
 		return nil, fmt.Errorf("grace: engine needs a collective")
+	}
+	if cfg.Tuner != nil {
+		return newTunedEngine(cfg)
 	}
 	var comps []Compressor
 	switch {
@@ -255,6 +292,72 @@ func NewEngine(opts ...EngineOption) (*Engine, error) {
 	return e, nil
 }
 
+// newTunedEngine builds an Engine in autotuning mode: every lane holds one
+// instance of every Tuner candidate, so a tensor can run any candidate while
+// staying pinned to its lane. Fusion is rejected (a mixed-method step has no
+// single-strategy buckets), as are stateful and Custom-strategy candidates —
+// the former would need per-candidate codec-state checkpointing, the latter
+// own their collective sequence and cannot be hot-swapped safely.
+func newTunedEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Fusion.Enabled() {
+		return nil, fmt.Errorf("grace: autotuning and tensor fusion are mutually exclusive")
+	}
+	cands := cfg.Tuner.Candidates()
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("grace: autotune policy has no candidates")
+	}
+	p := cfg.Parallelism
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{coll: cfg.Coll, mem: cfg.Mem, n: float32(cfg.Coll.Size()),
+		rank: cfg.Coll.Rank(), fallback: cfg.DecodeFallback,
+		tuner: cfg.Tuner, cands: cands}
+	e.drv = telScope{rank: e.rank, tid: telemetry.TIDDriver, acc: &e.drvNs}
+	e.occup = make([]int64, len(cands)+1)
+	for l := 0; l < p; l++ {
+		ln := &engineLane{}
+		for ci, cand := range cands {
+			c, err := New(cand.Method, cand.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("grace: autotune candidate %d (%s): %w", ci, cand.Label, err)
+			}
+			if _, stateful := c.(Stateful); stateful {
+				return nil, fmt.Errorf("grace: autotune candidate %q: method %s carries codec state; "+
+					"only codec-stateless methods can be autotuned", cand.Label, cand.Method)
+			}
+			caps := Capabilities(c)
+			if caps.Strategy == Custom {
+				return nil, fmt.Errorf("grace: autotune candidate %q: Custom-strategy methods cannot be autotuned", cand.Label)
+			}
+			ln.comps = append(ln.comps, c)
+			ln.capsL = append(ln.capsL, caps)
+		}
+		ln.ts = telScope{rank: e.rank, tid: 1 + l, acc: &ln.phaseNs}
+		e.lanes = append(e.lanes, ln)
+	}
+	return e, nil
+}
+
+// compCaps resolves tensor i's compressor instance and capabilities on lane
+// ln: the lane's single instance in fixed-method mode, the instance of the
+// tensor's assigned candidate in autotuning mode.
+func (e *Engine) compCaps(ln *engineLane, i int) (Compressor, Caps) {
+	if e.tuner == nil {
+		return ln.comp, ln.caps
+	}
+	c := e.assign[i].Cand
+	return ln.comps[c], ln.capsL[c]
+}
+
+// isFlush reports whether tensor i runs the EF flush handoff this step: the
+// compensated gradient travels exactly once uncompressed (dense allreduce)
+// and the residual becomes exactly zero. Without error-feedback memory there
+// is no residual to hand off, so the flag is ignored.
+func (e *Engine) isFlush(i int) bool {
+	return e.tuner != nil && e.mem != nil && e.assign[i].Flush
+}
+
 // Lanes reports the codec lane count.
 func (e *Engine) Lanes() int { return len(e.lanes) }
 
@@ -289,10 +392,15 @@ func (e *Engine) Step(grads [][]float32, infos []TensorInfo) ([][]float32, *Step
 				i, infos[i].Name, len(grads[i]), infos[i].Size())
 		}
 	}
-	e.ensure(infos)
+	if err := e.ensure(infos); err != nil {
+		return nil, nil, err
+	}
 	if m == 0 {
 		e.rep.WallTime = time.Since(start)
 		return e.out, &e.rep, nil
+	}
+	if e.tuner != nil {
+		e.planStep()
 	}
 
 	p := len(e.lanes)
@@ -406,7 +514,68 @@ driver:
 			tel.AddStrategyBytes(s, int64(bs.SentBytes), int64(bs.RecvBytes))
 		}
 	}
+	if e.tuner != nil {
+		e.observeStep()
+	}
 	return e.out, &e.rep, nil
+}
+
+// planStep pulls the step's per-tensor assignment from the policy and
+// publishes it into the report (labels, switch count) and the occupancy
+// telemetry. Runs before the lanes start, on the Step caller's goroutine.
+func (e *Engine) planStep() {
+	e.rep.Switches = e.tuner.Plan(e.assign)
+	for i := range e.occup {
+		e.occup[i] = 0
+	}
+	flushSlot := len(e.cands)
+	for i := range e.assign {
+		a := e.assign[i]
+		e.rep.PolicyByTensor[i] = e.cands[a.Cand].Label
+		if e.isFlush(i) {
+			e.rep.Flushes++
+			e.occup[flushSlot]++
+		} else {
+			e.occup[a.Cand]++
+		}
+	}
+	tel := telemetry.Default
+	tel.Add(telemetry.CtrAutotuneSwitches, int64(e.rep.Switches))
+	tel.Add(telemetry.CtrAutotuneFlushes, int64(e.rep.Flushes))
+	for c, n := range e.occup[:flushSlot] {
+		if n > 0 {
+			tel.AddMethodSteps(e.cands[c].Label, n)
+		}
+	}
+	if e.occup[flushSlot] > 0 {
+		tel.AddMethodSteps("flush", e.occup[flushSlot])
+	}
+}
+
+// observeStep feeds the completed step's rank-identical exchange volumes
+// back into the policy: the dense width for allreduce tensors, the summed
+// per-rank payload sizes for allgather tensors. Measured wall-clock time is
+// deliberately absent — it differs across ranks and would desync the policy
+// (see the determinism contract in tuner.go).
+func (e *Engine) observeStep() {
+	for i := range e.obs {
+		st := &e.rep.Tensors[i]
+		o := &e.obs[i]
+		o.Cand = e.assign[i].Cand
+		o.Flush = e.isFlush(i)
+		o.Strategy = st.Strategy
+		switch st.Strategy {
+		case Allgather:
+			var total int64
+			for _, sz := range st.GatherSizes {
+				total += int64(sz)
+			}
+			o.ExchBytes = total
+		default:
+			o.ExchBytes = int64(st.SentBytes)
+		}
+	}
+	e.tuner.Observe(e.obs)
 }
 
 // compressOne runs the pre-communication codec work for tensor i on its
@@ -416,7 +585,8 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 	defer func() { e.ready <- i }()
 	t0 := time.Now()
 	st := &e.rep.Tensors[i]
-	st.Strategy = ln.caps.Strategy
+	cp, caps := e.compCaps(ln, i)
+	st.Strategy = caps.Strategy
 
 	comp := g
 	if e.mem != nil {
@@ -427,7 +597,21 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 	}
 	e.compVec[i] = comp
 
-	if ln.caps.Strategy == Custom {
+	if e.isFlush(i) {
+		// EF flush handoff: the compensated gradient travels uncompressed as
+		// a dense allreduce (the allreduce path copies it into a pooled
+		// buffer before the collective, so aliasing comp is safe) and the
+		// residual becomes ψ = comp − comp = exactly zero, so the incoming
+		// method starts from clean error accounting.
+		st.Strategy = Allreduce
+		e.pays[i] = &Payload{Dense: comp}
+		st.SentBytes = len(comp) * 4
+		e.mem.Update(info.Name, comp, comp)
+		st.CodecTime = time.Since(t0)
+		return
+	}
+
+	if caps.Strategy == Custom {
 		// The compressor drives communication itself; all codec happens
 		// inside CommunicateAggregate on the driver goroutine.
 		st.CodecTime = time.Since(t0)
@@ -435,10 +619,10 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 	}
 
 	span := ln.ts.start()
-	pay, err := ln.comp.Compress(comp, info)
+	pay, err := cp.Compress(comp, info)
 	if err != nil {
 		e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
-			Err: fmt.Errorf("%s: %w", ln.comp.Name(), err)})
+			Err: fmt.Errorf("%s: %w", cp.Name(), err)})
 		return
 	}
 	ln.ts.end(telemetry.PhaseCompress, info.Name, span)
@@ -451,19 +635,19 @@ func (e *Engine) compressOne(ln *engineLane, i int, g []float32, info TensorInfo
 		// compensate phase: the decompression here exists only to feed the
 		// residual update (Eq. 4).
 		span = ln.ts.start()
-		if ln.caps.Into != nil {
+		if caps.Into != nil {
 			scratch := ln.scratch[:info.Size()]
-			if err := ln.caps.Into.DecompressInto(pay, info, scratch); err != nil {
+			if err := caps.Into.DecompressInto(pay, info, scratch); err != nil {
 				e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
-					Err: fmt.Errorf("%s local decompress: %w", ln.comp.Name(), err)})
+					Err: fmt.Errorf("%s local decompress: %w", cp.Name(), err)})
 				return
 			}
 			e.mem.Update(info.Name, comp, scratch)
 		} else {
-			approx, err := ln.comp.Decompress(pay, info)
+			approx, err := cp.Decompress(pay, info)
 			if err != nil {
 				e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "compress",
-					Err: fmt.Errorf("%s local decompress: %w", ln.comp.Name(), err)})
+					Err: fmt.Errorf("%s local decompress: %w", cp.Name(), err)})
 				return
 			}
 			e.mem.Update(info.Name, comp, approx)
@@ -628,14 +812,19 @@ func (e *Engine) releaseSummed(i int, summed []float32) {
 // result back to the owning lane for decode.
 func (e *Engine) issue(i int, info TensorInfo) error {
 	ln := e.lanes[i%len(e.lanes)]
+	cp, caps := e.compCaps(ln, i)
+	strat := caps.Strategy
+	if e.isFlush(i) {
+		strat = Allreduce
+	}
 	st := &e.rep.Tensors[i]
-	switch ln.caps.Strategy {
+	switch strat {
 	case Custom:
 		span := e.drv.start()
-		agg, sent, err := ln.caps.Custom.CommunicateAggregate(e.compVec[i], info, e.coll)
+		agg, sent, err := caps.Custom.CommunicateAggregate(e.compVec[i], info, e.coll)
 		if err != nil {
 			return &StepError{Tensor: i, Name: info.Name, Phase: "custom",
-				Err: fmt.Errorf("%s: %w", ln.comp.Name(), err)}
+				Err: fmt.Errorf("%s: %w", cp.Name(), err)}
 		}
 		e.drv.end(telemetry.PhaseCollective, info.Name, span)
 		st.SentBytes = sent
@@ -655,7 +844,7 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 	case Allreduce:
 		pay := e.pays[i]
 		if pay.Dense == nil {
-			return fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", ln.comp.Name())
+			return fmt.Errorf("grace: %s uses Allreduce but produced no dense payload", cp.Name())
 		}
 		span := e.drv.start()
 		summed := getF32(len(pay.Dense))
@@ -675,7 +864,7 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 	case Allgather:
 		pay := e.pays[i]
 		if pay.Bytes == nil && pay.Dense != nil {
-			return fmt.Errorf("grace: %s uses Allgather but produced a dense payload", ln.comp.Name())
+			return fmt.Errorf("grace: %s uses Allgather but produced a dense payload", cp.Name())
 		}
 		span := e.drv.start()
 		all, err := e.coll.AllgatherBytes(pay.Bytes)
@@ -693,7 +882,7 @@ func (e *Engine) issue(i int, info TensorInfo) error {
 		return nil
 
 	default:
-		return fmt.Errorf("grace: unhandled strategy %v", ln.caps.Strategy)
+		return fmt.Errorf("grace: unhandled strategy %v", strat)
 	}
 }
 
@@ -706,15 +895,30 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 	}
 	t0 := time.Now()
 	st := &e.rep.Tensors[i]
-	switch ln.caps.Strategy {
+	cp, caps := e.compCaps(ln, i)
+	strat := caps.Strategy
+	if e.isFlush(i) {
+		strat = Allreduce
+	}
+	switch strat {
 	case Allreduce:
 		summed := e.summed[i]
 		e.summed[i] = nil
+		if e.isFlush(i) {
+			// Flush payloads are the raw compensated gradients; the sum just
+			// needs averaging, no codec involved.
+			span := ln.ts.start()
+			copy(e.out[i], summed)
+			scale(e.out[i], 1/e.n)
+			ln.ts.end(telemetry.PhaseAggregate, info.Name, span)
+			e.releaseSummed(i, summed)
+			break
+		}
 		span := ln.ts.start()
-		if ln.caps.Into != nil {
-			if err := ln.caps.Into.DecompressInto(&Payload{Dense: summed}, info, e.out[i]); err != nil {
+		if caps.Into != nil {
+			if err := caps.Into.DecompressInto(&Payload{Dense: summed}, info, e.out[i]); err != nil {
 				e.releaseSummed(i, summed)
-				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
+				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", cp.Name(), err))
 				return
 			}
 			ln.ts.end(telemetry.PhaseDecode, info.Name, span)
@@ -722,10 +926,10 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 			scale(e.out[i], 1/e.n)
 			ln.ts.end(telemetry.PhaseAggregate, info.Name, span)
 		} else {
-			agg, err := ln.comp.Decompress(&Payload{Dense: summed}, info)
+			agg, err := cp.Decompress(&Payload{Dense: summed}, info)
 			if err != nil {
 				e.releaseSummed(i, summed)
-				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", ln.comp.Name(), err))
+				e.failTensor(i, info, fmt.Errorf("%s decompress sum: %w", cp.Name(), err))
 				return
 			}
 			ln.ts.end(telemetry.PhaseDecode, info.Name, span)
@@ -744,7 +948,7 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 			sizes[rank] = len(b)
 		}
 		st.GatherSizes = sizes
-		if err := decodeAggregate(ln.comp, ln.caps, all, info, e.out[i], e.n, ln.ts); err != nil {
+		if err := decodeAggregate(cp, caps, all, info, e.out[i], e.n, ln.ts); err != nil {
 			e.failTensor(i, info, err)
 			return
 		}
@@ -824,7 +1028,7 @@ func (e *Engine) recoverStep(infos []TensorInfo) error {
 
 // ensure sizes the engine's step-scoped state for the given tensor set,
 // reusing everything when shapes are unchanged from the previous step.
-func (e *Engine) ensure(infos []TensorInfo) {
+func (e *Engine) ensure(infos []TensorInfo) error {
 	m := len(infos)
 	same := len(e.sizes) == m
 	if same {
@@ -837,7 +1041,13 @@ func (e *Engine) ensure(infos []TensorInfo) {
 	}
 	if !same {
 		p := len(e.lanes)
-		strategy := e.lanes[0].caps.Strategy
+		// In autotuning mode there is no single engine-wide strategy; fusion is
+		// disabled there, so planBuckets degenerates to singleton buckets and
+		// the value is inert.
+		strategy := Allreduce
+		if e.tuner == nil {
+			strategy = e.lanes[0].caps.Strategy
+		}
 		e.buckets = planBuckets(infos, e.fusion, strategy)
 		e.bucketOf = make([]int, m)
 		e.fusedBuf = make([][]float32, len(e.buckets))
@@ -869,9 +1079,10 @@ func (e *Engine) ensure(infos []TensorInfo) {
 			size := info.Size()
 			e.sizes[i] = size
 			e.nameIdx[info.Name] = i
-			if strategy != Custom {
+			if e.tuner != nil || strategy != Custom {
 				// Custom-strategy compressors return their own aggregate
 				// slice; everything else aggregates into a persistent buffer.
+				// Autotuned candidates are never Custom.
 				e.out[i] = make([]float32, size)
 			}
 			if e.mem != nil {
@@ -884,7 +1095,13 @@ func (e *Engine) ensure(infos []TensorInfo) {
 		}
 		for l, ln := range e.lanes {
 			ln.scratch = nil
-			if e.mem != nil && ln.caps.Into != nil && laneMax[l] > 0 {
+			needScratch := ln.caps.Into != nil
+			for _, caps := range ln.capsL {
+				if caps.Into != nil {
+					needScratch = true
+				}
+			}
+			if e.mem != nil && needScratch && laneMax[l] > 0 {
 				ln.scratch = make([]float32, laneMax[l])
 			}
 			if cap(ln.dec) < m/p+2 {
@@ -893,6 +1110,14 @@ func (e *Engine) ensure(infos []TensorInfo) {
 		}
 		if cap(e.ready) < m {
 			e.ready = make(chan int, m)
+		}
+		if e.tuner != nil {
+			if err := e.tuner.Init(infos); err != nil {
+				return fmt.Errorf("grace: autotune init: %w", err)
+			}
+			e.assign = make([]TunerAssign, m)
+			e.obs = make([]TunerObs, m)
+			e.rep.PolicyByTensor = make([]string, m)
 		}
 	}
 
@@ -911,6 +1136,8 @@ func (e *Engine) ensure(infos []TensorInfo) {
 	e.rep.FusedBytes = 0
 	e.rep.FusionOverheadBytes = 0
 	e.rep.Buckets = e.buckets
+	e.rep.Switches = 0
+	e.rep.Flushes = 0
 	e.rep.PhaseNs = [telemetry.NumPhases]int64{}
 	e.drvNs = [telemetry.NumPhases]int64{}
 	for _, ln := range e.lanes {
@@ -930,6 +1157,7 @@ func (e *Engine) ensure(infos []TensorInfo) {
 		e.fusedBuf[bi] = nil
 		e.fusedRef[bi] = 0
 	}
+	return nil
 }
 
 func (e *Engine) setErr(err error) {

@@ -55,6 +55,9 @@ func (c EngineConfig) applyEngine(dst *EngineConfig) {
 	if c.Fusion != (FusionConfig{}) {
 		dst.Fusion = c.Fusion
 	}
+	if c.Tuner != nil {
+		dst.Tuner = c.Tuner
+	}
 }
 
 // WithCollective sets the worker's collective handle (required).
@@ -99,6 +102,14 @@ func WithFusion(fc FusionConfig) EngineOption {
 // case, mirroring the CLIs' -fusion-bytes flag. 0 disables fusion.
 func WithFusionBytes(target int) EngineOption {
 	return engineOptionFunc(func(c *EngineConfig) { c.Fusion = FusionConfig{TargetBytes: target} })
+}
+
+// WithTuner puts the engine in autotuning mode under the given policy (see
+// EngineConfig.Tuner; every worker must run an identically configured
+// policy). The autotune package constructs policies: WithTuner(autotune.New(
+// autotune.Config{...})).
+func WithTuner(tn Tuner) EngineOption {
+	return engineOptionFunc(func(c *EngineConfig) { c.Tuner = tn })
 }
 
 // BuildEngineConfig folds a list of options into the EngineConfig NewEngine

@@ -43,8 +43,15 @@ type Config struct {
 	LRSchedule optim.Schedule
 	// NewCompressor constructs the per-worker compressor instance. Workers
 	// must get distinct instances (compressors carry state); randomized
-	// methods should be seeded per rank.
+	// methods should be seeded per rank. Required unless NewTuner is set.
 	NewCompressor func(rank int) (Compressor, error)
+	// NewTuner, when set, runs the workers in autotuning mode: each worker's
+	// Engine gets its own policy instance from this factory instead of a
+	// fixed compressor (see EngineConfig.Tuner). Policies must be configured
+	// identically on every rank — the trajectory is part of the collective
+	// sequence — which is why the factory takes no rank. Mutually exclusive
+	// with NewCompressor and Fusion.
+	NewTuner func() (Tuner, error)
 
 	// UseMemory enables the framework error-feedback memory (Eq. 4) with
 	// coefficients Beta and Gamma (both default to 1).
@@ -118,6 +125,13 @@ type Report struct {
 	// EpochVirtualTime[i] is the cumulative virtual wall time at the end of
 	// epoch i+1.
 	EpochVirtualTime []time.Duration
+	// EpochCommTime[i] is the cumulative modeled communication time at the
+	// end of epoch i+1. Unlike EpochVirtualTime it carries no measured
+	// codec component, so it is a deterministic function of the exchanged
+	// byte volumes — the autotune benchmark compares runs on it.
+	EpochCommTime []time.Duration
+	// EpochIters[i] is the number of iterations epoch i+1 ran.
+	EpochIters []int
 	// BestQuality is the best metric seen (the paper reports best-witnessed
 	// quality, §V-A).
 	BestQuality float64
@@ -138,6 +152,12 @@ type Report struct {
 	ComputeTime, CodecTime, CommTime time.Duration
 	// Iters is the number of iterations each worker executed.
 	Iters int
+	// Switches is the cumulative autotune method-switch count (0 for
+	// fixed-method runs; identical on every rank).
+	Switches int64
+	// FinalPolicy is the autotuner's last per-tensor candidate assignment
+	// (nil for fixed-method runs).
+	FinalPolicy []string
 }
 
 // Run executes the distributed training loop of Algorithm 1 and returns the
@@ -147,8 +167,11 @@ func Run(cfg Config) (*Report, error) {
 	if cfg.Workers <= 0 {
 		return nil, fmt.Errorf("grace: workers must be positive")
 	}
-	if cfg.NewModel == nil || cfg.Dataset == nil || cfg.NewOptimizer == nil || cfg.NewCompressor == nil {
+	if cfg.NewModel == nil || cfg.Dataset == nil || cfg.NewOptimizer == nil {
 		return nil, fmt.Errorf("grace: incomplete config")
+	}
+	if (cfg.NewCompressor == nil) == (cfg.NewTuner == nil) {
+		return nil, fmt.Errorf("grace: config needs exactly one of NewCompressor or NewTuner")
 	}
 	if cfg.Checkpoint != nil && cfg.Checkpoint.Resume != nil {
 		// Snapshots are per-rank; a single shared Resume cannot restore all
@@ -166,10 +189,14 @@ func Run(cfg Config) (*Report, error) {
 		gamma = 1
 	}
 
-	// Surface compressor configuration errors before any worker blocks in a
-	// collective; factories are deterministic across ranks.
-	if _, err := cfg.NewCompressor(0); err != nil {
-		return nil, fmt.Errorf("grace: compressor config: %w", err)
+	// Surface compressor/policy configuration errors before any worker blocks
+	// in a collective; factories are deterministic across ranks.
+	if cfg.NewCompressor != nil {
+		if _, err := cfg.NewCompressor(0); err != nil {
+			return nil, fmt.Errorf("grace: compressor config: %w", err)
+		}
+	} else if _, err := cfg.NewTuner(); err != nil {
+		return nil, fmt.Errorf("grace: autotune config: %w", err)
 	}
 
 	var worker func(rank int) comm.Collective
@@ -254,13 +281,28 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	if cfg.UseMemory {
 		mem = NewMemory(beta, gamma)
 	}
-	eng, err := NewEngine(
+	engOpts := []EngineOption{
 		WithCollective(coll),
-		WithCompressorFactory(func() (Compressor, error) { return cfg.NewCompressor(rank) }),
 		WithEngineMemory(mem),
 		WithParallelism(cfg.CodecParallelism),
 		WithFusion(cfg.Fusion),
-	)
+	}
+	switch {
+	case cfg.NewTuner != nil:
+		if cfg.NewCompressor != nil {
+			return nil, fmt.Errorf("grace: config needs exactly one of NewCompressor or NewTuner")
+		}
+		tn, err := cfg.NewTuner()
+		if err != nil {
+			return nil, fmt.Errorf("grace: autotune config: %w", err)
+		}
+		engOpts = append(engOpts, WithTuner(tn))
+	case cfg.NewCompressor != nil:
+		engOpts = append(engOpts, WithCompressorFactory(func() (Compressor, error) { return cfg.NewCompressor(rank) }))
+	default:
+		return nil, fmt.Errorf("grace: config needs exactly one of NewCompressor or NewTuner")
+	}
+	eng, err := NewEngine(engOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -348,12 +390,13 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			return nil, 0, 0, err
 		}
 		codecDur := time.Duration(float64(stepRep.CodecTime) * codecScale)
-		var commDur time.Duration
-		for _, b := range stepRep.Buckets {
-			commDur += commTimeBucket(cluster, stepRep.Tensors[b.Lo:b.Hi])
-		}
+		commDur := ModeledStepCommTime(cluster, stepRep)
 		totalBytes += int64(stepRep.SentBytes)
 		totalRecv += int64(stepRep.RecvBytes)
+		rep.Switches += int64(stepRep.Switches)
+		if stepRep.PolicyByTensor != nil {
+			rep.FinalPolicy = append(rep.FinalPolicy[:0], stepRep.PolicyByTensor...)
+		}
 		return aggs, codecDur, commDur, nil
 	}
 
@@ -449,6 +492,8 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 
 		if rank == 0 {
 			rep.EpochVirtualTime = append(rep.EpochVirtualTime, clock.Elapsed())
+			rep.EpochCommTime = append(rep.EpochCommTime, rep.CommTime)
+			rep.EpochIters = append(rep.EpochIters, lastEpochIters)
 			q := 0.0
 			if cfg.Eval != nil && (epoch+1)%cfg.EvalEvery == 0 {
 				q = cfg.Eval(model)
@@ -490,6 +535,18 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		rep.Throughput = samples / lastDur.Seconds()
 	}
 	return rep, nil
+}
+
+// ModeledStepCommTime charges one StepReport's exchanges against the α-β
+// cluster model, bucket by bucket — the same accounting the trainer's
+// virtual clock uses. It is exported for harness batteries that replay a
+// frozen policy outside a training loop and need the identical cost model.
+func ModeledStepCommTime(c simnet.Cluster, rep *StepReport) time.Duration {
+	var d time.Duration
+	for _, b := range rep.Buckets {
+		d += commTimeBucket(c, rep.Tensors[b.Lo:b.Hi])
+	}
+	return d
 }
 
 // commTimeBucket models the transfer time of one collective round — a fusion

@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+
+	_ "repro/internal/compress/all"
+)
+
+// TestAutotuneBeatsStatics is the battery's acceptance check: on the
+// small-layer model at the communication-bound system point, the tuned run's
+// steady-state modeled step time must not exceed the best static candidate's.
+// Every quantity in the comparison is deterministic (modeled comm + fixed
+// compute), so this is a hard inequality, not a statistical one.
+func TestAutotuneBeatsStatics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains 5 full runs")
+	}
+	b, err := BenchmarkByName("smalllayer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunAutotuneBench(b, DefaultAutotuneSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-12s step=%v switches=%d policy=%v", r.Label, r.StepTime, r.Switches, r.FinalPolicy)
+	}
+	if res.Tuned.StepTime > res.BestStatic.StepTime {
+		t.Fatalf("tuned steady-state step %v exceeds best static %q at %v",
+			res.Tuned.StepTime, res.BestStatic.Label, res.BestStatic.StepTime)
+	}
+	if res.Tuned.Switches == 0 {
+		t.Fatal("tuned run recorded no method switches (warmup alone should switch)")
+	}
+	if len(res.Tuned.FinalPolicy) == 0 {
+		t.Fatal("tuned run reported no final policy")
+	}
+	a := AutotuneArtifact(res)
+	if a.NsPerOp <= 0 || a.Extra["best_static_step_ns"] <= 0 {
+		t.Fatalf("artifact not populated: %+v", a)
+	}
+}

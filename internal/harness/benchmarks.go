@@ -47,7 +47,7 @@ func (b Benchmark) scaledEpochs(scale float64) int {
 // deferred so callers only pay for what they run.
 func Benchmarks() []Benchmark {
 	return []Benchmark{
-		cnnSmall(), cnnMid(), cnnFast(), mlpWide(), cnnLarge(), ncf(), lstmPTB(), segNet(),
+		cnnSmall(), cnnMid(), cnnFast(), mlpWide(), smallLayer(), cnnLarge(), ncf(), lstmPTB(), segNet(),
 	}
 }
 
@@ -153,6 +153,29 @@ func mlpWide() Benchmark {
 		NewOptimizer: func() optim.Optimizer { return optim.NewMomentumSGD(0.02, 0.9) },
 		NewEval: func() func(m grace.Model) float64 {
 			_, te := imagePair(10, 640, 19)
+			return classifierEval(te)
+		},
+	}
+}
+
+// smallLayer is the autotuner's stress model: one wide dense layer next to
+// several small ones, with near-zero compute, so per-tensor communication
+// cost dominates and differs by orders of magnitude across tensors. The
+// right policy is heterogeneous — sparsify the wide layer, leave the small
+// ones (where α dominates and compression only adds codec time) alone —
+// which a single static method cannot express.
+func smallLayer() Benchmark {
+	return Benchmark{
+		Name: "smalllayer", PaperModel: "mixed-width dense stack (autotune study)",
+		Task: "image classification", Metric: "top-1 accuracy",
+		BatchSize: 16, Epochs: 6, ComputePerIter: 500 * time.Microsecond,
+		NewModel: func(seed uint64) grace.Model {
+			return models.NewMLPClassifier(seed, 256, []int{512, 32, 16}, 10)
+		},
+		NewDataset:   func() data.Dataset { tr, _ := imagePair(10, 640, 29); return tr },
+		NewOptimizer: func() optim.Optimizer { return optim.NewMomentumSGD(0.02, 0.9) },
+		NewEval: func() func(m grace.Model) float64 {
+			_, te := imagePair(10, 640, 29)
 			return classifierEval(te)
 		},
 	}

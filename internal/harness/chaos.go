@@ -9,6 +9,8 @@ import (
 	"repro/internal/comm"
 	"repro/internal/fxrand"
 	"repro/internal/grace"
+	"repro/internal/grace/autotune"
+	"repro/internal/simnet"
 )
 
 // ChaosScenario is one fault-injection experiment: a comm.Plan applied to
@@ -28,17 +30,23 @@ type ChaosScenario struct {
 // workload (no model, no optimizer — just the Engine over a fault-injected
 // hub) run once per scenario.
 type ChaosConfig struct {
-	Workers   int
-	Tensors   int
-	Steps     int
-	Method    string
-	Opts      grace.Options
-	Timeout   time.Duration
+	Workers int
+	Tensors int
+	Steps   int
+	Method  string
+	Opts    grace.Options
+	Timeout time.Duration
 	// FusionBytes, when > 0, runs the battery with tensor-fusion batching at
 	// that bucket fill target, so fault injection also exercises the fused
 	// collective schedule (corrupt fused frames, fused recovery rounds).
 	FusionBytes int
-	Scenarios   []ChaosScenario
+	// NewTuner, when set, runs every scenario's engines in autotuning mode
+	// (with the framework error-feedback memory) instead of the fixed
+	// Method/Opts compressor, so faults also hit warmup probing, scored
+	// switches, and flush handoffs. Mutually exclusive with FusionBytes —
+	// the Engine rejects fusion in tuner mode.
+	NewTuner  func() (grace.Tuner, error)
+	Scenarios []ChaosScenario
 }
 
 // ChaosResult is one scenario's verdict.
@@ -105,6 +113,26 @@ func DefaultChaos(workers int, seed uint64) ChaosConfig {
 	}
 }
 
+// AutotuneChaos is DefaultChaos with the engines in autotuning mode: the
+// same fault battery, but run through the policy engine with a short
+// decision cadence, so injected faults land on warmup probes, scored
+// switches, and flush handoffs alike.
+func AutotuneChaos(workers int, seed uint64) ChaosConfig {
+	cfg := DefaultChaos(workers, seed)
+	cfg.Method, cfg.Opts = "", grace.Options{}
+	cfg.FusionBytes = 0
+	cfg.Steps = 12
+	cfg.NewTuner = func() (grace.Tuner, error) {
+		return autotune.New(autotune.Config{
+			Candidates: autotune.DefaultCandidates(),
+			Every:      2,
+			Workers:    cfg.Workers,
+			Link:       simnet.TCP1G,
+		})
+	}
+	return cfg
+}
+
 // RunChaos executes every scenario and returns one result per scenario. A
 // watchdog aborts the collective group if a scenario exceeds cfg.Timeout, so
 // a deadlock becomes a failed (Hung) result instead of a stuck process.
@@ -135,15 +163,28 @@ func runChaosScenario(cfg ChaosConfig, sc ChaosScenario) ChaosResult {
 				defer wg.Done()
 				fy := comm.NewFaulty(hub.Worker(rank), sc.Plan)
 				faulties[rank] = fy
-				eng, err := grace.NewEngine(
+				engOpts := []grace.EngineOption{
 					grace.WithCollective(fy),
-					grace.WithCompressorFactory(func() (grace.Compressor, error) {
-						return grace.New(cfg.Method, cfg.Opts)
-					}),
 					grace.WithParallelism(2),
 					grace.WithDecodeFallback(sc.DecodeFallback),
-					grace.WithFusionBytes(cfg.FusionBytes),
-				)
+				}
+				if cfg.NewTuner != nil {
+					tn, err := cfg.NewTuner()
+					if err != nil {
+						res.Errs[rank] = err
+						return
+					}
+					engOpts = append(engOpts,
+						grace.WithTuner(tn),
+						grace.WithEngineMemory(grace.NewMemory(1, 1)))
+				} else {
+					engOpts = append(engOpts,
+						grace.WithCompressorFactory(func() (grace.Compressor, error) {
+							return grace.New(cfg.Method, cfg.Opts)
+						}),
+						grace.WithFusionBytes(cfg.FusionBytes))
+				}
+				eng, err := grace.NewEngine(engOpts...)
 				if err != nil {
 					res.Errs[rank] = err
 					return

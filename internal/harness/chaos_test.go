@@ -59,6 +59,28 @@ func TestDefaultChaosBattery(t *testing.T) {
 	}
 }
 
+// TestAutotuneChaosBattery runs the chaos sweep with the engines in
+// autotuning mode: benign faults must not disturb a tuned run, fatal faults
+// must still produce typed errors everywhere, and the battery must exercise
+// actual policy work (warmup probing guarantees switches on the clean
+// scenario).
+func TestAutotuneChaosBattery(t *testing.T) {
+	cfg := AutotuneChaos(3, 7)
+	cfg.Timeout = 20 * time.Second
+	results := RunChaos(cfg)
+	if len(results) != len(cfg.Scenarios) {
+		t.Fatalf("got %d results for %d scenarios", len(results), len(cfg.Scenarios))
+	}
+	for _, r := range results {
+		if !r.Pass {
+			t.Errorf("scenario %s failed: %s", r.Scenario, r.Detail)
+		}
+		if r.Hung {
+			t.Errorf("scenario %s hung", r.Scenario)
+		}
+	}
+}
+
 // TestChaosWatchdog: a scenario that would deadlock (stall forever via an
 // unmatched drop expectation) is converted into a Hung verdict, not a stuck
 // test. Simulated by a plan whose drop never aborts: we use a tiny timeout

@@ -46,6 +46,7 @@ func TestBenchmarksComplete(t *testing.T) {
 	want := map[string]bool{
 		"cnnsmall": true, "cnnmid": true, "cnnfast": true, "mlpwide": true,
 		"cnnlarge": true, "ncf": true, "lstm": true, "segnet": true,
+		"smalllayer": true,
 	}
 	bs := Benchmarks()
 	if len(bs) != len(want) {
@@ -73,7 +74,7 @@ func TestBenchmarkCommCharacter(t *testing.T) {
 	// exceed modeled compute on the comm-bound benchmarks and stay well
 	// under it on the compute-bound ones.
 	cluster := simnet.NewCluster(simnet.TCP10G, 8)
-	commBound := map[string]bool{"mlpwide": true, "ncf": true, "lstm": true}
+	commBound := map[string]bool{"mlpwide": true, "ncf": true, "lstm": true, "smalllayer": true}
 	for _, b := range Benchmarks() {
 		model := b.NewModel(0)
 		bytes := 4 * TrainingParams(model)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net"
+	"reflect"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/data"
 	"repro/internal/grace"
+	"repro/internal/grace/autotune"
 	"repro/internal/models"
 	"repro/internal/optim"
 	"repro/internal/simnet"
@@ -109,6 +111,32 @@ func DefaultRecovery(transport, method string, mem bool, dir string) RecoveryCon
 		KillStep:  5,
 		Transport: transport,
 	}
+}
+
+// AutotuneRecovery is the kill/restart scenario with the workers in
+// autotuning mode: a short-cadence policy over three candidates, so the 8
+// lockstep steps cover warmup probing, flush handoffs, and a scored
+// decision, and the step-3 checkpoint lands mid-warmup — the restart must
+// resume the policy trajectory bitwise, not just the weights. Fusion stays
+// off (the Engine rejects it in tuner mode).
+func AutotuneRecovery(transport, dir string) RecoveryConfig {
+	cfg := DefaultRecovery(transport, "", true, dir)
+	cfg.Train.NewCompressor = nil
+	cfg.Train.Fusion = grace.FusionConfig{}
+	workers, link := cfg.Train.Workers, cfg.Train.Net
+	cfg.Train.NewTuner = func() (grace.Tuner, error) {
+		return autotune.New(autotune.Config{
+			Candidates: []grace.TunerCandidate{
+				{Label: "none", Method: "none"},
+				{Label: "topk@0.25", Method: "topk", Opts: grace.Options{Ratio: 0.25}},
+				{Label: "eightbit", Method: "eightbit"},
+			},
+			Every:   1,
+			Workers: workers,
+			Link:    link,
+		})
+	}
+	return cfg
 }
 
 // RunRecovery executes the full supervised kill/restart scenario.
@@ -344,7 +372,8 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 	}
 }
 
-// snapshotsBitwiseEqual compares per-rank final params bit for bit.
+// snapshotsBitwiseEqual compares per-rank final params — and, in autotuning
+// runs, the policy state — bit for bit.
 func snapshotsBitwiseEqual(got, want []*grace.Snapshot) (bool, string) {
 	for rank := range want {
 		g, w := got[rank], want[rank]
@@ -353,6 +382,12 @@ func snapshotsBitwiseEqual(got, want []*grace.Snapshot) (bool, string) {
 		}
 		if g.Step != w.Step {
 			return false, fmt.Sprintf("rank %d: final step %d, want %d", rank, g.Step, w.Step)
+		}
+		if (g.Tuner == nil) != (w.Tuner == nil) {
+			return false, fmt.Sprintf("rank %d: tuner presence %v, want %v", rank, g.Tuner != nil, w.Tuner != nil)
+		}
+		if g.Tuner != nil && !reflect.DeepEqual(g.Tuner, w.Tuner) {
+			return false, fmt.Sprintf("rank %d: policy state diverged:\n got %+v\nwant %+v", rank, g.Tuner, w.Tuner)
 		}
 		if len(g.Params) != len(w.Params) {
 			return false, fmt.Sprintf("rank %d: %d params, want %d", rank, len(g.Params), len(w.Params))

@@ -86,6 +86,35 @@ func TestRecoveryBitwiseTCP(t *testing.T) {
 	}
 }
 
+// TestRecoveryBitwiseAutotune runs the supervised kill/restart scenario with
+// the workers in autotuning mode on both transports: the rollback lands
+// mid-warmup, and the finals must agree with the uninterrupted reference on
+// params AND policy state bit for bit (snapshotsBitwiseEqual compares both).
+func TestRecoveryBitwiseAutotune(t *testing.T) {
+	for _, transport := range []string{TransportHub, TransportTCP} {
+		t.Run(transport, func(t *testing.T) {
+			res, err := RunRecovery(AutotuneRecovery(transport, t.TempDir()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ResumeStep != 3 {
+				t.Fatalf("resumed from step %d, want 3", res.ResumeStep)
+			}
+			if !res.Match {
+				t.Fatalf("recovered autotune run diverged: %s", res.Detail)
+			}
+			for rank, s := range res.Recovered {
+				if s.Tuner == nil {
+					t.Fatalf("rank %d final snapshot carries no policy state", rank)
+				}
+				if s.Tuner.Switches == 0 {
+					t.Fatalf("rank %d policy recorded no switches over the run", rank)
+				}
+			}
+		})
+	}
+}
+
 // recoveryWorkerMain is one rank of the SIGKILL scenario: a real TCP-ring
 // worker checkpointing to disk, optionally resuming, optionally slowed down
 // so the parent can time its kill.
@@ -107,6 +136,9 @@ func recoveryWorkerMain() int {
 	delayMS, _ := strconv.Atoi(os.Getenv("GRACE_STEP_DELAY_MS"))
 
 	cfg := DefaultRecovery(TransportTCP, "topk", true, dir).Train
+	if os.Getenv("GRACE_MODE") == "autotune" {
+		cfg = AutotuneRecovery(TransportTCP, dir).Train
+	}
 	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
 		Rank: rank, Addrs: addrs,
 		SetupTimeout: 20 * time.Second,
@@ -146,13 +178,14 @@ type workerProc struct {
 	out bytes.Buffer
 }
 
-func startWorkers(t *testing.T, exe, dir string, addrs []string, resume int64, delayMS int) []*workerProc {
+func startWorkers(t *testing.T, exe, mode, dir string, addrs []string, resume int64, delayMS int) []*workerProc {
 	t.Helper()
 	procs := make([]*workerProc, len(addrs))
 	for rank := range addrs {
 		p := &workerProc{cmd: exec.Command(exe)}
 		p.cmd.Env = append(os.Environ(),
 			"GRACE_RECOVERY_WORKER=1",
+			"GRACE_MODE="+mode,
 			"GRACE_RANK="+strconv.Itoa(rank),
 			"GRACE_ADDRS="+strings.Join(addrs, ","),
 			"GRACE_DIR="+dir,
@@ -169,11 +202,13 @@ func startWorkers(t *testing.T, exe, dir string, addrs []string, resume int64, d
 	return procs
 }
 
-// TestRecoverySIGKILLTCP is the end-to-end chaos scenario: three OS
-// processes on a real heartbeat-enabled TCP ring, one SIGKILLed mid-run, all
-// restarted from the newest common checkpoint, finals bitwise-identical to
-// an uninterrupted multi-process run.
-func TestRecoverySIGKILLTCP(t *testing.T) {
+// runSIGKILLScenario is the end-to-end chaos flow shared by the fixed-method
+// and autotune SIGKILL tests: three OS processes on a real
+// heartbeat-enabled TCP ring, one SIGKILLed mid-run, all restarted from the
+// newest common checkpoint, then every checkpoint step in compareSteps
+// (worker cadence is 2) compared bitwise against an uninterrupted
+// multi-process run — params and, in autotune mode, the policy trajectory.
+func runSIGKILLScenario(t *testing.T, mode string, compareSteps []int64) {
 	if testing.Short() {
 		t.Skip("spawns worker processes")
 	}
@@ -202,7 +237,7 @@ func TestRecoverySIGKILLTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref := startWorkers(t, exe, refDir, addrs, -1, 0)
+	ref := startWorkers(t, exe, mode, refDir, addrs, -1, 0)
 	all = append(all, ref...)
 	for rank := 0; rank < n; rank++ {
 		if err := wait(ref, rank); err != nil {
@@ -216,7 +251,7 @@ func TestRecoverySIGKILLTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	const victim = 1
-	procs := startWorkers(t, exe, dir, addrs, -1, 200)
+	procs := startWorkers(t, exe, mode, dir, addrs, -1, 200)
 	all = append(all, procs...)
 	victimDir, err := ckpt.OpenDir(dir, victim)
 	if err != nil {
@@ -252,7 +287,7 @@ func TestRecoverySIGKILLTCP(t *testing.T) {
 	if addrs, err = freeLoopbackAddrs(n); err != nil {
 		t.Fatal(err)
 	}
-	resumed := startWorkers(t, exe, dir, addrs, common, 0)
+	resumed := startWorkers(t, exe, mode, dir, addrs, common, 0)
 	all = append(all, resumed...)
 	for rank := 0; rank < n; rank++ {
 		if err := wait(resumed, rank); err != nil {
@@ -260,26 +295,49 @@ func TestRecoverySIGKILLTCP(t *testing.T) {
 		}
 	}
 
-	// Finals (the step-8 checkpoints) must match the reference bit for bit.
-	got := make([]*grace.Snapshot, n)
-	want := make([]*grace.Snapshot, n)
-	for rank := 0; rank < n; rank++ {
-		gd, err := ckpt.OpenDir(dir, rank)
-		if err != nil {
-			t.Fatal(err)
+	// Every requested checkpoint step must match the reference bit for bit
+	// (steps before the rollback come from the crash run's own trajectory,
+	// steps after it from the resumed one — all must agree).
+	for _, step := range compareSteps {
+		got := make([]*grace.Snapshot, n)
+		want := make([]*grace.Snapshot, n)
+		for rank := 0; rank < n; rank++ {
+			gd, err := ckpt.OpenDir(dir, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wd, err := ckpt.OpenDir(refDir, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[rank], err = ckpt.Load(gd.Path(step)); err != nil {
+				t.Fatalf("recovered rank %d step %d: %v", rank, step, err)
+			}
+			if want[rank], err = ckpt.Load(wd.Path(step)); err != nil {
+				t.Fatalf("reference rank %d step %d: %v", rank, step, err)
+			}
+			if mode == "autotune" && want[rank].Tuner == nil {
+				t.Fatalf("reference rank %d step %d snapshot carries no policy state", rank, step)
+			}
 		}
-		wd, err := ckpt.OpenDir(refDir, rank)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if got[rank], err = ckpt.Load(gd.Path(8)); err != nil {
-			t.Fatalf("recovered rank %d final: %v", rank, err)
-		}
-		if want[rank], err = ckpt.Load(wd.Path(8)); err != nil {
-			t.Fatalf("reference rank %d final: %v", rank, err)
+		if ok, detail := snapshotsBitwiseEqual(got, want); !ok {
+			t.Fatalf("SIGKILL recovery diverged at step %d: %s", step, detail)
 		}
 	}
-	if ok, detail := snapshotsBitwiseEqual(got, want); !ok {
-		t.Fatalf("SIGKILL recovery diverged: %s", detail)
-	}
+}
+
+// TestRecoverySIGKILLTCP: the fixed-method scenario, comparing the step-8
+// finals.
+func TestRecoverySIGKILLTCP(t *testing.T) {
+	runSIGKILLScenario(t, "", []int64{8})
+}
+
+// TestRecoverySIGKILLAutotuneTCP: SIGKILL mid-run with autotune on. The
+// whole retained checkpoint trajectory (steps 4, 6, 8 — cadence 2 with
+// ckpt.DefaultKeep = 3) is compared, so the resumed policy must re-derive
+// the exact decision sequence — candidate assignments, switch counts,
+// observed volumes — the reference run took, alongside bitwise-identical
+// params.
+func TestRecoverySIGKILLAutotuneTCP(t *testing.T) {
+	runSIGKILLScenario(t, "autotune", []int64{4, 6, 8})
 }

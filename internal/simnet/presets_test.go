@@ -1,0 +1,80 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPresetCollectiveTimesPinned pins every preset's ring collective cost to
+// hand-computed α-β values, so any silent drift in a preset's constants
+// (bandwidth, step latency, efficiency) or in the cost formulas themselves
+// fails loudly. The closed forms, with βeff = Gbps·Efficiency·10⁹/8 bytes/s:
+//
+//	allreduce(n, N)          = 2(N−1)·α + 2(N−1)·(n/N)/βeff
+//	allgather_uniform(p, N)  = (N−1)·α + (N·p − p)/βeff
+//	transfer(n)              = α + n/βeff
+//
+// Expected values below are those expressions evaluated by hand for N = 4,
+// n = 4 MB allreduce, p = 250 kB allgather, 1 MiB transfer, truncated to
+// whole nanoseconds exactly as time.Duration construction truncates. E.g.
+// tcp-1g: βeff = 87.5 MB/s; allreduce = 6·150 µs + 6·(10⁶/87.5·10⁶) s =
+// 900 µs + 68 571 428.57 ns = 69 471 428 ns.
+func TestPresetCollectiveTimesPinned(t *testing.T) {
+	const (
+		workers        = 4
+		allreduceBytes = 4_000_000
+		allgatherPer   = 250_000
+		transferBytes  = 1 << 20
+	)
+	cases := []struct {
+		link      Link
+		allreduce time.Duration
+		allgather time.Duration
+		transfer  time.Duration
+	}{
+		{TCP1G, 69471428 * time.Nanosecond, 9021428 * time.Nanosecond, 12133725 * time.Nanosecond},
+		{TCP10G, 7577142 * time.Nanosecond, 1217142 * time.Nanosecond, 1318372 * time.Nanosecond},
+		{TCP25G, 3462857 * time.Nanosecond, 702857 * time.Nanosecond, 599349 * time.Nanosecond},
+		{RDMA25G, 2069052 * time.Nanosecond, 276631 * time.Nanosecond, 361204 * time.Nanosecond},
+		{Infinite, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.link.Name, func(t *testing.T) {
+			c := NewCluster(tc.link, workers)
+			if got := c.AllreduceTime(allreduceBytes); got != tc.allreduce {
+				t.Errorf("AllreduceTime(%d) = %v, want %v", allreduceBytes, got, tc.allreduce)
+			}
+			if got := c.AllgatherUniformTime(allgatherPer); got != tc.allgather {
+				t.Errorf("AllgatherUniformTime(%d) = %v, want %v", allgatherPer, got, tc.allgather)
+			}
+			if got := tc.link.TransferTime(transferBytes); got != tc.transfer {
+				t.Errorf("TransferTime(%d) = %v, want %v", transferBytes, got, tc.transfer)
+			}
+		})
+	}
+}
+
+// TestPresetConstantsPinned freezes the preset table itself: the α-β test
+// above would miss two constants drifting in compensating directions, so the
+// raw fields are pinned too.
+func TestPresetConstantsPinned(t *testing.T) {
+	want := []Link{
+		{Name: "tcp-1g", BandwidthGbps: 1, StepLatency: 150 * time.Microsecond, Efficiency: 0.70},
+		{Name: "tcp-10g", BandwidthGbps: 10, StepLatency: 120 * time.Microsecond, Efficiency: 0.70},
+		{Name: "tcp-25g", BandwidthGbps: 25, StepLatency: 120 * time.Microsecond, Efficiency: 0.70},
+		{Name: "rdma-25g", BandwidthGbps: 25, StepLatency: 8 * time.Microsecond, Efficiency: 0.95},
+		{Name: "infinite", BandwidthGbps: 1e9, StepLatency: 0, Efficiency: 1},
+	}
+	for _, w := range want {
+		got, err := PresetByName(w.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Errorf("preset %s = %+v, want %+v", w.Name, got, w)
+		}
+	}
+	if len(Presets) != len(want) {
+		t.Errorf("Presets has %d entries, want %d", len(Presets), len(want))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 )
 
@@ -41,6 +42,19 @@ func (t *T) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(bw, "# TYPE grace_strategy_bytes_recv_total counter\n")
 	for i := 0; i < NumStrategies; i++ {
 		fmt.Fprintf(bw, "grace_strategy_bytes_recv_total{strategy=%q} %d\n", strategyNames[i], t.stratRecv[i].Load())
+	}
+
+	if ms := t.MethodSteps(); len(ms) > 0 {
+		keys := make([]string, 0, len(ms))
+		for k := range ms {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(bw, "# HELP grace_autotune_method_steps_total Tensor-steps each compression method was the autotuner's active choice.\n")
+		fmt.Fprintf(bw, "# TYPE grace_autotune_method_steps_total counter\n")
+		for _, k := range keys {
+			fmt.Fprintf(bw, "grace_autotune_method_steps_total{method=%q} %d\n", k, ms[k])
+		}
 	}
 
 	fmt.Fprintf(bw, "# HELP grace_phase_seconds Time spent per training-step phase.\n")

@@ -21,6 +21,9 @@ type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Strategies map[string]StrategyBytesStat `json:"strategies"`
 	Phases     map[string]PhaseStats        `json:"phases"`
+	// MethodSteps is the autotuner's per-method tensor-step occupancy
+	// (candidate label → tensor-steps active); omitted for fixed-method runs.
+	MethodSteps map[string]int64 `json:"method_steps,omitempty"`
 }
 
 // Snapshot captures the registry's current totals. Counters read zero and
@@ -60,5 +63,6 @@ func (t *T) Snapshot() Snapshot {
 			P99Ns:   h.QuantileNs(0.99),
 		}
 	}
+	s.MethodSteps = t.MethodSteps()
 	return s
 }

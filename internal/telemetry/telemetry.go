@@ -31,6 +31,7 @@
 package telemetry
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -141,6 +142,11 @@ const (
 	CtrFusionTensorsFused
 	CtrFusionRoundsSaved
 	CtrFusionBucketBytes
+	// Autotuning: policy decision rounds evaluated, per-tensor method switches
+	// applied, and EF-residual flush handoffs run on switches.
+	CtrAutotuneDecisions
+	CtrAutotuneSwitches
+	CtrAutotuneFlushes
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -172,6 +178,9 @@ var counterNames = [NumCounters]string{
 	"fusion_tensors_fused_total",
 	"fusion_rounds_saved_total",
 	"fusion_bucket_bytes_total",
+	"autotune_decisions_total",
+	"autotune_switches_total",
+	"autotune_flushes_total",
 }
 
 // String names the counter as exported (without the "grace_" prefix).
@@ -206,6 +215,13 @@ type T struct {
 	stratRecv [NumStrategies]atomic.Int64
 	phases    [NumPhases]Histogram
 	tracer    atomic.Pointer[Tracer]
+
+	// methodMu guards methodSteps, the per-method tensor-step occupancy fed by
+	// the autotuning engine (label → tensor-steps the label was active for).
+	// The label set is the tuner's candidate list plus "flush" — bounded and
+	// small — so a mutex-guarded map beats predeclaring counters per method.
+	methodMu    sync.Mutex
+	methodSteps map[string]int64
 }
 
 // Default is the process-wide registry the framework instruments. Counters
@@ -259,6 +275,40 @@ func (t *T) StrategyBytes(strategy int) (sent, recv int64) {
 		return 0, 0
 	}
 	return t.stratSent[strategy].Load(), t.stratRecv[strategy].Load()
+}
+
+// AddMethodSteps accounts tensor-step occupancy against one compression
+// method label: "method m was the active choice for delta tensors this step".
+// Fed by the autotuning engine; the label space stays bounded by the tuner's
+// candidate set (plus "flush" for handoff steps).
+func (t *T) AddMethodSteps(label string, delta int64) {
+	if t == nil || delta == 0 {
+		return
+	}
+	t.methodMu.Lock()
+	if t.methodSteps == nil {
+		t.methodSteps = make(map[string]int64)
+	}
+	t.methodSteps[label] += delta
+	t.methodMu.Unlock()
+}
+
+// MethodSteps returns a copy of the per-method tensor-step occupancy map, or
+// nil when nothing has been recorded.
+func (t *T) MethodSteps() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.methodMu.Lock()
+	defer t.methodMu.Unlock()
+	if len(t.methodSteps) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.methodSteps))
+	for k, v := range t.methodSteps {
+		out[k] = v
+	}
+	return out
 }
 
 // Start opens a span: it returns time.Now when span recording is enabled and
@@ -334,4 +384,7 @@ func (t *T) Reset() {
 	for i := range t.phases {
 		t.phases[i].Reset()
 	}
+	t.methodMu.Lock()
+	t.methodSteps = nil
+	t.methodMu.Unlock()
 }
