@@ -31,37 +31,39 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "cnnsmall", "benchmark name (see -benchlist)")
-		method    = flag.String("method", "none", "compression method, or comma-separated list (see -methods)")
-		ratio     = flag.Float64("ratio", 0, "sparsification ratio / adaptive alpha")
-		levels    = flag.Int("levels", 0, "quantization levels / sketch buckets")
-		rank      = flag.Int("rank", 0, "low-rank factorization rank")
-		threshold = flag.Float64("threshold", 0, "threshold (thresholdv) / sparsity multiplier (threelc)")
-		ef        = flag.Bool("ef", false, "enable framework error feedback")
-		codecpar  = flag.Int("codecpar", 0, "codec lanes per worker Engine (0 = GOMAXPROCS)")
-		fusion    = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds)")
-		workers   = flag.Int("workers", 8, "number of workers")
-		net       = flag.String("net", "tcp-10g", "network preset")
-		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
-		seed      = flag.Uint64("seed", 42, "run seed")
-		benchlist = flag.Bool("benchlist", false, "list benchmarks")
-		methods   = flag.Bool("methods", false, "list methods")
-		chaos     = flag.Bool("chaos", false, "run the fault-injection chaos sweep (add an explicit -bench/-method to also train afterwards in the same process)")
-		autotune  = flag.Bool("autotune", false, "run the autotune battery on -bench: one tuned run vs every static candidate, compared on modeled step time (writes BENCH_autotune_<bench>.json; ignores -method and -fusion-bytes)")
-		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
-		tracePath = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing); also enables span recording")
-		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
-		artifacts = flag.String("artifacts", "", "write an auto-named run summary (RUN_<kind>.json) into this directory")
-		runJSON   = flag.String("runjson", "", "write a machine-readable run summary (JSON) to this exact path (deprecated: use -artifacts)")
+		bench       = flag.String("bench", "cnnsmall", "benchmark name (see -benchlist)")
+		method      = flag.String("method", "none", "compression method, or comma-separated list (see -methods)")
+		ratio       = flag.Float64("ratio", 0, "sparsification ratio / adaptive alpha")
+		levels      = flag.Int("levels", 0, "quantization levels / sketch buckets")
+		rank        = flag.Int("rank", 0, "low-rank factorization rank")
+		threshold   = flag.Float64("threshold", 0, "threshold (thresholdv) / sparsity multiplier (threelc)")
+		ef          = flag.Bool("ef", false, "enable framework error feedback")
+		codecpar    = flag.Int("codecpar", 0, "codec lanes per worker Engine (0 = GOMAXPROCS)")
+		fusion      = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds)")
+		workers     = flag.Int("workers", 8, "number of workers")
+		net         = flag.String("net", "tcp-10g", "network preset")
+		scale       = flag.Float64("scale", 1.0, "epoch scale factor")
+		seed        = flag.Uint64("seed", 42, "run seed")
+		benchlist   = flag.Bool("benchlist", false, "list benchmarks")
+		methods     = flag.Bool("methods", false, "list methods")
+		chaos       = flag.Bool("chaos", false, "run the fault-injection chaos sweep (add an explicit -bench/-method to also train afterwards in the same process)")
+		rejoin      = flag.Bool("rejoin", false, "run the live-rejoin battery standalone: one rank dies mid-run, the survivors reform and heal in place, with a restart-vs-rejoin downtime comparison (included in -chaos)")
+		retryBudget = flag.Int("retry-budget", 0, "override the total retry budget of the chaos sweep's transient-fault retry scenarios (0 = policy default)")
+		autotune    = flag.Bool("autotune", false, "run the autotune battery on -bench: one tuned run vs every static candidate, compared on modeled step time (writes BENCH_autotune_<bench>.json; ignores -method and -fusion-bytes)")
+		telAddr     = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing); also enables span recording")
+		telLinger   = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
+		artifacts   = flag.String("artifacts", "", "write an auto-named run summary (RUN_<kind>.json) into this directory")
+		runJSON     = flag.String("runjson", "", "write a machine-readable run summary (JSON) to this exact path (deprecated: use -artifacts)")
 	)
 	flag.Parse()
 
 	finishTel := startTelemetry(*telAddr, *tracePath, *telLinger)
 
-	// -chaos alone replaces training; combined with an explicit -bench or
-	// -method it runs first, so one process (and one telemetry endpoint)
-	// covers fault/recovery counters and multi-strategy training.
-	trainRequested := !*chaos
+	// -chaos / -rejoin alone replace training; combined with an explicit
+	// -bench or -method they run first, so one process (and one telemetry
+	// endpoint) covers fault/recovery counters and multi-strategy training.
+	trainRequested := !*chaos && !*rejoin
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "bench" || f.Name == "method" || f.Name == "autotune" {
 			trainRequested = true
@@ -69,12 +71,20 @@ func main() {
 	})
 	summary := &harness.RunSummary{Kind: "train", Workers: *workers, Seed: *seed, Pass: true}
 	chaosFailed := 0
-	if *chaos {
+	if *chaos || *rejoin {
 		summary.Kind = "chaos"
-		if trainRequested {
-			summary.Kind = "chaos+train"
+		if *rejoin && !*chaos {
+			summary.Kind = "rejoin"
 		}
-		chaosFailed = runChaos(*workers, *seed, summary)
+		if trainRequested {
+			summary.Kind += "+train"
+		}
+		if *chaos {
+			// The full sweep already includes the rejoin battery.
+			chaosFailed = runChaos(*workers, *seed, *retryBudget, summary)
+		} else {
+			chaosFailed = runRejoinScenarios(summary)
+		}
 		if !trainRequested {
 			writeSummary(*runJSON, *artifacts, summary)
 			finishTel()
@@ -284,12 +294,22 @@ func runAutotune(b harness.Benchmark, sc harness.SweepConfig, artifactsDir strin
 // Faulty-wrapped hub, one scenario per fault kind, with a watchdog converting
 // any deadlock into a failed row. Scenario rows land in summary; the return
 // value is the number of failed scenarios.
-func runChaos(workers int, seed uint64, summary *harness.RunSummary) int {
+func runChaos(workers int, seed uint64, retryBudget int, summary *harness.RunSummary) int {
 	cfg := harness.DefaultChaos(workers, seed)
+	tuned := harness.AutotuneChaos(workers, seed)
+	if retryBudget > 0 {
+		for _, c := range []*harness.ChaosConfig{&cfg, &tuned} {
+			for i := range c.Scenarios {
+				if c.Scenarios[i].Retry != nil {
+					c.Scenarios[i].Retry.Budget = retryBudget
+				}
+			}
+		}
+	}
 	fmt.Printf("chaos sweep: %d workers, %d tensors x %d steps, method %s\n\n",
 		cfg.Workers, cfg.Tensors, cfg.Steps, cfg.Method)
-	fmt.Printf("%-18s %-6s %-9s %-9s %-10s %-8s\n",
-		"scenario", "pass", "injected", "faults", "fallbacks", "elapsed")
+	fmt.Printf("%-18s %-6s %-9s %-8s %-9s %-10s %-8s\n",
+		"scenario", "pass", "injected", "retries", "faults", "fallbacks", "elapsed")
 	failed := 0
 	report := func(r harness.ChaosResult, prefix string) {
 		verdict := "ok"
@@ -299,8 +319,8 @@ func runChaos(workers int, seed uint64, summary *harness.RunSummary) int {
 			summary.Pass = false
 		}
 		r.Scenario = prefix + r.Scenario
-		fmt.Printf("%-18s %-6s %-9d %-9d %-10d %-8s\n",
-			r.Scenario, verdict, r.Injected, r.Faults, r.Fallbacks, r.Elapsed.Round(time.Millisecond))
+		fmt.Printf("%-18s %-6s %-9d %-8d %-9d %-10d %-8s\n",
+			r.Scenario, verdict, r.Injected, r.Retries, r.Faults, r.Fallbacks, r.Elapsed.Round(time.Millisecond))
 		if r.Detail != "" {
 			fmt.Printf("    %s\n", r.Detail)
 		}
@@ -311,10 +331,10 @@ func runChaos(workers int, seed uint64, summary *harness.RunSummary) int {
 	}
 	// The same battery with the engines in autotuning mode, so faults also
 	// land on warmup probes, scored switches, and flush handoffs.
-	for _, r := range harness.RunChaos(harness.AutotuneChaos(workers, seed)) {
+	for _, r := range harness.RunChaos(tuned) {
 		report(r, "tuned/")
 	}
-	return failed + runRecoveryScenarios(summary)
+	return failed + runRecoveryScenarios(summary) + runRejoinScenarios(summary)
 }
 
 // runRecoveryScenarios executes the supervised kill/restart battery: one
@@ -376,6 +396,92 @@ func runRecoveryScenarios(summary *harness.RunSummary) int {
 			fmt.Printf("%-14s %-6s %-12d %-8s\n    %s\n", name, "FAIL", res.ResumeStep, elapsed, res.Detail)
 		default:
 			fmt.Printf("%-14s %-6s %-12d %-8s\n", name, "ok", res.ResumeStep, elapsed)
+		}
+	}
+	return failed
+}
+
+// runRejoinScenarios executes the live-rejoin battery and prints the
+// restart-vs-rejoin downtime comparison: the same kill handled by (a) the
+// supervised full-restart path, where every rank's worker is torn down and
+// relaunched from the newest common checkpoint, and (b) the self-healing
+// path, where the survivors reform at the next generation and roll back in
+// place while only the dead rank is respawned. Both must converge bitwise to
+// the uninterrupted reference; the rejoin path must additionally keep every
+// healthy rank's worker alive (launch count 1).
+func runRejoinScenarios(summary *harness.RunSummary) int {
+	fmt.Printf("\nrejoin scenarios: kill one rank mid-run, survivors heal in place (vs full restart)\n")
+	fmt.Printf("%-14s %-6s %-12s %-4s %-10s %-16s %-16s\n",
+		"scenario", "pass", "resume-step", "gen", "launches", "rejoin-downtime", "restart-downtime")
+	failed := 0
+	for _, sc := range []struct {
+		transport, method string
+		mem               bool
+		autotune          bool
+	}{
+		{harness.TransportHub, "topk", true, false},
+		{harness.TransportTCP, "topk", true, false},
+		{harness.TransportTCP, "dgc", false, false},
+		{harness.TransportTCP, "autotune", true, true},
+	} {
+		name := sc.transport + "/" + sc.method
+		mkcfg := func() (harness.RecoveryConfig, string, error) {
+			dir, err := os.MkdirTemp("", "grace-rejoin-*")
+			if err != nil {
+				return harness.RecoveryConfig{}, "", err
+			}
+			cfg := harness.DefaultRecovery(sc.transport, sc.method, sc.mem, dir)
+			if sc.autotune {
+				cfg = harness.AutotuneRecovery(sc.transport, dir)
+			}
+			return cfg, dir, nil
+		}
+
+		// The restart baseline: same transport, same kill, full teardown.
+		cfg, dir, err := mkcfg()
+		if err != nil {
+			fatal(err)
+		}
+		var restartDowntime time.Duration
+		if rres, rerr := harness.RunRecovery(cfg); rerr == nil && rres.Match {
+			restartDowntime = rres.Downtime
+		}
+		os.RemoveAll(dir)
+
+		if cfg, dir, err = mkcfg(); err != nil {
+			fatal(err)
+		}
+		res, err := harness.RunRejoin(cfg)
+		os.RemoveAll(dir)
+		row := harness.RejoinJSON(name, res, restartDowntime, err)
+		summary.Rejoin = append(summary.Rejoin, row)
+		healthyStayed := err == nil
+		if err == nil {
+			for rank, launches := range res.Launches {
+				want := 1
+				if rank == cfg.KillRank {
+					want = 2
+				}
+				if launches != want {
+					healthyStayed = false
+				}
+			}
+		}
+		switch {
+		case err != nil:
+			failed++
+			summary.Pass = false
+			fmt.Printf("%-14s %-6s\n    %v\n", name, "FAIL", err)
+		case !res.Match || !healthyStayed:
+			failed++
+			summary.Pass = false
+			fmt.Printf("%-14s %-6s %-12d %-4d %-10v %-16s %-16s\n    %s\n",
+				name, "FAIL", res.ResumeStep, res.Generation, res.Launches,
+				res.Downtime.Round(time.Millisecond), restartDowntime.Round(time.Millisecond), res.Detail)
+		default:
+			fmt.Printf("%-14s %-6s %-12d %-4d %-10v %-16s %-16s\n",
+				name, "ok", res.ResumeStep, res.Generation, res.Launches,
+				res.Downtime.Round(time.Millisecond), restartDowntime.Round(time.Millisecond))
 		}
 	}
 	return failed

@@ -14,6 +14,14 @@
 // hold and continues bitwise-identically. -heartbeat enables the ring's
 // liveness layer so a dead peer fails collectives in a few intervals instead
 // of a long stall timeout.
+//
+// With -rejoin (plus -heartbeat and -checkpoint-dir) a peer death no longer
+// ends the run: the survivors reform the ring under the next group
+// generation, roll back to the newest checkpoint step every rank holds, and
+// continue in place. Respawn only the dead rank with the same flags plus
+// -rejoin-sync and it negotiates its way back into the running group. A
+// -retry-budget additionally absorbs transient collective failures with
+// bounded, deterministically jittered retry before they escalate at all.
 package main
 
 import (
@@ -35,32 +43,35 @@ import (
 
 func main() {
 	var (
-		rank      = flag.Int("rank", -1, "this process's rank")
-		addrsFlag = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
-		bench     = flag.String("bench", "cnnsmall", "benchmark name")
-		method    = flag.String("method", "none", "compression method")
-		ratio     = flag.Float64("ratio", 0, "sparsification ratio")
-		levels    = flag.Int("levels", 0, "quantization levels")
-		rank_     = flag.Int("lowrank", 0, "low-rank factorization rank")
-		ef        = flag.Bool("ef", false, "enable framework error feedback")
-		codecpar  = flag.Int("codecpar", 0, "codec lanes for this worker's Engine (0 = GOMAXPROCS)")
-		fusion    = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds; all ranks must agree)")
-		autotune  = flag.Bool("autotune", false, "run under the runtime compression autotuner instead of a fixed -method (all ranks must agree; mutually exclusive with -fusion-bytes)")
-		net       = flag.String("net", "tcp-10g", "modeled network preset for the virtual clock")
-		scale     = flag.Float64("scale", 1.0, "epoch scale factor")
-		seed      = flag.Uint64("seed", 42, "shared run seed")
-		timeout   = flag.Duration("timeout", 30*time.Second, "ring setup timeout")
-		optimeout = flag.Duration("optimeout", comm.DefaultOpTimeout, "per-collective-op deadline, applied via the context layer (comm.WithTimeout); <=0 disables")
-		maxframe  = flag.Int("maxframe", comm.DefaultMaxFrameBytes, "largest accepted wire frame in bytes")
-		chaos     = flag.String("chaos", "", "fault-injection plan, e.g. 'drop:rank=1,op=allgather,from=10' (see comm.ParsePlan)")
-		chaosSeed = flag.Uint64("chaos-seed", 1, "seed for probabilistic fault rules")
-		heartbeat = flag.Duration("heartbeat", 0, "liveness ping interval; >0 makes a dead neighbor fail collectives within 3 intervals (all ranks must agree)")
-		ckptDir   = flag.String("checkpoint-dir", "", "directory for crash-consistent per-rank checkpoints")
-		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint every N optimizer steps (0 = final only)")
-		resume    = flag.Bool("resume", false, "resume from the newest checkpoint step every rank can load (negotiated over the ring)")
-		telAddr   = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
-		tracePath = flag.String("trace", "", "write a Chrome trace_event file for this rank; also enables span recording")
-		telLinger = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
+		rank        = flag.Int("rank", -1, "this process's rank")
+		addrsFlag   = flag.String("addrs", "", "comma-separated listen addresses, one per rank")
+		bench       = flag.String("bench", "cnnsmall", "benchmark name")
+		method      = flag.String("method", "none", "compression method")
+		ratio       = flag.Float64("ratio", 0, "sparsification ratio")
+		levels      = flag.Int("levels", 0, "quantization levels")
+		rank_       = flag.Int("lowrank", 0, "low-rank factorization rank")
+		ef          = flag.Bool("ef", false, "enable framework error feedback")
+		codecpar    = flag.Int("codecpar", 0, "codec lanes for this worker's Engine (0 = GOMAXPROCS)")
+		fusion      = flag.Int("fusion-bytes", 0, "tensor-fusion bucket fill target in bytes; one collective round carries many tensors (0 = per-tensor rounds; all ranks must agree)")
+		autotune    = flag.Bool("autotune", false, "run under the runtime compression autotuner instead of a fixed -method (all ranks must agree; mutually exclusive with -fusion-bytes)")
+		net         = flag.String("net", "tcp-10g", "modeled network preset for the virtual clock")
+		scale       = flag.Float64("scale", 1.0, "epoch scale factor")
+		seed        = flag.Uint64("seed", 42, "shared run seed")
+		timeout     = flag.Duration("timeout", 30*time.Second, "ring setup timeout")
+		optimeout   = flag.Duration("optimeout", comm.DefaultOpTimeout, "per-collective-op deadline, applied via the context layer (comm.WithTimeout); <=0 disables")
+		maxframe    = flag.Int("maxframe", comm.DefaultMaxFrameBytes, "largest accepted wire frame in bytes")
+		chaos       = flag.String("chaos", "", "fault-injection plan, e.g. 'drop:rank=1,op=allgather,from=10' (see comm.ParsePlan)")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "seed for probabilistic fault rules")
+		heartbeat   = flag.Duration("heartbeat", 0, "liveness ping interval; >0 makes a dead neighbor fail collectives within 3 intervals (all ranks must agree)")
+		rejoin      = flag.Bool("rejoin", false, "self-heal on peer death instead of exiting: survivors reform the ring at the next generation and roll back to the newest common checkpoint; needs -checkpoint-dir and -heartbeat (all ranks must agree)")
+		rejoinSync  = flag.Bool("rejoin-sync", false, "sync into an already-running group on start: used when respawning a single dead rank whose survivors are parked at the recovery barrier (implies -rejoin)")
+		retryBudget = flag.Int("retry-budget", 0, "absorb transient collective failures (timeouts, resets, injected chaos) with bounded in-place retry, spending at most this many retries over the run (0 = off)")
+		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-consistent per-rank checkpoints")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint every N optimizer steps (0 = final only)")
+		resume      = flag.Bool("resume", false, "resume from the newest checkpoint step every rank can load (negotiated over the ring)")
+		telAddr     = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event file for this rank; also enables span recording")
+		telLinger   = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
 	)
 	flag.Parse()
 
@@ -88,34 +99,64 @@ func main() {
 	if *autotune && *fusion > 0 {
 		fatal(fmt.Errorf("-autotune is mutually exclusive with -fusion-bytes"))
 	}
+	if *rejoinSync {
+		*rejoin = true
+	}
+	if *rejoin {
+		if *ckptDir == "" {
+			fatal(fmt.Errorf("-rejoin needs -checkpoint-dir (the heal rolls back to checkpoints)"))
+		}
+		if *heartbeat <= 0 {
+			fatal(fmt.Errorf("-rejoin needs -heartbeat (peer death is convicted by the liveness layer)"))
+		}
+		if *resume && *rejoinSync {
+			fatal(fmt.Errorf("-resume and -rejoin-sync are mutually exclusive: the first is a whole-group restart, the second joins a live group"))
+		}
+	}
 
 	// The ring is dialed with frame deadlines off: op timeouts are owned by
 	// the context layer below (comm.WithTimeout), which bounds each whole
-	// collective instead of each wire frame.
-	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
+	// collective instead of each wire frame. With -rejoin the ring is the
+	// re-dialable wrapper, so the trainer's heal path can reform it under the
+	// next generation after a peer death.
+	rcfg := comm.RingConfig{
 		Rank:          *rank,
 		Addrs:         addrs,
 		SetupTimeout:  *timeout,
 		OpTimeout:     -1,
 		MaxFrameBytes: *maxframe,
 		Heartbeat:     *heartbeat,
-	})
-	if err != nil {
-		fatal(fmt.Errorf("ring setup: %w", err))
 	}
-	defer ring.Close()
+	var ring comm.Collective
+	var closeRing func()
+	if *rejoin {
+		r, err := comm.DialRing(rcfg)
+		if err != nil {
+			fatal(fmt.Errorf("ring setup: %w", err))
+		}
+		ring, closeRing = r, func() { r.Close() }
+	} else {
+		r, err := comm.DialTCPRingConfig(rcfg)
+		if err != nil {
+			fatal(fmt.Errorf("ring setup: %w", err))
+		}
+		ring, closeRing = r, func() { r.Close() }
+	}
+	defer closeRing()
 	fmt.Printf("rank %d/%d joined the ring\n", *rank, len(addrs))
 
 	// The worker's collective handle: the hardened ring, optionally wrapped in
 	// a fault injector when a -chaos plan is given, then in the per-op
-	// deadline wrapper (outermost, so the budget covers injected delays too).
-	var coll comm.Collective = ring
+	// deadline wrapper, then — outermost — the bounded-retry wrapper when a
+	// -retry-budget is given, so its retries cover injected faults and
+	// deadline expiries alike.
+	coll := ring
 	if *chaos != "" {
 		plan, err := comm.ParsePlan(*chaos, *chaosSeed)
 		if err != nil {
 			fatal(fmt.Errorf("bad -chaos plan: %w", err))
 		}
-		fy := comm.NewFaulty(ring, plan)
+		fy := comm.NewFaulty(coll, plan)
 		defer func() {
 			c := fy.Counts()
 			fmt.Printf("rank %d injected faults: %d delays, %d drops, %d corruptions, %d resets, %d stalls\n",
@@ -124,6 +165,15 @@ func main() {
 		coll = fy
 	}
 	coll = comm.WithTimeout(coll, *optimeout)
+	if *retryBudget > 0 {
+		rs := comm.NewResilient(coll, comm.RetryPolicy{Budget: *retryBudget, Seed: *seed})
+		defer func() {
+			if n := rs.Retries(); n > 0 {
+				fmt.Printf("rank %d absorbed %d transient failures (%d reforms)\n", *rank, n, rs.Reforms())
+			}
+		}()
+		coll = rs
+	}
 
 	workers := len(addrs)
 	cfg := grace.Config{
@@ -190,6 +240,14 @@ func main() {
 				cfg.Checkpoint.Resume = s
 				fmt.Printf("rank %d: resuming from step %d\n", *rank, step)
 			}
+		}
+		if *rejoin {
+			rj := d.RejoinConfig()
+			rj.SyncOnStart = *rejoinSync
+			rj.OnHeal = func(gen uint64, step int64) {
+				fmt.Printf("rank %d: healed to step %d at generation %d\n", *rank, step, gen)
+			}
+			cfg.Rejoin = rj
 		}
 	}
 
@@ -262,7 +320,7 @@ func startTelemetry(addr, tracePath string, linger time.Duration) func() {
 // negotiateResume allgathers every rank's loadable checkpoint steps over the
 // ring and returns the newest step present on all ranks, or -1 when the
 // intersection is empty.
-func negotiateResume(ring *comm.TCPRing, d *ckpt.Dir) (int64, error) {
+func negotiateResume(ring comm.Collective, d *ckpt.Dir) (int64, error) {
 	steps, err := d.Steps()
 	if err != nil {
 		return -1, err

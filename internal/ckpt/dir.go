@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/grace"
 	"repro/internal/telemetry"
 )
 
@@ -141,6 +142,21 @@ func (d *Dir) SaveStep(s *Snapshot) error {
 		return err
 	}
 	return d.prune()
+}
+
+// RejoinConfig returns the grace self-healing persistence hooks wired to
+// this directory: step listing and own-snapshot loads come from the rank's
+// files here, and the donor state transfer rides the checkpoint encoding
+// (versioned, CRC-sealed — a truncated or corrupted transfer is rejected,
+// not trusted). Callers set the policy fields (SyncOnStart, MaxHeals,
+// OnHeal) on the returned value.
+func (d *Dir) RejoinConfig() *grace.RejoinConfig {
+	return &grace.RejoinConfig{
+		ListSteps: d.Steps,
+		LoadLocal: func(step int64) (*Snapshot, error) { return Load(d.Path(step)) },
+		Encode:    func(s *Snapshot) ([]byte, error) { return Encode(s), nil },
+		Decode:    Decode,
+	}
 }
 
 // Steps lists this rank's checkpoint steps in ascending order, including

@@ -94,6 +94,9 @@ func (m *Meter) Rank() int { return m.inner.Rank() }
 // Size forwards to the wrapped collective.
 func (m *Meter) Size() int { return m.inner.Size() }
 
+// Unwrap exposes the wrapped collective to capability probes (AsReformer).
+func (m *Meter) Unwrap() Collective { return m.inner }
+
 // AllreduceF32 forwards, accounting 4 bytes per element in each direction
 // (the reduced vector comes back at full width).
 func (m *Meter) AllreduceF32(x []float32) error {

@@ -124,6 +124,9 @@ func WithTimeout(inner Collective, d time.Duration) Collective {
 func (t *timeoutColl) Rank() int { return t.inner.Rank() }
 func (t *timeoutColl) Size() int { return t.inner.Size() }
 
+// Unwrap exposes the wrapped collective to capability probes (AsReformer).
+func (t *timeoutColl) Unwrap() Collective { return t.inner }
+
 func (t *timeoutColl) AllreduceF32(x []float32) error {
 	return t.AllreduceF32Ctx(context.Background(), x)
 }

@@ -20,6 +20,7 @@ const (
 	OpSend      Op = "send"
 	OpRecv      Op = "recv"
 	OpHeartbeat Op = "heartbeat"
+	OpReform    Op = "reform"
 )
 
 // Sentinel causes recognizable with errors.Is across wrapping layers.
@@ -41,10 +42,29 @@ var (
 	// ErrPeerDead reports that the liveness layer declared a ring neighbor
 	// dead: its heartbeat stream went silent past the configured deadline or
 	// its connection reset. Unlike a per-op timeout (a stall — the peer may
-	// merely be slow), ErrPeerDead means the process is gone and the ring
-	// must be reformed; supervisors treat it as the restart-from-checkpoint
-	// signal.
+	// merely be slow), ErrPeerDead means the process is gone and the group
+	// must be reformed: either the self-healing rejoin path (grace.Config
+	// Rejoin) or a supervisor restart-from-checkpoint.
 	ErrPeerDead = errors.New("comm: peer dead")
+
+	// ErrCorrupt reports a wire record that parsed but cannot be trusted: a
+	// malformed generation handshake, an unrecognized preamble kind, or a
+	// protocol frame whose contents contradict the transport's invariants.
+	// Unlike a reset (the bytes never arrived), corruption means the peer —
+	// or something between us — is speaking a different protocol, so the
+	// connection is fatal, never retried.
+	ErrCorrupt = errors.New("comm: corrupt protocol data")
+
+	// ErrStaleGeneration reports traffic stamped with a group generation
+	// older than this ring's: a leftover of a previous incarnation that was
+	// reformed away. Stale traffic is rejected (never processed) so a
+	// partitioned or zombie member can't split-brain the group.
+	ErrStaleGeneration = errors.New("comm: stale group generation")
+
+	// ErrRetriesExhausted reports that the Resilient wrapper gave up: the op
+	// kept failing transiently past the per-op attempt cap or the handle's
+	// total retry budget. It wraps the last transient failure.
+	ErrRetriesExhausted = errors.New("comm: retries exhausted")
 )
 
 // Error is the typed failure every hardened Collective implementation wraps

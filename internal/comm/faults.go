@@ -112,6 +112,38 @@ type Aborter interface {
 	Abort(cause error)
 }
 
+// asAborter walks the wrapper chain (see Unwrapper) to the first layer that
+// can poison the group, so fault injection reaches the substrate no matter
+// how the wrappers are stacked.
+func asAborter(c Collective) (Aborter, bool) {
+	for c != nil {
+		if a, ok := c.(Aborter); ok {
+			return a, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+	return nil, false
+}
+
+// asCloser walks the wrapper chain to the first closable transport.
+func asCloser(c Collective) (io.Closer, bool) {
+	for c != nil {
+		if cl, ok := c.(io.Closer); ok {
+			return cl, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+	return nil, false
+}
+
 // Faulty wraps a Collective with deterministic fault injection driven by a
 // Plan. With an empty plan it is a transparent passthrough: results are
 // bitwise identical to the raw collective. Like every Collective handle it
@@ -137,6 +169,10 @@ func (f *Faulty) Rank() int { return f.inner.Rank() }
 
 // Size forwards to the wrapped collective.
 func (f *Faulty) Size() int { return f.inner.Size() }
+
+// Unwrap exposes the wrapped collective to capability probes (AsReformer).
+// Reforms bypass the fault plan: faults target collective ops, not recovery.
+func (f *Faulty) Unwrap() Collective { return f.inner }
 
 // Step reports how many collective operations this handle has performed.
 func (f *Faulty) Step() int64 { return f.step.Load() }
@@ -191,8 +227,8 @@ func (ft *Fault) sleep() {
 // fallback, reset prefers a hard transport close.
 func (f *Faulty) fail(ft *Fault, op Op, step int64) error {
 	cause := fmt.Errorf("%w: %s at rank %d %s step %d", ErrInjected, ft.Kind, f.inner.Rank(), op, step)
-	ab, canAbort := f.inner.(Aborter)
-	cl, canClose := f.inner.(io.Closer)
+	ab, canAbort := asAborter(f.inner)
+	cl, canClose := asCloser(f.inner)
 	switch {
 	case ft.Kind == FaultReset && canClose:
 		cl.Close()

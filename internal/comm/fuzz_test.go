@@ -36,6 +36,66 @@ func FuzzReadFrame(f *testing.F) {
 	})
 }
 
+// FuzzRingHandshake drives the generation protocol's decoders — the dialer
+// handshake record, the acceptor reply, and the stateful heartbeat stream
+// parser — with hostile bytes under arbitrary chunking. They must never
+// panic, must reject anything but an exact record with a typed error
+// (ErrCorrupt, or ErrStaleGeneration for a mis-stamped ping), and accepted
+// records must round-trip through the encoder.
+func FuzzRingHandshake(f *testing.F) {
+	f.Add([]byte{}, uint64(0), 1)
+	f.Add(appendHandshakeInto(nil, preambleData, 7), uint64(7), 4)
+	f.Add(appendHandshakeInto(nil, confirmMagic, 1<<40), uint64(1), 0)
+	f.Add(appendHandshakeInto(nil, hsAccept, 1), uint64(1), 3)
+	f.Add(appendHandshakeInto(nil, hsReject, 2), uint64(2), 9)
+	f.Add(appendHandshakeInto(appendHandshakeInto(nil, preambleHeartbeat, 3), preambleHeartbeat, 3), uint64(3), 9)
+	f.Add(appendHandshakeInto(nil, preambleHeartbeat, 5), uint64(6), 2)
+	f.Add([]byte{hbBye}, uint64(0), 0)
+	f.Add([]byte{preambleHeartbeat, 0, 0}, uint64(0), 2)
+	f.Fuzz(func(t *testing.T, data []byte, gen uint64, split int) {
+		kind, g, err := parseHandshake(data)
+		if err == nil {
+			if !bytes.Equal(appendHandshakeInto(nil, kind, g), data) {
+				t.Fatalf("accepted handshake does not round-trip: %q", data)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("handshake rejection is untyped: %v", err)
+		}
+		status, g, err := parseHandshakeReply(data)
+		if err == nil {
+			if !bytes.Equal(appendHandshakeInto(nil, status, g), data) {
+				t.Fatalf("accepted reply does not round-trip: %q", data)
+			}
+		} else if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("reply rejection is untyped: %v", err)
+		}
+
+		// The heartbeat stream parser, fed the same bytes in two arbitrary
+		// pieces: partial records must carry across feeds, and any verdict
+		// must be typed.
+		if split < 0 {
+			split = -split
+		}
+		split %= len(data) + 1
+		var p hbParser
+		for _, chunk := range [][]byte{data[:split], data[split:]} {
+			bye, err := p.feed(chunk, gen)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrStaleGeneration) {
+					t.Fatalf("heartbeat verdict is untyped: %v", err)
+				}
+				return
+			}
+			if bye {
+				return
+			}
+		}
+		if len(p.buf) >= handshakeLen {
+			t.Fatalf("parser retained %d buffered bytes past a whole record", len(p.buf))
+		}
+	})
+}
+
 // FuzzFrameRoundTrip checks append/read are inverses for arbitrary payloads
 // under the bound.
 func FuzzFrameRoundTrip(f *testing.F) {

@@ -3,6 +3,7 @@ package comm
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -24,6 +25,17 @@ type Hub struct {
 	cur      *round
 	aborted  chan struct{} // closed on Abort
 	abortErr error
+	gen      uint64      // group generation, bumped by each reform
+	ref      *reformSync // in-progress reform rendezvous, nil between reforms
+	reformTO time.Duration
+}
+
+// reformSync is one reform rendezvous: the last of n arrivals heals the hub,
+// publishes the new generation, and wakes the rest.
+type reformSync struct {
+	count int
+	gen   uint64 // valid once done is closed
+	done  chan struct{}
 }
 
 type round struct {
@@ -37,7 +49,69 @@ func NewHub(n int) *Hub {
 	if n <= 0 {
 		panic("comm: hub size must be positive")
 	}
-	return &Hub{n: n, cur: newRound(n), aborted: make(chan struct{})}
+	return &Hub{n: n, cur: newRound(n), aborted: make(chan struct{}), reformTO: DefaultReformTimeout}
+}
+
+// DefaultReformTimeout bounds how long a reform rendezvous waits for the
+// group: long enough to cover a supervisor respawning a dead rank.
+const DefaultReformTimeout = 60 * time.Second
+
+// SetReformTimeout overrides how long reform waits for all workers to arrive
+// (tests shrink it; rejoin batteries stretch it past the respawn delay).
+func (h *Hub) SetReformTimeout(d time.Duration) {
+	h.mu.Lock()
+	h.reformTO = d
+	h.mu.Unlock()
+}
+
+// Generation reports the hub's current group generation.
+func (h *Hub) Generation() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.gen
+}
+
+// reform is the all-workers recovery rendezvous: once every rank of the group
+// has arrived, the abort poison is cleared, a fresh round is installed, and
+// the group generation advances. No rank may be inside a collective when its
+// reform runs (reform occupies a slot in the lockstep op sequence, after all
+// ranks failed out of the same op), so replacing the round is race-free. A
+// rank that waits longer than the reform timeout gives up with a typed error;
+// its rendezvous slot stays consumed, so the group must be rebuilt by the
+// supervisor at that point.
+func (h *Hub) reform() (uint64, error) {
+	h.mu.Lock()
+	if h.ref == nil {
+		h.ref = &reformSync{done: make(chan struct{})}
+	}
+	rs := h.ref
+	rs.count++
+	if rs.count == h.n {
+		h.aborted = make(chan struct{})
+		h.abortErr = nil
+		h.cur = newRound(h.n)
+		h.gen++
+		rs.gen = h.gen
+		h.ref = nil
+		close(rs.done)
+		h.mu.Unlock()
+		telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+		return rs.gen, nil
+	}
+	to := h.reformTO
+	h.mu.Unlock()
+	t := time.NewTimer(to)
+	defer t.Stop()
+	select {
+	case <-rs.done:
+		return rs.gen, nil
+	case <-t.C:
+		h.mu.Lock()
+		arrived := rs.count
+		h.mu.Unlock()
+		return 0, fmt.Errorf("reform rendezvous: %d of %d workers after %v: %w",
+			arrived, h.n, to, ErrPeerDead)
+	}
 }
 
 func newRound(n int) *round {
@@ -142,6 +216,18 @@ func (w *InProc) Size() int { return w.hub.n }
 
 // Abort poisons the whole group this handle belongs to (see Hub.Abort).
 func (w *InProc) Abort(cause error) { w.hub.Abort(cause) }
+
+// Reform joins the hub's recovery rendezvous (see Hub.reform): it blocks
+// until every rank of the group — including a freshly respawned one — calls
+// Reform, then returns the new group generation with the abort poison
+// cleared.
+func (w *InProc) Reform() (uint64, error) {
+	gen, err := w.hub.reform()
+	if err != nil {
+		return 0, wrapErr(w.rank, OpReform, w.step, err)
+	}
+	return gen, nil
+}
 
 // AllreduceF32 sums x across workers in place. Every worker reduces the
 // gathered slices in rank order, so results are bitwise identical everywhere.

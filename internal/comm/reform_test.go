@@ -1,0 +1,276 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHubReformClearsAbort: after a poison, a full reform rendezvous restores
+// the group, bumps the generation, and collectives work again.
+func TestHubReformClearsAbort(t *testing.T) {
+	const n = 3
+	hub := NewHub(n)
+	hub.Abort(fmt.Errorf("simulated: %w", ErrPeerDead))
+	if err := hub.Worker(0).Barrier(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("poisoned hub barrier err = %v, want ErrAborted", err)
+	}
+	var wg sync.WaitGroup
+	gens := make([]uint64, n)
+	errs := make([]error, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			gens[rank], errs[rank] = hub.Worker(rank).Reform()
+		}(rank)
+	}
+	wg.Wait()
+	for rank := 0; rank < n; rank++ {
+		if errs[rank] != nil {
+			t.Fatalf("rank %d reform: %v", rank, errs[rank])
+		}
+		if gens[rank] != 1 {
+			t.Fatalf("rank %d reformed into generation %d, want 1", rank, gens[rank])
+		}
+	}
+	// The healed hub completes real collectives.
+	sums := make([][]float32, n)
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			x := []float32{float32(rank)}
+			errs[rank] = hub.Worker(rank).AllreduceF32(x)
+			sums[rank] = x
+		}(rank)
+	}
+	wg.Wait()
+	for rank := 0; rank < n; rank++ {
+		if errs[rank] != nil || sums[rank][0] != 3 {
+			t.Fatalf("rank %d after reform: sum %v err %v", rank, sums[rank], errs[rank])
+		}
+	}
+	if hub.Generation() != 1 {
+		t.Fatalf("hub generation %d, want 1", hub.Generation())
+	}
+}
+
+// TestHubReformTimeout: a lone rank whose peers never arrive gets a typed
+// ErrPeerDead instead of waiting forever.
+func TestHubReformTimeout(t *testing.T) {
+	hub := NewHub(3)
+	hub.SetReformTimeout(50 * time.Millisecond)
+	_, err := hub.Worker(0).Reform()
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err = %v, want ErrPeerDead", err)
+	}
+	var ce *Error
+	if !errors.As(err, &ce) || ce.Op != OpReform {
+		t.Fatalf("error %v lacks OpReform coordinates", err)
+	}
+}
+
+// TestRingReformAfterKill is the transport-level rejoin scenario: a 3-rank
+// generation ring loses rank 1 (abrupt socket teardown), the survivors'
+// collectives fail with ErrPeerDead without their processes restarting, and a
+// concurrent Reform on the survivors plus a fresh DialRing at the replacement
+// — dialing blind at generation 0 — converges the whole group on generation 1
+// and completes bitwise-correct collectives.
+func TestRingReformAfterKill(t *testing.T) {
+	const n = 3
+	const hbInterval = 25 * time.Millisecond
+	addrs := freeAddrs(t, n)
+
+	rings := make([]*Ring, n)
+	cfg := func(rank int) RingConfig {
+		return RingConfig{
+			Rank: rank, Addrs: addrs,
+			SetupTimeout:    10 * time.Second,
+			OpTimeout:       30 * time.Second,
+			Heartbeat:       hbInterval,
+			HeartbeatMisses: 3,
+			Seed:            17,
+		}
+	}
+	withDeadline(t, 60*time.Second, func() {
+		var wg sync.WaitGroup
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				r, err := DialRing(cfg(rank))
+				if err != nil {
+					t.Errorf("rank %d dial: %v", rank, err)
+					return
+				}
+				rings[rank] = r
+			}(rank)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		defer func() {
+			for _, r := range rings {
+				if r != nil {
+					r.Close()
+				}
+			}
+		}()
+
+		// A healthy round first, then rank 1 dies mid-group.
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				x := []float32{float32(rank)}
+				if err := rings[rank].AllreduceF32(x); err != nil || x[0] != 3 {
+					t.Errorf("rank %d healthy round: %v %v", rank, x, err)
+				}
+			}(rank)
+		}
+		wg.Wait()
+		rings[1].Kill()
+
+		// Survivors' next op fails with the liveness verdict.
+		for _, rank := range []int{0, 2} {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				err := rings[rank].Barrier()
+				if !errors.Is(err, ErrPeerDead) {
+					t.Errorf("rank %d post-kill err = %v, want ErrPeerDead", rank, err)
+				}
+			}(rank)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+
+		// Heal: survivors reform (they know the old generation), the
+		// replacement dials blind at generation 0 and discovers generation 1
+		// through handshake rejections.
+		gens := make([]uint64, n)
+		for _, rank := range []int{0, 2} {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				gen, err := rings[rank].Reform()
+				if err != nil {
+					t.Errorf("rank %d reform: %v", rank, err)
+					return
+				}
+				gens[rank] = gen
+			}(rank)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := DialRing(cfg(1)) // Generation left at 0: must discover
+			if err != nil {
+				t.Errorf("replacement dial: %v", err)
+				return
+			}
+			rings[1] = r
+			gens[1] = r.Generation()
+		}()
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		for rank, gen := range gens {
+			if gen != 1 {
+				t.Errorf("rank %d at generation %d after reform, want 1", rank, gen)
+			}
+		}
+
+		// The reformed ring completes correct collectives, including an idle
+		// stretch longer than the miss window (pings must keep flowing).
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				x := []float32{float32(rank), 1}
+				if err := rings[rank].AllreduceF32(x); err != nil || x[0] != 3 || x[1] != 3 {
+					t.Errorf("rank %d reformed round: %v %v", rank, x, err)
+					return
+				}
+				all, err := rings[rank].AllgatherBytes([]byte{byte(rank + 10)})
+				if err != nil || len(all) != n || all[2][0] != 12 {
+					t.Errorf("rank %d reformed allgather: %v %v", rank, all, err)
+					return
+				}
+				time.Sleep(8 * hbInterval)
+				if err := rings[rank].Barrier(); err != nil {
+					t.Errorf("rank %d post-idle barrier: %v", rank, err)
+				}
+			}(rank)
+		}
+		wg.Wait()
+	})
+}
+
+// TestHBParser: the stateful heartbeat decoder must handle split records,
+// reject unknown kinds as corruption, and flag cross-generation pings.
+func TestHBParser(t *testing.T) {
+	ping := appendHandshakeInto(nil, preambleHeartbeat, 7)
+
+	var p hbParser
+	// Three pings delivered in awkward fragment sizes.
+	stream := bytes.Repeat(ping, 3)
+	for _, cut := range [][]byte{stream[:4], stream[4:13], stream[13:14], stream[14:]} {
+		bye, err := p.feed(cut, 7)
+		if bye || err != nil {
+			t.Fatalf("fragmented pings: bye=%v err=%v", bye, err)
+		}
+	}
+
+	p = hbParser{}
+	if bye, err := p.feed(append(append([]byte{}, ping...), hbBye), 7); !bye || err != nil {
+		t.Fatalf("bye after ping: bye=%v err=%v", bye, err)
+	}
+
+	p = hbParser{}
+	if _, err := p.feed([]byte{0xFF}, 7); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown kind err = %v, want ErrCorrupt", err)
+	}
+
+	p = hbParser{}
+	stale := appendHandshakeInto(nil, preambleHeartbeat, 6)
+	if _, err := p.feed(stale, 7); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("cross-generation ping err = %v, want ErrStaleGeneration", err)
+	}
+}
+
+// TestHandshakeCodecs: record encode/decode round-trips and corruption
+// rejection for the setup handshake and its reply.
+func TestHandshakeCodecs(t *testing.T) {
+	for _, kind := range []byte{preambleData, preambleHeartbeat, confirmMagic} {
+		rec := appendHandshakeInto(nil, kind, 0xDEADBEEF01)
+		k, gen, err := parseHandshake(rec)
+		if err != nil || k != kind || gen != 0xDEADBEEF01 {
+			t.Fatalf("handshake round trip kind %q: %q %d %v", kind, k, gen, err)
+		}
+	}
+	for _, status := range []byte{hsAccept, hsReject} {
+		rec := appendHandshakeInto(nil, status, 3)
+		s, gen, err := parseHandshakeReply(rec)
+		if err != nil || s != status || gen != 3 {
+			t.Fatalf("reply round trip %q: %q %d %v", status, s, gen, err)
+		}
+	}
+	if _, _, err := parseHandshake([]byte{preambleData, 1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short handshake err = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := parseHandshake(appendHandshakeInto(nil, 'Z', 1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown handshake kind err = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := parseHandshakeReply(appendHandshakeInto(nil, 'Z', 1)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown reply status err = %v, want ErrCorrupt", err)
+	}
+}

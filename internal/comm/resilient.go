@@ -1,0 +1,257 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fxrand"
+	"repro/internal/telemetry"
+)
+
+// Reformer is implemented by collectives that can rebuild their group under a
+// new generation after a failure: the in-process Hub (clearing abort poison at
+// an all-ranks rendezvous) and the re-dialable TCP Ring. Reform is itself a
+// synchronization point — every member of the group must call it, in the same
+// position of its op sequence, before any member's call returns. It returns
+// the generation the group reconvened under.
+type Reformer interface {
+	Reform() (uint64, error)
+}
+
+// Unwrapper is implemented by collective wrappers (Meter, Faulty, WithTimeout,
+// Resilient) so capability probes can walk to the transport underneath.
+type Unwrapper interface {
+	Unwrap() Collective
+}
+
+// AsReformer walks a wrapper chain down to the first layer that can reform
+// the group, if any.
+func AsReformer(c Collective) (Reformer, bool) {
+	for c != nil {
+		if r, ok := c.(Reformer); ok {
+			return r, true
+		}
+		u, ok := c.(Unwrapper)
+		if !ok {
+			return nil, false
+		}
+		c = u.Unwrap()
+	}
+	return nil, false
+}
+
+// RetryPolicy bounds the Resilient wrapper. The zero value picks the
+// defaults noted on each field.
+type RetryPolicy struct {
+	// PerOp is the maximum attempts for one collective op, including the
+	// first (default 3: the original try plus two retries).
+	PerOp int
+	// Budget is the total retries the handle may spend over its lifetime
+	// (default 16). Exhausting it makes further transient failures fatal.
+	Budget int
+	// BaseBackoff is the delay before the first retry (default 5ms); each
+	// subsequent retry doubles it, capped at MaxBackoff (default 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed drives the jitter stream (fxrand), so chaos runs back off in a
+	// reproducible pattern. Mixed with the rank so ranks don't thunder in
+	// phase.
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.PerOp <= 0 {
+		p.PerOp = 3
+	}
+	if p.Budget <= 0 {
+		p.Budget = 16
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 5 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	return p
+}
+
+// Resilient wraps a Collective with bounded in-place retry of transient
+// failures (see Classify): per-op deadline expiries, reset connections, and
+// injected chaos faults are reabsorbed with capped jittered backoff instead
+// of escalating to the supervisor. Before each retry the wrapper reforms the
+// group when the transport supports it — on the hub that rendezvous clears
+// the abort poison a drop/reset fault left behind, so every rank's retry of
+// the same lockstep op can succeed together.
+//
+// Retrying an op in place is sound only where an op failure is group-atomic
+// (no rank completed it), which holds for the rendezvous-based hub. Ring
+// allreduce is not atomic — a failing rank's last frame can complete a peer's
+// op — so ring deployments lean on the trainer-level rejoin path instead and
+// use Resilient only to absorb pre-op dial/timeout flakes.
+//
+// Resilient preserves the handle contract: single-goroutine use, identical op
+// sequences across ranks (retries happen inside the op, so the sequence the
+// caller sees is unchanged).
+type Resilient struct {
+	inner   Collective
+	pol     RetryPolicy
+	rng     *fxrand.RNG
+	spent   int // total retries consumed; single-goroutine per handle
+	retries atomic.Int64
+	reforms atomic.Int64
+}
+
+var _ ContextCollective = (*Resilient)(nil)
+
+// NewResilient wraps inner with the given retry policy.
+func NewResilient(inner Collective, pol RetryPolicy) *Resilient {
+	pol = pol.withDefaults()
+	return &Resilient{
+		inner: inner,
+		pol:   pol,
+		rng:   fxrand.New(pol.Seed*0x9e3779b9 + uint64(inner.Rank()) + 1),
+	}
+}
+
+// Rank forwards to the wrapped collective.
+func (r *Resilient) Rank() int { return r.inner.Rank() }
+
+// Size forwards to the wrapped collective.
+func (r *Resilient) Size() int { return r.inner.Size() }
+
+// Unwrap exposes the wrapped collective to capability probes.
+func (r *Resilient) Unwrap() Collective { return r.inner }
+
+// Retries reports the transient failures this handle has retried through.
+func (r *Resilient) Retries() int64 { return r.retries.Load() }
+
+// Reforms reports the group reforms this handle has driven before retries.
+func (r *Resilient) Reforms() int64 { return r.reforms.Load() }
+
+// Reform forwards to the wrapped transport's reform, so the trainer-level
+// heal path reaches it through this wrapper too.
+func (r *Resilient) Reform() (uint64, error) {
+	rf, ok := AsReformer(r.inner)
+	if !ok {
+		return 0, wrapErr(r.Rank(), OpReform, 0, fmt.Errorf("transport cannot reform"))
+	}
+	return rf.Reform()
+}
+
+// retry runs call, absorbing transient failures within the policy's bounds.
+func (r *Resilient) retry(ctx context.Context, call func() error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = call(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= r.pol.PerOp {
+			return fmt.Errorf("%w: %d attempts: %w", ErrRetriesExhausted, attempt, err)
+		}
+		if r.spent >= r.pol.Budget {
+			return fmt.Errorf("%w: handle retry budget (%d) spent: %w", ErrRetriesExhausted, r.pol.Budget, err)
+		}
+		r.spent++
+		r.retries.Add(1)
+		telemetry.Default.Add(telemetry.CtrCommRetries, 1)
+		if err := r.sleep(ctx, r.backoff(attempt)); err != nil {
+			return err
+		}
+		// Reform before retrying so the whole group reconverges on the same
+		// op: on the hub every rank failed this op (rendezvous atomicity) and
+		// every rank's Resilient reforms here, completing the rendezvous.
+		if rf, ok := AsReformer(r.inner); ok {
+			if _, err := rf.Reform(); err != nil {
+				return err
+			}
+			r.reforms.Add(1)
+		}
+	}
+}
+
+// backoff computes the jittered, capped delay before retry #attempt: half
+// deterministic ramp, half fxrand jitter, so ranks desynchronize
+// reproducibly.
+func (r *Resilient) backoff(attempt int) time.Duration {
+	d := r.pol.BaseBackoff << (attempt - 1)
+	if d > r.pol.MaxBackoff || d <= 0 {
+		d = r.pol.MaxBackoff
+	}
+	return d/2 + time.Duration(r.rng.Int63()%int64(d/2+1))
+}
+
+func (r *Resilient) sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// AllreduceF32 retries transiently failed allreduces. The input is snapshotted
+// so each retry starts from the caller's original vector even on transports
+// that reduce in place.
+func (r *Resilient) AllreduceF32(x []float32) error {
+	return r.AllreduceF32Ctx(context.Background(), x)
+}
+
+// AllreduceF32Ctx is AllreduceF32 bounded by ctx.
+func (r *Resilient) AllreduceF32Ctx(ctx context.Context, x []float32) error {
+	orig := append([]float32(nil), x...)
+	first := true
+	return r.retry(ctx, func() error {
+		if !first {
+			copy(x, orig)
+		}
+		first = false
+		return AllreduceF32(ctx, r.inner, x)
+	})
+}
+
+// AllgatherBytes retries transiently failed allgathers.
+func (r *Resilient) AllgatherBytes(b []byte) ([][]byte, error) {
+	return r.AllgatherBytesCtx(context.Background(), b)
+}
+
+// AllgatherBytesCtx is AllgatherBytes bounded by ctx.
+func (r *Resilient) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
+	var out [][]byte
+	err := r.retry(ctx, func() error {
+		var err error
+		out, err = AllgatherBytes(ctx, r.inner, b)
+		return err
+	})
+	return out, err
+}
+
+// BroadcastBytes retries transiently failed broadcasts.
+func (r *Resilient) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	return r.BroadcastBytesCtx(context.Background(), b, root)
+}
+
+// BroadcastBytesCtx is BroadcastBytes bounded by ctx.
+func (r *Resilient) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
+	var out []byte
+	err := r.retry(ctx, func() error {
+		var err error
+		out, err = BroadcastBytes(ctx, r.inner, b, root)
+		return err
+	})
+	return out, err
+}
+
+// Barrier retries transiently failed barriers.
+func (r *Resilient) Barrier() error { return r.BarrierCtx(context.Background()) }
+
+// BarrierCtx is Barrier bounded by ctx.
+func (r *Resilient) BarrierCtx(ctx context.Context) error {
+	return r.retry(ctx, func() error { return Barrier(ctx, r.inner) })
+}

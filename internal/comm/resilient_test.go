@@ -1,0 +1,228 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flakyColl fails each op transiently failN times before letting it through
+// to a Serial-like success, mutating allreduce inputs on failed attempts the
+// way a half-finished ring pass would.
+type flakyColl struct {
+	failN int
+	calls int
+	fatal error // returned instead of the transient failure when set
+}
+
+func (f *flakyColl) Rank() int { return 0 }
+func (f *flakyColl) Size() int { return 1 }
+
+func (f *flakyColl) fail() error {
+	f.calls++
+	if f.calls <= f.failN {
+		if f.fatal != nil {
+			return f.fatal
+		}
+		return fmt.Errorf("attempt %d: %w", f.calls, ErrInjected)
+	}
+	return nil
+}
+
+func (f *flakyColl) AllreduceF32(x []float32) error {
+	for i := range x {
+		x[i] *= 7 // scribble: a retry must restore the caller's input
+	}
+	if err := f.fail(); err != nil {
+		return err
+	}
+	for i := range x {
+		x[i] /= 7
+	}
+	return nil
+}
+
+func (f *flakyColl) AllgatherBytes(b []byte) ([][]byte, error) {
+	if err := f.fail(); err != nil {
+		return nil, err
+	}
+	return [][]byte{b}, nil
+}
+
+func (f *flakyColl) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	if err := f.fail(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+func (f *flakyColl) Barrier() error { return f.fail() }
+
+func fastPolicy() RetryPolicy {
+	return RetryPolicy{PerOp: 3, Budget: 16, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}
+}
+
+func TestResilientAbsorbsTransientFailures(t *testing.T) {
+	inner := &flakyColl{failN: 2}
+	r := NewResilient(inner, fastPolicy())
+	x := []float32{1, 2, 3}
+	if err := r.AllreduceF32(x); err != nil {
+		t.Fatalf("allreduce: %v", err)
+	}
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Fatalf("retries corrupted the input restore: %v", x)
+	}
+	if r.Retries() != 2 {
+		t.Fatalf("retries = %d, want 2", r.Retries())
+	}
+
+	inner = &flakyColl{failN: 1}
+	r = NewResilient(inner, fastPolicy())
+	all, err := r.AllgatherBytes([]byte{9})
+	if err != nil || len(all) != 1 || all[0][0] != 9 {
+		t.Fatalf("allgather after retry: %v %v", all, err)
+	}
+	inner = &flakyColl{failN: 1}
+	r = NewResilient(inner, fastPolicy())
+	out, err := r.BroadcastBytes([]byte{5}, 0)
+	if err != nil || out[0] != 5 {
+		t.Fatalf("broadcast after retry: %v %v", out, err)
+	}
+	inner = &flakyColl{failN: 2}
+	r = NewResilient(inner, fastPolicy())
+	if err := r.Barrier(); err != nil {
+		t.Fatalf("barrier after retries: %v", err)
+	}
+}
+
+func TestResilientPerOpExhaustion(t *testing.T) {
+	r := NewResilient(&flakyColl{failN: 100}, fastPolicy())
+	err := r.Barrier()
+	if !errors.Is(err, ErrRetriesExhausted) || !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted wrapping the last transient cause", err)
+	}
+	if IsTransient(err) {
+		t.Fatal("an exhausted op must classify fatal, or callers would retry the retrier")
+	}
+}
+
+func TestResilientBudgetExhaustion(t *testing.T) {
+	pol := fastPolicy()
+	pol.Budget = 3
+	inner := &flakyColl{failN: 1 << 30}
+	r := NewResilient(inner, pol)
+	var err error
+	for i := 0; i < 4; i++ {
+		err = r.Barrier()
+	}
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v, want ErrRetriesExhausted once the handle budget is spent", err)
+	}
+	// With the budget spent, a transient failure costs exactly one attempt.
+	before := inner.calls
+	r.Barrier()
+	if inner.calls != before+1 {
+		t.Fatalf("spent budget still retried: %d extra attempts", inner.calls-before-1)
+	}
+}
+
+func TestResilientFatalPassThrough(t *testing.T) {
+	inner := &flakyColl{failN: 100, fatal: fmt.Errorf("neighbor: %w", ErrPeerDead)}
+	r := NewResilient(inner, fastPolicy())
+	err := r.Barrier()
+	if !errors.Is(err, ErrPeerDead) {
+		t.Fatalf("err = %v, want the fatal cause untouched", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("fatal failure was attempted %d times, want 1", inner.calls)
+	}
+}
+
+func TestResilientBackoffDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		r := NewResilient(&flakyColl{}, RetryPolicy{Seed: 42, BaseBackoff: time.Millisecond, MaxBackoff: 8 * time.Millisecond})
+		var out []time.Duration
+		for a := 1; a <= 6; a++ {
+			out = append(out, r.backoff(a))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff stream not reproducible at %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] <= 0 || a[i] > 8*time.Millisecond {
+			t.Fatalf("backoff %v out of bounds", a[i])
+		}
+	}
+}
+
+func TestResilientContextCancelStopsRetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewResilient(&flakyColl{failN: 100}, RetryPolicy{BaseBackoff: time.Hour, MaxBackoff: time.Hour})
+	err := r.BarrierCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled out of the backoff sleep", err)
+	}
+}
+
+// TestResilientHubChaosCompletes is the comm-level acceptance check: a
+// transient-only fault plan (drops and resets in bounded windows) over the
+// hub completes with zero outside intervention, because every rank's
+// Resilient reforms the aborted group and retries the same lockstep op.
+func TestResilientHubChaosCompletes(t *testing.T) {
+	const n, steps = 3, 8
+	hub := NewHub(n)
+	hub.SetReformTimeout(10 * time.Second)
+	plan := Plan{Seed: 7, Faults: []Fault{
+		// Bounded windows: the Faulty step counter advances per attempt, so
+		// an open-ended rule would re-fire on every retry forever. Allgathers
+		// sit on even per-rank steps until a retry shifts the parity, hence
+		// the two-step window on the second rule.
+		{Kind: FaultDrop, Rank: 1, Op: OpAllgather, FromStep: 4, ToStep: 4},
+		{Kind: FaultDrop, Rank: 2, Op: OpAllgather, FromStep: 9, ToStep: 10},
+	}}
+	errs := make([]error, n)
+	sums := make([][]float32, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			w := NewResilient(NewFaulty(hub.Worker(rank), plan), RetryPolicy{
+				Seed: 11, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond,
+			})
+			for s := 0; s < steps; s++ {
+				x := []float32{float32(rank), 1}
+				if err := w.AllreduceF32(x); err != nil {
+					errs[rank] = fmt.Errorf("step %d allreduce: %w", s, err)
+					return
+				}
+				if _, err := w.AllgatherBytes([]byte{byte(rank), byte(s)}); err != nil {
+					errs[rank] = fmt.Errorf("step %d allgather: %w", s, err)
+					return
+				}
+				sums[rank] = x
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	for rank, x := range sums {
+		if x[0] != 3 || x[1] != 3 { // 0+1+2 and 1+1+1
+			t.Fatalf("rank %d: wrong allreduce result %v after healed chaos", rank, x)
+		}
+	}
+	if hub.Generation() == 0 {
+		t.Fatal("chaos plan with drops should have forced at least one reform")
+	}
+}

@@ -1,0 +1,132 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Ring is the re-formable TCP collective: it owns a RingConfig and the
+// current *TCPRing incarnation, and can tear the incarnation down and dial a
+// fresh one at the next group generation when a member dies. It is what the
+// self-healing trainer path runs on — survivors of a peer death call Reform
+// (all of them, plus the respawned member dialing through DialRing), the
+// group converges on generation g+1 via the handshake protocol, and stale
+// connections from the old incarnation are refused.
+//
+// Collective calls follow the usual single-goroutine contract; Reform, Kill,
+// Hang, and Close may race them from other goroutines (they synchronize on
+// the incarnation pointer, and the op in flight fails with a typed error when
+// its sockets die underneath it).
+type Ring struct {
+	mu  sync.Mutex
+	cfg RingConfig
+	cur *TCPRing
+}
+
+var _ ContextCollective = (*Ring)(nil)
+var _ Reformer = (*Ring)(nil)
+
+// DialRing establishes a re-formable ring. The generation protocol lives on
+// the liveness layer, so cfg.Heartbeat must be positive. A respawned member
+// may leave cfg.Generation at 0: setup discovers the group's actual
+// generation through handshake rejections and adopts it.
+func DialRing(cfg RingConfig) (*Ring, error) {
+	if cfg.Heartbeat <= 0 {
+		return nil, fmt.Errorf("comm: DialRing requires a heartbeat interval (the generation protocol rides the liveness layer)")
+	}
+	t, err := DialTCPRingConfig(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Ring{cfg: cfg, cur: t}, nil
+}
+
+// ring returns the current incarnation.
+func (r *Ring) ring() *TCPRing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// Generation reports the current incarnation's group generation.
+func (r *Ring) Generation() uint64 { return r.ring().Generation() }
+
+// Step reports the current incarnation's collective-op count.
+func (r *Ring) Step() int64 { return r.ring().Step() }
+
+// Reform tears down the current incarnation and dials a fresh ring at the
+// next group generation. Every member of the group must reform concurrently
+// (survivors after an ErrPeerDead verdict, the replacement through DialRing);
+// the handshake protocol rejects members still at the old generation, so a
+// completed Reform guarantees the whole group moved together.
+func (r *Ring) Reform() (uint64, error) {
+	r.mu.Lock()
+	old := r.cur
+	r.mu.Unlock()
+	old.Kill() // sever every old-incarnation connection before redialing
+	cfg := r.cfg
+	cfg.Generation = old.Generation() + 1
+	t, err := DialTCPRingConfig(cfg)
+	if err != nil {
+		return 0, wrapErr(cfg.Rank, OpReform, old.Step(), fmt.Errorf("ring reform: %w", err))
+	}
+	r.mu.Lock()
+	r.cur = t
+	r.mu.Unlock()
+	telemetry.Default.Add(telemetry.CtrRingReconnects, 1)
+	telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+	return t.Generation(), nil
+}
+
+// Rank returns this worker's rank.
+func (r *Ring) Rank() int { return r.cfg.Rank }
+
+// Size returns the group size.
+func (r *Ring) Size() int { return len(r.cfg.Addrs) }
+
+// MaxFrameBytes reports the configured incoming-frame bound.
+func (r *Ring) MaxFrameBytes() int { return r.ring().MaxFrameBytes() }
+
+// Close tears down the current incarnation gracefully.
+func (r *Ring) Close() error { return r.ring().Close() }
+
+// Kill abruptly severs the current incarnation (see TCPRing.Kill).
+func (r *Ring) Kill() { r.ring().Kill() }
+
+// Hang freezes the current incarnation (see TCPRing.Hang).
+func (r *Ring) Hang() { r.ring().Hang() }
+
+// AllreduceF32 forwards to the current incarnation.
+func (r *Ring) AllreduceF32(x []float32) error { return r.ring().AllreduceF32(x) }
+
+// AllgatherBytes forwards to the current incarnation.
+func (r *Ring) AllgatherBytes(b []byte) ([][]byte, error) { return r.ring().AllgatherBytes(b) }
+
+// BroadcastBytes forwards to the current incarnation.
+func (r *Ring) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	return r.ring().BroadcastBytes(b, root)
+}
+
+// Barrier forwards to the current incarnation.
+func (r *Ring) Barrier() error { return r.ring().Barrier() }
+
+// AllreduceF32Ctx forwards to the current incarnation.
+func (r *Ring) AllreduceF32Ctx(ctx context.Context, x []float32) error {
+	return r.ring().AllreduceF32Ctx(ctx, x)
+}
+
+// AllgatherBytesCtx forwards to the current incarnation.
+func (r *Ring) AllgatherBytesCtx(ctx context.Context, b []byte) ([][]byte, error) {
+	return r.ring().AllgatherBytesCtx(ctx, b)
+}
+
+// BroadcastBytesCtx forwards to the current incarnation.
+func (r *Ring) BroadcastBytesCtx(ctx context.Context, b []byte, root int) ([]byte, error) {
+	return r.ring().BroadcastBytesCtx(ctx, b, root)
+}
+
+// BarrierCtx forwards to the current incarnation.
+func (r *Ring) BarrierCtx(ctx context.Context) error { return r.ring().BarrierCtx(ctx) }

@@ -6,14 +6,15 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"math"
-	"math/rand"
 	"net"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fxrand"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +36,17 @@ const (
 // Connection preambles distinguish the data stream from the heartbeat side
 // channel when RingConfig.Heartbeat is enabled; without heartbeats the wire
 // format carries no preamble and stays byte-compatible with older rings.
+//
+// With heartbeats on, every dialed connection opens with a 9-byte generation
+// handshake ([role][8-byte big-endian generation]) that the acceptor answers
+// with a 9-byte reply ([hsAccept|hsReject][generation]). A rejection carries
+// the higher of the two generations, and both sides adopt upward and retry,
+// so a ring reforming after a member death converges on generation g+1 while
+// every connection from the old incarnation is refused — a stale member can
+// never splice itself into the new ring. Heartbeat pings then carry the
+// generation in every record, so a generation mismatch that slips past setup
+// is detected within one ping interval and the peer is rejected with
+// ErrStaleGeneration.
 const (
 	preambleData      = 'G'
 	preambleHeartbeat = 'H'
@@ -42,6 +54,15 @@ const (
 	// so neighbors still draining their final collective can tell an orderly
 	// departure from a crash.
 	hbBye = 'B'
+	// hsAccept / hsReject open the acceptor's handshake reply.
+	hsAccept = 'A'
+	hsReject = 'R'
+	// confirmMagic opens the post-setup ring confirmation token.
+	confirmMagic = 'C'
+	// handshakeLen is the wire size of handshake records, replies, ping
+	// records, and confirmation tokens alike: one kind byte plus the
+	// generation.
+	handshakeLen = 9
 )
 
 // RingConfig tunes the hardened TCP ring transport beyond the required rank
@@ -73,6 +94,17 @@ type RingConfig struct {
 	// HeartbeatMisses is the consecutive-miss threshold; 0 selects
 	// DefaultHeartbeatMisses.
 	HeartbeatMisses int
+	// Generation is the group generation this ring starts its handshake at.
+	// A reforming group dials at its previous generation + 1; a rejoiner may
+	// dial at 0 and discover the group's actual generation through handshake
+	// rejections (it adopts the higher generation and retries within
+	// SetupTimeout). Only meaningful with Heartbeat > 0 — without the
+	// liveness layer the wire carries no generation.
+	Generation uint64
+	// Seed drives the deterministic jitter stream (fxrand) behind dial
+	// retries and setup backoff, mixed with Rank so ranks desynchronize.
+	// Chaos and recovery tests are reproducible from the run seed.
+	Seed uint64
 }
 
 // TCPRing is a real network implementation of Collective over a TCP ring:
@@ -95,6 +127,7 @@ type TCPRing struct {
 	prevR    *bufio.Reader
 	opTO     time.Duration
 	maxFrame int
+	gen      uint64 // group generation this incarnation of the ring formed under
 	step     atomic.Int64
 	closed   atomic.Bool
 
@@ -135,6 +168,14 @@ func DialTCPRing(rank int, addrs []string, timeout time.Duration) (*TCPRing, err
 }
 
 // DialTCPRingConfig establishes the ring with explicit hardening knobs.
+//
+// With heartbeats enabled the setup is generation-aware: the listener stays
+// open across attempts, every connection handshakes the group generation, and
+// an attempt that discovers a higher generation (through a handshake
+// rejection or a mismatched confirmation token) restarts at that generation
+// until SetupTimeout. This is what lets a reforming group converge on g+1
+// while a respawned member dialing at generation 0 discovers the group's
+// actual generation on the fly.
 func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 	rank, addrs := cfg.Rank, cfg.Addrs
 	n := len(addrs)
@@ -154,93 +195,121 @@ func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 	}
 	defer ln.Close()
 
-	hb := cfg.Heartbeat > 0
-	wantAccepts := 1
-	if hb {
-		wantAccepts = 2 // data + heartbeat from the predecessor
-	}
-	type acceptResult struct {
-		conn net.Conn
-		err  error
-	}
-	acceptCh := make(chan acceptResult, wantAccepts)
-	go func() {
-		for i := 0; i < wantAccepts; i++ {
-			c, err := ln.Accept()
-			acceptCh <- acceptResult{c, err}
-			if err != nil {
-				return
-			}
-		}
-	}()
-
 	deadline := time.Now().Add(setupTO)
-	succ := addrs[(rank+1)%n]
-
-	// cleanup closes whatever connections setup opened before a failure.
-	var opened []net.Conn
-	fail := func(err error) (*TCPRing, error) {
-		for _, c := range opened {
-			c.Close()
+	rng := fxrand.New(cfg.Seed*0x9e3779b97f4a7c15 + uint64(rank) + 1)
+	hb := cfg.Heartbeat > 0
+	gen := cfg.Generation
+	for attempt := 0; ; attempt++ {
+		t, adopt, err := setupAttempt(cfg, ln, gen, deadline, rng)
+		if err == nil {
+			return t, nil
+		}
+		// Only the generation-aware protocol retries whole attempts: a
+		// rejected handshake or a broken confirmation round means a peer is
+		// reforming, not that setup failed. Legacy (no-heartbeat) setup keeps
+		// its single-attempt semantics.
+		if hb && time.Now().Before(deadline) {
+			if adopt > gen {
+				gen = adopt
+			}
+			// Brief jittered pause so restarting ranks don't re-collide.
+			time.Sleep(time.Duration(rng.Int63()%int64(5*time.Millisecond)) + time.Millisecond)
+			continue
 		}
 		return nil, wrapErr(rank, OpDial, 0, err)
 	}
+}
+
+// acceptOut is the accept side's verdict for one setup attempt.
+type acceptOut struct {
+	data, hb net.Conn
+	adopt    uint64 // non-zero: a dialer announced this higher generation
+	err      error
+}
+
+// setupAttempt runs one complete ring-establishment attempt at a fixed
+// generation: concurrent accept+classify of the predecessor's connections and
+// dial of the successor's, followed (in generation mode) by a two-round ring
+// confirmation that proves every member formed this same incarnation. On
+// failure it reports the highest generation it learned about so the caller
+// can adopt it.
+func setupAttempt(cfg RingConfig, ln net.Listener, gen uint64, deadline time.Time, rng *fxrand.RNG) (*TCPRing, uint64, error) {
+	rank, addrs := cfg.Rank, cfg.Addrs
+	n := len(addrs)
+	hb := cfg.Heartbeat > 0
+	succ := addrs[(rank+1)%n]
+
+	stop := make(chan struct{})
+	acceptCh := make(chan acceptOut, 1)
+	go func() { acceptCh <- acceptSide(ln, gen, hb, deadline, stop) }()
+
+	var opened []net.Conn
+	var adopt uint64
+	// join collects the accept goroutine's verdict exactly once. The success
+	// path waits for it to finish naturally (the predecessor may still be
+	// dialing); the failure path abandons it through the stop channel first.
+	var joined *acceptOut
+	join := func(abandon bool) acceptOut {
+		if joined == nil {
+			if abandon {
+				close(stop)
+			}
+			ao := <-acceptCh
+			joined = &ao
+		}
+		return *joined
+	}
+	fail := func(err error) (*TCPRing, uint64, error) {
+		ao := join(true)
+		for _, c := range []net.Conn{ao.data, ao.hb} {
+			if c != nil {
+				c.Close()
+			}
+		}
+		for _, c := range opened {
+			c.Close()
+		}
+		if ao.adopt > adopt {
+			adopt = ao.adopt
+		}
+		return nil, adopt, err
+	}
 
 	// Dial the successor's data connection (and, with heartbeats, the
-	// liveness connection). Each dialed connection announces its role with a
-	// preamble byte so the acceptor can classify them in either arrival
-	// order; without heartbeats no preamble is sent and the wire format is
-	// unchanged.
-	next, err := dialRetry(succ, deadline)
+	// liveness connection). In generation mode each dialed connection opens
+	// with the role+generation handshake and must be accepted by the peer.
+	next, dAdopt, err := dialHandshake(succ, preambleData, gen, hb, deadline, rng)
+	if dAdopt > adopt {
+		adopt = dAdopt
+	}
 	if err != nil {
 		return fail(err)
 	}
 	opened = append(opened, next)
 	var hbNext net.Conn
 	if hb {
-		if err := writePreamble(next, preambleData, deadline); err != nil {
-			return fail(err)
+		hbNext, dAdopt, err = dialHandshake(succ, preambleHeartbeat, gen, hb, deadline, rng)
+		if dAdopt > adopt {
+			adopt = dAdopt
 		}
-		if hbNext, err = dialRetry(succ, deadline); err != nil {
+		if err != nil {
 			return fail(err)
 		}
 		opened = append(opened, hbNext)
-		if err := writePreamble(hbNext, preambleHeartbeat, deadline); err != nil {
-			return fail(err)
-		}
 	}
 
-	// Collect and classify the predecessor's connections.
-	var prev, hbPrev net.Conn
-	for i := 0; i < wantAccepts; i++ {
-		select {
-		case ar := <-acceptCh:
-			if ar.err != nil {
-				return fail(fmt.Errorf("accept: %w", ar.err))
-			}
-			opened = append(opened, ar.conn)
-			if !hb {
-				prev = ar.conn
-				continue
-			}
-			role, err := readPreamble(ar.conn, deadline)
-			if err != nil {
-				return fail(fmt.Errorf("reading connection preamble: %w", err))
-			}
-			switch {
-			case role == preambleData && prev == nil:
-				prev = ar.conn
-			case role == preambleHeartbeat && hbPrev == nil:
-				hbPrev = ar.conn
-			default:
-				return fail(fmt.Errorf("unexpected connection preamble %q", role))
-			}
-		case <-time.After(time.Until(deadline)):
-			return fail(fmt.Errorf("timed out waiting for predecessor of rank %d", rank))
-		}
+	// Wait for the accept side's verdict.
+	ao := join(false)
+	if ao.err != nil {
+		return fail(ao.err)
+	}
+	prev, hbPrev := ao.data, ao.hb
+	opened = append(opened, prev)
+	if hbPrev != nil {
+		opened = append(opened, hbPrev)
 	}
 
-	t := &TCPRing{rank: rank, n: n, next: next, prev: prev}
+	t := &TCPRing{rank: rank, n: n, next: next, prev: prev, gen: gen}
 	t.nextW = bufio.NewWriterSize(next, 1<<16)
 	t.prevR = bufio.NewReaderSize(prev, 1<<16)
 	t.opTO = cfg.OpTimeout
@@ -252,6 +321,17 @@ func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 		t.maxFrame = DefaultMaxFrameBytes
 	}
 	if hb {
+		// Ring confirmation: two token circulations carrying the generation.
+		// Completing them proves every member of the loop handshook this
+		// generation and is still alive — a neighbor that restarted into a
+		// newer incarnation after its handshake breaks the round here, before
+		// the ring is handed to callers.
+		if peerGen, err := t.confirmRing(deadline); err != nil {
+			if peerGen > adopt {
+				adopt = peerGen
+			}
+			return fail(fmt.Errorf("ring confirmation: %w", err))
+		}
 		t.hbNext = &hbLink{conn: hbNext, peer: (rank + 1) % n}
 		t.hbPrev = &hbLink{conn: hbPrev, peer: (rank - 1 + n) % n}
 		t.hbInterval = cfg.Heartbeat
@@ -264,13 +344,182 @@ func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 		go t.watchLoop(t.hbPrev)
 		go t.watchLoop(t.hbNext)
 	}
-	return t, nil
+	return t, 0, nil
+}
+
+// acceptSide collects and classifies the predecessor's connections for one
+// setup attempt: the data stream, plus the heartbeat stream in generation
+// mode. Generation-mode connections handshake first — a matching generation
+// is accepted ('A'), a mismatch is rejected ('R') carrying the higher of the
+// two generations, and a higher announced generation additionally abandons
+// the attempt so the caller can adopt it. Malformed handshakes close the
+// offending connection and keep listening: a hostile dialer must not be able
+// to wedge ring setup.
+func acceptSide(ln net.Listener, gen uint64, hb bool, deadline time.Time, stop chan struct{}) acceptOut {
+	var out acceptOut
+	cleanup := func() {
+		for _, c := range []net.Conn{out.data, out.hb} {
+			if c != nil {
+				c.Close()
+			}
+		}
+		out.data, out.hb = nil, nil
+	}
+	need := func() bool { return out.data == nil || (hb && out.hb == nil) }
+	tl, _ := ln.(*net.TCPListener)
+	for need() {
+		select {
+		case <-stop:
+			cleanup()
+			out.err = fmt.Errorf("setup attempt abandoned")
+			return out
+		default:
+		}
+		if tl != nil {
+			poll := time.Now().Add(150 * time.Millisecond)
+			if poll.After(deadline) {
+				poll = deadline
+			}
+			tl.SetDeadline(poll)
+		}
+		c, err := ln.Accept()
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if time.Now().After(deadline) {
+					cleanup()
+					out.err = fmt.Errorf("timed out waiting for predecessor")
+					return out
+				}
+				continue
+			}
+			cleanup()
+			out.err = fmt.Errorf("accept: %w", err)
+			return out
+		}
+		if !hb {
+			out.data = c
+			continue
+		}
+		role, peerGen, err := readHandshake(c, deadline)
+		if err != nil {
+			c.Close() // hostile or truncated handshake: drop, keep listening
+			continue
+		}
+		if peerGen != gen {
+			reject := gen
+			if peerGen > reject {
+				reject = peerGen
+			}
+			writeHandshakeReply(c, hsReject, reject, deadline)
+			c.Close()
+			if peerGen > gen {
+				cleanup()
+				out.adopt = peerGen
+				out.err = fmt.Errorf("peer announced generation %d > %d", peerGen, gen)
+				return out
+			}
+			continue // stale dialer; it will adopt our generation and retry
+		}
+		switch {
+		case role == preambleData && out.data == nil:
+			if err := writeHandshakeReply(c, hsAccept, gen, deadline); err != nil {
+				c.Close()
+				continue
+			}
+			out.data = c
+		case role == preambleHeartbeat && out.hb == nil:
+			if err := writeHandshakeReply(c, hsAccept, gen, deadline); err != nil {
+				c.Close()
+				continue
+			}
+			out.hb = c
+		default:
+			c.Close() // duplicate role: drop, keep listening
+		}
+	}
+	return out
+}
+
+// dialHandshake dials the successor and, in generation mode, runs the
+// role+generation handshake until accepted. A rejection carrying a higher
+// generation aborts with that generation for the caller to adopt; a rejection
+// at or below our own backs off and redials (the peer is still converging).
+func dialHandshake(addr string, role byte, gen uint64, hb bool, deadline time.Time, rng *fxrand.RNG) (net.Conn, uint64, error) {
+	for {
+		c, err := dialRetry(addr, deadline, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !hb {
+			return c, 0, nil
+		}
+		if err := writeHandshake(c, role, gen, deadline); err != nil {
+			c.Close()
+			return nil, 0, err
+		}
+		status, peerGen, err := readHandshakeReply(c, deadline)
+		if err != nil {
+			c.Close()
+			if time.Now().After(deadline) {
+				return nil, 0, fmt.Errorf("handshake with %s: %w", addr, err)
+			}
+			// The peer may be mid-restart between incarnations; pause and
+			// redial.
+			time.Sleep(time.Duration(rng.Int63()%int64(10*time.Millisecond)) + time.Millisecond)
+			continue
+		}
+		if status == hsAccept {
+			return c, 0, nil
+		}
+		c.Close()
+		if peerGen > gen {
+			return nil, peerGen, fmt.Errorf("handshake rejected: peer at generation %d > %d", peerGen, gen)
+		}
+		if time.Now().After(deadline) {
+			return nil, 0, fmt.Errorf("handshake with %s: rejected at generation %d", addr, gen)
+		}
+		time.Sleep(time.Duration(rng.Int63()%int64(10*time.Millisecond)) + time.Millisecond)
+	}
+}
+
+// confirmRing circulates a generation-stamped token around the ring twice.
+// Completion proves the whole loop is alive at this generation; a mismatched
+// token reports the peer's generation for adoption.
+func (t *TCPRing) confirmRing(deadline time.Time) (uint64, error) {
+	var tok [handshakeLen]byte
+	for round := 0; round < 2; round++ {
+		appendHandshakeInto(tok[:0], confirmMagic, t.gen)
+		t.next.SetWriteDeadline(deadline)
+		if _, err := t.nextW.Write(tok[:]); err != nil {
+			return 0, err
+		}
+		if err := t.nextW.Flush(); err != nil {
+			return 0, err
+		}
+		t.prev.SetReadDeadline(deadline)
+		if _, err := ioReadFull(t.prevR, tok[:]); err != nil {
+			return 0, err
+		}
+		kind, peerGen, err := parseHandshake(tok[:])
+		if err != nil || kind != confirmMagic {
+			return 0, fmt.Errorf("%w: bad confirmation token", ErrCorrupt)
+		}
+		if peerGen != t.gen {
+			return peerGen, fmt.Errorf("%w: predecessor confirmed generation %d, ours %d",
+				ErrStaleGeneration, peerGen, t.gen)
+		}
+	}
+	t.next.SetWriteDeadline(time.Time{})
+	t.prev.SetReadDeadline(time.Time{})
+	return 0, nil
 }
 
 // dialRetry dials addr with jittered exponential backoff until it connects
-// or the deadline passes. Jitter desynchronizes the retry storms of many
-// ranks starting at once.
-func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+// or the deadline passes. The jitter stream is deterministic (fxrand seeded
+// from RingConfig.Seed and the rank), so chaos and recovery runs retry in a
+// reproducible pattern while still desynchronizing the ranks' retry storms.
+func dialRetry(addr string, deadline time.Time, rng *fxrand.RNG) (net.Conn, error) {
 	backoff := 10 * time.Millisecond
 	for {
 		c, err := net.DialTimeout("tcp", addr, time.Second)
@@ -280,7 +529,7 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("dial %s: %w", addr, err)
 		}
-		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)))
+		sleep := backoff/2 + time.Duration(rng.Int63()%int64(backoff))
 		if remain := time.Until(deadline); sleep > remain {
 			sleep = remain
 		}
@@ -291,31 +540,100 @@ func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
 	}
 }
 
-func writePreamble(c net.Conn, role byte, deadline time.Time) error {
+// appendHandshakeInto encodes a handshake-format record (kind byte + 8-byte
+// big-endian generation) into dst.
+func appendHandshakeInto(dst []byte, kind byte, gen uint64) []byte {
+	dst = append(dst, kind)
+	var g [8]byte
+	binary.BigEndian.PutUint64(g[:], gen)
+	return append(dst, g[:]...)
+}
+
+// parseHandshake decodes a dialer's opening record: role ('G' data or 'H'
+// heartbeat) plus generation. Anything else is protocol corruption.
+func parseHandshake(b []byte) (kind byte, gen uint64, err error) {
+	if len(b) != handshakeLen {
+		return 0, 0, fmt.Errorf("%w: handshake record is %d bytes, want %d", ErrCorrupt, len(b), handshakeLen)
+	}
+	kind = b[0]
+	switch kind {
+	case preambleData, preambleHeartbeat, confirmMagic:
+	default:
+		return 0, 0, fmt.Errorf("%w: unknown handshake kind %q", ErrCorrupt, kind)
+	}
+	return kind, binary.BigEndian.Uint64(b[1:]), nil
+}
+
+// parseHandshakeReply decodes an acceptor's reply: accept/reject plus the
+// generation the verdict refers to.
+func parseHandshakeReply(b []byte) (status byte, gen uint64, err error) {
+	if len(b) != handshakeLen {
+		return 0, 0, fmt.Errorf("%w: handshake reply is %d bytes, want %d", ErrCorrupt, len(b), handshakeLen)
+	}
+	status = b[0]
+	if status != hsAccept && status != hsReject {
+		return 0, 0, fmt.Errorf("%w: unknown handshake reply %q", ErrCorrupt, status)
+	}
+	return status, binary.BigEndian.Uint64(b[1:]), nil
+}
+
+func writeHandshake(c net.Conn, role byte, gen uint64, deadline time.Time) error {
 	if err := c.SetWriteDeadline(deadline); err != nil {
 		return err
 	}
 	defer c.SetWriteDeadline(time.Time{})
-	_, err := c.Write([]byte{role})
+	_, err := c.Write(appendHandshakeInto(nil, role, gen))
 	return err
 }
 
-func readPreamble(c net.Conn, deadline time.Time) (byte, error) {
-	if err := c.SetReadDeadline(deadline); err != nil {
-		return 0, err
+func readHandshake(c net.Conn, deadline time.Time) (byte, uint64, error) {
+	b, err := readHandshakeBytes(c, deadline)
+	if err != nil {
+		return 0, 0, err
 	}
-	defer c.SetReadDeadline(time.Time{})
-	var b [1]byte
-	if _, err := c.Read(b[:]); err != nil {
-		return 0, err
-	}
-	return b[0], nil
+	return parseHandshake(b)
 }
 
-// pingLoop writes one byte to each heartbeat neighbor every interval. A
-// write failure means the neighbor's socket reset — declare it dead rather
-// than waiting for the read side to time out.
+func writeHandshakeReply(c net.Conn, status byte, gen uint64, deadline time.Time) error {
+	if err := c.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	defer c.SetWriteDeadline(time.Time{})
+	_, err := c.Write(appendHandshakeInto(nil, status, gen))
+	return err
+}
+
+func readHandshakeReply(c net.Conn, deadline time.Time) (byte, uint64, error) {
+	b, err := readHandshakeBytes(c, deadline)
+	if err != nil {
+		return 0, 0, err
+	}
+	return parseHandshakeReply(b)
+}
+
+func readHandshakeBytes(c net.Conn, deadline time.Time) ([]byte, error) {
+	// Individual handshakes answer fast or not at all; bound each one to a
+	// slice of the setup budget so one wedged dialer can't consume it all.
+	hsDeadline := time.Now().Add(2 * time.Second)
+	if hsDeadline.After(deadline) {
+		hsDeadline = deadline
+	}
+	if err := c.SetReadDeadline(hsDeadline); err != nil {
+		return nil, err
+	}
+	defer c.SetReadDeadline(time.Time{})
+	var b [handshakeLen]byte
+	if _, err := io.ReadFull(c, b[:]); err != nil {
+		return nil, err
+	}
+	return b[:], nil
+}
+
+// pingLoop writes one generation-stamped ping record to each heartbeat
+// neighbor every interval. A write failure means the neighbor's socket reset
+// — declare it dead rather than waiting for the read side to time out.
 func (t *TCPRing) pingLoop() {
+	ping := appendHandshakeInto(nil, preambleHeartbeat, t.gen)
 	ticker := time.NewTicker(t.hbInterval)
 	defer ticker.Stop()
 	for {
@@ -329,7 +647,7 @@ func (t *TCPRing) pingLoop() {
 				continue
 			}
 			link.conn.SetWriteDeadline(time.Now().Add(t.hbInterval))
-			if _, err := link.conn.Write([]byte{preambleHeartbeat}); err != nil {
+			if _, err := link.conn.Write(ping); err != nil {
 				if !t.closed.Load() && !link.departed.Load() {
 					t.failPeer(link.peer, fmt.Errorf("heartbeat write: %w", err))
 				}
@@ -340,15 +658,57 @@ func (t *TCPRing) pingLoop() {
 	}
 }
 
+// hbParser is the stateful decoder of one heartbeat stream: a sequence of
+// 9-byte generation-stamped ping records interleaved with single goodbye
+// bytes, arriving in arbitrary read-sized pieces. Partial records are carried
+// across feeds.
+type hbParser struct {
+	buf []byte
+}
+
+// feed consumes one read's worth of bytes and reports whether a goodbye was
+// seen. A record with an unknown kind is protocol corruption; a ping stamped
+// with a generation other than gen is a stale (or future) incarnation talking
+// on this incarnation's wire — both are returned as typed errors for the
+// liveness verdict.
+func (p *hbParser) feed(b []byte, gen uint64) (bye bool, err error) {
+	p.buf = append(p.buf, b...)
+	for len(p.buf) > 0 {
+		switch p.buf[0] {
+		case hbBye:
+			return true, nil
+		case preambleHeartbeat:
+			if len(p.buf) < handshakeLen {
+				return false, nil // partial ping; wait for the rest
+			}
+			_, pingGen, perr := parseHandshake(p.buf[:handshakeLen])
+			if perr != nil {
+				return false, perr
+			}
+			if pingGen != gen {
+				return false, fmt.Errorf("%w: ping stamped generation %d, ours %d",
+					ErrStaleGeneration, pingGen, gen)
+			}
+			p.buf = p.buf[handshakeLen:]
+		default:
+			return false, fmt.Errorf("%w: unknown heartbeat record kind %q", ErrCorrupt, p.buf[0])
+		}
+	}
+	return false, nil
+}
+
 // watchLoop reads pings from one heartbeat connection. hbMisses consecutive
 // silent intervals, or a connection reset, declare the peer dead; a goodbye
-// byte instead marks an orderly departure and ends the watch without
-// declaring anything. Watching interval by interval (rather than one read
-// with a window-sized deadline) keeps the same death timing — hbInterval ×
-// hbMisses of total silence — while making each individual miss observable
-// as a telemetry counter tick before the verdict lands.
+// record instead marks an orderly departure and ends the watch without
+// declaring anything. A corrupt record or a ping from another generation is
+// an immediate death verdict carrying the typed cause. Watching interval by
+// interval (rather than one read with a window-sized deadline) keeps the same
+// death timing — hbInterval × hbMisses of total silence — while making each
+// individual miss observable as a telemetry counter tick before the verdict
+// lands.
 func (t *TCPRing) watchLoop(link *hbLink) {
 	buf := make([]byte, 64)
+	var parser hbParser
 	misses := 0
 	for {
 		link.conn.SetReadDeadline(time.Now().Add(t.hbInterval))
@@ -356,12 +716,19 @@ func (t *TCPRing) watchLoop(link *hbLink) {
 		if n > 0 {
 			misses = 0
 		}
-		for _, b := range buf[:n] {
-			if b == hbBye {
-				link.departed.Store(true)
+		bye, perr := parser.feed(buf[:n], t.gen)
+		if bye {
+			link.departed.Store(true)
+			link.conn.Close()
+			return
+		}
+		if perr != nil {
+			if !t.closed.Load() && !link.departed.Load() {
+				t.failPeer(link.peer, fmt.Errorf("heartbeat stream: %w", perr))
+			} else {
 				link.conn.Close()
-				return
 			}
+			return
 		}
 		if err == nil {
 			continue
@@ -398,7 +765,7 @@ func (t *TCPRing) failPeer(peer int, cause error) {
 			Rank: t.rank,
 			Op:   OpHeartbeat,
 			Step: t.step.Load(),
-			Err:  fmt.Errorf("ring neighbor rank %d: %w (%v)", peer, ErrPeerDead, cause),
+			Err:  fmt.Errorf("ring neighbor rank %d: %w (%w)", peer, ErrPeerDead, cause),
 		}
 	}
 	t.peerMu.Unlock()
@@ -538,6 +905,10 @@ func (t *TCPRing) Size() int { return t.n }
 
 // MaxFrameBytes reports the configured incoming-frame bound.
 func (t *TCPRing) MaxFrameBytes() int { return t.maxFrame }
+
+// Generation reports the group generation this ring incarnation formed under
+// (always 0 when heartbeats are off — the legacy wire carries no generation).
+func (t *TCPRing) Generation() uint64 { return t.gen }
 
 // Step reports how many collective operations this handle has performed.
 func (t *TCPRing) Step() int64 { return t.step.Load() }

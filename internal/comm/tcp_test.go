@@ -5,10 +5,13 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"io"
 	"net"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/fxrand"
 )
 
 // hostileFrame builds a frame header claiming n body bytes with no body.
@@ -157,11 +160,12 @@ func TestTCPRingOpDeadline(t *testing.T) {
 	}
 }
 
-// fakeSilentRank performs the heartbeat-era ring handshake for rank and then
-// goes silent: connections held open, no heartbeats, no frames. This is the
-// failure mode only the liveness layer can detect — a hung or partitioned
-// process emits no RST, so the data connections of its neighbors stay
-// "healthy" right up to their (long) OpTimeout.
+// fakeSilentRank performs the generation-era ring handshake for rank —
+// including the two ring-confirmation rounds, so its neighbors' setup
+// completes — and then goes silent: connections held open, no heartbeats, no
+// frames. This is the failure mode only the liveness layer can detect — a
+// hung or partitioned process emits no RST, so the data connections of its
+// neighbors stay "healthy" right up to their (long) OpTimeout.
 func fakeSilentRank(t *testing.T, rank int, addrs []string) (stop func()) {
 	t.Helper()
 	ln, err := net.Listen("tcp", addrs[rank])
@@ -173,19 +177,21 @@ func fakeSilentRank(t *testing.T, rank int, addrs []string) (stop func()) {
 	go func() {
 		defer close(done)
 		deadline := time.Now().Add(5 * time.Second)
+		rng := fxrand.New(99)
 		succ := addrs[(rank+1)%len(addrs)]
+		var dialedData net.Conn
 		for _, role := range []byte{preambleData, preambleHeartbeat} {
-			c, err := dialRetry(succ, deadline)
+			c, _, err := dialHandshake(succ, role, 0, true, deadline, rng)
 			if err != nil {
 				t.Error(err)
 				return
 			}
 			conns = append(conns, c)
-			if err := writePreamble(c, role, deadline); err != nil {
-				t.Error(err)
-				return
+			if role == preambleData {
+				dialedData = c
 			}
 		}
+		var acceptedData net.Conn
 		for i := 0; i < 2; i++ {
 			c, err := ln.Accept()
 			if err != nil {
@@ -193,7 +199,30 @@ func fakeSilentRank(t *testing.T, rank int, addrs []string) (stop func()) {
 				return
 			}
 			conns = append(conns, c)
-			if _, err := readPreamble(c, deadline); err != nil {
+			role, _, err := readHandshake(c, deadline)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := writeHandshakeReply(c, hsAccept, 0, deadline); err != nil {
+				t.Error(err)
+				return
+			}
+			if role == preambleData {
+				acceptedData = c
+			}
+		}
+		// Relay the two ring-confirmation tokens so neighbors finish setup.
+		tok := appendHandshakeInto(nil, confirmMagic, 0)
+		var in [handshakeLen]byte
+		for round := 0; round < 2; round++ {
+			dialedData.SetWriteDeadline(deadline)
+			if _, err := dialedData.Write(tok); err != nil {
+				t.Error(err)
+				return
+			}
+			acceptedData.SetReadDeadline(deadline)
+			if _, err := io.ReadFull(acceptedData, in[:]); err != nil {
 				t.Error(err)
 				return
 			}

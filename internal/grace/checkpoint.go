@@ -199,6 +199,25 @@ func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Op
 	return trainerPos{step: s.Step, epoch: s.Epoch, iter: s.Iter, sinceSync: s.SinceSync}, nil
 }
 
+// adoptSnapshot restores a snapshot that was captured by a *different* rank:
+// the rejoin state-transfer path, where a rank whose local checkpoints were
+// lost adopts a donor's snapshot broadcast over the collective. It is
+// applySnapshot with the rank-identity check overridden — every other
+// validation (seed, worker count, method, fusion, shapes) still applies.
+//
+// Adoption is bitwise-exact only when the run carries no per-rank divergent
+// state: error-feedback memory off (or the residuals happen to be identical)
+// and a codec whose state is rank-independent. Runs with rank-seeded codec
+// RNG or EF memory will train on the donor's residual stream after adoption —
+// still a valid model, but not the uninterrupted run bit for bit. The
+// rejoining rank's own-checkpoint path (applySnapshot) has no such caveat.
+func adoptSnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Optimizer,
+	mem *Memory, eng *Engine, syncPoint []*tensor.Dense) (trainerPos, error) {
+	donated := *s
+	donated.Rank = rank
+	return applySnapshot(cfg, rank, &donated, model, opt, mem, eng, syncPoint)
+}
+
 func copyTensor(name string, t *tensor.Dense) ParamTensor {
 	return ParamTensor{
 		Name:  name,

@@ -97,6 +97,14 @@ type Engine struct {
 
 	errMu    sync.Mutex
 	firstErr error
+
+	// inStep/paused implement the heal-path quiesce guard: Step owns inStep
+	// for its duration, Pause refuses while a step is in flight, and a paused
+	// engine rejects Step. Step joins every codec lane before returning (even
+	// on error), so a successful Pause guarantees no engine goroutine is
+	// touching codec or memory state while a snapshot is being applied.
+	inStep atomic.Bool
+	paused atomic.Bool
 }
 
 // engineLane is one codec worker: a compressor instance plus its probed
@@ -364,6 +372,25 @@ func (e *Engine) Lanes() int { return len(e.lanes) }
 // Fusion reports the engine's tensor-fusion policy.
 func (e *Engine) Fusion() FusionConfig { return e.fusion }
 
+// Pause quiesces the engine at a step boundary for state surgery (the
+// self-healing trainer applies a checkpoint snapshot between steps). It fails
+// if a Step is in flight — the trainer drives Step and Pause from the same
+// goroutine, so that indicates a concurrency bug, not a race to win. While
+// paused, Step refuses to run. Because Step joins all codec lanes before
+// returning (even on the error paths), a paused engine has no concurrent
+// owner of codec, memory, or tuner state.
+func (e *Engine) Pause() error {
+	if e.inStep.Load() {
+		return fmt.Errorf("grace: engine Pause with a Step in flight")
+	}
+	e.paused.Store(true)
+	return nil
+}
+
+// Resume lifts a Pause; the next Step runs normally. Resuming a never-paused
+// engine is a no-op.
+func (e *Engine) Resume() { e.paused.Store(false) }
+
 // Step exchanges one training step's gradients: grads[i] is the gradient of
 // the tensor described by infos[i]. It returns the aggregated gradients in
 // input order plus the merged step report; both are valid until the next
@@ -382,6 +409,11 @@ func (e *Engine) Fusion() FusionConfig { return e.fusion }
 // to a per-tensor recovery: see the config field for the protocol.
 func (e *Engine) Step(grads [][]float32, infos []TensorInfo) ([][]float32, *StepReport, error) {
 	start := time.Now()
+	if e.paused.Load() {
+		return nil, nil, fmt.Errorf("grace: engine is paused (heal in progress)")
+	}
+	e.inStep.Store(true)
+	defer e.inStep.Store(false)
 	if len(grads) != len(infos) {
 		return nil, nil, fmt.Errorf("grace: engine got %d gradients for %d tensor infos", len(grads), len(infos))
 	}

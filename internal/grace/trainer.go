@@ -1,6 +1,7 @@
 package grace
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -107,6 +108,13 @@ type Config struct {
 	// the global step count. Returning an error aborts the worker; the
 	// supervisor harness uses this to simulate a crash at a chosen step.
 	OnStep func(rank int, step int64) error
+	// Rejoin, when non-nil, enables the self-healing path: a worker whose
+	// collective fails with the comm.ErrPeerDead verdict reforms the group at
+	// the next generation (the collective must support comm.Reformer) and
+	// runs the heal sync round — every rank rolls back to the newest
+	// checkpoint step they all hold — instead of surfacing the error. Pair it
+	// with Checkpoint.Every > 0 so there is a recovery point to roll back to.
+	Rejoin *RejoinConfig
 
 	// Eval computes the quality metric (rank 0, every EvalEvery epochs,
 	// default 1). Optional.
@@ -336,6 +344,11 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	// resume epoch replays exactly the uninterrupted run's remaining batches.
 	var globalStep int64
 	startEpoch, skipIters := 0, 0
+	if rj := cfg.Rejoin; rj != nil {
+		if err := rj.validate(); err != nil {
+			return nil, err
+		}
+	}
 	if ck := cfg.Checkpoint; ck != nil {
 		if (ck.Every > 0 || ck.Final) && ck.Save == nil {
 			return nil, fmt.Errorf("grace: CheckpointConfig needs Save when Every or Final is set")
@@ -418,96 +431,170 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		return codecDur, commDur, nil
 	}
 
-	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
-		if cfg.LRSchedule != nil {
-			opt.SetLR(cfg.LRSchedule(epoch))
-		}
-		lastEpochStart = clock.Elapsed()
-		lastEpochIters = 0
-		for iter, batchIdx := range sampler.EpochBatches(cfg.BatchSize) {
-			if epoch == startEpoch && iter < skipIters {
-				continue
+	// runEpochs is the training loop proper, reading the loop position from
+	// the enclosing startEpoch/skipIters so the heal loop below can rewind it.
+	runEpochs := func() error {
+		for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
+			if cfg.LRSchedule != nil {
+				opt.SetLR(cfg.LRSchedule(epoch))
 			}
-			batch := cfg.Dataset.Batch(batchIdx)
-			nn.ZeroGrads(params)
-			t0 := time.Now()
-			span := ts.start()
-			model.ForwardBackward(batch)
-			ts.end(telemetry.PhaseCompute, "", span)
-			computeDur := time.Since(t0)
-			codecScale := 1.0
-			if cfg.ComputePerIter > 0 {
-				if computeDur > 0 && cfg.ComputePerIter < computeDur {
-					codecScale = float64(cfg.ComputePerIter) / float64(computeDur)
+			lastEpochStart = clock.Elapsed()
+			lastEpochIters = 0
+			for iter, batchIdx := range sampler.EpochBatches(cfg.BatchSize) {
+				if epoch == startEpoch && iter < skipIters {
+					continue
 				}
-				computeDur = cfg.ComputePerIter
+				batch := cfg.Dataset.Batch(batchIdx)
+				nn.ZeroGrads(params)
+				t0 := time.Now()
+				span := ts.start()
+				model.ForwardBackward(batch)
+				ts.end(telemetry.PhaseCompute, "", span)
+				computeDur := time.Since(t0)
+				codecScale := 1.0
+				if cfg.ComputePerIter > 0 {
+					if computeDur > 0 && cfg.ComputePerIter < computeDur {
+						codecScale = float64(cfg.ComputePerIter) / float64(computeDur)
+					}
+					computeDur = cfg.ComputePerIter
+				}
+
+				var codecDur, commDur time.Duration
+				if cfg.SyncEvery > 1 {
+					// Local step on the worker's own gradients; communicate
+					// only at sync boundaries.
+					grads := make([]*tensor.Dense, len(params))
+					for i, p := range params {
+						grads[i] = p.Grad
+					}
+					opt.Step(params, grads)
+					sinceSync++
+					if sinceSync >= cfg.SyncEvery {
+						sinceSync = 0
+						var err error
+						codecDur, commDur, err = syncDeltas(codecScale)
+						if err != nil {
+							return err
+						}
+					}
+				} else {
+					// Whole-step exchange: the Engine overlaps codec compute for
+					// later tensors with earlier tensors' collectives.
+					for i, p := range params {
+						gradVecs[i] = p.Grad.Data()
+					}
+					var aggs [][]float32
+					var err error
+					aggs, codecDur, commDur, err = exchange(codecScale)
+					if err != nil {
+						return err
+					}
+					for i, p := range params {
+						gradTensors[i] = tensor.FromSlice(aggs[i], p.Grad.Shape()...)
+					}
+					opt.Step(params, gradTensors)
+				}
+
+				clock.Advance(computeDur + codecDur + commDur)
+				rep.ComputeTime += computeDur
+				rep.CodecTime += codecDur
+				rep.CommTime += commDur
+				rep.Iters++
+				lastEpochIters++
+				if err := stepDone(epoch, iter); err != nil {
+					return err
+				}
 			}
 
-			var codecDur, commDur time.Duration
-			if cfg.SyncEvery > 1 {
-				// Local step on the worker's own gradients; communicate
-				// only at sync boundaries.
-				grads := make([]*tensor.Dense, len(params))
-				for i, p := range params {
-					grads[i] = p.Grad
-				}
-				opt.Step(params, grads)
-				sinceSync++
-				if sinceSync >= cfg.SyncEvery {
-					sinceSync = 0
-					var err error
-					codecDur, commDur, err = syncDeltas(codecScale)
-					if err != nil {
-						return nil, err
+			if rank == 0 {
+				rep.EpochVirtualTime = append(rep.EpochVirtualTime, clock.Elapsed())
+				rep.EpochCommTime = append(rep.EpochCommTime, rep.CommTime)
+				rep.EpochIters = append(rep.EpochIters, lastEpochIters)
+				q := 0.0
+				if cfg.Eval != nil && (epoch+1)%cfg.EvalEvery == 0 {
+					q = cfg.Eval(model)
+					rep.FinalQuality = q
+					better := q > rep.BestQuality
+					if cfg.QualityLowerIsBetter {
+						better = q < rep.BestQuality
+					}
+					if !evaluated || better {
+						rep.BestQuality = q
+						evaluated = true
 					}
 				}
-			} else {
-				// Whole-step exchange: the Engine overlaps codec compute for
-				// later tensors with earlier tensors' collectives.
-				for i, p := range params {
-					gradVecs[i] = p.Grad.Data()
-				}
-				var aggs [][]float32
-				var err error
-				aggs, codecDur, commDur, err = exchange(codecScale)
-				if err != nil {
-					return nil, err
-				}
-				for i, p := range params {
-					gradTensors[i] = tensor.FromSlice(aggs[i], p.Grad.Shape()...)
-				}
-				opt.Step(params, gradTensors)
-			}
-
-			clock.Advance(computeDur + codecDur + commDur)
-			rep.ComputeTime += computeDur
-			rep.CodecTime += codecDur
-			rep.CommTime += commDur
-			rep.Iters++
-			lastEpochIters++
-			if err := stepDone(epoch, iter); err != nil {
-				return nil, err
+				rep.EpochQuality = append(rep.EpochQuality, q)
 			}
 		}
+		return nil
+	}
 
+	// rewind moves the loop position to a heal sync round's verdict and drops
+	// the rank-0 epoch-series entries the rollback will re-produce. Scalar
+	// totals (Iters, time and volume sums) intentionally keep the redone
+	// work: they measure effort spent, while the epoch series describes the
+	// logical training trajectory.
+	baseEpoch := startEpoch
+	rewind := func(pos trainerPos) {
+		globalStep = pos.step
+		startEpoch, skipIters = pos.epoch, pos.iter
+		sinceSync = pos.sinceSync
+		sampler.Seek(startEpoch)
 		if rank == 0 {
-			rep.EpochVirtualTime = append(rep.EpochVirtualTime, clock.Elapsed())
-			rep.EpochCommTime = append(rep.EpochCommTime, rep.CommTime)
-			rep.EpochIters = append(rep.EpochIters, lastEpochIters)
-			q := 0.0
-			if cfg.Eval != nil && (epoch+1)%cfg.EvalEvery == 0 {
-				q = cfg.Eval(model)
-				rep.FinalQuality = q
-				better := q > rep.BestQuality
-				if cfg.QualityLowerIsBetter {
-					better = q < rep.BestQuality
-				}
-				if !evaluated || better {
-					rep.BestQuality = q
-					evaluated = true
-				}
+			keep := pos.epoch - baseEpoch
+			if keep < 0 {
+				keep = 0
 			}
-			rep.EpochQuality = append(rep.EpochQuality, q)
+			if keep < len(rep.EpochQuality) {
+				rep.EpochQuality = rep.EpochQuality[:keep]
+				rep.EpochVirtualTime = rep.EpochVirtualTime[:keep]
+				rep.EpochCommTime = rep.EpochCommTime[:keep]
+				rep.EpochIters = rep.EpochIters[:keep]
+			}
+		}
+	}
+
+	if rj := cfg.Rejoin; rj != nil && rj.SyncOnStart {
+		// A respawned rank syncs with the survivors' recovery barrier before
+		// its first step: the heal round replaces the Resume fast-forward.
+		pos, gen, err := startupSync(&cfg, rank, coll, model, opt, mem, eng, syncPoint)
+		if err != nil {
+			return nil, err
+		}
+		rewind(pos)
+		baseEpoch = startEpoch
+		if rj.OnHeal != nil {
+			rj.OnHeal(gen, pos.step)
+		}
+	}
+	heals := 0
+	for {
+		err := runEpochs()
+		if err == nil {
+			break
+		}
+		rj := cfg.Rejoin
+		if rj == nil || !errors.Is(err, comm.ErrPeerDead) {
+			return nil, err
+		}
+		if heals++; heals > rj.maxHeals() {
+			return nil, fmt.Errorf("grace: giving up after %d heals: %w", heals-1, err)
+		}
+		rf, ok := comm.AsReformer(coll)
+		if !ok {
+			return nil, fmt.Errorf("grace: peer died and the collective cannot reform: %w", err)
+		}
+		gen, rerr := rf.Reform()
+		if rerr != nil {
+			return nil, fmt.Errorf("grace: reform after peer death: %w", rerr)
+		}
+		pos, herr := healSync(&cfg, rank, coll, model, opt, mem, eng, syncPoint)
+		if herr != nil {
+			return nil, herr
+		}
+		rewind(pos)
+		if rj.OnHeal != nil {
+			rj.OnHeal(gen, pos.step)
 		}
 	}
 

@@ -24,6 +24,15 @@ type ChaosScenario struct {
 	// reset): the scenario passes when every rank surfaces a typed error
 	// within the timeout, rather than when the run completes.
 	ExpectError bool
+	// Retry, when non-nil, wraps every rank's collective in comm.Resilient
+	// with this policy: transient faults (drops, resets, aborts) are healed
+	// by group reform plus bounded retry instead of surfacing. A retrying
+	// scenario with ExpectError false must complete cleanly AND actually
+	// absorb injected faults — zero injections fails the verdict, since the
+	// scenario would prove nothing. Fault windows must be bounded (ToStep):
+	// the Faulty step counter advances per attempt, so an open-ended rule
+	// re-fires on every retry until the budget burns out.
+	Retry *comm.RetryPolicy
 }
 
 // ChaosConfig describes a chaos sweep: a synthetic multi-tensor exchange
@@ -62,6 +71,9 @@ type ChaosResult struct {
 	Elapsed time.Duration
 	// Injected counts the faults the plan actually fired, across ranks.
 	Injected int64
+	// Retries counts the transient failures absorbed by comm.Resilient across
+	// ranks (0 unless the scenario sets Retry).
+	Retries int64
 	// Faults / Fallbacks sum the Engines' decode-fault and recovery
 	// counters across ranks and steps.
 	Faults    int
@@ -109,6 +121,19 @@ func DefaultChaos(workers int, seed uint64) ChaosConfig {
 			{Name: "reset", ExpectError: true, Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
 				{Kind: comm.FaultReset, Rank: 2, Op: comm.OpAllgather, FromStep: 14},
 			}}},
+			// The same fatal fault kinds, but transient (bounded windows) and
+			// with the Resilient wrapper on: the group must absorb them via
+			// reform+retry and finish with no supervisor intervention. Windows
+			// span 2 attempt-steps — under the per-op cap of 3 the retried op
+			// re-fires the fault at most once before escaping the window.
+			{Name: "drop+retry", Retry: &comm.RetryPolicy{Seed: seed, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+				Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+					{Kind: comm.FaultDrop, Rank: 1, Op: comm.OpAllgather, FromStep: 4, ToStep: 5},
+				}}},
+			{Name: "reset+retry", Retry: &comm.RetryPolicy{Seed: seed, BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond},
+				Plan: comm.Plan{Seed: seed, Faults: []comm.Fault{
+					{Kind: comm.FaultReset, Rank: 2, Op: comm.OpAllgather, FromStep: 8, ToStep: 9},
+				}}},
 		},
 	}
 }
@@ -122,6 +147,17 @@ func AutotuneChaos(workers int, seed uint64) ChaosConfig {
 	cfg.Method, cfg.Opts = "", grace.Options{}
 	cfg.FusionBytes = 0
 	cfg.Steps = 12
+	// The tuner interleaves probe/score/policy ops with the gradient
+	// exchange, so the retry scenarios' bounded windows — indexed by the
+	// per-handle op counter — can land on any op kind. Drop the allgather
+	// filter there or the window slides past without firing.
+	for i, sc := range cfg.Scenarios {
+		if sc.Retry != nil {
+			for j := range sc.Plan.Faults {
+				cfg.Scenarios[i].Plan.Faults[j].Op = ""
+			}
+		}
+	}
 	cfg.NewTuner = func() (grace.Tuner, error) {
 		return autotune.New(autotune.Config{
 			Candidates: autotune.DefaultCandidates(),
@@ -149,7 +185,18 @@ func runChaosScenario(cfg ChaosConfig, sc ChaosScenario) ChaosResult {
 	infos := chaosInfos(cfg.Tensors)
 	hub := comm.NewHub(cfg.Workers)
 	faulties := make([]*comm.Faulty, cfg.Workers)
+	resilients := make([]*comm.Resilient, cfg.Workers)
 	var faultSum, fallbackSum int
+	if sc.Retry != nil {
+		// A retrying scenario's reform rendezvous must give up well before the
+		// scenario watchdog, so a rank that died outright (bug) turns into a
+		// typed error instead of a Hung verdict.
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 30 * time.Second
+		}
+		hub.SetReformTimeout(timeout / 2)
+	}
 
 	start := time.Now()
 	done := make(chan struct{})
@@ -163,8 +210,14 @@ func runChaosScenario(cfg ChaosConfig, sc ChaosScenario) ChaosResult {
 				defer wg.Done()
 				fy := comm.NewFaulty(hub.Worker(rank), sc.Plan)
 				faulties[rank] = fy
+				var coll comm.Collective = fy
+				if sc.Retry != nil {
+					rs := comm.NewResilient(fy, *sc.Retry)
+					resilients[rank] = rs
+					coll = rs
+				}
 				engOpts := []grace.EngineOption{
-					grace.WithCollective(fy),
+					grace.WithCollective(coll),
 					grace.WithParallelism(2),
 					grace.WithDecodeFallback(sc.DecodeFallback),
 				}
@@ -225,6 +278,11 @@ func runChaosScenario(cfg ChaosConfig, sc ChaosScenario) ChaosResult {
 			res.Injected += fy.Counts().Total()
 		}
 	}
+	for _, rs := range resilients {
+		if rs != nil {
+			res.Retries += rs.Retries()
+		}
+	}
 	res.Pass, res.Detail = chaosVerdict(sc, &res)
 	return res
 }
@@ -239,6 +297,9 @@ func chaosVerdict(sc ChaosScenario, res *ChaosResult) (bool, string) {
 			if err != nil {
 				return false, fmt.Sprintf("rank %d failed: %v", rank, err)
 			}
+		}
+		if sc.Retry != nil && res.Injected == 0 {
+			return false, "retry scenario injected no faults; the clean finish proves nothing"
 		}
 		return true, ""
 	}

@@ -57,6 +57,24 @@ func TestDefaultChaosBattery(t *testing.T) {
 	if fb.Fallbacks < fb.Faults/3 {
 		t.Errorf("fallback accounting inconsistent: %d faults, %d fallbacks", fb.Faults, fb.Fallbacks)
 	}
+	// The retry scenarios are the transient-only plans: the same fatal fault
+	// kinds as drop/reset, but the Resilient wrapper must absorb them —
+	// injections observed, retries spent, every rank finishing with no error
+	// and no supervisor intervention.
+	for _, name := range []string{"drop+retry", "reset+retry"} {
+		r := byName[name]
+		if r.Injected == 0 {
+			t.Errorf("scenario %s injected nothing — plan never fired", name)
+		}
+		if r.Retries == 0 {
+			t.Errorf("scenario %s absorbed no retries despite %d injections", name, r.Injected)
+		}
+		for rank, err := range r.Errs {
+			if err != nil {
+				t.Errorf("scenario %s rank %d surfaced %v; retry should have absorbed it", name, rank, err)
+			}
+		}
+	}
 }
 
 // TestAutotuneChaosBattery runs the chaos sweep with the engines in

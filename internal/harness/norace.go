@@ -1,0 +1,6 @@
+//go:build !race
+
+package harness
+
+// raceTimeoutScale is 1 in native builds; see race.go for the -race variant.
+const raceTimeoutScale = 1

@@ -1,0 +1,10 @@
+//go:build race
+
+package harness
+
+// raceTimeoutScale stretches the harness's default watchdog and transport
+// timeouts when the race detector is on: instrumented runs are several times
+// slower, and a watchdog tuned for native speed turns real recoveries into
+// flaky CI failures. Explicitly configured timeouts are never scaled — the
+// caller said what they meant.
+const raceTimeoutScale = 4

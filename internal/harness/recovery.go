@@ -58,8 +58,45 @@ type RecoveryConfig struct {
 	// Heartbeat configures the TCP ring liveness layer; 0 selects 25ms.
 	// Ignored on the hub, which has supervisor-driven abort instead.
 	Heartbeat time.Duration
-	// Timeout is the per-phase watchdog; 0 selects 60s.
+	// Timeout is the per-phase watchdog; 0 selects 60s (scaled up under the
+	// race detector — see raceTimeoutScale). Explicit values are used as-is.
 	Timeout time.Duration
+	// SetupTimeout and OpTimeout configure the TCP ring; zero selects 10s
+	// and 30s respectively (race-scaled). Ignored on the hub.
+	SetupTimeout time.Duration
+	OpTimeout    time.Duration
+}
+
+// watchdog returns the effective per-phase watchdog timeout.
+func (cfg *RecoveryConfig) watchdog() time.Duration {
+	if cfg.Timeout > 0 {
+		return cfg.Timeout
+	}
+	return 60 * time.Second * raceTimeoutScale
+}
+
+// ringConfig assembles the TCP ring configuration shared by the recovery and
+// rejoin batteries, applying the defaults and race scaling.
+func (cfg *RecoveryConfig) ringConfig(rank int, addrs []string) comm.RingConfig {
+	hb := cfg.Heartbeat
+	if hb <= 0 {
+		hb = 25 * time.Millisecond
+	}
+	setup := cfg.SetupTimeout
+	if setup <= 0 {
+		setup = 10 * time.Second * raceTimeoutScale
+	}
+	op := cfg.OpTimeout
+	if op <= 0 {
+		op = 30 * time.Second * raceTimeoutScale
+	}
+	return comm.RingConfig{
+		Rank: rank, Addrs: addrs,
+		SetupTimeout: setup,
+		OpTimeout:    op,
+		Heartbeat:    hb,
+		Seed:         cfg.Train.Seed,
+	}
 }
 
 // RecoveryResult reports what the supervisor observed.
@@ -73,6 +110,10 @@ type RecoveryResult struct {
 	// Match reports bitwise equality of the recovered and reference finals.
 	Match  bool
 	Detail string
+	// Downtime is the wall-clock span from the kill to the first completed
+	// optimizer step of the restarted group — what the full-restart recovery
+	// path costs, for comparison against RunRejoin's Downtime.
+	Downtime time.Duration
 	// Reference and Recovered are the per-rank final snapshots.
 	Reference, Recovered []*grace.Snapshot
 }
@@ -177,7 +218,13 @@ func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 	}
 
 	// Supervised run, attempt 0: checkpoints to disk, one rank dies.
-	_, killErrs, err := runRecoveryPhase(cfg, phaseOpts{dir: cfg.Dir, kill: true})
+	var killT time.Time
+	_, killErrs, err := runRecoveryPhase(cfg, phaseOpts{dir: cfg.Dir, kill: true,
+		onStep: func(rank int, step int64) {
+			if rank == cfg.KillRank && step == cfg.KillStep {
+				killT = time.Now()
+			}
+		}})
 	if err != nil {
 		return nil, err
 	}
@@ -214,7 +261,15 @@ func RunRecovery(cfg RecoveryConfig) (*RecoveryResult, error) {
 			return nil, fmt.Errorf("harness: loading rank %d step %d: %w", rank, res.ResumeStep, err)
 		}
 	}
-	recFinals, recErrs, err := runRecoveryPhase(cfg, phaseOpts{dir: cfg.Dir, resume: resume})
+	var firstStep sync.Once
+	recFinals, recErrs, err := runRecoveryPhase(cfg, phaseOpts{dir: cfg.Dir, resume: resume,
+		onStep: func(int, int64) {
+			firstStep.Do(func() {
+				if !killT.IsZero() {
+					res.Downtime = time.Since(killT)
+				}
+			})
+		}})
 	if err != nil {
 		return nil, err
 	}
@@ -234,6 +289,9 @@ type phaseOpts struct {
 	dir    string // "" disables on-disk checkpoints (finals still captured)
 	kill   bool
 	resume []*grace.Snapshot
+	// onStep, when set, observes every rank's completed steps (called before
+	// any kill action) — the downtime measurements hang off it.
+	onStep func(rank int, step int64)
 }
 
 // runRecoveryPhase runs all ranks once over a fresh collective group and
@@ -253,19 +311,10 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 		if err != nil {
 			return nil, nil, err
 		}
-		hb := cfg.Heartbeat
-		if hb <= 0 {
-			hb = 25 * time.Millisecond
-		}
 		var mu sync.Mutex
 		var rings []*comm.TCPRing
 		collFor = func(rank int) (comm.Collective, func(), error) {
-			ring, err := comm.DialTCPRingConfig(comm.RingConfig{
-				Rank: rank, Addrs: addrs,
-				SetupTimeout: 10 * time.Second,
-				OpTimeout:    30 * time.Second,
-				Heartbeat:    hb,
-			})
+			ring, err := comm.DialTCPRingConfig(cfg.ringConfig(rank, addrs))
 			if err != nil {
 				return nil, nil, err
 			}
@@ -343,9 +392,13 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 				if opts.resume != nil {
 					tc.Checkpoint.Resume = opts.resume[rank]
 				}
-				if opts.kill && rank == cfg.KillRank {
+				kill := opts.kill && rank == cfg.KillRank
+				if obs := opts.onStep; obs != nil || kill {
 					tc.OnStep = func(_ int, step int64) error {
-						if step == cfg.KillStep {
+						if obs != nil {
+							obs(rank, step)
+						}
+						if kill && step == cfg.KillStep {
 							die()
 							return ErrSimulatedCrash
 						}
@@ -358,10 +411,7 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 		wg.Wait()
 	}()
 
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = 60 * time.Second
-	}
+	timeout := cfg.watchdog()
 	select {
 	case <-done:
 		return finals, errs, nil

@@ -139,16 +139,31 @@ func recoveryWorkerMain() int {
 	if os.Getenv("GRACE_MODE") == "autotune" {
 		cfg = AutotuneRecovery(TransportTCP, dir).Train
 	}
-	ring, err := comm.DialTCPRingConfig(comm.RingConfig{
+	rcfg := comm.RingConfig{
 		Rank: rank, Addrs: addrs,
 		SetupTimeout: 20 * time.Second,
 		OpTimeout:    30 * time.Second,
 		Heartbeat:    25 * time.Millisecond,
-	})
-	if err != nil {
-		return fail(err)
 	}
-	defer ring.Close()
+	// Rejoin mode uses the re-dialable ring so a peer's SIGKILL is healed by
+	// generation reform instead of ending this process.
+	selfHeal := os.Getenv("GRACE_REJOIN") != ""
+	var ring comm.Collective
+	if selfHeal {
+		r, err := comm.DialRing(rcfg)
+		if err != nil {
+			return fail(err)
+		}
+		defer r.Close()
+		ring = r
+	} else {
+		r, err := comm.DialTCPRingConfig(rcfg)
+		if err != nil {
+			return fail(err)
+		}
+		defer r.Close()
+		ring = r
+	}
 	d, err := ckpt.OpenDir(dir, rank)
 	if err != nil {
 		return fail(err)
@@ -160,6 +175,14 @@ func recoveryWorkerMain() int {
 			return fail(err)
 		}
 		cfg.Checkpoint.Resume = s
+	}
+	if selfHeal {
+		rj := d.RejoinConfig()
+		rj.SyncOnStart = os.Getenv("GRACE_REJOIN_SYNC") != ""
+		rj.OnHeal = func(gen uint64, step int64) {
+			fmt.Printf("rank %d: healed to step %d at generation %d\n", rank, step, gen)
+		}
+		cfg.Rejoin = rj
 	}
 	if delayMS > 0 {
 		cfg.OnStep = func(int, int64) error {
@@ -178,28 +201,36 @@ type workerProc struct {
 	out bytes.Buffer
 }
 
-func startWorkers(t *testing.T, exe, mode, dir string, addrs []string, resume int64, delayMS int) []*workerProc {
+func startWorkers(t *testing.T, exe, mode, dir string, addrs []string, resume int64, delayMS int, extraEnv ...string) []*workerProc {
 	t.Helper()
 	procs := make([]*workerProc, len(addrs))
 	for rank := range addrs {
-		p := &workerProc{cmd: exec.Command(exe)}
-		p.cmd.Env = append(os.Environ(),
-			"GRACE_RECOVERY_WORKER=1",
-			"GRACE_MODE="+mode,
-			"GRACE_RANK="+strconv.Itoa(rank),
-			"GRACE_ADDRS="+strings.Join(addrs, ","),
-			"GRACE_DIR="+dir,
-			"GRACE_RESUME="+strconv.FormatInt(resume, 10),
-			"GRACE_STEP_DELAY_MS="+strconv.Itoa(delayMS),
-		)
-		p.cmd.Stdout = &p.out
-		p.cmd.Stderr = &p.out
-		if err := p.cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		procs[rank] = p
+		procs[rank] = startWorker(t, exe, mode, dir, addrs, rank, resume, delayMS, extraEnv...)
 	}
 	return procs
+}
+
+// startWorker launches a single rank, so the rejoin scenario can respawn just
+// the SIGKILLed one.
+func startWorker(t *testing.T, exe, mode, dir string, addrs []string, rank int, resume int64, delayMS int, extraEnv ...string) *workerProc {
+	t.Helper()
+	p := &workerProc{cmd: exec.Command(exe)}
+	p.cmd.Env = append(os.Environ(),
+		"GRACE_RECOVERY_WORKER=1",
+		"GRACE_MODE="+mode,
+		"GRACE_RANK="+strconv.Itoa(rank),
+		"GRACE_ADDRS="+strings.Join(addrs, ","),
+		"GRACE_DIR="+dir,
+		"GRACE_RESUME="+strconv.FormatInt(resume, 10),
+		"GRACE_STEP_DELAY_MS="+strconv.Itoa(delayMS),
+	)
+	p.cmd.Env = append(p.cmd.Env, extraEnv...)
+	p.cmd.Stdout = &p.out
+	p.cmd.Stderr = &p.out
+	if err := p.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return p
 }
 
 // runSIGKILLScenario is the end-to-end chaos flow shared by the fixed-method
@@ -330,6 +361,119 @@ func runSIGKILLScenario(t *testing.T, mode string, compareSteps []int64) {
 // finals.
 func TestRecoverySIGKILLTCP(t *testing.T) {
 	runSIGKILLScenario(t, "", []int64{8})
+}
+
+// TestRejoinSIGKILLTCP: the live-rejoin path under a genuine SIGKILL. Three
+// OS processes on a real heartbeat-enabled TCP ring run in self-healing mode;
+// rank 1 is killed dead mid-run and ONLY rank 1 is relaunched (with
+// GRACE_REJOIN_SYNC, the -rejoin-sync path). The survivors' processes are
+// never restarted — the same PIDs that joined the ring at generation 0 exit
+// cleanly after healing — and the step-8 finals must match an uninterrupted
+// multi-process reference bit for bit.
+func TestRejoinSIGKILLTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	const n = 3
+	const victim = 1
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	refDir := root + "/ref"
+	dir := root + "/run"
+
+	var all []*workerProc
+	defer func() {
+		for _, p := range all {
+			p.cmd.Process.Kill()
+		}
+	}()
+
+	// Uninterrupted multi-process reference, also in self-healing mode so the
+	// code path under comparison is identical.
+	addrs, err := freeLoopbackAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := startWorkers(t, exe, "", refDir, addrs, -1, 0, "GRACE_REJOIN=1")
+	all = append(all, ref...)
+	for rank := 0; rank < n; rank++ {
+		if err := ref[rank].cmd.Wait(); err != nil {
+			t.Fatalf("reference rank %d: %v\n%s", rank, err, &ref[rank].out)
+		}
+	}
+
+	// Self-healing run: slowed steps so the SIGKILL lands mid-run.
+	if addrs, err = freeLoopbackAddrs(n); err != nil {
+		t.Fatal(err)
+	}
+	procs := startWorkers(t, exe, "", dir, addrs, -1, 200, "GRACE_REJOIN=1")
+	all = append(all, procs...)
+	victimDir, err := ckpt.OpenDir(dir, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	killDeadline := time.Now().Add(60 * time.Second)
+	for victimDir.LatestStep() < 4 {
+		if time.Now().After(killDeadline) {
+			t.Fatalf("victim never reached step 4; output:\n%s", &procs[victim].out)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	survivorPIDs := [2]int{procs[0].cmd.Process.Pid, procs[2].cmd.Process.Pid}
+	if err := procs[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	if err := procs[victim].cmd.Wait(); err == nil {
+		t.Fatal("victim exited cleanly despite SIGKILL")
+	}
+
+	// Respawn ONLY the victim, syncing into the live group. The survivors are
+	// parked at the reform rendezvous; their processes are untouched.
+	respawn := startWorker(t, exe, "", dir, addrs, victim, -1, 0,
+		"GRACE_REJOIN=1", "GRACE_REJOIN_SYNC=1")
+	all = append(all, respawn)
+	if err := respawn.cmd.Wait(); err != nil {
+		t.Fatalf("respawned victim: %v\n%s", err, &respawn.out)
+	}
+	for _, rank := range []int{0, 2} {
+		if err := procs[rank].cmd.Wait(); err != nil {
+			t.Fatalf("survivor rank %d: %v\n%s", rank, err, &procs[rank].out)
+		}
+		out := procs[rank].out.String()
+		if !strings.Contains(out, "healed to step 4 at generation 1") {
+			t.Fatalf("survivor rank %d never reported the heal:\n%s", rank, out)
+		}
+	}
+	// The healthy ranks' processes were started exactly once; assert the PIDs
+	// that finished are the ones that joined at generation 0.
+	if procs[0].cmd.Process.Pid != survivorPIDs[0] || procs[2].cmd.Process.Pid != survivorPIDs[1] {
+		t.Fatal("survivor process identity changed across the heal")
+	}
+
+	got := make([]*grace.Snapshot, n)
+	want := make([]*grace.Snapshot, n)
+	for rank := 0; rank < n; rank++ {
+		gd, err := ckpt.OpenDir(dir, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wd, err := ckpt.OpenDir(refDir, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[rank], err = ckpt.Load(gd.Path(8)); err != nil {
+			t.Fatalf("healed rank %d step 8: %v", rank, err)
+		}
+		if want[rank], err = ckpt.Load(wd.Path(8)); err != nil {
+			t.Fatalf("reference rank %d step 8: %v", rank, err)
+		}
+	}
+	if ok, detail := snapshotsBitwiseEqual(got, want); !ok {
+		t.Fatalf("SIGKILL rejoin diverged: %s", detail)
+	}
 }
 
 // TestRecoverySIGKILLAutotuneTCP: SIGKILL mid-run with autotune on. The

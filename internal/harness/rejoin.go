@@ -1,0 +1,282 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/grace"
+	"repro/internal/telemetry"
+)
+
+// RejoinResult reports one supervised live-rejoin experiment: unlike the
+// full-restart path (RunRecovery), the healthy ranks never leave their
+// original RunWorker call — they reform the group at the next generation and
+// roll back in place while the supervisor respawns only the dead rank.
+type RejoinResult struct {
+	// ResumeStep is the step the heal rolled the group back to.
+	ResumeStep int64
+	// Generation is the group generation after the heal.
+	Generation uint64
+	// Launches counts RunWorker invocations per rank during the faulted run.
+	// A correct rejoin is 1 for every healthy rank and 2 for the victim.
+	Launches []int
+	// Heals counts OnHeal events across ranks (one per participating rank).
+	Heals int
+	// Reforms is the telemetry group-reform counter delta over the faulted
+	// run (counters are always live).
+	Reforms int64
+	// TransferBytes is the rejoin state-transfer counter delta; it only moves
+	// when a rank lost its checkpoints and adopted a donor snapshot.
+	TransferBytes int64
+	// Downtime is the wall-clock span from the kill to the last rank
+	// completing its heal — the rejoin path's recovery cost, for comparison
+	// against RecoveryResult.Downtime.
+	Downtime time.Duration
+	// Match reports bitwise equality of the healed and reference finals.
+	Match  bool
+	Detail string
+	// Reference and Healed are the per-rank final snapshots.
+	Reference, Healed []*grace.Snapshot
+}
+
+// RunRejoin executes the supervised live-rejoin scenario described by cfg:
+// an uninterrupted reference run first, then a run where KillRank dies right
+// after KillStep and is respawned into the *same* collective group — the
+// survivors heal via generation reform plus rollback-to-common-step instead
+// of restarting. The final weights must match the reference bit for bit; the
+// healthy ranks' RunWorker calls must survive the whole experiment.
+func RunRejoin(cfg RecoveryConfig) (*RejoinResult, error) {
+	n := cfg.Train.Workers
+	if cfg.Train.Checkpoint != nil || cfg.Train.OnStep != nil || cfg.Train.Rejoin != nil {
+		return nil, fmt.Errorf("harness: rejoin owns Checkpoint, OnStep, and Rejoin")
+	}
+	if cfg.Dir == "" || cfg.Every <= 0 {
+		return nil, fmt.Errorf("harness: rejoin needs Dir and Every")
+	}
+	if cfg.KillRank < 0 || cfg.KillRank >= n {
+		return nil, fmt.Errorf("harness: kill rank %d out of [0,%d)", cfg.KillRank, n)
+	}
+	if cfg.KillStep <= 0 {
+		return nil, fmt.Errorf("harness: kill step must be positive")
+	}
+	switch cfg.Transport {
+	case "", TransportHub, TransportTCP:
+	default:
+		return nil, fmt.Errorf("harness: unknown transport %q", cfg.Transport)
+	}
+
+	// Uninterrupted reference on the same transport.
+	refFinals, refErrs, err := runRecoveryPhase(cfg, phaseOpts{})
+	if err != nil {
+		return nil, err
+	}
+	for rank, err := range refErrs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: reference rank %d: %w", rank, err)
+		}
+	}
+	res := &RejoinResult{Reference: refFinals, Launches: make([]int, n)}
+
+	reforms0 := telemetry.Default.Value(telemetry.CtrGroupReforms)
+	transfer0 := telemetry.Default.Value(telemetry.CtrRejoinTransferBytes)
+	if err := runRejoinPhase(cfg, res); err != nil {
+		return nil, err
+	}
+	res.Reforms = telemetry.Default.Value(telemetry.CtrGroupReforms) - reforms0
+	res.TransferBytes = telemetry.Default.Value(telemetry.CtrRejoinTransferBytes) - transfer0
+	res.Match, res.Detail = snapshotsBitwiseEqual(res.Healed, refFinals)
+	return res, nil
+}
+
+// runRejoinPhase runs the faulted attempt: all ranks live in one collective
+// group with the self-healing trainer path enabled; the victim crashes after
+// KillStep, the supervisor delivers the liveness verdict and respawns only
+// that rank with SyncOnStart.
+func runRejoinPhase(cfg RecoveryConfig, res *RejoinResult) error {
+	n := cfg.Train.Workers
+	finals := make([]*grace.Snapshot, n)
+	errs := make([]error, n)
+
+	var mu sync.Mutex
+	var killT, lastHealT time.Time
+	healGen := uint64(0)
+	healStep := int64(-1)
+	heals := 0
+
+	// Transport-specific pieces: a per-rank reformable collective factory,
+	// the victim's death action, and the watchdog's group teardown.
+	var collFor func(rank int) (comm.Collective, func(), error)
+	var teardown func()
+	if cfg.Transport == TransportTCP {
+		addrs, err := freeLoopbackAddrs(n)
+		if err != nil {
+			return err
+		}
+		var rmu sync.Mutex
+		var rings []*comm.Ring
+		collFor = func(rank int) (comm.Collective, func(), error) {
+			ring, err := comm.DialRing(cfg.ringConfig(rank, addrs))
+			if err != nil {
+				return nil, nil, err
+			}
+			rmu.Lock()
+			rings = append(rings, ring)
+			rmu.Unlock()
+			die := func() { ring.Kill() }
+			if cfg.KillMode == "hang" {
+				die = func() { ring.Hang() }
+			}
+			return ring, die, nil
+		}
+		teardown = func() {
+			rmu.Lock()
+			defer rmu.Unlock()
+			for _, r := range rings {
+				r.Kill()
+			}
+		}
+	} else {
+		hub := comm.NewHub(n)
+		hub.SetReformTimeout(cfg.watchdog())
+		// On the hub there is no wire to sever: the supervisor delivers the
+		// liveness verdict itself, with the same sentinel a transport's
+		// heartbeat layer would produce, so the trainers' heal path triggers.
+		abort := func() {
+			hub.Abort(fmt.Errorf("supervisor: rank %d process died: %w", cfg.KillRank, comm.ErrPeerDead))
+		}
+		collFor = func(rank int) (comm.Collective, func(), error) {
+			return hub.Worker(rank), abort, nil
+		}
+		teardown = func() {
+			hub.Abort(fmt.Errorf("rejoin watchdog teardown: %w", comm.ErrPeerDead))
+		}
+	}
+
+	// launch starts one rank's RunWorker. The victim's first incarnation
+	// kills itself after KillStep; its second (respawn=true) syncs into the
+	// healed group on start. Healthy ranks are launched exactly once.
+	launch := func(rank int, respawn bool) error {
+		mu.Lock()
+		res.Launches[rank]++
+		mu.Unlock()
+		coll, die, err := collFor(rank)
+		if err != nil {
+			return err
+		}
+		if c, ok := coll.(*comm.Ring); ok {
+			defer c.Close()
+		}
+		tc := cfg.Train
+		d, err := ckpt.OpenDir(cfg.Dir, rank)
+		if err != nil {
+			return err
+		}
+		tc.Checkpoint = &grace.CheckpointConfig{
+			Every: cfg.Every,
+			Final: true,
+			Save: func(s *grace.Snapshot) error {
+				finals[rank] = s
+				return d.SaveStep(s)
+			},
+		}
+		rj := d.RejoinConfig()
+		rj.SyncOnStart = respawn
+		rj.OnHeal = func(gen uint64, step int64) {
+			mu.Lock()
+			heals++
+			// Max, not last: a respawned rank that joined the already-healed
+			// group without driving a reform itself reports generation 0.
+			if gen > healGen {
+				healGen = gen
+			}
+			healStep = step
+			lastHealT = time.Now()
+			mu.Unlock()
+		}
+		tc.Rejoin = rj
+		if !respawn && rank == cfg.KillRank {
+			tc.OnStep = func(_ int, step int64) error {
+				if step == cfg.KillStep {
+					mu.Lock()
+					killT = time.Now()
+					mu.Unlock()
+					// Sever this rank's presence the way a process death
+					// would (TCP: dead sockets / frozen hang; hub: the
+					// supervisor-delivered liveness verdict), then stop.
+					die()
+					return ErrSimulatedCrash
+				}
+				return nil
+			}
+		}
+		_, err = grace.RunWorker(tc, rank, coll, simnetClusterFor(cfg.Train))
+		return err
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		died := make(chan struct{})
+		var wg sync.WaitGroup
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				err := launch(rank, false)
+				if rank == cfg.KillRank {
+					if !errors.Is(err, ErrSimulatedCrash) {
+						errs[rank] = fmt.Errorf("victim exited with %v, want the simulated crash", err)
+					}
+					close(died)
+					return
+				}
+				errs[rank] = err
+			}(rank)
+		}
+		// Supervisor: when the victim is down, respawn only that rank into
+		// the healing group. The healthy ranks' goroutines — and their
+		// RunWorker calls — are untouched.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-died
+			mu.Lock()
+			failed := errs[cfg.KillRank] != nil
+			mu.Unlock()
+			if failed {
+				return // victim died for the wrong reason; don't respawn
+			}
+			err := launch(cfg.KillRank, true)
+			mu.Lock()
+			errs[cfg.KillRank] = err
+			mu.Unlock()
+		}()
+		wg.Wait()
+	}()
+
+	timeout := cfg.watchdog()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		teardown()
+		<-done
+		return fmt.Errorf("harness: rejoin phase watchdog fired after %v", timeout)
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return fmt.Errorf("harness: rejoin rank %d: %w", rank, err)
+		}
+	}
+	res.Healed = finals
+	res.Heals = heals
+	res.Generation = healGen
+	res.ResumeStep = healStep
+	if !killT.IsZero() && lastHealT.After(killT) {
+		res.Downtime = lastHealT.Sub(killT)
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ type RunSummary struct {
 	Train    []TrainResultJSON    `json:"train,omitempty"`
 	Chaos    []ChaosResultJSON    `json:"chaos,omitempty"`
 	Recovery []RecoveryResultJSON `json:"recovery,omitempty"`
+	Rejoin   []RejoinResultJSON   `json:"rejoin,omitempty"`
 
 	// Telemetry is the process-wide counter/histogram snapshot at the time
 	// the summary was written (nil when telemetry was not snapshotted).
@@ -72,6 +73,7 @@ type ChaosResultJSON struct {
 	Hung      bool     `json:"hung,omitempty"`
 	ElapsedMs float64  `json:"elapsed_ms"`
 	Injected  int64    `json:"faults_injected"`
+	Retries   int64    `json:"retries_absorbed,omitempty"`
 	Faults    int      `json:"decode_faults"`
 	Fallbacks int      `json:"decode_fallbacks"`
 	Errs      []string `json:"errors,omitempty"`
@@ -89,6 +91,7 @@ func ChaosJSON(r ChaosResult) ChaosResultJSON {
 		Hung:      r.Hung,
 		ElapsedMs: float64(r.Elapsed) / float64(time.Millisecond),
 		Injected:  r.Injected,
+		Retries:   r.Retries,
 		Faults:    r.Faults,
 		Fallbacks: r.Fallbacks,
 		Detail:    r.Detail,
@@ -144,6 +147,51 @@ func RecoveryJSON(scenario string, res *RecoveryResult, elapsed time.Duration, e
 			out.KillErrs = append(out.KillErrs, "")
 		}
 	}
+	return out
+}
+
+// RejoinResultJSON records one live-rejoin scenario: the heal's rollback
+// step and generation, the per-rank launch counts (healthy ranks must stay
+// at 1), downtime, and the bitwise verdict — alongside the restart path's
+// downtime for the same scenario when the caller measured it.
+type RejoinResultJSON struct {
+	Scenario      string  `json:"scenario"`
+	Pass          bool    `json:"pass"`
+	ResumeStep    int64   `json:"resume_step"`
+	Generation    uint64  `json:"generation"`
+	Launches      []int   `json:"launches"`
+	Heals         int     `json:"heals"`
+	Reforms       int64   `json:"reforms"`
+	TransferBytes int64   `json:"transfer_bytes,omitempty"`
+	Match         bool    `json:"bitwise_match"`
+	DowntimeMs    float64 `json:"downtime_ms"`
+	// RestartDowntimeMs is the supervised full-restart path's downtime on the
+	// same scenario, for the restart-vs-rejoin comparison (0 when not run).
+	RestartDowntimeMs float64 `json:"restart_downtime_ms,omitempty"`
+	Detail            string  `json:"detail,omitempty"`
+	// Err reports an infrastructure failure that prevented a verdict.
+	Err string `json:"error,omitempty"`
+}
+
+// RejoinJSON converts a rejoin outcome to its JSON form. res may be nil when
+// err is non-nil. restartDowntime 0 means the comparison run was not made.
+func RejoinJSON(scenario string, res *RejoinResult, restartDowntime time.Duration, err error) RejoinResultJSON {
+	out := RejoinResultJSON{Scenario: scenario}
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.ResumeStep = res.ResumeStep
+	out.Generation = res.Generation
+	out.Launches = res.Launches
+	out.Heals = res.Heals
+	out.Reforms = res.Reforms
+	out.TransferBytes = res.TransferBytes
+	out.Match = res.Match
+	out.Detail = res.Detail
+	out.DowntimeMs = float64(res.Downtime) / float64(time.Millisecond)
+	out.RestartDowntimeMs = float64(restartDowntime) / float64(time.Millisecond)
+	out.Pass = res.Match
 	return out
 }
 

@@ -147,6 +147,14 @@ const (
 	CtrAutotuneDecisions
 	CtrAutotuneSwitches
 	CtrAutotuneFlushes
+	// Self-healing: transient-op retries absorbed by comm.Resilient, group
+	// reform rendezvous completed (generation bumps), ring re-dials that
+	// succeeded under a new generation, and snapshot bytes transferred to a
+	// stateless rejoiner over the collective itself.
+	CtrCommRetries
+	CtrGroupReforms
+	CtrRingReconnects
+	CtrRejoinTransferBytes
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -181,6 +189,10 @@ var counterNames = [NumCounters]string{
 	"autotune_decisions_total",
 	"autotune_switches_total",
 	"autotune_flushes_total",
+	"comm_retries_total",
+	"group_reforms_total",
+	"ring_reconnects_total",
+	"rejoin_transfer_bytes_total",
 }
 
 // String names the counter as exported (without the "grace_" prefix).
