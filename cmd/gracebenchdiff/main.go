@@ -15,6 +15,18 @@
 // MemStats deltas, so a tolerance absorbs run-to-run noise while still
 // catching a lost buffer-reuse path. Wall-clock metrics are reported but
 // never gated; they are not comparable across machines.
+//
+// A second mode gates paired artifacts from the SAME run against each other:
+//
+//	gracebenchdiff -candidate /tmp/bench \
+//	    -equal-allocs step_exchange_engine=step_exchange_engine-telemetry
+//
+// fails unless the two artifacts' allocs_per_op agree within
+// -equal-allocs-tol. This is the zero-overhead proof for instrumentation:
+// the telemetry/xrank disabled path must not allocate, so turning spans on
+// may not change the engine's allocation count. The tolerance (default 8
+// allocs/op) absorbs whole-process MemStats noise; a real leak on the hot
+// path costs at least tensors x workers allocs per op, far above it.
 package main
 
 import (
@@ -34,8 +46,18 @@ func main() {
 		candidate   = flag.String("candidate", "", "directory holding the freshly generated BENCH_*.json artifacts")
 		names       = flag.String("names", "", "comma-separated artifact names to gate (the BENCH_<name>.json middle part)")
 		allocsSlack = flag.Float64("allocs-slack", 0.25, "allowed fractional growth in allocs_per_op before failing")
+		equalAllocs = flag.String("equal-allocs", "", "comma-separated a=b artifact pairs whose allocs_per_op must match (both read from -candidate, or -baseline when -candidate is empty)")
+		equalTol    = flag.Float64("equal-allocs-tol", 8, "allowed absolute allocs_per_op difference for -equal-allocs pairs")
 	)
 	flag.Parse()
+	if *equalAllocs != "" {
+		dir := *candidate
+		if dir == "" {
+			dir = *baseline
+		}
+		gateEqualAllocs(dir, *equalAllocs, *equalTol)
+		return
+	}
 	if *candidate == "" || *names == "" {
 		fmt.Fprintln(os.Stderr, "gracebenchdiff: -candidate and -names are required")
 		flag.Usage()
@@ -85,6 +107,55 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("gracebenchdiff: no regressions")
+}
+
+// gateEqualAllocs enforces allocs_per_op equality (within tol) for each a=b
+// pair, exiting nonzero on any mismatch. Both artifacts of a pair come from
+// the same directory — this gates instrumentation overhead within one run,
+// not drift across runs.
+func gateEqualAllocs(dir, pairs string, tol float64) {
+	failed := 0
+	fmt.Printf("%-72s %-22s %s\n", "pair", "allocs/op", "delta (tol)")
+	for _, pair := range strings.Split(pairs, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		an, bn, ok := strings.Cut(pair, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: -equal-allocs entry %q is not a=b\n", pair)
+			failed++
+			continue
+		}
+		a, err := load(dir, an)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: %s: %v\n", an, err)
+			failed++
+			continue
+		}
+		b, err := load(dir, bn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: %s: %v\n", bn, err)
+			failed++
+			continue
+		}
+		delta := b.AllocsPerOp - a.AllocsPerOp
+		if delta < 0 {
+			delta = -delta
+		}
+		fmt.Printf("%-72s %-22s %.2f (%.2f)\n", pair,
+			fmt.Sprintf("%.1f vs %.1f", a.AllocsPerOp, b.AllocsPerOp), delta, tol)
+		if delta > tol {
+			fmt.Fprintf(os.Stderr, "gracebenchdiff: %s: allocs/op differ by %.2f (%.1f vs %.1f, tol %.2f) — instrumentation is taxing the disabled path\n",
+				pair, delta, a.AllocsPerOp, b.AllocsPerOp, tol)
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "gracebenchdiff: %d overhead violation(s)\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("gracebenchdiff: instrumentation overhead within tolerance")
 }
 
 func load(dir, name string) (telemetry.BenchArtifact, error) {

@@ -27,6 +27,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 )
 
 func main() {
@@ -50,6 +51,9 @@ func main() {
 		rejoin      = flag.Bool("rejoin", false, "run the live-rejoin battery standalone: one rank dies mid-run, the survivors reform and heal in place, with a restart-vs-rejoin downtime comparison (included in -chaos)")
 		retryBudget = flag.Int("retry-budget", 0, "override the total retry budget of the chaos sweep's transient-fault retry scenarios (0 = policy default)")
 		autotune    = flag.Bool("autotune", false, "run the autotune battery on -bench: one tuned run vs every static candidate, compared on modeled step time (writes BENCH_autotune_<bench>.json; ignores -method and -fusion-bytes)")
+		straggler   = flag.Bool("straggler", false, "run the straggler-attribution battery: 4 ranks with one injected slow rank; the merged cross-rank trace must attribute ≥90% of steps to it (writes XRANK_* artifacts into -artifacts)")
+		xr          = flag.Bool("xrank", false, "enable the cross-rank observability plane for training runs: step-correlated distributed trace, flight recorder, skew analytics (artifacts land in -artifacts)")
+		xrEvery     = flag.Int("xrank-every", 25, "cross-rank trace aggregation cadence in optimizer steps (with -xrank; adds one small allgather per cadence tick)")
 		telAddr     = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event file (load in Perfetto / chrome://tracing); also enables span recording")
 		telLinger   = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
@@ -59,6 +63,16 @@ func main() {
 	flag.Parse()
 
 	finishTel := startTelemetry(*telAddr, *tracePath, *telLinger)
+
+	// -xrank arms the cross-rank plane process-wide up front, so the chaos
+	// battery's injected faults leave flight recordings too — not only the
+	// training run (whose trainer re-applies the same configuration).
+	if *xr {
+		xrank.Default.SetEnabled(true)
+		if *artifacts != "" {
+			xrank.Default.ConfigureFlight(*artifacts, 0, 0)
+		}
+	}
 
 	// -chaos / -rejoin alone replace training; combined with an explicit
 	// -bench or -method they run first, so one process (and one telemetry
@@ -71,6 +85,16 @@ func main() {
 	})
 	summary := &harness.RunSummary{Kind: "train", Workers: *workers, Seed: *seed, Pass: true}
 	chaosFailed := 0
+	if *straggler {
+		summary.Kind = "straggler"
+		failed := runStraggler(*seed, *artifacts, summary)
+		writeSummary(*runJSON, *artifacts, summary)
+		finishTel()
+		if failed {
+			fatal(fmt.Errorf("straggler-attribution battery failed"))
+		}
+		return
+	}
 	if *chaos || *rejoin {
 		summary.Kind = "chaos"
 		if *rejoin && !*chaos {
@@ -120,6 +144,13 @@ func main() {
 		Workers: *workers, Net: link, Scale: *scale, Seed: *seed,
 		CodecParallelism: *codecpar,
 		FusionBytes:      *fusion,
+	}
+	if *xr {
+		sc.XRank = grace.XRankConfig{
+			Enable:         true,
+			AggregateEvery: *xrEvery,
+			ArtifactsDir:   *artifacts,
+		}
 	}
 
 	if *autotune {
@@ -179,6 +210,16 @@ func main() {
 		fmt.Printf("time split:       compute %v | codec %v | network %v\n\n",
 			rep.ComputeTime, rep.CodecTime, rep.CommTime)
 		summary.Train = append(summary.Train, harness.TrainJSON(b.Name, name, rep))
+		// The summary carries the last method's per-tensor quality table;
+		// with -xrank the headline rows also print here.
+		summary.Quality = rep.Quality
+		if *xr && len(rep.Quality) > 0 {
+			fmt.Printf("%-24s %-12s %-10s %-14s %-12s\n", "tensor", "method", "params", "bits/param", "residual-L2")
+			for _, q := range rep.Quality {
+				fmt.Printf("%-24s %-12s %-10d %-14.3f %-12.4g\n", q.Name, q.Method, q.Params, q.BitsPerParam, q.ResidualL2)
+			}
+			fmt.Println()
+		}
 	}
 
 	writeSummary(*runJSON, *artifacts, summary)
@@ -294,6 +335,39 @@ func runAutotune(b harness.Benchmark, sc harness.SweepConfig, artifactsDir strin
 // Faulty-wrapped hub, one scenario per fault kind, with a watchdog converting
 // any deadlock into a failed row. Scenario rows land in summary; the return
 // value is the number of failed scenarios.
+// runStraggler executes the straggler-attribution battery and reports the
+// verdict; artifacts (merged trace + skew summary) land in artifactsDir for
+// gracestat. Returns true on failure.
+func runStraggler(seed uint64, artifactsDir string, summary *harness.RunSummary) bool {
+	cfg := harness.DefaultStraggler(4, seed)
+	cfg.ArtifactsDir = artifactsDir
+	fmt.Printf("straggler battery: %d ranks, rank %d delayed %v before every allreduce, %d steps\n",
+		cfg.Workers, cfg.DelayRank, cfg.Delay, cfg.Steps)
+	res := harness.RunStraggler(cfg)
+	for rank, err := range res.Errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gracetrain: straggler rank %d: %v\n", rank, err)
+		}
+	}
+	verdict := "ok"
+	if !res.Pass {
+		verdict = "FAIL"
+		summary.Pass = false
+	}
+	fmt.Printf("%-6s attributed %d/%d steps to rank %d, max skew %v, counts %v\n",
+		verdict, res.Attributed, res.SkewSteps, res.DelayedRank,
+		time.Duration(res.MaxSkewNs).Round(time.Microsecond), res.Counts)
+	if res.Detail != "" {
+		fmt.Printf("    %s\n", res.Detail)
+	}
+	if artifactsDir != "" && res.Pass {
+		fmt.Printf("artifacts: %s/XRANK_trace.json (chrome://tracing), %s/XRANK_skew.json (gracestat)\n",
+			artifactsDir, artifactsDir)
+	}
+	summary.Straggler = append(summary.Straggler, harness.StragglerJSON(res))
+	return !res.Pass
+}
+
 func runChaos(workers int, seed uint64, retryBudget int, summary *harness.RunSummary) int {
 	cfg := harness.DefaultChaos(workers, seed)
 	tuned := harness.AutotuneChaos(workers, seed)

@@ -69,6 +69,9 @@ func main() {
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-consistent per-rank checkpoints")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint every N optimizer steps (0 = final only)")
 		resume      = flag.Bool("resume", false, "resume from the newest checkpoint step every rank can load (negotiated over the ring)")
+		xr          = flag.Bool("xrank", false, "enable the cross-rank observability plane: per-op event recording, periodic trace aggregation over the ring, fault flight recorder (all ranks must agree)")
+		xrEvery     = flag.Int("xrank-every", 25, "cross-rank trace aggregation cadence in optimizer steps (with -xrank; adds one small allgather per tick, so all ranks must agree)")
+		xrDir       = flag.String("xrank-dir", "", "directory for flight-recorder dumps and (rank 0) the merged XRANK_* artifacts (with -xrank)")
 		telAddr     = flag.String("telemetry-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address; also enables span recording")
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event file for this rank; also enables span recording")
 		telLinger   = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run, for a final scrape")
@@ -209,6 +212,13 @@ func main() {
 	}
 	if *rank == 0 {
 		cfg.Eval = b.NewEval()
+	}
+	if *xr {
+		cfg.XRank = grace.XRankConfig{
+			Enable:         true,
+			AggregateEvery: *xrEvery,
+			ArtifactsDir:   *xrDir,
+		}
 	}
 
 	// Crash-consistent checkpointing. Each rank snapshots its own full state;

@@ -3,6 +3,8 @@ package comm
 import (
 	"errors"
 	"fmt"
+
+	"repro/internal/telemetry/xrank"
 )
 
 // Op identifies the collective (or transport sub-) operation during which a
@@ -88,6 +90,10 @@ func (e *Error) Unwrap() error { return e.Err }
 
 // wrapErr builds a typed Error unless err is nil or already typed (the
 // innermost coordinates are the most precise ones, so they are preserved).
+// Creating a typed Error is also the cross-rank plane's fault choke point:
+// the innermost wrap records a fault event at the failing op's coordinates
+// and arms a flight-recorder dump (rate-limited, so an abort storm across
+// ranks yields one artifact).
 func wrapErr(rank int, op Op, step int64, err error) error {
 	if err == nil {
 		return nil
@@ -96,5 +102,12 @@ func wrapErr(rank int, op Op, step int64, err error) error {
 	if errors.As(err, &ce) {
 		return err
 	}
-	return &Error{Rank: rank, Op: op, Step: step, Err: err}
+	e := &Error{Rank: rank, Op: op, Step: step, Err: err}
+	code := int64(xrank.FaultError)
+	if errors.Is(err, ErrPeerDead) {
+		code = xrank.FaultPeerDead
+	}
+	xrank.Default.RecordFault(rank, xrank.OpCode(string(op)), step, code)
+	xrank.Default.Flight("comm_"+string(op), e)
+	return e
 }

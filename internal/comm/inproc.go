@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 )
 
 // Hub coordinates an in-process collective group: n worker goroutines in one
@@ -226,6 +227,8 @@ func (w *InProc) Reform() (uint64, error) {
 	if err != nil {
 		return 0, wrapErr(w.rank, OpReform, w.step, err)
 	}
+	xrank.Default.SetGeneration(gen)
+	xrank.Default.RecordFault(w.rank, xrank.OpReform, w.step, xrank.FaultReform)
 	return gen, nil
 }
 
@@ -234,7 +237,9 @@ func (w *InProc) Reform() (uint64, error) {
 func (w *InProc) AllreduceF32(x []float32) error {
 	w.step++
 	buf := f32ToBytes(x)
+	xt0 := xrank.Default.Start()
 	all, err := w.hub.exchange(w.rank, buf)
+	xrank.Default.RecordOp(w.rank, xrank.OpAllreduce, w.step, int64(len(buf)), xt0)
 	if err != nil {
 		return wrapErr(w.rank, OpAllreduce, w.step, err)
 	}
@@ -257,7 +262,9 @@ func (w *InProc) AllreduceF32(x []float32) error {
 // AllgatherBytes distributes every worker's payload to all workers.
 func (w *InProc) AllgatherBytes(b []byte) ([][]byte, error) {
 	w.step++
+	xt0 := xrank.Default.Start()
 	all, err := w.hub.exchange(w.rank, b)
+	xrank.Default.RecordOp(w.rank, xrank.OpAllgather, w.step, int64(len(b)), xt0)
 	if err != nil {
 		return nil, wrapErr(w.rank, OpAllgather, w.step, err)
 	}
@@ -276,7 +283,9 @@ func (w *InProc) BroadcastBytes(b []byte, root int) ([]byte, error) {
 	if w.rank == root {
 		payload = b
 	}
+	xt0 := xrank.Default.Start()
 	all, err := w.hub.exchange(w.rank, payload)
+	xrank.Default.RecordOp(w.rank, xrank.OpBroadcast, w.step, int64(len(payload)), xt0)
 	if err != nil {
 		return nil, wrapErr(w.rank, OpBroadcast, w.step, err)
 	}
@@ -286,7 +295,10 @@ func (w *InProc) BroadcastBytes(b []byte, root int) ([]byte, error) {
 // Barrier blocks until all workers arrive.
 func (w *InProc) Barrier() error {
 	w.step++
-	if _, err := w.hub.exchange(w.rank, nil); err != nil {
+	xt0 := xrank.Default.Start()
+	_, err := w.hub.exchange(w.rank, nil)
+	xrank.Default.RecordOp(w.rank, xrank.OpBarrier, w.step, 0, xt0)
+	if err != nil {
 		return wrapErr(w.rank, OpBarrier, w.step, err)
 	}
 	return nil

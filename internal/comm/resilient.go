@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/fxrand"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 )
 
 // Reformer is implemented by collectives that can rebuild their group under a
@@ -156,6 +157,7 @@ func (r *Resilient) retry(ctx context.Context, call func() error) error {
 		r.spent++
 		r.retries.Add(1)
 		telemetry.Default.Add(telemetry.CtrCommRetries, 1)
+		xrank.Default.RecordFault(r.Rank(), xrank.OpRetry, int64(attempt), xrank.FaultRetry)
 		if err := r.sleep(ctx, r.backoff(attempt)); err != nil {
 			return err
 		}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 )
 
 // Ring is the re-formable TCP collective: it owns a RingConfig and the
@@ -78,6 +79,8 @@ func (r *Ring) Reform() (uint64, error) {
 	r.mu.Unlock()
 	telemetry.Default.Add(telemetry.CtrRingReconnects, 1)
 	telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+	xrank.Default.SetGeneration(t.Generation())
+	xrank.Default.RecordFault(cfg.Rank, xrank.OpReform, t.Step(), xrank.FaultReform)
 	return t.Generation(), nil
 }
 

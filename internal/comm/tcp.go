@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/fxrand"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 )
 
 // Transport hardening defaults. Production gradients are large but bounded;
@@ -768,10 +769,13 @@ func (t *TCPRing) failPeer(peer int, cause error) {
 			Err:  fmt.Errorf("ring neighbor rank %d: %w (%w)", peer, ErrPeerDead, cause),
 		}
 	}
+	verdict := t.peerErr
 	t.peerMu.Unlock()
 	if first {
 		telemetry.Default.Add(telemetry.CtrPeerDeaths, 1)
 		telemetry.Default.Mark("peer_dead:rank"+strconv.Itoa(peer), t.rank)
+		xrank.Default.RecordFault(t.rank, xrank.OpHeartbeat, t.step.Load(), xrank.FaultPeerDead)
+		xrank.Default.Flight("peer_dead", verdict)
 	}
 	t.next.Close()
 	t.prev.Close()
@@ -1125,6 +1129,15 @@ func (t *TCPRing) sendRecv(out []byte) ([]byte, error) {
 func (t *TCPRing) AllreduceF32(x []float32) error {
 	step := t.step.Add(1)
 	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
+	xt0 := xrank.Default.Start()
+	err := t.allreduceRounds(step, x)
+	xrank.Default.RecordOp(t.rank, xrank.OpAllreduce, step, int64(len(x)*4), xt0)
+	return err
+}
+
+// allreduceRounds is AllreduceF32's ring schedule, split out so the op-level
+// xrank event covers exactly the time spent in ring I/O.
+func (t *TCPRing) allreduceRounds(step int64, x []float32) error {
 	n := t.n
 	chunk := func(i int) (lo, hi int) {
 		i = ((i % n) + n) % n
@@ -1170,6 +1183,13 @@ func (t *TCPRing) AllreduceF32(x []float32) error {
 func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
 	step := t.step.Add(1)
 	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
+	xt0 := xrank.Default.Start()
+	out, err := t.gatherRounds(step, b)
+	xrank.Default.RecordOp(t.rank, xrank.OpAllgather, step, int64(len(b)), xt0)
+	return out, err
+}
+
+func (t *TCPRing) gatherRounds(step int64, b []byte) ([][]byte, error) {
 	out := make([][]byte, t.n)
 	out[t.rank] = b
 	cur := b
@@ -1189,6 +1209,13 @@ func (t *TCPRing) AllgatherBytes(b []byte) ([][]byte, error) {
 func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
 	step := t.step.Add(1)
 	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
+	xt0 := xrank.Default.Start()
+	out, err := t.broadcastRounds(step, b, root)
+	xrank.Default.RecordOp(t.rank, xrank.OpBroadcast, step, int64(len(b)), xt0)
+	return out, err
+}
+
+func (t *TCPRing) broadcastRounds(step int64, b []byte, root int) ([]byte, error) {
 	if root < 0 || root >= t.n {
 		return nil, wrapErr(t.rank, OpBroadcast, step, fmt.Errorf("broadcast root %d out of range", root))
 	}
@@ -1217,12 +1244,16 @@ func (t *TCPRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
 func (t *TCPRing) Barrier() error {
 	step := t.step.Add(1)
 	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
+	xt0 := xrank.Default.Start()
+	var err error
 	for s := 0; s < 2; s++ {
-		if _, err := t.sendRecv(nil); err != nil {
-			return wrapErr(t.rank, OpBarrier, step, err)
+		if _, e := t.sendRecv(nil); e != nil {
+			err = wrapErr(t.rank, OpBarrier, step, e)
+			break
 		}
 	}
-	return nil
+	xrank.Default.RecordOp(t.rank, xrank.OpBarrier, step, 0, xt0)
+	return err
 }
 
 func ioReadFull(r *bufio.Reader, buf []byte) (int, error) {

@@ -34,6 +34,19 @@
 // pairs that could not be observed, e.g. an Every=1 run whose single probe
 // step was consumed by a flush handoff).
 //
+// # Fault evidence
+//
+// When the engine runs with DecodeFallback, each observation carries a
+// rank-identical Fault flag (derived from the recovery round's union bitmask,
+// see grace.TunerObs). The policy counts faults per (tensor, candidate) pair
+// and multiplies the pair's modeled time by a growing penalty, so a candidate
+// whose payloads keep failing decode is steered away from without breaking
+// determinism — every rank observes the identical union. Fault memory is
+// deliberately ephemeral (not part of TunerState): after a restore the policy
+// trajectory still replays bitwise, it merely re-learns fault evidence, which
+// is the desired behavior when the fault source was the previous incarnation's
+// environment.
+//
 // # EF handoff
 //
 // Switching methods under error-feedback memory (Eq. 4) changes what the
@@ -140,6 +153,10 @@ type Policy struct {
 	// lastBytes[i*C+c] is the last ExchBytes observed for tensor i under
 	// candidate c (-1 = never observed).
 	lastBytes []int64
+	// faults[i*C+c] counts union decode faults observed for tensor i under
+	// candidate c. Ephemeral by design — see the package doc's fault-evidence
+	// section — so it is absent from TunerState.
+	faults []int64
 }
 
 // New builds a Policy. Candidate methods are resolved against the grace
@@ -253,6 +270,10 @@ func (p *Policy) Init(infos []grace.TensorInfo) error {
 			return fmt.Errorf("autotune: policy tracks %d tensors, run has %d (the tensor set must be stable)", len(p.assign), m)
 		}
 		p.sizes = sizes
+		if p.faults == nil {
+			// A restore precedes this bind; fault memory starts fresh.
+			p.faults = make([]int64, m*len(p.cands))
+		}
 		return nil
 	}
 	p.sizes = sizes
@@ -262,6 +283,7 @@ func (p *Policy) Init(infos []grace.TensorInfo) error {
 	for i := range p.lastBytes {
 		p.lastBytes[i] = -1
 	}
+	p.faults = make([]int64, m*len(p.cands))
 	return nil
 }
 
@@ -289,6 +311,10 @@ func (p *Policy) Observe(obs []grace.TunerObs) {
 			continue
 		}
 		p.lastBytes[i*C+o.Cand] = o.ExchBytes
+		if o.Fault {
+			p.faults[i*C+o.Cand]++
+			telemetry.Default.Add(telemetry.CtrAutotuneFaultObs, 1)
+		}
 	}
 	// Any handoff requested by the last Plan has now run (or was ignored by a
 	// memoryless engine, which is just as final).
@@ -381,7 +407,16 @@ func (p *Policy) score(i, c int) float64 {
 		wire = p.cluster.AllgatherUniformTime(per)
 		recv = float64(bytes) - float64(per) // peers' payloads
 	}
-	return float64(wire.Nanoseconds()) + m.encNsPerElem*float64(n) + m.decNsPerByte*recv
+	s := float64(wire.Nanoseconds()) + m.encNsPerElem*float64(n) + m.decNsPerByte*recv
+	// Each union decode fault observed for this pair quadruples the price of
+	// the next one: a strong, deterministic push away from candidates whose
+	// payloads keep failing, without the cliff of a hard disqualification
+	// (were every candidate faulting, argmin over equal penalties still
+	// yields a valid, rank-identical assignment).
+	if f := p.faults[i*len(p.cands)+c]; f > 0 {
+		s *= float64(1 + 4*f)
+	}
+	return s
 }
 
 // estBytes is the pre-observation byte prior for (tensor, candidate):

@@ -1,6 +1,7 @@
 package grace
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 )
 
 // Engine is the per-worker, step-scoped exchange orchestrator: it accepts
@@ -68,6 +70,21 @@ type Engine struct {
 	have    []bool  // driver-side arrival tracking
 	failed  []bool  // recoverable per-tensor decode failures (DecodeFallback)
 	rep     StepReport
+
+	// Cross-rank observability + per-tensor quality accounting. stepNum
+	// counts completed Steps (lockstep, so identical across ranks — the
+	// correlation key for xrank step events). fellback marks this step's
+	// union-recovered tensors; because it derives from recoverStep's union
+	// bitmask it is rank-identical and safe as a tuner observation. The q*
+	// slices accumulate per-tensor quality totals (local decode faults,
+	// union fallbacks, sent payload bytes, exchanged steps) for the lifetime
+	// of the current tensor set; QualityReport renders them.
+	stepNum    int64
+	fellback   []bool
+	qFaults    []int64
+	qFallbacks []int64
+	qSentBytes []int64
+	qSteps     []int64
 
 	// Fusion state. buckets is the step's bucket plan (contiguous tensor
 	// ranges, identical on every rank); bucketOf inverts it. For multi-tensor
@@ -409,6 +426,7 @@ func (e *Engine) Resume() { e.paused.Store(false) }
 // to a per-tensor recovery: see the config field for the protocol.
 func (e *Engine) Step(grads [][]float32, infos []TensorInfo) ([][]float32, *StepReport, error) {
 	start := time.Now()
+	xt0 := xrank.Default.Start()
 	if e.paused.Load() {
 		return nil, nil, fmt.Errorf("grace: engine is paused (heal in progress)")
 	}
@@ -494,16 +512,19 @@ driver:
 		<-e.ready
 	}
 	if err := e.err(); err != nil {
-		return nil, nil, err
+		return nil, nil, e.noteStepError(err)
 	}
 	if e.fallback {
 		if err := e.recoverStep(infos); err != nil {
-			return nil, nil, err
+			return nil, nil, e.noteStepError(err)
 		}
 	}
 
+	e.stepNum++
 	for i := range e.rep.Tensors {
 		st := &e.rep.Tensors[i]
+		e.qSentBytes[i] += int64(st.SentBytes)
+		e.qSteps[i]++
 		e.rep.SentBytes += st.SentBytes
 		e.rep.RecvBytes += st.RecvBytes
 		e.rep.CodecTime += st.CodecTime
@@ -549,7 +570,24 @@ driver:
 	if e.tuner != nil {
 		e.observeStep()
 	}
+	xrank.Default.RecordStep(e.rank, e.stepNum, int64(e.rep.SentBytes), xt0)
 	return e.out, &e.rep, nil
+}
+
+// noteStepError records a step-level fault event and arms a flight-recorder
+// dump before the error escapes Step. Comm-layer failures already recorded
+// their own event at the failing op's coordinates (see comm's wrapErr); this
+// one marks the step boundary the failure surfaced at — carrying the failing
+// op when a comm.Error is in the chain — so a merged trace shows both.
+func (e *Engine) noteStepError(err error) error {
+	op := int64(xrank.OpStep)
+	var ce *comm.Error
+	if errors.As(err, &ce) {
+		op = xrank.OpCode(string(ce.Op))
+	}
+	xrank.Default.RecordFault(e.rank, op, e.stepNum+1, xrank.FaultStep)
+	xrank.Default.Flight("step_error", err)
+	return err
 }
 
 // planStep pulls the step's per-tensor assignment from the policy and
@@ -596,6 +634,7 @@ func (e *Engine) observeStep() {
 		o.Cand = e.assign[i].Cand
 		o.Flush = e.isFlush(i)
 		o.Strategy = st.Strategy
+		o.Fault = e.fellback[i]
 		switch st.Strategy {
 		case Allgather:
 			var total int64
@@ -996,6 +1035,7 @@ func (e *Engine) decodeOne(ln *engineLane, i int, info TensorInfo) {
 func (e *Engine) failTensor(i int, info TensorInfo, err error) {
 	if e.fallback {
 		e.failed[i] = true
+		e.qFaults[i]++
 		return
 	}
 	e.setErr(&StepError{Tensor: i, Name: info.Name, Phase: "decode", Err: err})
@@ -1051,6 +1091,8 @@ func (e *Engine) recoverStep(infos []TensorInfo) error {
 		}
 		scale(e.out[i], 1/e.n)
 		e.rep.Fallbacks++
+		e.fellback[i] = true
+		e.qFallbacks[i]++
 		e.rep.Tensors[i].SentBytes += len(e.out[i]) * 4
 		e.rep.Tensors[i].RecvBytes += len(e.out[i]) * 4
 	}
@@ -1104,6 +1146,11 @@ func (e *Engine) ensure(infos []TensorInfo) error {
 		e.gsz = make([][]int, m)
 		e.have = make([]bool, m)
 		e.failed = make([]bool, m)
+		e.fellback = make([]bool, m)
+		e.qFaults = make([]int64, m)
+		e.qFallbacks = make([]int64, m)
+		e.qSentBytes = make([]int64, m)
+		e.qSteps = make([]int64, m)
 		e.rep.Tensors = make([]StepStats, m)
 		e.nameIdx = make(map[string]int, m)
 		laneMax := make([]int, p)
@@ -1179,6 +1226,7 @@ func (e *Engine) ensure(infos []TensorInfo) error {
 		e.rep.Tensors[i] = StepStats{}
 		e.have[i] = false
 		e.failed[i] = false
+		e.fellback[i] = false
 		e.pays[i] = nil
 		e.compVec[i] = nil
 		e.gathers[i] = nil

@@ -1,0 +1,99 @@
+package grace
+
+import "sort"
+
+// TensorQuality is one tensor's compression-quality record, accumulated by
+// the Engine over the lifetime of the current tensor set (reset when shapes
+// change) and rendered by QualityReport. It answers "how hard is this tensor
+// actually being compressed, and at what cost": the achieved wire density in
+// bits per parameter against the dense 32-bit baseline, the error-feedback
+// residual the compression has accumulated, and the decode fault/fallback
+// history.
+type TensorQuality struct {
+	// Tensor and Name identify the tensor (input order / TensorInfo.Name).
+	Tensor int    `json:"tensor"`
+	Name   string `json:"name"`
+	// Method labels the active compression method: the autotuner's current
+	// candidate in tuning mode, the engine's fixed method otherwise.
+	Method string `json:"method"`
+	// Params is the tensor's element count.
+	Params int `json:"params"`
+	// Steps is how many completed steps the tensor has been exchanged in.
+	Steps int64 `json:"steps"`
+	// SentBytes is the cumulative compressed payload volume this worker sent
+	// for the tensor (including any uncompressed fallback re-exchanges).
+	SentBytes int64 `json:"sent_bytes"`
+	// BitsPerParam is the achieved average wire density:
+	// SentBytes·8 / (Params·Steps). Dense float32 exchange is 32; the ratio
+	// 32/BitsPerParam is the achieved compression factor.
+	BitsPerParam float64 `json:"bits_per_param"`
+	// ResidualL2 is the current L2 norm of the tensor's error-feedback
+	// residual (Eq. 4); 0 when the engine runs without EF memory. A
+	// monotonically growing trajectory across reports flags a method whose
+	// bias the optimizer is not absorbing.
+	ResidualL2 float64 `json:"residual_l2"`
+	// Faults counts payloads of this tensor that failed decode on this
+	// worker; Fallbacks counts the union recovery re-exchanges the group ran
+	// for it (rank-identical, ≥ the local fault count in aggregate).
+	Faults    int64 `json:"faults"`
+	Fallbacks int64 `json:"fallbacks"`
+}
+
+// QualityReport renders the per-tensor compression-quality accumulators.
+// Rows come back in input-tensor order. The report allocates; it is meant
+// for cadence/END-of-run consumption (artifacts, gracestat), not the per-step
+// hot path. Must not be called concurrently with Step.
+func (e *Engine) QualityReport() []TensorQuality {
+	m := len(e.sizes)
+	if m == 0 {
+		return nil
+	}
+	names := make([]string, m)
+	for name, i := range e.nameIdx {
+		names[i] = name
+	}
+	rows := make([]TensorQuality, m)
+	for i := 0; i < m; i++ {
+		q := &rows[i]
+		q.Tensor = i
+		q.Name = names[i]
+		q.Method = e.methodLabel(i)
+		q.Params = e.sizes[i]
+		q.Steps = e.qSteps[i]
+		q.SentBytes = e.qSentBytes[i]
+		if denom := float64(q.Params) * float64(q.Steps); denom > 0 {
+			q.BitsPerParam = float64(q.SentBytes) * 8 / denom
+		}
+		if e.mem != nil {
+			q.ResidualL2 = e.mem.Norm2(q.Name)
+		}
+		q.Faults = e.qFaults[i]
+		q.Fallbacks = e.qFallbacks[i]
+	}
+	return rows
+}
+
+// methodLabel names tensor i's active compression method: the tuner's
+// current candidate label in autotuning mode, the fixed compressor's name
+// otherwise.
+func (e *Engine) methodLabel(i int) string {
+	if e.tuner != nil {
+		if i < len(e.rep.PolicyByTensor) && e.rep.PolicyByTensor[i] != "" {
+			return e.rep.PolicyByTensor[i]
+		}
+		return "?"
+	}
+	if len(e.lanes) > 0 && e.lanes[0].comp != nil {
+		return e.lanes[0].comp.Name()
+	}
+	return "?"
+}
+
+// SortQualityByDensity orders rows densest-wire-first (highest achieved
+// bits/param first), the "who is compressing worst" view gracestat leads
+// with. Ties break by tensor index for stable output.
+func SortQualityByDensity(rows []TensorQuality) {
+	sort.SliceStable(rows, func(a, b int) bool {
+		return rows[a].BitsPerParam > rows[b].BitsPerParam
+	})
+}

@@ -12,8 +12,31 @@ import (
 	"repro/internal/optim"
 	"repro/internal/simnet"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
 	"repro/internal/tensor"
 )
+
+// XRankConfig parameterizes the cross-rank observability plane for one run
+// (see Config.XRank and package telemetry/xrank).
+type XRankConfig struct {
+	// Enable turns on event recording in the process-wide xrank recorder.
+	Enable bool
+	// AggregateEvery > 0 piggybacks each rank's event window on one extra
+	// AllgatherBytes every that many optimizer steps; rank 0 merges the
+	// windows into the run's distributed trace, other ranks contribute and
+	// discard. The extra collective is part of the lockstep op sequence, so
+	// the value must be identical on every rank (like DecodeFallback or
+	// Fusion). 0 disables aggregation: events are still recorded locally and
+	// remain available to the flight recorder.
+	AggregateEvery int
+	// ArtifactsDir receives rank 0's merged trace + skew artifacts at run
+	// end and every rank's flight-recorder dumps. Empty leaves the flight
+	// recorder disarmed and skips the artifact write.
+	ArtifactsDir string
+	// FlightWindow bounds the flight recorder's look-back (0 keeps the
+	// recorder's default, 10s).
+	FlightWindow time.Duration
+}
 
 // Model is what the trainer needs from a benchmark model: parameters with
 // gradients and a forward/backward step over one mini-batch returning the
@@ -116,6 +139,12 @@ type Config struct {
 	// with Checkpoint.Every > 0 so there is a recovery point to roll back to.
 	Rejoin *RejoinConfig
 
+	// XRank configures the cross-rank observability plane (telemetry/xrank):
+	// per-op/step event recording, periodic cross-rank aggregation of the
+	// event windows, and the fault flight recorder. The zero value keeps
+	// everything off, which leaves the hot path at one atomic load per hook.
+	XRank XRankConfig
+
 	// Eval computes the quality metric (rank 0, every EvalEvery epochs,
 	// default 1). Optional.
 	Eval func(m Model) float64
@@ -166,6 +195,10 @@ type Report struct {
 	// FinalPolicy is the autotuner's last per-tensor candidate assignment
 	// (nil for fixed-method runs).
 	FinalPolicy []string
+	// Quality is the per-tensor compression-quality report accumulated over
+	// the run: achieved bits/param, EF residual norm, fault/fallback history
+	// (see Engine.QualityReport).
+	Quality []TensorQuality
 }
 
 // Run executes the distributed training loop of Algorithm 1 and returns the
@@ -314,6 +347,20 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	if err != nil {
 		return nil, err
 	}
+
+	// Cross-rank observability: arm the process-wide recorder and, when an
+	// aggregation cadence is configured, prepare the piggyback collector.
+	var xagg *xrank.Aggregator
+	if cfg.XRank.Enable {
+		xrank.Default.SetEnabled(true)
+		if cfg.XRank.ArtifactsDir != "" {
+			xrank.Default.ConfigureFlight(cfg.XRank.ArtifactsDir, cfg.XRank.FlightWindow, 0)
+		}
+		if cfg.XRank.AggregateEvery > 0 {
+			xagg = xrank.NewAggregator(xrank.Default, rank, cfg.Workers)
+		}
+	}
+
 	sampler := data.NewSampler(cfg.Dataset.Len(), cfg.Workers, rank, cfg.Seed)
 
 	rep := &Report{}
@@ -386,6 +433,14 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 				return fmt.Errorf("grace: checkpoint save at step %d: %w", globalStep, err)
 			}
 			ts.end(telemetry.PhaseCheckpoint, "", span)
+		}
+		// Trace aggregation piggybacks one AllgatherBytes at the cadence
+		// boundary — same position in every rank's op sequence, so the
+		// lockstep contract holds.
+		if xagg != nil && globalStep%int64(cfg.XRank.AggregateEvery) == 0 {
+			if err := xagg.Exchange(coll); err != nil {
+				return fmt.Errorf("grace: xrank trace aggregation at step %d: %w", globalStep, err)
+			}
 		}
 		if cfg.OnStep != nil {
 			if err := cfg.OnStep(rank, globalStep); err != nil {
@@ -580,6 +635,11 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		if heals++; heals > rj.maxHeals() {
 			return nil, fmt.Errorf("grace: giving up after %d heals: %w", heals-1, err)
 		}
+		// Freeze the event window before the reform rewrites the group: the
+		// dump captures the conviction and the ops leading up to it. The
+		// recorder rate-limits, so a whole group healing at once still yields
+		// a bounded artifact set.
+		xrank.Default.Flight("heal_peer_dead", err)
 		rf, ok := comm.AsReformer(coll)
 		if !ok {
 			return nil, fmt.Errorf("grace: peer died and the collective cannot reform: %w", err)
@@ -598,6 +658,21 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		}
 	}
 
+	// Final trace aggregation picks up the tail since the last cadence tick;
+	// every rank participates (it is a collective), rank 0 then renders the
+	// merged artifacts. A failure here loses only the tail — whatever earlier
+	// ticks merged is still written.
+	if xagg != nil {
+		if err := xagg.Exchange(coll); err != nil {
+			telemetry.Default.Mark("xrank:final-exchange-failed", rank)
+		}
+		if cfg.XRank.ArtifactsDir != "" {
+			if err := xagg.WriteArtifacts(cfg.XRank.ArtifactsDir); err != nil {
+				return nil, fmt.Errorf("grace: xrank artifacts: %w", err)
+			}
+		}
+	}
+
 	if ck := cfg.Checkpoint; ck != nil && ck.Final {
 		span := ts.start()
 		snap, err := captureSnapshot(&cfg, rank, model, opt, mem, eng, syncPoint,
@@ -611,6 +686,7 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		ts.end(telemetry.PhaseCheckpoint, "", span)
 	}
 
+	rep.Quality = eng.QualityReport()
 	rep.TotalVirtualTime = clock.Elapsed()
 	if rep.Iters > 0 {
 		rep.BytesPerIter = float64(totalBytes) / float64(rep.Iters)

@@ -57,6 +57,13 @@ type TunerObs struct {
 	// every rank's payload sizes for an allgather (every rank sees every
 	// payload). Flush steps report the uncompressed width.
 	ExchBytes int64
+	// Fault reports that this tensor's compressed payload failed decode on at
+	// least one rank this step and was salvaged by the DecodeFallback recovery
+	// round. It derives from the recovery round's union bitmask, so every rank
+	// observes the identical value — safe to fold into policy decisions
+	// without breaking the determinism contract. Always false when
+	// DecodeFallback is off (a fault is then fatal, never observed).
+	Fault bool
 }
 
 // TunerState is the serializable policy state. It is captured into

@@ -27,10 +27,15 @@ type RunSummary struct {
 	// itself) succeeded.
 	Pass bool `json:"pass"`
 
-	Train    []TrainResultJSON    `json:"train,omitempty"`
-	Chaos    []ChaosResultJSON    `json:"chaos,omitempty"`
-	Recovery []RecoveryResultJSON `json:"recovery,omitempty"`
-	Rejoin   []RejoinResultJSON   `json:"rejoin,omitempty"`
+	Train     []TrainResultJSON     `json:"train,omitempty"`
+	Chaos     []ChaosResultJSON     `json:"chaos,omitempty"`
+	Recovery  []RecoveryResultJSON  `json:"recovery,omitempty"`
+	Rejoin    []RejoinResultJSON    `json:"rejoin,omitempty"`
+	Straggler []StragglerResultJSON `json:"straggler,omitempty"`
+	// Quality is the last training run's per-tensor compression-quality
+	// table (achieved bits/param, EF residual L2, fault history); gracestat
+	// renders it alongside the skew artifacts.
+	Quality []grace.TensorQuality `json:"quality,omitempty"`
 
 	// Telemetry is the process-wide counter/histogram snapshot at the time
 	// the summary was written (nil when telemetry was not snapshotted).
@@ -193,6 +198,34 @@ func RejoinJSON(scenario string, res *RejoinResult, restartDowntime time.Duratio
 	out.RestartDowntimeMs = float64(restartDowntime) / float64(time.Millisecond)
 	out.Pass = res.Match
 	return out
+}
+
+// StragglerResultJSON records one straggler-attribution battery: how many of
+// the merged trace's per-step skew rows named the rank carrying the injected
+// delay, the per-rank straggler tally, and the largest wait spread observed.
+type StragglerResultJSON struct {
+	Pass        bool    `json:"pass"`
+	DelayedRank int     `json:"delayed_rank"`
+	SkewSteps   int     `json:"skew_steps"`
+	Attributed  int     `json:"attributed_steps"`
+	Counts      []int64 `json:"straggler_counts,omitempty"`
+	MaxSkewMs   float64 `json:"max_skew_ms"`
+	ElapsedMs   float64 `json:"elapsed_ms"`
+	Detail      string  `json:"detail,omitempty"`
+}
+
+// StragglerJSON converts a battery verdict to its JSON form.
+func StragglerJSON(r StragglerResult) StragglerResultJSON {
+	return StragglerResultJSON{
+		Pass:        r.Pass,
+		DelayedRank: r.DelayedRank,
+		SkewSteps:   r.SkewSteps,
+		Attributed:  r.Attributed,
+		Counts:      r.Counts,
+		MaxSkewMs:   float64(r.MaxSkewNs) / 1e6,
+		ElapsedMs:   float64(r.Elapsed) / float64(time.Millisecond),
+		Detail:      r.Detail,
+	}
 }
 
 // WriteRunSummaryDir writes the summary into dir as an auto-named artifact,

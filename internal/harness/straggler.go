@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/grace"
+	"repro/internal/telemetry/xrank"
+)
+
+// StragglerConfig describes one straggler-attribution battery run: a
+// multi-rank in-process exchange loop with a per-op delay injected on one
+// rank, the cross-rank observability plane enabled, and the merged trace's
+// per-step skew rows checked for whether they attribute the slowness to the
+// injected rank. The battery is the end-to-end proof of the xrank plane's
+// core claim: rendezvous wait asymmetry alone — no cross-rank clock sync —
+// identifies the straggler.
+type StragglerConfig struct {
+	Workers int
+	Steps   int
+	Tensors int
+	// DelayRank is the rank carrying the injected pre-collective delay.
+	DelayRank int
+	// Delay is the injected per-op sleep; it must dominate the substrate's
+	// natural jitter for the attribution to be meaningful.
+	Delay time.Duration
+	// AggregateEvery is the xrank piggyback cadence in steps.
+	AggregateEvery int
+	// Method/Opts select the compressor (an allreduce-strategy method keeps
+	// the delayed op and the fault rule trivially aligned).
+	Method string
+	Opts   grace.Options
+	Seed   uint64
+	// ArtifactsDir, when non-empty, receives rank 0's merged trace + skew
+	// artifacts (XRANK_trace.json, XRANK_skew.json) for gracestat.
+	ArtifactsDir string
+	Timeout      time.Duration
+}
+
+// DefaultStraggler is the stock battery: 4 ranks, one of them (rank 2)
+// delayed 2ms before every allreduce, dense exchange so every step has a
+// clean per-tensor op window.
+func DefaultStraggler(workers int, seed uint64) StragglerConfig {
+	if workers < 2 {
+		workers = 4
+	}
+	return StragglerConfig{
+		Workers:        workers,
+		Steps:          40,
+		Tensors:        6,
+		DelayRank:      workers / 2,
+		Delay:          2 * time.Millisecond,
+		AggregateEvery: 10,
+		Method:         "none",
+		Seed:           seed,
+	}
+}
+
+// StragglerResult is the battery verdict.
+type StragglerResult struct {
+	Pass bool
+	// DelayedRank echoes the injected rank. SkewSteps is how many per-step
+	// skew rows the merged trace yielded; Attributed is how many of them
+	// named DelayedRank the straggler. Counts is the full per-rank straggler
+	// tally over the rows.
+	DelayedRank int
+	SkewSteps   int
+	Attributed  int
+	Counts      []int64
+	// MaxSkewNs is the largest slowest-vs-fastest wait spread observed in
+	// one step; with an injected delay it should be on the order of
+	// Delay × ops-per-step.
+	MaxSkewNs int64
+	Elapsed   time.Duration
+	Errs      []error
+	Detail    string
+}
+
+// RunStraggler runs the battery. It owns the process-global xrank recorder
+// for its duration (reset on entry, disabled on exit), so it must not run
+// concurrently with another xrank consumer.
+func RunStraggler(cfg StragglerConfig) StragglerResult {
+	res := StragglerResult{DelayedRank: cfg.DelayRank, Errs: make([]error, cfg.Workers)}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.AggregateEvery <= 0 {
+		cfg.AggregateEvery = 10
+	}
+	infos := chaosInfos(cfg.Tensors)
+	plan := comm.Plan{
+		Seed: cfg.Seed,
+		Faults: []comm.Fault{{
+			Kind:  comm.FaultDelay,
+			Rank:  cfg.DelayRank,
+			Op:    comm.OpAllreduce,
+			Delay: cfg.Delay,
+		}},
+	}
+
+	rec := xrank.Default
+	rec.Reset()
+	rec.SetEnabled(true)
+	defer rec.SetEnabled(false)
+
+	hub := comm.NewHub(cfg.Workers)
+	aggs := make([]*xrank.Aggregator, cfg.Workers)
+	start := time.Now()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for rank := 0; rank < cfg.Workers; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				coll := comm.NewFaulty(hub.Worker(rank), plan)
+				eng, err := grace.NewEngine(
+					grace.WithCollective(coll),
+					grace.WithParallelism(2),
+					grace.WithCompressorFactory(func() (grace.Compressor, error) {
+						return grace.New(cfg.Method, cfg.Opts)
+					}),
+				)
+				if err != nil {
+					res.Errs[rank] = err
+					return
+				}
+				agg := xrank.NewAggregator(rec, rank, cfg.Workers)
+				aggs[rank] = agg
+				for step := 0; step < cfg.Steps; step++ {
+					if _, _, err := eng.Step(chaosGrads(rank, step, infos), infos); err != nil {
+						res.Errs[rank] = err
+						return
+					}
+					// Same cadence position on every rank: the piggyback
+					// allgather is part of the lockstep op sequence.
+					if (step+1)%cfg.AggregateEvery == 0 {
+						if err := agg.Exchange(coll); err != nil {
+							res.Errs[rank] = err
+							return
+						}
+					}
+				}
+			}(rank)
+		}
+		wg.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout):
+		hub.Abort(fmt.Errorf("straggler watchdog: battery exceeded %v", cfg.Timeout))
+		<-done
+		res.Detail = "hung"
+		return res
+	}
+	res.Elapsed = time.Since(start)
+	for _, err := range res.Errs {
+		if err != nil {
+			res.Detail = "rank error"
+			return res
+		}
+	}
+
+	rows := xrank.ComputeSkew(aggs[0].Merged(), cfg.Workers)
+	res.SkewSteps = len(rows)
+	res.Counts = xrank.StragglerCounts(rows, cfg.Workers)
+	for _, row := range rows {
+		if row.Straggler == cfg.DelayRank {
+			res.Attributed++
+		}
+		if row.SkewNs > res.MaxSkewNs {
+			res.MaxSkewNs = row.SkewNs
+		}
+	}
+	if cfg.ArtifactsDir != "" {
+		if err := aggs[0].WriteArtifacts(cfg.ArtifactsDir); err != nil {
+			res.Detail = fmt.Sprintf("artifact write: %v", err)
+			return res
+		}
+	}
+
+	// Verdict: the merged trace must cover most of the run (the last cadence
+	// tick flushes every full window), and ≥90% of the covered steps must
+	// finger the delayed rank.
+	minRows := cfg.Steps / 2
+	if res.SkewSteps < minRows {
+		res.Detail = fmt.Sprintf("only %d skew rows for %d steps", res.SkewSteps, cfg.Steps)
+		return res
+	}
+	if res.Attributed*10 < res.SkewSteps*9 {
+		res.Detail = fmt.Sprintf("rank %d attributed in %d/%d steps (<90%%), counts=%v",
+			cfg.DelayRank, res.Attributed, res.SkewSteps, res.Counts)
+		return res
+	}
+	res.Pass = true
+	res.Detail = fmt.Sprintf("rank %d attributed in %d/%d steps, max skew %v",
+		cfg.DelayRank, res.Attributed, res.SkewSteps, time.Duration(res.MaxSkewNs))
+	return res
+}

@@ -1,0 +1,58 @@
+package harness
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/telemetry/xrank"
+)
+
+// TestStragglerAttribution is the acceptance check for the skew analytics:
+// a 4-rank run with one rank delayed before every allreduce must attribute
+// ≥90% of the merged trace's steps to that rank, and the artifacts dir must
+// come out loadable by gracestat (a parseable trace + skew summary naming
+// the same rank).
+func TestStragglerAttribution(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultStraggler(4, 7)
+	cfg.ArtifactsDir = dir
+	res := RunStraggler(cfg)
+	for rank, err := range res.Errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	if !res.Pass {
+		t.Fatalf("battery failed: %s (counts=%v)", res.Detail, res.Counts)
+	}
+	if res.DelayedRank != 2 {
+		t.Fatalf("DefaultStraggler(4) should delay rank 2, got %d", res.DelayedRank)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, xrank.SkewFile))
+	if err != nil {
+		t.Fatalf("skew artifact: %v", err)
+	}
+	var s xrank.SkewSummary
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatalf("skew artifact does not parse: %v", err)
+	}
+	if s.Size != 4 || s.Steps != res.SkewSteps {
+		t.Fatalf("skew summary mismatch: size=%d steps=%d want 4/%d", s.Size, s.Steps, res.SkewSteps)
+	}
+	var best, bestRank int64 = -1, -1
+	for r, n := range s.StragglerSteps {
+		if n > best {
+			best, bestRank = n, int64(r)
+		}
+	}
+	if bestRank != int64(cfg.DelayRank) {
+		t.Fatalf("skew summary names rank %d the top straggler, injected %d (%v)",
+			bestRank, cfg.DelayRank, s.StragglerSteps)
+	}
+	if _, err := os.Stat(filepath.Join(dir, xrank.TraceFile)); err != nil {
+		t.Fatalf("trace artifact: %v", err)
+	}
+}

@@ -81,6 +81,10 @@ type SweepConfig struct {
 	// fill target (see grace.FusionConfig.TargetBytes); 0 keeps the paper's
 	// per-tensor collective schedule.
 	FusionBytes int
+	// XRank configures the cross-rank observability plane for the run (event
+	// recording, trace aggregation cadence, flight recorder); the zero value
+	// keeps it off. See grace.XRankConfig.
+	XRank grace.XRankConfig
 }
 
 // DefaultSweep matches the paper's default system setup: 8 workers on
@@ -107,6 +111,7 @@ func RunOne(b Benchmark, spec MethodSpec, sc SweepConfig) (*grace.Report, error)
 		UseMemory:            spec.EF,
 		CodecParallelism:     sc.CodecParallelism,
 		Fusion:               grace.FusionConfig{TargetBytes: sc.FusionBytes},
+		XRank:                sc.XRank,
 		Net:                  sc.Net,
 		ComputePerIter:       b.ComputePerIter,
 		Eval:                 b.NewEval(),

@@ -75,20 +75,68 @@ func (h *Histogram) Bucket(i int) int64 {
 	return h.buckets[i].Load()
 }
 
-// QuantileNs estimates the q-quantile (0 <= q <= 1) in nanoseconds from the
-// bucket counts: it walks to the bucket containing the target rank and
-// interpolates linearly inside it. Log2 buckets bound the error to the
-// bucket width (a factor of two), which is plenty for "where does the time
-// go" answers. Returns 0 when the histogram is empty.
-//
-// The load is not atomic across buckets; under concurrent writers the result
-// is an estimate over an approximate snapshot, which is the usual and
-// acceptable contract for scraped metrics.
+// HistogramSnapshot is a self-consistent capture of one histogram: Count
+// always equals the sum of Buckets, so a render derived from it (cumulative
+// bucket counts, the +Inf series, _count) can never contradict itself the
+// way independent atomic loads taken mid-Record could.
+type HistogramSnapshot struct {
+	Buckets [HistBuckets]int64
+	Count   int64
+	SumNs   int64
+}
+
+// Snapshot captures the histogram through the same atomic gate a Record
+// passes: it reads count, then the buckets and sum, then count again, and
+// retries while the two count reads disagree or the captured buckets do not
+// sum to the count (a Record lands its bucket before its count, so a torn
+// capture shows up as a mismatch). Under a sustained write storm the bounded
+// retry falls back to deriving Count from the captured buckets — still
+// internally consistent, merely a few in-flight observations behind the live
+// totals. SumNs shares the capture but is only approximately aligned in the
+// fallback case, which shifts a mean by at most the in-flight spans.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	for attempt := 0; attempt < 8; attempt++ {
+		c1 := h.count.Load()
+		var cum int64
+		for i := range s.Buckets {
+			v := h.buckets[i].Load()
+			s.Buckets[i] = v
+			cum += v
+		}
+		s.SumNs = h.sumNs.Load()
+		if c2 := h.count.Load(); c1 == c2 && cum == c2 {
+			s.Count = c2
+			return s
+		}
+	}
+	var cum int64
+	for _, v := range s.Buckets {
+		cum += v
+	}
+	s.Count = cum
+	return s
+}
+
+// QuantileNs estimates the q-quantile (0 <= q <= 1) in nanoseconds from a
+// consistent snapshot of the bucket counts: it walks to the bucket containing
+// the target rank and interpolates linearly inside it. Log2 buckets bound the
+// error to the bucket width (a factor of two), which is plenty for "where
+// does the time go" answers. Returns 0 when the histogram is empty.
 func (h *Histogram) QuantileNs(q float64) int64 {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	s := h.Snapshot()
+	return s.QuantileNs(q)
+}
+
+// QuantileNs estimates the q-quantile over the snapshot's buckets.
+func (s *HistogramSnapshot) QuantileNs(q float64) int64 {
+	total := s.Count
 	if total == 0 {
 		return 0
 	}
@@ -104,7 +152,7 @@ func (h *Histogram) QuantileNs(q float64) int64 {
 	}
 	var seen int64
 	for i := 0; i < HistBuckets; i++ {
-		n := h.buckets[i].Load()
+		n := s.Buckets[i]
 		if n == 0 {
 			continue
 		}

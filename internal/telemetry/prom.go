@@ -31,8 +31,15 @@ func (t *T) WritePrometheus(w io.Writer) error {
 
 	for c := Counter(0); c < NumCounters; c++ {
 		name := "grace_" + c.String()
+		v := t.counters[c].Load()
 		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
-		fmt.Fprintf(bw, "%s %d\n", name, t.counters[c].Load())
+		fmt.Fprintf(bw, "%s %d\n", name, v)
+		if old, ok := deprecatedCounterAliases[c.String()]; ok {
+			alias := "grace_" + old
+			fmt.Fprintf(bw, "# HELP %s Deprecated alias for %s; removed next release.\n", alias, name)
+			fmt.Fprintf(bw, "# TYPE %s counter\n", alias)
+			fmt.Fprintf(bw, "%s %d\n", alias, v)
+		}
 	}
 
 	fmt.Fprintf(bw, "# TYPE grace_strategy_bytes_sent_total counter\n")
@@ -60,13 +67,17 @@ func (t *T) WritePrometheus(w io.Writer) error {
 	fmt.Fprintf(bw, "# HELP grace_phase_seconds Time spent per training-step phase.\n")
 	fmt.Fprintf(bw, "# TYPE grace_phase_seconds histogram\n")
 	for p := 0; p < NumPhases; p++ {
-		h := &t.phases[p]
+		// One consistent capture per phase: buckets, _count, and _sum all
+		// render from the same snapshot, so the +Inf cumulative count always
+		// equals _count even while writers are mid-Record (the seqlock-style
+		// retry in Histogram.Snapshot is the fix for the scrape-vs-writer
+		// tear this exporter used to be exposed to).
+		snap := t.phases[p].Snapshot()
 		phase := Phase(p).String()
-		count := h.Count()
-		if count > 0 {
+		if snap.Count > 0 {
 			var cum int64
 			for i := 0; i < HistBuckets; i++ {
-				n := h.Bucket(i)
+				n := snap.Buckets[i]
 				cum += n
 				if n == 0 && i < HistBuckets-1 {
 					continue // sparse render: only buckets that move the cumulative count
@@ -80,8 +91,8 @@ func (t *T) WritePrometheus(w io.Writer) error {
 		} else {
 			fmt.Fprintf(bw, "grace_phase_seconds_bucket{phase=%q,le=\"+Inf\"} 0\n", phase)
 		}
-		fmt.Fprintf(bw, "grace_phase_seconds_sum{phase=%q} %g\n", phase, float64(h.SumNs())/1e9)
-		fmt.Fprintf(bw, "grace_phase_seconds_count{phase=%q} %d\n", phase, count)
+		fmt.Fprintf(bw, "grace_phase_seconds_sum{phase=%q} %g\n", phase, float64(snap.SumNs)/1e9)
+		fmt.Fprintf(bw, "grace_phase_seconds_count{phase=%q} %d\n", phase, snap.Count)
 	}
 	return bw.Flush()
 }

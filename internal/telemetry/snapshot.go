@@ -51,16 +51,17 @@ func (t *T) Snapshot() Snapshot {
 		}
 	}
 	for p := 0; p < NumPhases; p++ {
-		h := &t.phases[p]
-		n := h.Count()
-		if n == 0 {
+		// One consistent capture per phase (see Histogram.Snapshot): count,
+		// total, and quantiles all derive from the same bucket cut.
+		hs := t.phases[p].Snapshot()
+		if hs.Count == 0 {
 			continue
 		}
 		s.Phases[Phase(p).String()] = PhaseStats{
-			Count:   n,
-			TotalNs: h.SumNs(),
-			P50Ns:   h.QuantileNs(0.50),
-			P99Ns:   h.QuantileNs(0.99),
+			Count:   hs.Count,
+			TotalNs: hs.SumNs,
+			P50Ns:   hs.QuantileNs(0.50),
+			P99Ns:   hs.QuantileNs(0.99),
 		}
 	}
 	s.MethodSteps = t.MethodSteps()

@@ -143,10 +143,12 @@ const (
 	CtrFusionRoundsSaved
 	CtrFusionBucketBytes
 	// Autotuning: policy decision rounds evaluated, per-tensor method switches
-	// applied, and EF-residual flush handoffs run on switches.
+	// applied, EF-residual flush handoffs run on switches, and union decode
+	// faults folded into candidate scoring as penalty evidence.
 	CtrAutotuneDecisions
 	CtrAutotuneSwitches
 	CtrAutotuneFlushes
+	CtrAutotuneFaultObs
 	// Self-healing: transient-op retries absorbed by comm.Resilient, group
 	// reform rendezvous completed (generation bumps), ring re-dials that
 	// succeeded under a new generation, and snapshot bytes transferred to a
@@ -176,7 +178,7 @@ var counterNames = [NumCounters]string{
 	"faults_injected_stall_total",
 	"heartbeat_pings_total",
 	"heartbeat_misses_total",
-	"peer_deaths_total",
+	"heartbeat_peer_deaths_total",
 	"checkpoint_saves_total",
 	"checkpoint_bytes_total",
 	"checkpoint_restores_total",
@@ -189,6 +191,7 @@ var counterNames = [NumCounters]string{
 	"autotune_decisions_total",
 	"autotune_switches_total",
 	"autotune_flushes_total",
+	"autotune_fault_observations_total",
 	"comm_retries_total",
 	"group_reforms_total",
 	"ring_reconnects_total",
@@ -201,6 +204,15 @@ func (c Counter) String() string {
 		return counterNames[c]
 	}
 	return "unknown"
+}
+
+// deprecatedCounterAliases maps a counter's canonical name to a deprecated
+// name the Prometheus exporter still emits (same value) for one release, so
+// dashboards migrate without a gap. The heartbeat family is uniformly
+// heartbeat_*-prefixed as of this release; "peer_deaths_total" was the
+// odd one out.
+var deprecatedCounterAliases = map[string]string{
+	"heartbeat_peer_deaths_total": "peer_deaths_total",
 }
 
 // NumStrategies sizes the per-communication-strategy byte accounting; the

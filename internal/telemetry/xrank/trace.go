@@ -1,0 +1,153 @@
+package xrank
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Artifact filenames written by WriteArtifacts into an artifacts directory.
+const (
+	TraceFile = "XRANK_trace.json"
+	SkewFile  = "XRANK_skew.json"
+)
+
+// traceEvent is one Chrome trace_event record. The merged trace renders each
+// rank as a process (pid = rank) with three threads: steps (tid 0),
+// collective ops (tid 1), and faults (tid 2) — load it in chrome://tracing
+// or https://ui.perfetto.dev.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+const (
+	traceTidSteps  = 0
+	traceTidOps    = 1
+	traceTidFaults = 2
+)
+
+// WriteTrace writes the merged cross-rank event stream as a Chrome trace.
+// Timestamps are microseconds relative to the earliest event, keeping the
+// numbers small and the trace self-aligned (per-rank clocks in one process
+// share a clock anyway; across processes the alignment is cosmetic — skew
+// analytics never compare raw timestamps across ranks).
+func WriteTrace(path string, evs []Event) error {
+	var base int64 = 0
+	for _, ev := range evs {
+		if base == 0 || (ev.T0Ns != 0 && ev.T0Ns < base) {
+			base = ev.T0Ns
+		}
+	}
+	out := make([]traceEvent, 0, len(evs)+8)
+
+	ranks := map[int64]bool{}
+	for _, ev := range evs {
+		ranks[ev.Rank] = true
+	}
+	var rankList []int64
+	for r := range ranks {
+		rankList = append(rankList, r)
+	}
+	sort.Slice(rankList, func(i, j int) bool { return rankList[i] < rankList[j] })
+	for _, r := range rankList {
+		out = append(out,
+			traceEvent{Name: "process_name", Ph: "M", Pid: r,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}},
+			traceEvent{Name: "thread_name", Ph: "M", Pid: r, Tid: traceTidSteps,
+				Args: map[string]any{"name": "steps"}},
+			traceEvent{Name: "thread_name", Ph: "M", Pid: r, Tid: traceTidOps,
+				Args: map[string]any{"name": "collectives"}},
+			traceEvent{Name: "thread_name", Ph: "M", Pid: r, Tid: traceTidFaults,
+				Args: map[string]any{"name": "faults"}},
+		)
+	}
+
+	for _, ev := range evs {
+		ts := float64(ev.T0Ns-base) / 1e3
+		switch ev.Kind {
+		case KindStep:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("step %d", ev.Seq), Ph: "X",
+				Pid: ev.Rank, Tid: traceTidSteps, Ts: ts, Dur: float64(ev.DurNs) / 1e3,
+				Args: map[string]any{"gen": ev.Gen, "exch_bytes": ev.Aux},
+			})
+		case KindOp:
+			out = append(out, traceEvent{
+				Name: OpName(ev.Op), Ph: "X",
+				Pid: ev.Rank, Tid: traceTidOps, Ts: ts, Dur: float64(ev.DurNs) / 1e3,
+				Args: map[string]any{"seq": ev.Seq, "gen": ev.Gen, "bytes": ev.Bytes},
+			})
+		case KindFault:
+			out = append(out, traceEvent{
+				Name: fmt.Sprintf("fault:%s:%s", FaultName(ev.Aux), OpName(ev.Op)), Ph: "i",
+				Pid: ev.Rank, Tid: traceTidFaults, Ts: ts, S: "g",
+				Args: map[string]any{"seq": ev.Seq, "gen": ev.Gen},
+			})
+		}
+	}
+
+	b, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// SkewSummary is the persisted form of the skew analysis: per-step rows plus
+// the per-rank straggler tallies gracestat renders as the "top stragglers"
+// table.
+type SkewSummary struct {
+	Size           int       `json:"size"`
+	Steps          int       `json:"steps"`
+	Rows           []SkewRow `json:"rows"`
+	StragglerSteps []int64   `json:"straggler_steps_per_rank"`
+}
+
+// NewSkewSummary computes the summary for a merged event stream.
+func NewSkewSummary(evs []Event, size int) *SkewSummary {
+	rows := ComputeSkew(evs, size)
+	return &SkewSummary{
+		Size:           size,
+		Steps:          len(rows),
+		Rows:           rows,
+		StragglerSteps: StragglerCounts(rows, size),
+	}
+}
+
+// WriteSkew writes the summary as indented JSON.
+func WriteSkew(path string, s *SkewSummary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// WriteArtifacts writes rank 0's merged trace and skew summary into dir.
+// No-op (nil) on other ranks, so every rank may call it unconditionally.
+func (a *Aggregator) WriteArtifacts(dir string) error {
+	if a.rank != 0 {
+		return nil
+	}
+	if err := WriteTrace(filepath.Join(dir, TraceFile), a.merged); err != nil {
+		return err
+	}
+	return WriteSkew(filepath.Join(dir, SkewFile), NewSkewSummary(a.merged, a.size))
+}

@@ -1,0 +1,398 @@
+package xrank
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func enabledRecorder(capacity int) *Recorder {
+	r := NewRecorder()
+	if capacity > 0 {
+		r.SetCapacity(capacity)
+	}
+	r.SetEnabled(true)
+	return r
+}
+
+func TestRecorderDisabledIsNoop(t *testing.T) {
+	r := NewRecorder()
+	if r.Enabled() {
+		t.Fatal("new recorder should start disabled")
+	}
+	if r.Start() != 0 {
+		t.Fatal("Start should return 0 while disabled")
+	}
+	r.RecordOp(0, OpAllreduce, 1, 10, 123) // t0 nonzero but disabled
+	r.RecordFault(0, OpAllreduce, 1, FaultError)
+	if evs, _ := r.Events(0); len(evs) != 0 {
+		t.Fatalf("disabled recorder stored %d events", len(evs))
+	}
+}
+
+func TestRecordAndCutWindows(t *testing.T) {
+	r := enabledRecorder(0)
+	r.SetGeneration(3)
+	t0 := r.Start()
+	if t0 == 0 {
+		t.Fatal("Start returned 0 while enabled")
+	}
+	r.RecordOp(1, OpAllreduce, 7, 4096, t0)
+	r.RecordStep(1, 42, 9000, t0)
+	r.RecordFault(2, OpAllgather, 8, FaultRetry)
+
+	evs, max := r.Events(0)
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	op, step, fault := evs[0], evs[1], evs[2]
+	if op.Kind != KindOp || op.Rank != 1 || op.Op != OpAllreduce || op.Seq != 7 ||
+		op.Bytes != 4096 || op.Gen != 3 || op.T0Ns != t0 || op.DurNs < 0 {
+		t.Fatalf("bad op event: %+v", op)
+	}
+	if step.Kind != KindStep || step.Seq != 42 || step.Aux != 9000 {
+		t.Fatalf("bad step event: %+v", step)
+	}
+	if fault.Kind != KindFault || fault.Rank != 2 || fault.Aux != FaultRetry || fault.T0Ns == 0 {
+		t.Fatalf("bad fault event: %+v", fault)
+	}
+
+	// A second cut from max sees only newer events.
+	if evs2, _ := r.Events(max); len(evs2) != 0 {
+		t.Fatalf("window re-read returned %d events, want 0", len(evs2))
+	}
+	r.RecordOp(0, OpBarrier, 9, 0, r.Start())
+	evs3, _ := r.Events(max)
+	if len(evs3) != 1 || evs3[0].Op != OpBarrier {
+		t.Fatalf("incremental window wrong: %+v", evs3)
+	}
+}
+
+func TestRingWraparoundKeepsNewest(t *testing.T) {
+	r := enabledRecorder(8)
+	for i := 0; i < 20; i++ {
+		r.RecordOp(0, OpAllreduce, int64(i), 0, r.Start())
+	}
+	evs, _ := r.Events(0)
+	if len(evs) != 8 {
+		t.Fatalf("got %d events, want ring capacity 8", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(12 + i); ev.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (newest 8 kept in order)", i, ev.Seq, want)
+		}
+	}
+}
+
+// TestConcurrentScrapeWhileRecording is the -race regression for the seqlock
+// slots: readers must never observe a half-written event, and all slot access
+// is atomic.
+func TestConcurrentScrapeWhileRecording(t *testing.T) {
+	r := enabledRecorder(64) // tiny ring to force constant wraparound
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.RecordOp(rank, OpAllreduce, int64(i), int64(i), r.Start())
+			}
+		}(w)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		evs, _ := r.Events(0)
+		for _, ev := range evs {
+			if ev.Kind != KindOp || ev.Op != OpAllreduce || ev.Rank < 0 || ev.Rank > 3 {
+				t.Errorf("torn event escaped seq validation: %+v", ev)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestWindowCodecRoundTrip(t *testing.T) {
+	evs := []Event{
+		{Kind: KindOp, Rank: 2, Op: OpAllgather, Seq: 11, Gen: 1, T0Ns: 1 << 40, DurNs: 12345, Bytes: 99},
+		{Kind: KindStep, Rank: 2, Op: OpStep, Seq: 5, T0Ns: -3, DurNs: 0, Aux: 7},
+	}
+	rank, got, err := DecodeWindow(EncodeWindow(2, evs))
+	if err != nil || rank != 2 {
+		t.Fatalf("decode: rank=%d err=%v", rank, err)
+	}
+	if len(got) != len(evs) {
+		t.Fatalf("got %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d mismatch: %+v != %+v", i, got[i], evs[i])
+		}
+	}
+}
+
+func TestDecodeWindowHostileInput(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad magic":  {0x00, windowVersion, 0, 0},
+		"bad ver":    {windowMagic, 99, 0, 0},
+		"truncated":  EncodeWindow(1, []Event{{Kind: KindOp, Seq: 1}})[:6],
+		"huge count": append([]byte{windowMagic, windowVersion, 0}, 0xff, 0xff, 0xff, 0xff, 0x7f),
+	}
+	for name, b := range cases {
+		if _, _, err := DecodeWindow(b); !errors.Is(err, ErrBadWindow) {
+			t.Errorf("%s: err = %v, want ErrBadWindow", name, err)
+		}
+	}
+}
+
+// fakeGather simulates the collective plane for a 2-rank group where this
+// test plays rank 0 and a canned window stands in for rank 1.
+type fakeGather struct{ peer []byte }
+
+func (f fakeGather) AllgatherBytes(b []byte) ([][]byte, error) {
+	return [][]byte{b, f.peer}, nil
+}
+
+func TestAggregatorMergesRanks(t *testing.T) {
+	r := enabledRecorder(0)
+	r.RecordOp(0, OpAllreduce, 1, 10, r.Start())
+	r.RecordOp(1, OpAllreduce, 1, 10, r.Start()) // in-process hub: shared ring
+
+	peer := EncodeWindow(1, []Event{{Kind: KindOp, Rank: 1, Op: OpAllreduce, Seq: 1, DurNs: 5}})
+	a := NewAggregator(r, 0, 2)
+	if err := a.Exchange(fakeGather{peer: peer}); err != nil {
+		t.Fatal(err)
+	}
+	merged := a.Merged()
+	if len(merged) != 2 {
+		t.Fatalf("merged %d events, want 2 (own rank-0 + peer rank-1)", len(merged))
+	}
+	var ranks []int64
+	for _, ev := range merged {
+		ranks = append(ranks, ev.Rank)
+	}
+	if !(ranks[0] == 0 && ranks[1] == 1) && !(ranks[0] == 1 && ranks[1] == 0) {
+		t.Fatalf("merged ranks = %v", ranks)
+	}
+
+	// Second exchange: window already cut, own contribution now empty.
+	if err := a.Exchange(fakeGather{peer: EncodeWindow(1, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Merged()) != 2 {
+		t.Fatalf("re-exchange duplicated events: %d", len(a.Merged()))
+	}
+}
+
+func TestAggregatorNonRootKeepsNothing(t *testing.T) {
+	r := enabledRecorder(0)
+	r.RecordOp(1, OpAllreduce, 1, 10, r.Start())
+	a := NewAggregator(r, 1, 2)
+	if err := a.Exchange(fakeGather{peer: EncodeWindow(0, nil)}); err != nil {
+		t.Fatal(err)
+	}
+	if a.Merged() != nil {
+		t.Fatal("non-root aggregator accumulated events")
+	}
+}
+
+// synthSkew builds a merged stream for `size` ranks over `steps` steps where
+// rank `slow` always arrives last: it waits 1ms in each collective while the
+// others wait 5ms.
+func synthSkew(size, steps, slow int) []Event {
+	var evs []Event
+	base := int64(1e12)
+	stepNs := int64(20e6)
+	for s := 0; s < steps; s++ {
+		t0 := base + int64(s)*stepNs
+		for r := 0; r < size; r++ {
+			evs = append(evs, Event{Kind: KindStep, Rank: int64(r), Seq: int64(s), T0Ns: t0, DurNs: stepNs - 1e6})
+			for op := 0; op < 3; op++ {
+				wait := int64(5e6)
+				if r == slow {
+					wait = 1e6
+				}
+				evs = append(evs, Event{
+					Kind: KindOp, Rank: int64(r), Op: OpAllreduce,
+					Seq: int64(s*3 + op), T0Ns: t0 + int64(op)*3e6, DurNs: wait, Bytes: 128,
+				})
+			}
+		}
+	}
+	return evs
+}
+
+func TestComputeSkewAttributesDelayedRank(t *testing.T) {
+	evs := synthSkew(4, 10, 2)
+	rows := ComputeSkew(evs, 4)
+	if len(rows) != 10 {
+		t.Fatalf("got %d skew rows, want 10", len(rows))
+	}
+	for _, row := range rows {
+		if row.Straggler != 2 {
+			t.Fatalf("step %d attributed straggler %d, want 2 (%+v)", row.Step, row.Straggler, row)
+		}
+		if row.SkewNs != 3*(5e6-1e6) {
+			t.Fatalf("step %d skew = %d, want %d", row.Step, row.SkewNs, int64(3*(5e6-1e6)))
+		}
+		if row.Ops != 12 {
+			t.Fatalf("step %d ops = %d, want 12", row.Step, row.Ops)
+		}
+	}
+	counts := StragglerCounts(rows, 4)
+	if counts[2] != 10 {
+		t.Fatalf("straggler counts = %v, want rank 2 at 10", counts)
+	}
+}
+
+func TestComputeSkewDropsPartialSteps(t *testing.T) {
+	evs := synthSkew(2, 3, 1)
+	// Strip rank 1's ops from step 2: that step is incomplete and must drop.
+	var filtered []Event
+	for _, ev := range evs {
+		if ev.Kind == KindOp && ev.Rank == 1 && ev.Seq >= 6 {
+			continue
+		}
+		filtered = append(filtered, ev)
+	}
+	rows := ComputeSkew(filtered, 2)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (partial step dropped)", len(rows))
+	}
+	// Ops outside any step window must not be assigned (e.g. the
+	// aggregation exchange itself runs between steps).
+	between := append(evs, Event{Kind: KindOp, Rank: 0, Op: OpAllgather, Seq: 99,
+		T0Ns: 1e12 + 100*20e6, DurNs: 1e6})
+	if got := ComputeSkew(between, 2); len(got) != 3 {
+		t.Fatalf("out-of-window op changed row count: %d", len(got))
+	}
+}
+
+func TestFlightDumpWritesAndRateLimits(t *testing.T) {
+	r := enabledRecorder(0)
+	dir := t.TempDir()
+	r.ConfigureFlight(dir, 10*time.Second, 4)
+	r.RecordOp(1, OpAllreduce, 3, 64, r.Start())
+	r.RecordFault(1, OpAllreduce, 3, FaultError)
+
+	path := r.Flight("peer_dead", errors.New("rank 1 allreduce: boom"))
+	if path == "" {
+		t.Fatal("Flight returned empty path")
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump FlightDump
+	if err := json.Unmarshal(b, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if dump.Reason != "peer_dead" || dump.Error == "" {
+		t.Fatalf("dump header wrong: reason=%q error=%q", dump.Reason, dump.Error)
+	}
+	if len(dump.Events) != 2 {
+		t.Fatalf("dump has %d events, want 2", len(dump.Events))
+	}
+	if dump.Telemetry == nil {
+		t.Fatal("dump missing telemetry snapshot")
+	}
+	if !bytes.Contains([]byte(dump.Goroutines), []byte("goroutine")) {
+		t.Fatal("dump missing goroutine profile")
+	}
+
+	// Immediate second dump is rate-limited away.
+	if p2 := r.Flight("peer_dead", nil); p2 != "" {
+		t.Fatalf("second dump within rate window wrote %q", p2)
+	}
+}
+
+func TestFlightDisarmed(t *testing.T) {
+	r := enabledRecorder(0)
+	if p := r.Flight("x", nil); p != "" {
+		t.Fatalf("unconfigured flight wrote %q", p)
+	}
+}
+
+func TestWriteArtifacts(t *testing.T) {
+	r := enabledRecorder(0)
+	a := NewAggregator(r, 0, 4)
+	a.merged = synthSkew(4, 5, 1)
+	a.merged = append(a.merged, Event{Kind: KindFault, Rank: 1, Op: OpAllreduce, Seq: 7,
+		Aux: FaultError, T0Ns: 1e12 + 1})
+	dir := t.TempDir()
+	if err := a.WriteArtifacts(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	tb, err := os.ReadFile(filepath.Join(dir, TraceFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []map[string]any
+	if err := json.Unmarshal(tb, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var sawFault, sawProcess bool
+	for _, ev := range trace {
+		if name, _ := ev["name"].(string); name == "fault:error:allreduce" {
+			if pid, _ := ev["pid"].(float64); pid == 1 {
+				sawFault = true
+			}
+		}
+		if name, _ := ev["name"].(string); name == "process_name" {
+			sawProcess = true
+		}
+	}
+	if !sawFault {
+		t.Fatal("merged trace does not show the faulting op on the faulting rank")
+	}
+	if !sawProcess {
+		t.Fatal("merged trace missing process_name metadata")
+	}
+
+	sb, err := os.ReadFile(filepath.Join(dir, SkewFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skew SkewSummary
+	if err := json.Unmarshal(sb, &skew); err != nil {
+		t.Fatal(err)
+	}
+	if skew.Steps != 5 || skew.StragglerSteps[1] != 5 {
+		t.Fatalf("skew summary wrong: %+v", skew)
+	}
+
+	// Non-root write is a no-op.
+	other := NewAggregator(r, 1, 4)
+	dir2 := t.TempDir()
+	if err := other.WriteArtifacts(dir2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir2, TraceFile)); !os.IsNotExist(err) {
+		t.Fatal("non-root rank wrote trace artifact")
+	}
+}
+
+func TestOpAndFaultNames(t *testing.T) {
+	if OpName(OpAllreduce) != "allreduce" || OpName(999) != "?" || OpName(-1) != "?" {
+		t.Fatal("OpName mapping broken")
+	}
+	if OpCode("allgather") != OpAllgather || OpCode("nope") != 0 {
+		t.Fatal("OpCode mapping broken")
+	}
+	if FaultName(FaultPeerDead) != "peer_dead" || FaultName(42) != "?" {
+		t.Fatal("FaultName mapping broken")
+	}
+}
