@@ -29,6 +29,7 @@ fuzz:
 	go test -run xxx -fuzz FuzzFrameRoundTrip -fuzztime $(FUZZTIME) ./internal/comm
 	go test -run xxx -fuzz FuzzSplitFused -fuzztime $(FUZZTIME) ./internal/comm
 	go test -run xxx -fuzz FuzzRingHandshake -fuzztime $(FUZZTIME) ./internal/comm
+	go test -run xxx -fuzz FuzzElasticHandshake -fuzztime $(FUZZTIME) ./internal/comm
 	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/topk
 	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/randomk
 	go test -run xxx -fuzz FuzzDecompress -fuzztime $(FUZZTIME) ./internal/compress/qsgd

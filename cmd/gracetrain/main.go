@@ -49,6 +49,7 @@ func main() {
 		methods     = flag.Bool("methods", false, "list methods")
 		chaos       = flag.Bool("chaos", false, "run the fault-injection chaos sweep (add an explicit -bench/-method to also train afterwards in the same process)")
 		rejoin      = flag.Bool("rejoin", false, "run the live-rejoin battery standalone: one rank dies mid-run, the survivors reform and heal in place, with a restart-vs-rejoin downtime comparison (included in -chaos)")
+		elastic     = flag.Bool("elastic", false, "run the elastic-membership battery: one rank dies for good, the survivors vote to continue at N-1 (verified bitwise against an N-1 reference), then a fresh joiner grows a group back to full size; includes a degrade-vs-restart downtime comparison")
 		retryBudget = flag.Int("retry-budget", 0, "override the total retry budget of the chaos sweep's transient-fault retry scenarios (0 = policy default)")
 		autotune    = flag.Bool("autotune", false, "run the autotune battery on -bench: one tuned run vs every static candidate, compared on modeled step time (writes BENCH_autotune_<bench>.json; ignores -method and -fusion-bytes)")
 		straggler   = flag.Bool("straggler", false, "run the straggler-attribution battery: 4 ranks with one injected slow rank; the merged cross-rank trace must attribute ≥90% of steps to it (writes XRANK_* artifacts into -artifacts)")
@@ -74,10 +75,11 @@ func main() {
 		}
 	}
 
-	// -chaos / -rejoin alone replace training; combined with an explicit
-	// -bench or -method they run first, so one process (and one telemetry
-	// endpoint) covers fault/recovery counters and multi-strategy training.
-	trainRequested := !*chaos && !*rejoin
+	// -chaos / -rejoin / -elastic alone replace training; combined with an
+	// explicit -bench or -method they run first, so one process (and one
+	// telemetry endpoint) covers fault/recovery counters and multi-strategy
+	// training.
+	trainRequested := !*chaos && !*rejoin && !*elastic
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "bench" || f.Name == "method" || f.Name == "autotune" {
 			trainRequested = true
@@ -95,19 +97,28 @@ func main() {
 		}
 		return
 	}
-	if *chaos || *rejoin {
-		summary.Kind = "chaos"
-		if *rejoin && !*chaos {
-			summary.Kind = "rejoin"
+	if *chaos || *rejoin || *elastic {
+		var kinds []string
+		if *chaos {
+			kinds = append(kinds, "chaos")
+		} else if *rejoin {
+			kinds = append(kinds, "rejoin")
 		}
+		if *elastic {
+			kinds = append(kinds, "elastic")
+		}
+		summary.Kind = strings.Join(kinds, "+")
 		if trainRequested {
 			summary.Kind += "+train"
 		}
 		if *chaos {
 			// The full sweep already includes the rejoin battery.
 			chaosFailed = runChaos(*workers, *seed, *retryBudget, summary)
-		} else {
+		} else if *rejoin {
 			chaosFailed = runRejoinScenarios(summary)
+		}
+		if *elastic {
+			chaosFailed += runElasticScenarios(summary)
 		}
 		if !trainRequested {
 			writeSummary(*runJSON, *artifacts, summary)
@@ -557,6 +568,106 @@ func runRejoinScenarios(summary *harness.RunSummary) int {
 				name, "ok", res.ResumeStep, res.Generation, res.Launches,
 				res.Downtime.Round(time.Millisecond), restartDowntime.Round(time.Millisecond))
 		}
+	}
+	return failed
+}
+
+// runElasticScenarios drives the elastic-membership battery: a rank dies for
+// good, the survivors vote to continue at N−1 (finishing bitwise-identical to
+// an N−1 reference started from the post-reform state), and — in the grow
+// scenario — a fresh joiner presented at a step boundary is absorbed back to
+// full size. The supervised full-restart path on the same kill provides the
+// degrade-vs-restart downtime comparison.
+func runElasticScenarios(summary *harness.RunSummary) int {
+	fmt.Printf("\nelastic scenarios: kill one rank for good; survivors commit N-1 and continue, then a fresh joiner grows the group back\n")
+	fmt.Printf("%-12s %-6s %-7s %-12s %-6s %-9s %-17s %-16s\n",
+		"scenario", "pass", "size", "shrink-step", "lost", "ef-drops", "shrink-downtime", "restart-downtime")
+	failed := 0
+	for _, sc := range []struct {
+		transport, method string
+		mem               bool
+	}{
+		{harness.TransportHub, "topk", true},
+		{harness.TransportHub, "dgc", false},
+		{harness.TransportTCP, "topk", true},
+	} {
+		name := sc.transport + "/" + sc.method
+		mkcfg := func() (harness.RecoveryConfig, string, error) {
+			dir, err := os.MkdirTemp("", "grace-elastic-*")
+			if err != nil {
+				return harness.RecoveryConfig{}, "", err
+			}
+			return harness.DefaultElastic(sc.transport, sc.method, sc.mem, dir), dir, nil
+		}
+
+		// The restart baseline: same transport, same kill, full teardown of
+		// every rank instead of a degraded continue.
+		cfg, dir, err := mkcfg()
+		if err != nil {
+			fatal(err)
+		}
+		var restartDowntime time.Duration
+		if rres, rerr := harness.RunRecovery(cfg); rerr == nil && rres.Match {
+			restartDowntime = rres.Downtime
+		}
+		os.RemoveAll(dir)
+
+		if cfg, dir, err = mkcfg(); err != nil {
+			fatal(err)
+		}
+		res, err := harness.RunElastic(cfg)
+		os.RemoveAll(dir)
+		row := harness.ElasticJSON(name, res, restartDowntime, err)
+		summary.Elastic = append(summary.Elastic, row)
+		switch {
+		case err != nil:
+			failed++
+			summary.Pass = false
+			fmt.Printf("%-12s %-6s\n    %v\n", name, "FAIL", err)
+		case !res.Match:
+			failed++
+			summary.Pass = false
+			fmt.Printf("%-12s %-6s %-7s %-12d %-6s %-9d %-17s %-16s\n    %s\n",
+				name, "FAIL", fmt.Sprintf("%d->%d", cfg.Train.Workers, res.ShrinkSize),
+				res.ShrinkStep, fmt.Sprint(res.Lost), res.EFDrops,
+				res.Downtime.Round(time.Millisecond), restartDowntime.Round(time.Millisecond), res.Detail)
+		default:
+			fmt.Printf("%-12s %-6s %-7s %-12d %-6s %-9d %-17s %-16s\n",
+				name, "ok", fmt.Sprintf("%d->%d", cfg.Train.Workers, res.ShrinkSize),
+				res.ShrinkStep, fmt.Sprint(res.Lost), res.EFDrops,
+				res.Downtime.Round(time.Millisecond), restartDowntime.Round(time.Millisecond))
+		}
+	}
+
+	// The grow scenario: shrink as above, then a fresh worker presents at the
+	// members' join point and the group absorbs it back to full size.
+	name := harness.TransportHub + "/grow"
+	dir, err := os.MkdirTemp("", "grace-elastic-*")
+	if err != nil {
+		fatal(err)
+	}
+	growCfg := harness.DefaultElastic(harness.TransportHub, "topk", true, dir)
+	gres, gerr := harness.RunElasticGrow(growCfg)
+	os.RemoveAll(dir)
+	row := harness.ElasticGrowJSON(name, gres, growCfg.Train.Workers, gerr)
+	summary.Elastic = append(summary.Elastic, row)
+	fmt.Printf("\n%-12s %-6s %-7s %-12s %-12s %-16s\n",
+		"scenario", "pass", "size", "shrink-step", "grow-step", "grow-downtime")
+	switch {
+	case gerr != nil:
+		failed++
+		summary.Pass = false
+		fmt.Printf("%-12s %-6s\n    %v\n", name, "FAIL", gerr)
+	case !row.Pass:
+		failed++
+		summary.Pass = false
+		fmt.Printf("%-12s %-6s %-7s %-12d %-12d %-16s\n",
+			name, "FAIL", fmt.Sprintf("%d->%d", growCfg.Train.Workers-1, gres.GrowSize),
+			gres.ShrinkStep, gres.GrowStep, gres.GrowDowntime.Round(time.Millisecond))
+	default:
+		fmt.Printf("%-12s %-6s %-7s %-12d %-12d %-16s\n",
+			name, "ok", fmt.Sprintf("%d->%d", growCfg.Train.Workers-1, gres.GrowSize),
+			gres.ShrinkStep, gres.GrowStep, gres.GrowDowntime.Round(time.Millisecond))
 	}
 	return failed
 }

@@ -22,6 +22,14 @@
 // -rejoin-sync and it negotiates its way back into the running group. A
 // -retry-budget additionally absorbs transient collective failures with
 // bounded, deterministically jittered retry before they escalate at all.
+//
+// With -elastic the group additionally survives PERMANENT rank loss: if the
+// dead rank's respawn misses the -rejoin-deadline, the survivors vote to
+// continue at N-1 (denominators, shards, and fusion plans re-derive from the
+// new size; the lost rank's error-feedback residuals are declared lost and
+// counted). Launching a fresh worker with -elastic-join later grows the group
+// back to full size: it is absorbed at the members' next step boundary and
+// adopts its training state from a donor snapshot.
 package main
 
 import (
@@ -65,6 +73,9 @@ func main() {
 		heartbeat   = flag.Duration("heartbeat", 0, "liveness ping interval; >0 makes a dead neighbor fail collectives within 3 intervals (all ranks must agree)")
 		rejoin      = flag.Bool("rejoin", false, "self-heal on peer death instead of exiting: survivors reform the ring at the next generation and roll back to the newest common checkpoint; needs -checkpoint-dir and -heartbeat (all ranks must agree)")
 		rejoinSync  = flag.Bool("rejoin-sync", false, "sync into an already-running group on start: used when respawning a single dead rank whose survivors are parked at the recovery barrier (implies -rejoin)")
+		elastic     = flag.Bool("elastic", false, "elastic membership: when a dead rank misses the -rejoin-deadline the survivors vote to continue at N-1 instead of waiting forever, and a later -elastic-join worker grows the group back; implies -rejoin and needs -checkpoint-every (all ranks must agree)")
+		elasticJoin = flag.Bool("elastic-join", false, "present this process as a fresh joiner at a running elastic group's join point: it is absorbed at the members' next step boundary and adopts state from a donor snapshot (implies -elastic)")
+		rejoinDl    = flag.Duration("rejoin-deadline", 10*time.Second, "with -elastic: how long survivors hold the door open for a dead rank's respawn before voting to continue without it")
 		retryBudget = flag.Int("retry-budget", 0, "absorb transient collective failures (timeouts, resets, injected chaos) with bounded in-place retry, spending at most this many retries over the run (0 = off)")
 		ckptDir     = flag.String("checkpoint-dir", "", "directory for crash-consistent per-rank checkpoints")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "checkpoint every N optimizer steps (0 = final only)")
@@ -105,6 +116,21 @@ func main() {
 	if *rejoinSync {
 		*rejoin = true
 	}
+	if *elasticJoin {
+		*elastic = true
+	}
+	if *elastic {
+		*rejoin = true
+		if *ckptEvery <= 0 {
+			fatal(fmt.Errorf("-elastic needs -checkpoint-every > 0 (the shrink rolls back to a recent periodic step)"))
+		}
+		if *elasticJoin && *resume {
+			fatal(fmt.Errorf("-resume and -elastic-join are mutually exclusive: the first is a whole-group restart, the second joins a live group"))
+		}
+		if *elasticJoin && *rejoinSync {
+			fatal(fmt.Errorf("-rejoin-sync and -elastic-join are mutually exclusive: the first rejoins under the original membership, the second grows an elastic group"))
+		}
+	}
 	if *rejoin {
 		if *ckptDir == "" {
 			fatal(fmt.Errorf("-rejoin needs -checkpoint-dir (the heal rolls back to checkpoints)"))
@@ -132,13 +158,26 @@ func main() {
 	}
 	var ring comm.Collective
 	var closeRing func()
-	if *rejoin {
+	switch {
+	case *elasticJoin:
+		r, err := comm.JoinElasticRing(rcfg, *timeout)
+		if err != nil {
+			fatal(fmt.Errorf("elastic join: %w", err))
+		}
+		ring, closeRing = r, func() { r.Close() }
+	case *elastic:
+		r, err := comm.DialElasticRing(rcfg)
+		if err != nil {
+			fatal(fmt.Errorf("ring setup: %w", err))
+		}
+		ring, closeRing = r, func() { r.Close() }
+	case *rejoin:
 		r, err := comm.DialRing(rcfg)
 		if err != nil {
 			fatal(fmt.Errorf("ring setup: %w", err))
 		}
 		ring, closeRing = r, func() { r.Close() }
-	} else {
+	default:
 		r, err := comm.DialTCPRingConfig(rcfg)
 		if err != nil {
 			fatal(fmt.Errorf("ring setup: %w", err))
@@ -258,6 +297,24 @@ func main() {
 				fmt.Printf("rank %d: healed to step %d at generation %d\n", *rank, step, gen)
 			}
 			cfg.Rejoin = rj
+		}
+		if *elastic {
+			// A joiner's deadline also bounds its JoinGroup wait, and absorption
+			// needs the members to reach their next step boundary first — give it
+			// the setup budget rather than the (possibly much shorter) vote
+			// deadline the members run with.
+			deadline := *rejoinDl
+			if *elasticJoin && *timeout > deadline {
+				deadline = *timeout
+			}
+			cfg.Elastic = &grace.ElasticConfig{
+				RejoinDeadline: deadline,
+				JoinOnStart:    *elasticJoin,
+				OnResize: func(m comm.Membership, step int64) {
+					fmt.Printf("rank %d: group resized to %d members (generation %d) at step %d\n",
+						*rank, m.Size(), m.Gen, step)
+				},
+			}
 		}
 	}
 

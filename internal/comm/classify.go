@@ -44,6 +44,7 @@ var fatalSentinels = []error{
 	ErrCorrupt,
 	ErrStaleGeneration,
 	ErrRetriesExhausted,
+	ErrEvicted,
 }
 
 // transientSentinels are causes a bounded retry is allowed to absorb.

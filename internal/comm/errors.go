@@ -67,6 +67,13 @@ var (
 	// kept failing transiently past the per-op attempt cap or the handle's
 	// total retry budget. It wraps the last transient failure.
 	ErrRetriesExhausted = errors.New("comm: retries exhausted")
+
+	// ErrEvicted reports that this rank was voted out of an elastic group: it
+	// missed the rejoin deadline and the survivors committed a smaller world
+	// size without it. Eviction is permanent for the handle — the group has
+	// moved on, so no retry layer may resurrect it mid-op; a fresh worker
+	// must present through the Joiner handshake instead.
+	ErrEvicted = errors.New("comm: evicted from elastic group")
 )
 
 // Error is the typed failure every hardened Collective implementation wraps

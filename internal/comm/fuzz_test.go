@@ -116,3 +116,66 @@ func FuzzFrameRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzElasticHandshake drives the elastic membership wire surface with
+// arbitrary bytes: the member-list codec the join/probe exchanges speak, and
+// the set algebra the grow/shrink commits rely on. Hostile input must be
+// rejected with typed ErrCorrupt errors (never a panic or an oversized
+// allocation), accepted blobs must round-trip exactly, and the membership
+// digest that guards ring confirmation must stay nonzero and list-sensitive.
+func FuzzElasticHandshake(f *testing.F) {
+	f.Add([]byte{}, uint32(0), uint32(1), uint32(2))
+	f.Add(encodeMembers([]int{0, 1, 2}), uint32(0), uint32(1), uint32(2))
+	f.Add(encodeMembers([]int{3}), uint32(3), uint32(3), uint32(3))
+	f.Add([]byte{0, 0, 0, 1}, uint32(1), uint32(0), uint32(5))                  // truncated body
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}, uint32(0), uint32(2), uint32(4))      // hostile count
+	f.Add([]byte{0, 0, 0, 2, 0, 0, 0, 5, 0, 0, 0, 5}, uint32(5), uint32(6), uint32(7)) // duplicate
+	f.Fuzz(func(t *testing.T, data []byte, a, b, c uint32) {
+		members, err := decodeMembers(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("member-list rejection is untyped: %v", err)
+			}
+		} else {
+			if len(members) == 0 || len(members) > maxMembers {
+				t.Fatalf("accepted member list of size %d outside [1,%d]", len(members), maxMembers)
+			}
+			for i, m := range members {
+				if m < 0 || m > maxMembers {
+					t.Fatalf("accepted out-of-range member %d", m)
+				}
+				if i > 0 && m <= members[i-1] {
+					t.Fatalf("accepted non-ascending member list %v", members)
+				}
+				if indexOf(members, m) != i {
+					t.Fatalf("indexOf disagrees with position for %v", members)
+				}
+			}
+			if !bytes.Equal(encodeMembers(members), data) {
+				t.Fatalf("accepted member list does not round-trip: %q", data)
+			}
+			if membershipDigest(members) == 0 {
+				t.Fatalf("zero digest for %v", members)
+			}
+		}
+
+		// A synthesized list from the fuzzed ranks must always survive the
+		// codec: union it, encode it, decode it back identically.
+		set := sortedUnion([]int{int(a % maxMembers)},
+			sortedUnion([]int{int(b % maxMembers)}, []int{int(c % maxMembers)}))
+		got, err := decodeMembers(encodeMembers(set))
+		if err != nil {
+			t.Fatalf("valid member list %v rejected: %v", set, err)
+		}
+		for i := range set {
+			if got[i] != set[i] {
+				t.Fatalf("round trip changed %v to %v", set, got)
+			}
+		}
+		if d := membershipDigest(set); d == 0 {
+			t.Fatalf("zero digest for %v", set)
+		} else if len(set) > 1 && d == membershipDigest(set[:len(set)-1]) {
+			t.Fatalf("digest insensitive to dropping the last member of %v", set)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,7 +10,7 @@ import (
 	"repro/internal/telemetry/xrank"
 )
 
-// Hub coordinates an in-process collective group: n worker goroutines in one
+// Hub coordinates an in-process collective group: worker goroutines in one
 // address space, synchronizing through a sequence of immutable round objects.
 // This is the default substrate for distributed-training experiments — it
 // gives real concurrency and real synchronization semantics without network
@@ -20,23 +21,39 @@ import (
 // or later entering — a collective returns a typed *Error wrapping ErrAborted
 // instead of waiting forever for peers that will never arrive. This is what
 // keeps chaos tests (a rank dropping out mid-allreduce) deadlock-free.
+//
+// A Hub is also elastic (see Elastic): the group can vote to reform at a
+// smaller world size when a member misses the rejoin deadline, and absorb
+// registered joiners back later. Workers keep their original rank for life;
+// collectives address them by their current index in the sorted member set.
 type Hub struct {
-	n        int
+	world    int // original group size; handed-out original ranks live below it
 	mu       sync.Mutex
+	members  []int // sorted original ranks currently in the group
+	lost     []int // original ranks evicted by the most recent elastic shrink
 	cur      *round
 	aborted  chan struct{} // closed on Abort
 	abortErr error
 	gen      uint64      // group generation, bumped by each reform
 	ref      *reformSync // in-progress reform rendezvous, nil between reforms
+	pending  map[int]*joinWait
 	reformTO time.Duration
 }
 
-// reformSync is one reform rendezvous: the last of n arrivals heals the hub,
-// publishes the new generation, and wakes the rest.
+// reformSync is one reform rendezvous: the final arrival — or, in an elastic
+// shrink, the first deadline expiry — heals the hub, publishes the new
+// membership, and wakes the rest.
 type reformSync struct {
-	count int
-	gen   uint64 // valid once done is closed
-	done  chan struct{}
+	arrived map[int]bool
+	grow    []int      // non-nil marks a grow rendezvous: the agreed absorb set
+	mem     Membership // valid once done is closed; Rank is -1 (per-caller)
+	done    chan struct{}
+}
+
+// joinWait parks one registered joiner until a grow absorbs it.
+type joinWait struct {
+	mem  Membership // valid once done is closed; Rank is -1
+	done chan struct{}
 }
 
 type round struct {
@@ -50,7 +67,18 @@ func NewHub(n int) *Hub {
 	if n <= 0 {
 		panic("comm: hub size must be positive")
 	}
-	return &Hub{n: n, cur: newRound(n), aborted: make(chan struct{}), reformTO: DefaultReformTimeout}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	return &Hub{
+		world:    n,
+		members:  members,
+		cur:      newRound(n),
+		aborted:  make(chan struct{}),
+		pending:  make(map[int]*joinWait),
+		reformTO: DefaultReformTimeout,
+	}
 }
 
 // DefaultReformTimeout bounds how long a reform rendezvous waits for the
@@ -72,59 +100,210 @@ func (h *Hub) Generation() uint64 {
 	return h.gen
 }
 
-// reform is the all-workers recovery rendezvous: once every rank of the group
-// has arrived, the abort poison is cleared, a fresh round is installed, and
-// the group generation advances. No rank may be inside a collective when its
-// reform runs (reform occupies a slot in the lockstep op sequence, after all
-// ranks failed out of the same op), so replacing the round is race-free. A
-// rank that waits longer than the reform timeout gives up with a typed error;
-// its rendezvous slot stays consumed, so the group must be rebuilt by the
-// supervisor at that point.
-func (h *Hub) reform() (uint64, error) {
+// size reports the current world size.
+func (h *Hub) size() int {
 	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.members)
+}
+
+// currentRank maps an original rank to its index in the member set (-1 when
+// evicted or still pending).
+func (h *Hub) currentRank(orig int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return indexOf(h.members, orig)
+}
+
+// membership snapshots the current configuration addressed to orig.
+func (h *Hub) membership(orig int) Membership {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Membership{
+		Gen:     h.gen,
+		Members: append([]int(nil), h.members...),
+		Rank:    indexOf(h.members, orig),
+		Lost:    append([]int(nil), h.lost...),
+	}
+}
+
+// rendezvous is the reform meeting point shared by all three recovery paths.
+// Legacy reform (shrinkOK=false, grow=nil) waits for the full membership and
+// fails with ErrPeerDead on timeout; an elastic shrink (shrinkOK=true) lets
+// the first rank whose deadline expires commit the arrived set as the new,
+// smaller membership, evicting the rest; a grow (grow != nil) is a full
+// rendezvous whose commit also absorbs the agreed joiners. Every commit
+// clears the abort poison, installs a fresh round sized to the new
+// membership, and bumps the generation. No rank may be inside a collective
+// when its rendezvous runs (reform occupies a slot in the lockstep op
+// sequence, after all ranks failed out of the same op), so replacing the
+// round is race-free.
+func (h *Hub) rendezvous(orig int, wait time.Duration, shrinkOK bool, grow []int) (Membership, error) {
+	h.mu.Lock()
+	if indexOf(h.members, orig) < 0 {
+		h.mu.Unlock()
+		return Membership{}, fmt.Errorf("rank %d: %w", orig, ErrEvicted)
+	}
 	if h.ref == nil {
-		h.ref = &reformSync{done: make(chan struct{})}
+		h.ref = &reformSync{arrived: make(map[int]bool), grow: grow, done: make(chan struct{})}
 	}
 	rs := h.ref
-	rs.count++
-	if rs.count == h.n {
-		h.aborted = make(chan struct{})
-		h.abortErr = nil
-		h.cur = newRound(h.n)
-		h.gen++
-		rs.gen = h.gen
-		h.ref = nil
-		close(rs.done)
+	if (rs.grow == nil) != (grow == nil) || (grow != nil && !equalInts(rs.grow, grow)) {
+		h.mu.Unlock()
+		return Membership{}, fmt.Errorf("comm: reform rendezvous mixed shapes: grow %v vs %v", grow, rs.grow)
+	}
+	rs.arrived[orig] = true
+	if len(rs.arrived) == len(h.members) {
+		mem := h.commitLocked(rs, h.members, nil)
 		h.mu.Unlock()
 		telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
-		return rs.gen, nil
+		if grow != nil && mem.Size() > len(rs.arrived) {
+			telemetry.Default.Add(telemetry.CtrElasticGrows, 1)
+		}
+		return mem, nil
 	}
-	to := h.reformTO
 	h.mu.Unlock()
-	t := time.NewTimer(to)
+	t := time.NewTimer(wait)
 	defer t.Stop()
 	select {
 	case <-rs.done:
-		return rs.gen, nil
+		return rs.mem, nil
 	case <-t.C:
 		h.mu.Lock()
-		arrived := rs.count
+		if h.ref != rs {
+			// Another rank committed between our timer firing and the lock;
+			// the rendezvous result is valid and includes us.
+			h.mu.Unlock()
+			<-rs.done
+			return rs.mem, nil
+		}
+		arrived := len(rs.arrived)
+		if !shrinkOK {
+			// The slot stays consumed: the group must be rebuilt (legacy
+			// reform) or retried by the caller (grow).
+			n := len(h.members)
+			h.mu.Unlock()
+			return Membership{}, fmt.Errorf("reform rendezvous: %d of %d workers after %v: %w",
+				arrived, n, wait, ErrPeerDead)
+		}
+		// Elastic shrink: the deadline has passed and the vote is the set of
+		// ranks that showed up. Commit them as the new membership; the
+		// missing ranks are evicted.
+		survivors := make([]int, 0, arrived)
+		for r := range rs.arrived {
+			survivors = append(survivors, r)
+		}
+		sort.Ints(survivors)
+		var lost []int
+		for _, m := range h.members {
+			if !rs.arrived[m] {
+				lost = append(lost, m)
+			}
+		}
+		mem := h.commitLocked(rs, survivors, lost)
 		h.mu.Unlock()
-		return 0, fmt.Errorf("reform rendezvous: %d of %d workers after %v: %w",
-			arrived, h.n, to, ErrPeerDead)
+		telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+		telemetry.Default.Add(telemetry.CtrElasticShrinks, 1)
+		return mem, nil
 	}
+}
+
+// commitLocked installs a new group configuration and wakes the rendezvous.
+// Caller holds h.mu. members must be sorted; a grow rendezvous absorbs its
+// registered joiners here so the membership change is one atomic commit.
+func (h *Hub) commitLocked(rs *reformSync, members, lost []int) Membership {
+	members = append([]int(nil), members...)
+	var woken []*joinWait
+	if rs.grow != nil {
+		for _, r := range rs.grow {
+			jw, ok := h.pending[r]
+			if !ok || indexOf(members, r) >= 0 {
+				continue
+			}
+			members = sortedUnion(members, []int{r})
+			woken = append(woken, jw)
+			delete(h.pending, r)
+			if r >= h.world {
+				h.world = r + 1
+			}
+		}
+	}
+	h.members = members
+	h.lost = append([]int(nil), lost...)
+	h.aborted = make(chan struct{})
+	h.abortErr = nil
+	h.cur = newRound(len(members))
+	h.gen++
+	rs.mem = Membership{Gen: h.gen, Members: members, Rank: -1, Lost: h.lost}
+	h.ref = nil
+	close(rs.done)
+	for _, jw := range woken {
+		jw.mem = Membership{Gen: h.gen, Members: members, Rank: -1}
+		close(jw.done)
+	}
+	return rs.mem
+}
+
+// reform is the legacy all-workers recovery rendezvous: once every member of
+// the group has arrived, the abort poison is cleared, a fresh round is
+// installed, and the group generation advances. A rank that waits longer
+// than the reform timeout gives up with a typed error; its rendezvous slot
+// stays consumed, so the group must be rebuilt by the supervisor at that
+// point.
+func (h *Hub) reform(orig int) (uint64, error) {
+	h.mu.Lock()
+	to := h.reformTO
+	h.mu.Unlock()
+	mem, err := h.rendezvous(orig, to, false, nil)
+	if err != nil {
+		return 0, err
+	}
+	return mem.Gen, nil
 }
 
 func newRound(n int) *round {
 	return &round{slots: make([][]byte, n), done: make(chan struct{})}
 }
 
-// Worker returns the collective handle for the given rank.
+// Worker returns the collective handle for the given original rank.
 func (h *Hub) Worker(rank int) *InProc {
-	if rank < 0 || rank >= h.n {
-		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", rank, h.n))
+	if rank < 0 || rank >= h.world {
+		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", rank, h.world))
 	}
 	return &InProc{hub: h, rank: rank}
+}
+
+// Join registers a fresh worker with the given original rank as a pending
+// joiner and returns its handle. The handle's JoinGroup blocks until the
+// current members absorb it via ReformGrow; collectives fail with ErrEvicted
+// until then.
+func (h *Hub) Join(rank int) (*InProc, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if rank < 0 {
+		return nil, fmt.Errorf("comm: join rank %d negative", rank)
+	}
+	if indexOf(h.members, rank) >= 0 {
+		return nil, fmt.Errorf("comm: join rank %d is already a member", rank)
+	}
+	if _, ok := h.pending[rank]; ok {
+		return nil, fmt.Errorf("comm: join rank %d is already pending", rank)
+	}
+	jw := &joinWait{done: make(chan struct{})}
+	h.pending[rank] = jw
+	return &InProc{hub: h, rank: rank, join: jw}, nil
+}
+
+// pendingJoins reports registered joiners, sorted.
+func (h *Hub) pendingJoins() []int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]int, 0, len(h.pending))
+	for r := range h.pending {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Abort poisons the hub: every worker currently blocked in a round and every
@@ -159,77 +338,162 @@ func (h *Hub) abortedErr() error {
 }
 
 // exchange deposits this worker's payload and returns everyone's payloads in
-// rank order. Each round object is written only before its done channel
-// closes and read only after, so rounds are race-free; the last depositor
-// installs a fresh round before waking the others, letting fast workers
-// proceed to the next operation immediately. An aborted hub fails the
-// exchange instead of blocking on peers that will never deposit.
+// current-rank order. Each round object is written only before its done
+// channel closes and read only after, so rounds are race-free; the last
+// depositor installs a fresh round before waking the others, letting fast
+// workers proceed to the next operation immediately. An aborted hub fails
+// the exchange instead of blocking on peers that will never deposit, and a
+// worker the group has moved on without fails with ErrEvicted.
 //
 // Though no packet leaves the process, the deposited payload is accounted as
 // wire traffic in the telemetry registry: the hub substitutes for a network,
 // so its "wire" volume is what a real transport would have carried.
-func (h *Hub) exchange(rank int, payload []byte) ([][]byte, error) {
+func (h *Hub) exchange(orig int, payload []byte) ([][]byte, error) {
 	if err := h.abortedErr(); err != nil {
 		return nil, err
 	}
 	telemetry.Default.Add(telemetry.CtrCollectiveOps, 1)
 	telemetry.Default.Add(telemetry.CtrWireBytesSent, int64(len(payload)))
 	h.mu.Lock()
+	idx := indexOf(h.members, orig)
+	if idx < 0 {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("rank %d: %w", orig, ErrEvicted)
+	}
 	r := h.cur
-	r.slots[rank] = payload
+	r.slots[idx] = payload
 	r.count++
-	if r.count == h.n {
-		h.cur = newRound(h.n)
+	if r.count == len(r.slots) {
+		h.cur = newRound(len(r.slots))
 		close(r.done)
 	}
+	aborted := h.aborted
 	h.mu.Unlock()
 	select {
 	case <-r.done:
 		var recv int64
 		for i, s := range r.slots {
-			if i != rank {
+			if i != idx {
 				recv += int64(len(s))
 			}
 		}
 		telemetry.Default.Add(telemetry.CtrWireBytesRecv, recv)
 		return r.slots, nil
-	case <-h.aborted:
+	case <-aborted:
 		// The round may still complete concurrently, but once the group is
 		// poisoned no result can be trusted; fail deterministically.
 		return nil, h.abortedErr()
 	}
 }
 
-// InProc is one worker's handle onto a Hub.
+// InProc is one worker's handle onto a Hub. rank is the worker's original,
+// lifetime identity; Rank() reports its current index in the member set.
 type InProc struct {
 	hub  *Hub
 	rank int
+	join *joinWait // non-nil until a pending joiner is absorbed
 	step int64
 }
 
 var _ Collective = (*InProc)(nil)
+var _ Elastic = (*InProc)(nil)
+var _ Joiner = (*InProc)(nil)
 
-// Rank returns this worker's rank.
-func (w *InProc) Rank() int { return w.rank }
+// Rank returns this worker's current rank: its index in the sorted member
+// set (equal to the original rank while the group is intact, -1 while
+// evicted or pending).
+func (w *InProc) Rank() int { return w.hub.currentRank(w.rank) }
 
-// Size returns the group size.
-func (w *InProc) Size() int { return w.hub.n }
+// OriginalRank returns the worker's lifetime identity, stable across elastic
+// membership changes.
+func (w *InProc) OriginalRank() int { return w.rank }
+
+// Size returns the current group size.
+func (w *InProc) Size() int { return w.hub.size() }
 
 // Abort poisons the whole group this handle belongs to (see Hub.Abort).
 func (w *InProc) Abort(cause error) { w.hub.Abort(cause) }
 
 // Reform joins the hub's recovery rendezvous (see Hub.reform): it blocks
-// until every rank of the group — including a freshly respawned one — calls
-// Reform, then returns the new group generation with the abort poison
+// until every member of the group — including a freshly respawned one —
+// calls Reform, then returns the new group generation with the abort poison
 // cleared.
 func (w *InProc) Reform() (uint64, error) {
-	gen, err := w.hub.reform()
+	gen, err := w.hub.reform(w.rank)
 	if err != nil {
 		return 0, wrapErr(w.rank, OpReform, w.step, err)
 	}
 	xrank.Default.SetGeneration(gen)
 	xrank.Default.RecordFault(w.rank, xrank.OpReform, w.step, xrank.FaultReform)
 	return gen, nil
+}
+
+// ReformElastic joins the elastic recovery rendezvous: the full membership
+// reforms intact when everyone arrives within wait; otherwise the arrived
+// ranks commit a smaller world size and the missing ranks are evicted.
+func (w *InProc) ReformElastic(wait time.Duration) (Membership, error) {
+	mem, err := w.hub.rendezvous(w.rank, wait, true, nil)
+	if err != nil {
+		return Membership{}, wrapErr(w.rank, OpReform, w.step, err)
+	}
+	mem.Rank = mem.CurrentRank(w.rank)
+	xrank.Default.SetGeneration(mem.Gen)
+	xrank.Default.SetWorldSize(mem.Size())
+	telemetry.Default.SetGauge("world_size", int64(mem.Size()))
+	xrank.Default.RecordFault(w.rank, xrank.OpReform, w.step, xrank.FaultReform)
+	return mem, nil
+}
+
+// ReformGrow rebuilds the group absorbing the agreed joiners (see Elastic).
+func (w *InProc) ReformGrow(members []int) (Membership, error) {
+	w.hub.mu.Lock()
+	to := w.hub.reformTO
+	w.hub.mu.Unlock()
+	mem, err := w.hub.rendezvous(w.rank, to, false, append([]int(nil), members...))
+	if err != nil {
+		return Membership{}, wrapErr(w.rank, OpReform, w.step, err)
+	}
+	mem.Rank = mem.CurrentRank(w.rank)
+	xrank.Default.SetGeneration(mem.Gen)
+	xrank.Default.SetWorldSize(mem.Size())
+	telemetry.Default.SetGauge("world_size", int64(mem.Size()))
+	xrank.Default.RecordFault(w.rank, xrank.OpReform, w.step, xrank.FaultReform)
+	return mem, nil
+}
+
+// PendingJoins reports workers registered via Hub.Join and not yet absorbed.
+func (w *InProc) PendingJoins() []int { return w.hub.pendingJoins() }
+
+// Membership reports the group's current configuration from this worker's
+// perspective.
+func (w *InProc) Membership() Membership { return w.hub.membership(w.rank) }
+
+// JoinGroup blocks until the members absorb this pending joiner via
+// ReformGrow (see Joiner). On a handle that is already a member it returns
+// the current membership immediately.
+func (w *InProc) JoinGroup(wait time.Duration) (Membership, error) {
+	jw := w.join
+	if jw == nil {
+		mem := w.hub.membership(w.rank)
+		if mem.Rank < 0 {
+			return Membership{}, wrapErr(w.rank, OpReform, w.step, fmt.Errorf("rank %d: %w", w.rank, ErrEvicted))
+		}
+		return mem, nil
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-jw.done:
+		w.join = nil
+		mem := jw.mem
+		mem.Rank = mem.CurrentRank(w.rank)
+		xrank.Default.SetGeneration(mem.Gen)
+		xrank.Default.SetWorldSize(mem.Size())
+		return mem, nil
+	case <-t.C:
+		return Membership{}, wrapErr(w.rank, OpReform, w.step,
+			fmt.Errorf("join rendezvous: not absorbed after %v", wait))
+	}
 }
 
 // AllreduceF32 sums x across workers in place. Every worker reduces the
@@ -273,14 +537,18 @@ func (w *InProc) AllgatherBytes(b []byte) ([][]byte, error) {
 	return out, nil
 }
 
-// BroadcastBytes distributes root's payload.
+// BroadcastBytes distributes root's payload. root is a current rank.
 func (w *InProc) BroadcastBytes(b []byte, root int) ([]byte, error) {
 	w.step++
-	if root < 0 || root >= w.hub.n {
+	cur := w.hub.currentRank(w.rank)
+	if cur < 0 {
+		return nil, wrapErr(w.rank, OpBroadcast, w.step, fmt.Errorf("rank %d: %w", w.rank, ErrEvicted))
+	}
+	if root < 0 || root >= w.hub.size() {
 		return nil, wrapErr(w.rank, OpBroadcast, w.step, fmt.Errorf("broadcast root %d out of range", root))
 	}
 	var payload []byte
-	if w.rank == root {
+	if cur == root {
 		payload = b
 	}
 	xt0 := xrank.Default.Start()
@@ -302,6 +570,19 @@ func (w *InProc) Barrier() error {
 		return wrapErr(w.rank, OpBarrier, w.step, err)
 	}
 	return nil
+}
+
+// equalInts reports element-wise equality.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // f32ToBytes reinterprets a float32 slice as little-endian bytes by copy.

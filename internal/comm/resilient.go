@@ -92,6 +92,16 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // op — so ring deployments lean on the trainer-level rejoin path instead and
 // use Resilient only to absorb pre-op dial/timeout flakes.
 //
+// Retries never straddle a group-generation bump. If the group reforms
+// between a failure and its retry (a rejoin heal, or an elastic shrink or
+// grow committing a new membership), this handle's traffic is stamped with
+// the old generation and the transport rejects it with ErrStaleGeneration —
+// a fatal sentinel that dominates any transient indicator in the same chain
+// (see Classify), so the failure surfaces immediately instead of being
+// replayed into a group whose size, denominators, and op sequence have moved
+// on. Crossing a generation is the trainer heal path's job: it re-syncs
+// position and state before any further collective runs.
+//
 // Resilient preserves the handle contract: single-goroutine use, identical op
 // sequences across ranks (retries happen inside the op, so the sequence the
 // caller sees is unchanged).

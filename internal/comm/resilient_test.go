@@ -226,3 +226,46 @@ func TestResilientHubChaosCompletes(t *testing.T) {
 		t.Fatal("chaos plan with drops should have forced at least one reform")
 	}
 }
+
+// TestResilientStaleGenerationIsPermanent pins the Resilient × elastic-reform
+// contract: a retry must never straddle a group-generation bump. When the
+// group reforms (a rejoin heal or an elastic shrink/grow) between a failure
+// and its retry, the stale rank's traffic is stamped with the old generation
+// and rejected with ErrStaleGeneration — that rejection must classify fatal
+// and surface on the FIRST attempt, with no in-place retry and no reform
+// driven by the wrapper. Replaying a pre-reform op into the post-reform group
+// would corrupt the lockstep op sequence; recovery belongs to the trainer's
+// heal path, which re-syncs state before continuing.
+func TestResilientStaleGenerationIsPermanent(t *testing.T) {
+	stale := fmt.Errorf("ring: neighbor at generation 3, local 4: %w", ErrStaleGeneration)
+	inner := &flakyColl{failN: 100, fatal: stale}
+	r := NewResilient(inner, fastPolicy())
+	err := r.AllreduceF32([]float32{1, 2})
+	if !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("err = %v, want ErrStaleGeneration through the wrapper", err)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner op attempted %d times, want exactly 1 (no retry across a generation bump)", inner.calls)
+	}
+	if r.Retries() != 0 || r.Reforms() != 0 {
+		t.Fatalf("wrapper spent %d retries / %d reforms on a stale-generation failure, want none",
+			r.Retries(), r.Reforms())
+	}
+
+	// Fatal sentinels dominate mixed chains: a stale-generation rejection that
+	// ALSO carries a transient indicator (an abort poison, a reset) must still
+	// classify fatal — otherwise a retry could sneak the op across the bump.
+	mixed := fmt.Errorf("%w: delivered as %w", ErrStaleGeneration, ErrAborted)
+	if IsTransient(mixed) {
+		t.Fatal("stale generation wrapped in a transient abort classified transient; fatal must dominate")
+	}
+	inner = &flakyColl{failN: 100, fatal: mixed}
+	r = NewResilient(inner, fastPolicy())
+	if err := r.Barrier(); !errors.Is(err, ErrStaleGeneration) {
+		t.Fatalf("barrier err = %v, want ErrStaleGeneration", err)
+	}
+	if inner.calls != 1 || r.Retries() != 0 {
+		t.Fatalf("mixed stale/transient chain retried (%d calls, %d retries), want a single surfaced attempt",
+			inner.calls, r.Retries())
+	}
+}

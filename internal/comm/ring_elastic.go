@@ -1,0 +1,587 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/xrank"
+)
+
+// ElasticRing is the TCP counterpart of the Hub's elastic membership: a
+// re-dialable ring (like Ring) that can reform at a smaller world size when
+// a member is permanently gone, and absorb a fresh worker back later.
+//
+// The handle keeps one persistent listener on its own address across ring
+// incarnations. Between setups a lightweight acceptor answers two extra
+// handshake kinds on it: liveness probes (hsProbe — "what generation are you
+// at?") and join requests (hsJoin — a fresh worker announcing itself, which
+// is recorded as pending and answered with the current generation and member
+// list). During a ring setup the listener is lent to the ordinary setup
+// path, whose acceptSide answers probes too, so a census never mistakes a
+// rank mid-setup for a dead one.
+//
+// ReformElastic runs the shrink protocol in three phases:
+//
+//  1. Full reform: attempt an intact reform at generation+1 with the rejoin
+//     deadline as the setup budget. A transiently dead rank that respawned in
+//     time completes this phase and nothing shrinks.
+//  2. Census: probe every member's listener. A refused or silent address is
+//     a permanent loss (its process — and so its listener — is gone).
+//  3. Shrink: form the ring over the survivors at generation+2. The member
+//     digest circulated during ring confirmation guarantees all survivors
+//     agreed on the same set; a disagreement fails the attempt, the census
+//     reruns, and the retry converges.
+//
+// The evicted rank, if it ever comes back, finds every handshake rejected at
+// a generation ahead of its own and its collectives failing fatally — it
+// must re-enter through JoinElasticRing.
+//
+// Like Ring, the handle is single-goroutine for collectives; ReformElastic
+// and ReformGrow occupy the same slot in the lockstep op sequence on every
+// member.
+type ElasticRing struct {
+	mu      sync.Mutex
+	cfg     RingConfig // Addrs in original-rank space; Rank = original rank
+	members []int      // current sorted member set (original ranks)
+	lost    []int      // evicted by the most recent shrink
+	cur     *TCPRing
+
+	ln      net.Listener
+	lnTok   chan struct{} // listener ownership token (cap 1)
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	pendMu  sync.Mutex
+	pending map[int]bool // join requests observed by the acceptor
+}
+
+var _ Collective = (*ElasticRing)(nil)
+var _ Reformer = (*ElasticRing)(nil)
+var _ Elastic = (*ElasticRing)(nil)
+
+// DialElasticRing establishes the initial full-world ring and starts the
+// elastic acceptor. Heartbeats are required: eviction decisions ride on the
+// liveness layer's generation handshake.
+func DialElasticRing(cfg RingConfig) (*ElasticRing, error) {
+	if cfg.Heartbeat <= 0 {
+		return nil, fmt.Errorf("comm: elastic ring requires Heartbeat > 0")
+	}
+	if cfg.Listener != nil {
+		return nil, fmt.Errorf("comm: elastic ring owns its listener; Listener must be nil")
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, wrapErr(cfg.Rank, OpDial, 0, fmt.Errorf("listen %s: %w", cfg.Addrs[cfg.Rank], err))
+	}
+	members := cfg.Members
+	if members == nil {
+		members = make([]int, len(cfg.Addrs))
+		for i := range members {
+			members[i] = i
+		}
+	}
+	r := &ElasticRing{
+		cfg:     cfg,
+		members: append([]int(nil), members...),
+		ln:      ln,
+		lnTok:   make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		pending: make(map[int]bool),
+	}
+	r.lnTok <- struct{}{}
+	dcfg := cfg
+	dcfg.Listener = ln
+	dcfg.Members = r.members
+	ring, err := r.dialLocked(dcfg)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	r.cur = ring
+	r.cfg.Generation = ring.Generation()
+	r.wg.Add(1)
+	go r.acceptorLoop()
+	return r, nil
+}
+
+// JoinElasticRing enters an existing elastic group as a fresh worker: it
+// announces itself to any live member (hsJoin), learns the current
+// generation and member set, and then dials into the grow reform the
+// members will initiate at their next join point. The call blocks up to
+// wait; cfg.Rank is the joiner's original rank and cfg.Addrs the full
+// world address table (the joiner's own address included).
+func JoinElasticRing(cfg RingConfig, wait time.Duration) (*ElasticRing, error) {
+	if cfg.Heartbeat <= 0 {
+		return nil, fmt.Errorf("comm: elastic ring requires Heartbeat > 0")
+	}
+	ln, err := net.Listen("tcp", cfg.Addrs[cfg.Rank])
+	if err != nil {
+		return nil, wrapErr(cfg.Rank, OpDial, 0, fmt.Errorf("listen %s: %w", cfg.Addrs[cfg.Rank], err))
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		gen, members, err := requestJoin(cfg, deadline)
+		if err != nil {
+			ln.Close()
+			return nil, wrapErr(cfg.Rank, OpDial, 0, fmt.Errorf("elastic join: %w", err))
+		}
+		target := sortedUnion(members, []int{cfg.Rank})
+		dcfg := cfg
+		dcfg.Members = target
+		dcfg.Generation = gen + 1
+		dcfg.Listener = ln
+		dcfg.SetupTimeout = time.Until(deadline)
+		ring, err := DialTCPRingConfig(dcfg)
+		if err == nil {
+			r := &ElasticRing{
+				cfg:     cfg,
+				members: target,
+				ln:      ln,
+				lnTok:   make(chan struct{}, 1),
+				stop:    make(chan struct{}),
+				pending: make(map[int]bool),
+				cur:     ring,
+			}
+			r.cfg.Generation = ring.Generation()
+			r.lnTok <- struct{}{}
+			r.wg.Add(1)
+			go r.acceptorLoop()
+			xrank.Default.SetGeneration(ring.Generation())
+			xrank.Default.SetWorldSize(len(target))
+			telemetry.Default.SetGauge("world_size", int64(len(target)))
+			return r, nil
+		}
+		if time.Now().After(deadline) {
+			ln.Close()
+			return nil, wrapErr(cfg.Rank, OpDial, 0, fmt.Errorf("elastic join: not absorbed within %v: %w", wait, err))
+		}
+		// The group may have reformed (new generation or membership) while
+		// we dialed; re-request and try again.
+	}
+}
+
+// requestJoin announces the joiner to the first member that answers and
+// returns the group's current generation and member list.
+func requestJoin(cfg RingConfig, deadline time.Time) (uint64, []int, error) {
+	var lastErr error = fmt.Errorf("no live member answered")
+	for time.Now().Before(deadline) {
+		for peer, addr := range cfg.Addrs {
+			if peer == cfg.Rank {
+				continue
+			}
+			gen, members, err := requestJoinOne(addr, cfg.Rank, deadline)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return gen, members, nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return 0, nil, fmt.Errorf("join request: %w", lastErr)
+}
+
+func requestJoinOne(addr string, rank int, deadline time.Time) (uint64, []int, error) {
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer c.Close()
+	if err := writeHandshake(c, hsJoin, uint64(rank), deadline); err != nil {
+		return 0, nil, err
+	}
+	status, gen, err := readHandshakeReply(c, deadline)
+	if err != nil {
+		return 0, nil, err
+	}
+	if status != hsAccept {
+		return 0, nil, fmt.Errorf("join rejected at generation %d", gen)
+	}
+	members, err := readMembers(c, deadline)
+	if err != nil {
+		return 0, nil, err
+	}
+	return gen, members, nil
+}
+
+// readMembers reads one encodeMembers blob with a bounded deadline.
+func readMembers(c net.Conn, deadline time.Time) ([]int, error) {
+	hsDeadline := time.Now().Add(2 * time.Second)
+	if hsDeadline.After(deadline) {
+		hsDeadline = deadline
+	}
+	if err := c.SetReadDeadline(hsDeadline); err != nil {
+		return nil, err
+	}
+	defer c.SetReadDeadline(time.Time{})
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if n == 0 || n > maxMembers {
+		return nil, fmt.Errorf("%w: member count %d out of [1,%d]", ErrCorrupt, n, maxMembers)
+	}
+	body := make([]byte, 4*n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		return nil, err
+	}
+	return decodeMembers(append(hdr[:], body...))
+}
+
+// acceptorLoop answers probes and join requests on the persistent listener
+// whenever a ring setup isn't borrowing it. Each iteration holds the
+// listener token for at most one bounded accept.
+func (r *ElasticRing) acceptorLoop() {
+	defer r.wg.Done()
+	tl, _ := r.ln.(*net.TCPListener)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.lnTok:
+		}
+		if tl != nil {
+			tl.SetDeadline(time.Now().Add(150 * time.Millisecond))
+		}
+		c, err := r.ln.Accept()
+		r.lnTok <- struct{}{}
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			select {
+			case <-r.stop:
+			default:
+				// Listener broke outside Close/Kill; nothing to serve.
+			}
+			return
+		}
+		r.serveConn(c)
+	}
+}
+
+// serveConn handles one between-setups connection on the elastic listener.
+func (r *ElasticRing) serveConn(c net.Conn) {
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	role, payload, err := readHandshake(c, deadline)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	gen := r.cfg.Generation
+	members := append([]int(nil), r.members...)
+	r.mu.Unlock()
+	switch role {
+	case hsProbe:
+		writeHandshakeReply(c, hsAccept, gen, deadline)
+	case hsJoin:
+		rank := int(payload)
+		if rank < 0 || rank > maxMembers || indexOf(members, rank) >= 0 {
+			writeHandshakeReply(c, hsReject, gen, deadline)
+			return
+		}
+		r.pendMu.Lock()
+		r.pending[rank] = true
+		r.pendMu.Unlock()
+		if writeHandshakeReply(c, hsAccept, gen, deadline) != nil {
+			return
+		}
+		c.SetWriteDeadline(deadline)
+		c.Write(encodeMembers(members))
+		c.SetWriteDeadline(time.Time{})
+	default:
+		// A data/heartbeat dialer reached us while no setup is running —
+		// most likely a stale incarnation. Reject with our generation so it
+		// adopts and converges.
+		writeHandshakeReply(c, hsReject, gen, deadline)
+	}
+}
+
+// dialLocked borrows the listener and runs one ring setup with it.
+func (r *ElasticRing) dialLocked(cfg RingConfig) (*TCPRing, error) {
+	<-r.lnTok
+	defer func() { r.lnTok <- struct{}{} }()
+	return DialTCPRingConfig(cfg)
+}
+
+// ring returns the current incarnation.
+func (r *ElasticRing) ring() *TCPRing {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// Rank returns this worker's current rank: its index in the member set.
+func (r *ElasticRing) Rank() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return indexOf(r.members, r.cfg.Rank)
+}
+
+// OriginalRank returns the worker's lifetime identity.
+func (r *ElasticRing) OriginalRank() int { return r.cfg.Rank }
+
+// Size returns the current world size.
+func (r *ElasticRing) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.members)
+}
+
+// Generation reports the current incarnation's group generation.
+func (r *ElasticRing) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cfg.Generation
+}
+
+// Membership reports the current committed configuration.
+func (r *ElasticRing) Membership() Membership {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Membership{
+		Gen:     r.cfg.Generation,
+		Members: append([]int(nil), r.members...),
+		Rank:    indexOf(r.members, r.cfg.Rank),
+		Lost:    append([]int(nil), r.lost...),
+	}
+}
+
+// PendingJoins reports the original ranks whose join requests the acceptor
+// has recorded, sorted ascending.
+func (r *ElasticRing) PendingJoins() []int {
+	r.pendMu.Lock()
+	defer r.pendMu.Unlock()
+	out := make([]int, 0, len(r.pending))
+	for k := range r.pending {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Reform rebuilds the ring with the full current membership at the next
+// generation (the legacy heal path: every member must come back).
+func (r *ElasticRing) Reform() (uint64, error) {
+	r.mu.Lock()
+	old := r.cur
+	members := append([]int(nil), r.members...)
+	gen := r.cfg.Generation + 1
+	r.mu.Unlock()
+	old.Kill()
+	if g := old.Generation(); g >= gen {
+		gen = g + 1
+	}
+	dcfg := r.cfg
+	dcfg.Members = members
+	dcfg.Generation = gen
+	dcfg.Listener = r.ln
+	ring, err := r.dialLocked(dcfg)
+	if err != nil {
+		return 0, err
+	}
+	r.commit(ring, members, nil)
+	telemetry.Default.Add(telemetry.CtrRingReconnects, 1)
+	telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+	xrank.Default.RecordFault(r.cfg.Rank, xrank.OpReform, 0, xrank.FaultReform)
+	return ring.Generation(), nil
+}
+
+// ReformElastic runs the shrink protocol (see the type comment): intact
+// reform within wait, else census + shrink-form over the survivors.
+func (r *ElasticRing) ReformElastic(wait time.Duration) (Membership, error) {
+	r.mu.Lock()
+	old := r.cur
+	members := append([]int(nil), r.members...)
+	oldGen := r.cfg.Generation
+	setupTO := r.cfg.SetupTimeout
+	r.mu.Unlock()
+	if setupTO <= 0 {
+		setupTO = 30 * time.Second
+	}
+	old.Kill()
+	if g := old.Generation(); g > oldGen {
+		oldGen = g
+	}
+
+	// Phase 1: intact reform at generation+1, budgeted by the rejoin
+	// deadline. A transiently lost rank that made it back joins here.
+	dcfg := r.cfg
+	dcfg.Members = members
+	dcfg.Generation = oldGen + 1
+	dcfg.SetupTimeout = wait
+	dcfg.Listener = r.ln
+	if ring, err := r.dialLocked(dcfg); err == nil {
+		r.commit(ring, members, nil)
+		telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+		telemetry.Default.Add(telemetry.CtrRingReconnects, 1)
+		xrank.Default.RecordFault(r.cfg.Rank, xrank.OpReform, 0, xrank.FaultReform)
+		return r.Membership(), nil
+	}
+
+	// Phases 2+3: census, then shrink-form over the survivors. Retried —
+	// with a fresh census each time — until the shrink budget runs out, so
+	// overlapping reforms (digest mismatches) converge.
+	deadline := time.Now().Add(2 * setupTO)
+	for {
+		survivors := r.census(members, oldGen)
+		if len(survivors) < 2 {
+			return Membership{}, wrapErr(r.cfg.Rank, OpReform, 0,
+				fmt.Errorf("elastic shrink: %d of %d members reachable, ring needs 2: %w",
+					len(survivors), len(members), ErrPeerDead))
+		}
+		dcfg.Members = survivors
+		dcfg.Generation = oldGen + 2
+		dcfg.SetupTimeout = setupTO
+		ring, err := r.dialLocked(dcfg)
+		if err == nil {
+			var lost []int
+			for _, m := range members {
+				if indexOf(survivors, m) < 0 {
+					lost = append(lost, m)
+				}
+			}
+			r.commit(ring, survivors, lost)
+			telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+			telemetry.Default.Add(telemetry.CtrRingReconnects, 1)
+			telemetry.Default.Add(telemetry.CtrElasticShrinks, 1)
+			xrank.Default.SetWorldSize(len(survivors))
+			telemetry.Default.SetGauge("world_size", int64(len(survivors)))
+			xrank.Default.RecordFault(r.cfg.Rank, xrank.OpReform, 0, xrank.FaultReform)
+			return r.Membership(), nil
+		}
+		if time.Now().After(deadline) {
+			return Membership{}, wrapErr(r.cfg.Rank, OpReform, 0,
+				fmt.Errorf("elastic shrink: no stable ring within %v: %w", 2*setupTO, err))
+		}
+	}
+}
+
+// ReformGrow rebuilds the ring over the agreed post-grow member set. All
+// current members must pass the same set; the pending joiners it names dial
+// into the same setup from JoinElasticRing.
+func (r *ElasticRing) ReformGrow(members []int) (Membership, error) {
+	r.mu.Lock()
+	old := r.cur
+	oldGen := r.cfg.Generation
+	r.mu.Unlock()
+	target := append([]int(nil), members...)
+	sort.Ints(target)
+	old.Kill()
+	if g := old.Generation(); g > oldGen {
+		oldGen = g
+	}
+	dcfg := r.cfg
+	dcfg.Members = target
+	dcfg.Generation = oldGen + 1
+	dcfg.Listener = r.ln
+	ring, err := r.dialLocked(dcfg)
+	if err != nil {
+		return Membership{}, wrapErr(r.cfg.Rank, OpReform, 0, fmt.Errorf("elastic grow: %w", err))
+	}
+	r.commit(ring, target, nil)
+	r.pendMu.Lock()
+	for _, m := range target {
+		delete(r.pending, m)
+	}
+	r.pendMu.Unlock()
+	telemetry.Default.Add(telemetry.CtrGroupReforms, 1)
+	telemetry.Default.Add(telemetry.CtrRingReconnects, 1)
+	telemetry.Default.Add(telemetry.CtrElasticGrows, 1)
+	xrank.Default.SetWorldSize(len(target))
+	telemetry.Default.SetGauge("world_size", int64(len(target)))
+	xrank.Default.RecordFault(r.cfg.Rank, xrank.OpReform, 0, xrank.FaultReform)
+	return r.Membership(), nil
+}
+
+// census probes every other member's listener and returns the reachable set
+// (always including self), sorted.
+func (r *ElasticRing) census(members []int, gen uint64) []int {
+	alive := []int{r.cfg.Rank}
+	for _, m := range members {
+		if m == r.cfg.Rank {
+			continue
+		}
+		if r.probe(r.cfg.Addrs[m], gen) {
+			alive = append(alive, m)
+		}
+	}
+	sort.Ints(alive)
+	return alive
+}
+
+// probe sends one hsProbe to addr and reports whether anything answered.
+// Any well-formed reply counts as life — a member mid-setup at a different
+// generation is alive, just busy.
+func (r *ElasticRing) probe(addr string, gen uint64) bool {
+	deadline := time.Now().Add(time.Second)
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return false
+	}
+	defer c.Close()
+	if err := writeHandshake(c, hsProbe, gen, deadline); err != nil {
+		return false
+	}
+	_, _, err = readHandshakeReply(c, deadline)
+	return err == nil
+}
+
+// commit installs a new incarnation and membership.
+func (r *ElasticRing) commit(ring *TCPRing, members, lost []int) {
+	r.mu.Lock()
+	r.cur = ring
+	r.members = members
+	r.lost = lost
+	r.cfg.Generation = ring.Generation()
+	r.mu.Unlock()
+	xrank.Default.SetGeneration(ring.Generation())
+}
+
+// Close shuts the acceptor, the listener, and the current ring down
+// gracefully.
+func (r *ElasticRing) Close() error {
+	r.stopped.Do(func() { close(r.stop) })
+	r.ln.Close()
+	r.wg.Wait()
+	return r.ring().Close()
+}
+
+// Kill abruptly severs everything — ring sockets, listener, acceptor — the
+// way a machine loss would. Peers' probes then find nothing listening, which
+// is exactly the census's permanent-loss signal.
+func (r *ElasticRing) Kill() {
+	r.stopped.Do(func() { close(r.stop) })
+	r.ln.Close()
+	r.wg.Wait()
+	r.ring().Kill()
+}
+
+// Hang freezes the current ring's collectives but leaves the listener
+// answering probes: a wedged-but-alive process. A census will not evict it;
+// only the full machine loss simulated by Kill does.
+func (r *ElasticRing) Hang() { r.ring().Hang() }
+
+// AllreduceF32 forwards to the current incarnation.
+func (r *ElasticRing) AllreduceF32(x []float32) error { return r.ring().AllreduceF32(x) }
+
+// AllgatherBytes forwards to the current incarnation.
+func (r *ElasticRing) AllgatherBytes(b []byte) ([][]byte, error) { return r.ring().AllgatherBytes(b) }
+
+// BroadcastBytes forwards to the current incarnation.
+func (r *ElasticRing) BroadcastBytes(b []byte, root int) ([]byte, error) {
+	return r.ring().BroadcastBytes(b, root)
+}
+
+// Barrier forwards to the current incarnation.
+func (r *ElasticRing) Barrier() error { return r.ring().Barrier() }

@@ -60,6 +60,16 @@ const (
 	hsReject = 'R'
 	// confirmMagic opens the post-setup ring confirmation token.
 	confirmMagic = 'C'
+	// hsProbe is an elastic liveness census probe: the payload field carries
+	// the prober's generation, the reply ('A') the acceptor's current one.
+	// Probes are answered during ring setup too — an overlapping setup phase
+	// must not read as a death — and never affect the acceptor's state.
+	hsProbe = 'E'
+	// hsJoin is an elastic join request; the payload field carries the
+	// joiner's original rank, not a generation. A member's elastic acceptor
+	// answers with its generation and member list; plain ring setup rejects
+	// it (the joiner retries until a member is listening).
+	hsJoin = 'J'
 	// handshakeLen is the wire size of handshake records, replies, ping
 	// records, and confirmation tokens alike: one kind byte plus the
 	// generation.
@@ -106,6 +116,20 @@ type RingConfig struct {
 	// retries and setup backoff, mixed with Rank so ranks desynchronize.
 	// Chaos and recovery tests are reproducible from the run seed.
 	Seed uint64
+	// Members, when non-nil, forms the ring over a subset of the world:
+	// the sorted original ranks participating in this incarnation. Rank is
+	// then an original rank that must appear in Members, Addrs stays indexed
+	// by original rank, and the ring's effective rank/size are the index in /
+	// length of Members. Ring confirmation additionally circulates a digest
+	// of the member list, so two ranks that disagree on who is in the group
+	// can never splice into one ring. Nil means the full world [0,len(Addrs)).
+	Members []int
+	// Listener, when non-nil, is the already-bound listen socket for
+	// Addrs[Rank]. Ring setup uses it without closing it, so an elastic
+	// membership layer can keep one persistent listener across incarnations
+	// (answering probes and joins between setups). Nil makes setup bind and
+	// close its own.
+	Listener net.Listener
 }
 
 // TCPRing is a real network implementation of Collective over a TCP ring:
@@ -122,6 +146,9 @@ type RingConfig struct {
 // carrying (rank, op, step).
 type TCPRing struct {
 	rank, n  int
+	orig     int   // original rank (== rank unless Members narrowed the ring)
+	members  []int // sorted original member ranks; nil = full world
+	digest   uint64
 	next     net.Conn // to rank+1
 	prev     net.Conn // from rank-1
 	nextW    *bufio.Writer
@@ -178,6 +205,26 @@ func DialTCPRing(rank int, addrs []string, timeout time.Duration) (*TCPRing, err
 // while a respawned member dialing at generation 0 discovers the group's
 // actual generation on the fly.
 func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
+	if cfg.Members != nil {
+		// Narrow the world to the member subset: the effective ring is
+		// indexed by position in the sorted member list, while Addrs (and
+		// Rank on entry) stay in original-rank space.
+		idx := indexOf(cfg.Members, cfg.Rank)
+		if idx < 0 {
+			return nil, fmt.Errorf("comm: rank %d not in ring members %v", cfg.Rank, cfg.Members)
+		}
+		sub := make([]string, len(cfg.Members))
+		for i, m := range cfg.Members {
+			if m < 0 || m >= len(cfg.Addrs) {
+				return nil, fmt.Errorf("comm: ring member %d outside address table [0,%d)", m, len(cfg.Addrs))
+			}
+			if i > 0 && cfg.Members[i] <= cfg.Members[i-1] {
+				return nil, fmt.Errorf("comm: ring members %v not strictly ascending", cfg.Members)
+			}
+			sub[i] = cfg.Addrs[m]
+		}
+		cfg.Rank, cfg.Addrs = idx, sub
+	}
 	rank, addrs := cfg.Rank, cfg.Addrs
 	n := len(addrs)
 	if n < 2 {
@@ -190,11 +237,15 @@ func DialTCPRingConfig(cfg RingConfig) (*TCPRing, error) {
 	if setupTO <= 0 {
 		setupTO = 30 * time.Second
 	}
-	ln, err := net.Listen("tcp", addrs[rank])
-	if err != nil {
-		return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("listen %s: %w", addrs[rank], err))
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", addrs[rank])
+		if err != nil {
+			return nil, wrapErr(rank, OpDial, 0, fmt.Errorf("listen %s: %w", addrs[rank], err))
+		}
+		defer ln.Close()
 	}
-	defer ln.Close()
 
 	deadline := time.Now().Add(setupTO)
 	rng := fxrand.New(cfg.Seed*0x9e3779b97f4a7c15 + uint64(rank) + 1)
@@ -310,7 +361,12 @@ func setupAttempt(cfg RingConfig, ln net.Listener, gen uint64, deadline time.Tim
 		opened = append(opened, hbPrev)
 	}
 
-	t := &TCPRing{rank: rank, n: n, next: next, prev: prev, gen: gen}
+	t := &TCPRing{rank: rank, n: n, orig: rank, next: next, prev: prev, gen: gen}
+	if cfg.Members != nil {
+		t.members = append([]int(nil), cfg.Members...)
+		t.orig = cfg.Members[rank]
+		t.digest = membershipDigest(cfg.Members)
+	}
 	t.nextW = bufio.NewWriterSize(next, 1<<16)
 	t.prevR = bufio.NewReaderSize(prev, 1<<16)
 	t.opTO = cfg.OpTimeout
@@ -405,6 +461,22 @@ func acceptSide(ln net.Listener, gen uint64, hb bool, deadline time.Time, stop c
 		role, peerGen, err := readHandshake(c, deadline)
 		if err != nil {
 			c.Close() // hostile or truncated handshake: drop, keep listening
+			continue
+		}
+		if role == hsProbe {
+			// Elastic census probe: answer with our generation and keep
+			// listening. Answered before the generation check so a probe
+			// landing mid-setup reads as "alive", never as a death.
+			writeHandshakeReply(c, hsAccept, gen, deadline)
+			c.Close()
+			continue
+		}
+		if role == hsJoin {
+			// A joiner found us mid-setup; reject so it retries against a
+			// formed member's elastic acceptor (the payload is its rank, so
+			// the generation check below would misfire on it).
+			writeHandshakeReply(c, hsReject, gen, deadline)
+			c.Close()
 			continue
 		}
 		if peerGen != gen {
@@ -511,6 +583,33 @@ func (t *TCPRing) confirmRing(deadline time.Time) (uint64, error) {
 				ErrStaleGeneration, peerGen, t.gen)
 		}
 	}
+	if t.digest != 0 {
+		// Membership round: the token carries the member-list digest instead
+		// of the generation. A mismatch means two ranks formed this
+		// generation with different ideas of who is in the group — a
+		// retryable setup failure (no generation to adopt), so overlapping
+		// elastic reforms self-stabilize instead of exchanging payloads
+		// across disagreeing rings.
+		appendHandshakeInto(tok[:0], confirmMagic, t.digest)
+		t.next.SetWriteDeadline(deadline)
+		if _, err := t.nextW.Write(tok[:]); err != nil {
+			return 0, err
+		}
+		if err := t.nextW.Flush(); err != nil {
+			return 0, err
+		}
+		t.prev.SetReadDeadline(deadline)
+		if _, err := ioReadFull(t.prevR, tok[:]); err != nil {
+			return 0, err
+		}
+		kind, peerDigest, err := parseHandshake(tok[:])
+		if err != nil || kind != confirmMagic {
+			return 0, fmt.Errorf("%w: bad membership confirmation token", ErrCorrupt)
+		}
+		if peerDigest != t.digest {
+			return 0, fmt.Errorf("membership digest mismatch: predecessor %016x, ours %016x", peerDigest, t.digest)
+		}
+	}
 	t.next.SetWriteDeadline(time.Time{})
 	t.prev.SetReadDeadline(time.Time{})
 	return 0, nil
@@ -558,7 +657,7 @@ func parseHandshake(b []byte) (kind byte, gen uint64, err error) {
 	}
 	kind = b[0]
 	switch kind {
-	case preambleData, preambleHeartbeat, confirmMagic:
+	case preambleData, preambleHeartbeat, confirmMagic, hsProbe, hsJoin:
 	default:
 		return 0, 0, fmt.Errorf("%w: unknown handshake kind %q", ErrCorrupt, kind)
 	}
@@ -916,6 +1015,23 @@ func (t *TCPRing) Generation() uint64 { return t.gen }
 
 // Step reports how many collective operations this handle has performed.
 func (t *TCPRing) Step() int64 { return t.step.Load() }
+
+// OriginalRank reports this worker's lifetime identity: equal to Rank unless
+// RingConfig.Members narrowed the ring to a subset of the world.
+func (t *TCPRing) OriginalRank() int { return t.orig }
+
+// Membership reports the member set this incarnation of the ring formed
+// over. For a full-world ring that is simply [0,n).
+func (t *TCPRing) Membership() Membership {
+	members := t.members
+	if members == nil {
+		members = make([]int, t.n)
+		for i := range members {
+			members[i] = i
+		}
+	}
+	return Membership{Gen: t.gen, Members: append([]int(nil), members...), Rank: t.rank}
+}
 
 // beginOp arms one collective op with a context: an already-expired ctx
 // refuses to start, a ctx deadline caps every frame deadline inside the op

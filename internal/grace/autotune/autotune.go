@@ -445,6 +445,38 @@ func (p *Policy) estBytes(i, c int) int64 {
 	return per * int64(p.cfg.Workers)
 }
 
+// SetWorldSize implements grace.WorldSizeSetter: it re-derives the policy's
+// group-shaped inputs (worker count, ring cost model, configuration
+// signature) after an elastic membership change and resets the decision
+// trajectory — assignment, step counter, byte observations, and fault
+// evidence all restart, including the warmup probe windows. The signature
+// pins the worker count, so pre-resize checkpointed states are correctly
+// rejected afterwards. Every member calls this with the identical new size at
+// the identical step, so the restarted trajectories stay rank-identical.
+func (p *Policy) SetWorldSize(n int) {
+	if n < 1 || n == p.cfg.Workers {
+		return
+	}
+	p.cfg.Workers = n
+	p.cluster = simnet.NewCluster(p.cfg.Link, n)
+	p.sig = buildSig(p.cfg, p.cands)
+	p.step = 0
+	p.switches = 0
+	p.nextSwitches = 0
+	for i := range p.assign {
+		p.assign[i] = 0
+	}
+	for i := range p.pending {
+		p.pending[i] = false
+	}
+	for i := range p.lastBytes {
+		p.lastBytes[i] = -1
+	}
+	for i := range p.faults {
+		p.faults[i] = 0
+	}
+}
+
 // State implements grace.Tuner.
 func (p *Policy) State() *grace.TunerState {
 	st := &grace.TunerState{

@@ -136,7 +136,12 @@ func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Op
 	if s.Seed != cfg.Seed {
 		return pos, fmt.Errorf("grace: checkpoint is for seed %d, run uses %d", s.Seed, cfg.Seed)
 	}
-	if s.Workers != cfg.Workers {
+	// An elastic run may restore a snapshot taken at a different world size
+	// (the shrink/grow rollback): per-rank state transfers unchanged, but the
+	// loop position and policy state are world-size-shaped and are
+	// re-derived — see the resize block at the end.
+	elasticResize := cfg.Elastic != nil && s.Workers != cfg.Workers
+	if s.Workers != cfg.Workers && !elasticResize {
 		return pos, fmt.Errorf("grace: checkpoint is for %d workers, run has %d", s.Workers, cfg.Workers)
 	}
 	if s.Rank != rank {
@@ -177,7 +182,16 @@ func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Op
 	if err := eng.LoadCodecState(s.Codec); err != nil {
 		return pos, err
 	}
-	if err := eng.LoadTunerState(s.Tuner); err != nil {
+	if elasticResize {
+		// The policy signature pins the worker count, so a cross-world-size
+		// tuner state is not loadable; presence must still match (a run cannot
+		// switch tuning modes mid-flight). The policy was deterministically
+		// reset by the resize (Engine.Rebind → WorldSizeSetter) on every
+		// member, so trajectories stay rank-identical — they just restart.
+		if (s.Tuner != nil) != (eng.TunerState() != nil) {
+			return pos, errTunerPresence(s.Tuner != nil)
+		}
+	} else if err := eng.LoadTunerState(s.Tuner); err != nil {
 		return pos, err
 	}
 	if (syncPoint != nil) != (s.SyncPoint != nil) {
@@ -195,6 +209,16 @@ func applySnapshot(cfg *Config, rank int, s *Snapshot, model Model, opt optim.Op
 			}
 			copy(t.Data(), s.SyncPoint[i].Data)
 		}
+	}
+	if elasticResize {
+		// The snapshot's Iter counts batches of the OLD partition; under the
+		// new world size the epoch's batch sequence is different, so the
+		// interrupted epoch replays from its start under the new shard
+		// assignment (the sampler is a pure function of (len, workers, rank,
+		// seed) — every member derives the identical partition). Step keeps
+		// the snapshot's count: it is the lockstep position, not a batch
+		// index.
+		return trainerPos{step: s.Step, epoch: s.Epoch, iter: 0, sinceSync: 0}, nil
 	}
 	return trainerPos{step: s.Step, epoch: s.Epoch, iter: s.Iter, sinceSync: s.SinceSync}, nil
 }

@@ -1,0 +1,163 @@
+package grace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// ElasticConfig opts a training run into elastic world-size membership: when
+// a rank is permanently lost (its retry budget and the rejoin deadline both
+// exhausted), the survivors vote to reform at world size N−1 and training
+// continues — averaging denominators, allgather fan-in, and the autotuner's
+// link model all re-derive from the new Size(), and the lost rank's data
+// shard is deterministically re-partitioned across the survivors. A fresh
+// worker presenting at a later step boundary is absorbed back, restoring the
+// original world size.
+//
+// Semantics of a shrink, explicitly:
+//
+//   - The evicted rank's error-feedback residuals are DECLARED LOST. Every
+//     survivor's quality accumulators record the drop (TensorQuality.EFDrops,
+//     telemetry counter elastic_ef_drops_total); the gradient mass the dead
+//     rank's residual held is simply gone from the optimization, exactly as
+//     if that rank had flushed to /dev/null. This is the standard elastic
+//     trade-off — residual state is rank-local by construction.
+//   - The group rolls back to the newest checkpoint step every survivor
+//     holds (the same heal sync round as single-rank rejoin), then re-runs
+//     the interrupted epoch from its start under the N−1 partition: the
+//     sampler is a pure function of (dataset length, workers, rank, seed),
+//     so every survivor derives the identical new shard assignment with no
+//     extra coordination.
+//   - The autotuner's policy state is reset deterministically on every
+//     survivor (its signature pins the worker count), so post-shrink policy
+//     trajectories stay rank-identical but are not comparable to the
+//     pre-shrink run.
+//
+// Requires Rejoin (for the heal sync machinery) and Checkpoint.Every > 0
+// (for a rollback point); the collective must implement comm.Elastic.
+type ElasticConfig struct {
+	// RejoinDeadline is how long survivors hold the door open for a lost
+	// rank before voting to shrink (phase 1 of the reform protocol). A rank
+	// that re-presents within the deadline rejoins an intact group and
+	// nothing shrinks. 0 selects 10s.
+	RejoinDeadline time.Duration
+	// MinWorkers is the smallest world size the run may degrade to; a shrink
+	// that would go below it fails the run instead. 0 selects 2 (a ring
+	// needs two members; a singleton "group" is training alone, which the
+	// operator should opt into explicitly by restarting, not slide into).
+	MinWorkers int
+	// JoinEvery is the cadence, in optimizer steps, of the elastic join
+	// beacon: every JoinEvery steps the members allgather their pending-join
+	// sets and, when the union is non-empty, reform the group to absorb the
+	// joiners. The beacon is one extra AllgatherBytes in the lockstep op
+	// sequence, so the value must be identical on every rank. 0 selects 1.
+	JoinEvery int
+	// JoinOnStart marks this worker as a fresh joiner: before its first step
+	// it presents at the group's join point (comm.Joiner.JoinGroup), adopts
+	// the survivors' state through the heal sync round, and starts training
+	// as a member. Implies the worker has no usable local loop position —
+	// its checkpoints older than the join are ignored.
+	JoinOnStart bool
+	// OnResize, when set, is called after each committed membership change
+	// (shrink or grow) with the new membership and the step the group rolled
+	// back to.
+	OnResize func(m comm.Membership, step int64)
+}
+
+func (el *ElasticConfig) rejoinDeadline() time.Duration {
+	if el.RejoinDeadline > 0 {
+		return el.RejoinDeadline
+	}
+	return 10 * time.Second
+}
+
+func (el *ElasticConfig) minWorkers() int {
+	if el.MinWorkers > 0 {
+		return el.MinWorkers
+	}
+	return 2
+}
+
+func (el *ElasticConfig) joinEvery() int {
+	if el.JoinEvery > 0 {
+		return el.JoinEvery
+	}
+	return 1
+}
+
+func (el *ElasticConfig) validate(cfg *Config) error {
+	if cfg.Rejoin == nil {
+		return fmt.Errorf("grace: Elastic requires Rejoin (the heal sync round is the rollback machinery)")
+	}
+	if cfg.Checkpoint == nil || cfg.Checkpoint.Every <= 0 {
+		return fmt.Errorf("grace: Elastic requires Checkpoint.Every > 0 (a shrink rolls back to a checkpoint)")
+	}
+	if cfg.SyncEvery > 1 {
+		return fmt.Errorf("grace: Elastic does not support local-SGD runs (SyncEvery > 1)")
+	}
+	return nil
+}
+
+// growSignal is the internal error the step hook raises when the elastic
+// join beacon observes pending joiners: it unwinds the training loop to the
+// heal loop, which reforms the group over the agreed member set. It is not a
+// failure — no training state is damaged — just a control transfer to the
+// same rollback machinery a heal uses, so every member rewinds to an
+// identical step before the joiner syncs.
+type growSignal struct {
+	members []int // agreed post-grow member set (original ranks, sorted)
+}
+
+func (g *growSignal) Error() string {
+	return fmt.Sprintf("grace: elastic join point: growing to members %v", g.members)
+}
+
+// joinBeacon is the step-boundary grow handshake: every member allgathers its
+// locally observed pending-join set (a joiner's registration lands on ONE
+// member — whichever answered its request first — so the union is what makes
+// the observation collective). When the union is empty it returns (nil, nil)
+// and the step completes normally; otherwise it returns the growSignal that
+// unwinds the training loop to the heal loop, carrying the agreed post-grow
+// member set. The allgather itself keeps every rank's op sequence aligned:
+// all members run the beacon at the same step, so they all unwind together.
+func joinBeacon(coll comm.Collective, el comm.Elastic) (*growSignal, error) {
+	pend := el.PendingJoins()
+	steps := make([]int64, len(pend))
+	for i, p := range pend {
+		steps[i] = int64(p)
+	}
+	lists, err := coll.AllgatherBytes(encodeStepList(steps))
+	if err != nil {
+		return nil, err
+	}
+	joiners := make(map[int]bool)
+	for r, b := range lists {
+		l, derr := decodeStepList(b)
+		if derr != nil {
+			return nil, fmt.Errorf("rank %d sent a malformed pending-join list: %w", r, derr)
+		}
+		for _, j := range l {
+			joiners[int(j)] = true
+		}
+	}
+	if len(joiners) == 0 {
+		return nil, nil
+	}
+	members := el.Membership().Members
+	set := make(map[int]bool, len(members)+len(joiners))
+	for _, m := range members {
+		set[m] = true
+	}
+	for j := range joiners {
+		set[j] = true
+	}
+	agreed := make([]int, 0, len(set))
+	for m := range set {
+		agreed = append(agreed, m)
+	}
+	sort.Ints(agreed)
+	return &growSignal{members: agreed}, nil
+}

@@ -1,0 +1,205 @@
+package grace_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/grace"
+	"repro/internal/simnet"
+)
+
+// elasticCfg is ckptConfig with the elastic prerequisites attached per rank
+// at launch time (Rejoin and Checkpoint are per-worker, built by the runner).
+func elasticCfg(method string, mem bool, workers int) grace.Config {
+	cfg := ckptConfig(method, mem)
+	cfg.Workers = workers
+	return cfg
+}
+
+// runElasticResumed drives an elastic-enabled run over one hub where each
+// rank resumes from the given snapshot (possibly captured at a different
+// world size), returning the per-rank final snapshots.
+func runElasticResumed(t *testing.T, cfg grace.Config, dir string,
+	resume []*grace.Snapshot) []*grace.Snapshot {
+	t.Helper()
+	hub := comm.NewHub(cfg.Workers)
+	cluster := simnet.NewCluster(cfg.Net, cfg.Workers)
+	finals := make([]*grace.Snapshot, cfg.Workers)
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for rank := 0; rank < cfg.Workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := cfg
+			d, err := ckpt.OpenDir(dir, rank)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			c.Checkpoint = &grace.CheckpointConfig{
+				Every: 3,
+				Final: true,
+				Save: func(s *grace.Snapshot) error {
+					finals[rank] = s
+					return d.SaveStep(s)
+				},
+			}
+			if resume != nil {
+				c.Checkpoint.Resume = resume[rank]
+			}
+			c.Rejoin = d.RejoinConfig()
+			c.Elastic = &grace.ElasticConfig{RejoinDeadline: time.Second}
+			_, errs[rank] = grace.RunWorker(c, rank, hub.Worker(rank), cluster)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	return finals
+}
+
+// loadStep loads every rank's on-disk snapshot at one step.
+func loadStep(t *testing.T, dir string, workers int, step int64) []*grace.Snapshot {
+	t.Helper()
+	out := make([]*grace.Snapshot, workers)
+	for rank := range out {
+		d, err := ckpt.OpenDir(dir, rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out[rank], err = ckpt.Load(d.Path(step)); err != nil {
+			t.Fatalf("loading rank %d step %d: %v", rank, step, err)
+		}
+	}
+	return out
+}
+
+// TestElasticResumeShrinkWorldSize: snapshots captured by a 3-worker run
+// resume into a 2-worker elastic run. The loop position is re-derived (the
+// interrupted epoch replays from its start under the new partition), the
+// finals carry the new world size, and the whole transform is deterministic:
+// two independent resumed runs finish bitwise identical.
+func TestElasticResumeShrinkWorldSize(t *testing.T) {
+	srcDir := t.TempDir()
+	runCheckpointed(t, elasticCfg("topk", true, 3), srcDir, 3, nil)
+
+	// Ranks 0 and 1 of the 3-worker run become the 2-worker group; their
+	// snapshots keep Workers=3, which is what selects the elastic transform.
+	resume := loadStep(t, srcDir, 2, 3)
+	small := elasticCfg("topk", true, 2)
+	got := runElasticResumed(t, small, t.TempDir(), resume)
+
+	// 96 examples / (8 batch × 2 workers) = 6 iters/epoch. Resume lands at
+	// step 3 inside epoch 0, which replays in full: 3 + 6 + 6.
+	const wantFinal = 15
+	for rank, s := range got {
+		if s.Step != wantFinal {
+			t.Fatalf("rank %d final step %d, want %d", rank, s.Step, wantFinal)
+		}
+		if s.Workers != 2 {
+			t.Fatalf("rank %d final world size %d, want 2", rank, s.Workers)
+		}
+	}
+
+	again := runElasticResumed(t, small, t.TempDir(), resume)
+	assertSnapshotsBitwiseEqual(t, again, got, "shrink-resume determinism")
+}
+
+// TestElasticResumeGrowWorldSize: snapshots captured by a 2-worker run resume
+// into a 3-worker elastic run; the extra rank adopts a donor snapshot with
+// its rank identity rewritten (the state-transfer path). Deterministic across
+// two independent runs.
+func TestElasticResumeGrowWorldSize(t *testing.T) {
+	srcDir := t.TempDir()
+	runCheckpointed(t, elasticCfg("topk", true, 2), srcDir, 3, nil)
+
+	// Step 3 is pruned by the source run's keep-3 retention (12 steps mean
+	// checkpoints at 3,6,9,12); step 6 — the epoch boundary — survives.
+	resume := loadStep(t, srcDir, 2, 6)
+	adopted := *resume[0]
+	adopted.Rank = 2
+	resume = append(resume, &adopted)
+
+	big := elasticCfg("topk", true, 3)
+	got := runElasticResumed(t, big, t.TempDir(), resume)
+
+	// 96 / (8 × 3) = 4 iters/epoch. The step-6 snapshot records epoch 0,
+	// iter 6 (the epoch counter advances at the loop boundary, after the
+	// save), and the elastic transform replays the recorded epoch from its
+	// start under the 3-way partition: 6 + 4 + 4.
+	const wantFinal = 14
+	for rank, s := range got {
+		if s.Step != wantFinal {
+			t.Fatalf("rank %d final step %d, want %d", rank, s.Step, wantFinal)
+		}
+		if s.Workers != 3 {
+			t.Fatalf("rank %d final world size %d, want 3", rank, s.Workers)
+		}
+	}
+
+	again := runElasticResumed(t, big, t.TempDir(), resume)
+	assertSnapshotsBitwiseEqual(t, again, got, "grow-resume determinism")
+}
+
+// TestElasticResumeReshardDeterministic: the sampler's partition at a new
+// world size is a pure function of (len, workers, rank, seed) — every member
+// derives the identical re-shard with no coordination, the shards are
+// disjoint, and together they cover exactly the per-worker truncation of the
+// same global permutation.
+func TestElasticResumeReshardDeterministic(t *testing.T) {
+	const n, bs, seed = 96, 8, 11
+	for _, workers := range []int{2, 3, 4} {
+		seen := make(map[int]int)
+		total := 0
+		for rank := 0; rank < workers; rank++ {
+			// Derive twice; the schedules must agree element for element.
+			a := data.NewSampler(n, workers, rank, seed).EpochBatches(bs)
+			b := data.NewSampler(n, workers, rank, seed).EpochBatches(bs)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d rank %d: %d vs %d batches across derivations", workers, rank, len(a), len(b))
+			}
+			for i := range a {
+				for j := range a[i] {
+					if a[i][j] != b[i][j] {
+						t.Fatalf("workers=%d rank %d: batch %d element %d differs", workers, rank, i, j)
+					}
+					if prev, dup := seen[a[i][j]]; dup {
+						t.Fatalf("workers=%d: example %d in both rank %d and rank %d shards", workers, a[i][j], prev, rank)
+					}
+					seen[a[i][j]] = rank
+					total++
+				}
+			}
+		}
+		// Every worker contributes full batches over an equal shard: the
+		// union covers workers×⌊(n/workers)/bs⌋×bs distinct examples.
+		want := workers * ((n / workers) / bs) * bs
+		if total != want {
+			t.Fatalf("workers=%d: %d examples covered, want %d", workers, total, want)
+		}
+	}
+}
+
+// TestElasticResumeRejectsWithoutElastic: without ElasticConfig a cross-world
+// snapshot must still be refused — the transform is opt-in.
+func TestElasticResumeRejectsWithoutElastic(t *testing.T) {
+	srcDir := t.TempDir()
+	runCheckpointed(t, elasticCfg("topk", true, 3), srcDir, 3, nil)
+	resume := loadStep(t, srcDir, 2, 3)
+	cfg := elasticCfg("topk", true, 2)
+	hub := comm.NewHub(2)
+	cfg.Checkpoint = &grace.CheckpointConfig{Resume: resume[0]}
+	_, err := grace.RunWorker(cfg, 0, hub.Worker(0), simnet.NewCluster(cfg.Net, 2))
+	if err == nil || !strings.Contains(err.Error(), "workers") {
+		t.Fatalf("err = %v, want worker-count rejection", err)
+	}
+}

@@ -85,6 +85,7 @@ type Engine struct {
 	qFallbacks []int64
 	qSentBytes []int64
 	qSteps     []int64
+	qEFDrops   []int64 // EF residual sets lost to elastic shrinks (Rebind)
 
 	// Fusion state. buckets is the step's bucket plan (contiguous tensor
 	// ranges, identical on every rank); bucketOf inverts it. For multi-tensor
@@ -407,6 +408,56 @@ func (e *Engine) Pause() error {
 // Resume lifts a Pause; the next Step runs normally. Resuming a never-paused
 // engine is a no-op.
 func (e *Engine) Resume() { e.paused.Store(false) }
+
+// Rebind re-derives the engine's group-shaped state from the collective after
+// an elastic membership change: the averaging denominator, this worker's rank,
+// and the per-tensor gather fan-in all take the collective's current Size()
+// and Rank(). lost is how many ranks the change evicted (0 for a grow); when
+// the engine runs with error-feedback memory, each evicted rank's residual set
+// is declared lost — recorded per tensor in the quality accumulators and in
+// the elastic_ef_drops_total counter, never silently dropped. A tuning engine
+// forwards the new size to its policy, which must implement WorldSizeSetter.
+//
+// The engine must be paused (the heal path's quiesce guard): Rebind swaps
+// state the codec lanes index by group size.
+func (e *Engine) Rebind(lost int) error {
+	if !e.paused.Load() {
+		return fmt.Errorf("grace: Rebind needs a paused engine")
+	}
+	n := e.coll.Size()
+	if n < 1 {
+		return fmt.Errorf("grace: Rebind with collective size %d", n)
+	}
+	e.n = float32(n)
+	e.rank = e.coll.Rank()
+	e.drv.rank = e.rank
+	for l, ln := range e.lanes {
+		ln.ts.rank = e.rank
+		_ = l
+	}
+	for i := range e.gsz {
+		if len(e.gsz[i]) != n {
+			e.gsz[i] = make([]int, n)
+		}
+		if e.gsplit[i] != nil && len(e.gsplit[i]) != n {
+			e.gsplit[i] = make([][]byte, n)
+		}
+	}
+	if e.mem != nil && lost > 0 {
+		for i := range e.qEFDrops {
+			e.qEFDrops[i] += int64(lost)
+		}
+		telemetry.Default.Add(telemetry.CtrElasticEFDrops, int64(lost)*int64(len(e.qEFDrops)))
+	}
+	if e.tuner != nil {
+		ws, ok := e.tuner.(WorldSizeSetter)
+		if !ok {
+			return fmt.Errorf("grace: elastic resize needs a tuner implementing WorldSizeSetter; %T does not", e.tuner)
+		}
+		ws.SetWorldSize(n)
+	}
+	return nil
+}
 
 // Step exchanges one training step's gradients: grads[i] is the gradient of
 // the tensor described by infos[i]. It returns the aggregated gradients in
@@ -1151,6 +1202,7 @@ func (e *Engine) ensure(infos []TensorInfo) error {
 		e.qFallbacks = make([]int64, m)
 		e.qSentBytes = make([]int64, m)
 		e.qSteps = make([]int64, m)
+		e.qEFDrops = make([]int64, m)
 		e.rep.Tensors = make([]StepStats, m)
 		e.nameIdx = make(map[string]int, m)
 		laneMax := make([]int, p)

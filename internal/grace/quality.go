@@ -37,6 +37,11 @@ type TensorQuality struct {
 	// for it (rank-identical, ≥ the local fault count in aggregate).
 	Faults    int64 `json:"faults"`
 	Fallbacks int64 `json:"fallbacks"`
+	// EFDrops counts error-feedback residual sets declared lost for this
+	// tensor by elastic shrinks: one per evicted rank per shrink while the
+	// engine runs with EF memory. The evicted rank's residual was rank-local
+	// state with no surviving copy; the drop is recorded rather than hidden.
+	EFDrops int64 `json:"ef_drops,omitempty"`
 }
 
 // QualityReport renders the per-tensor compression-quality accumulators.
@@ -69,6 +74,7 @@ func (e *Engine) QualityReport() []TensorQuality {
 		}
 		q.Faults = e.qFaults[i]
 		q.Fallbacks = e.qFallbacks[i]
+		q.EFDrops = e.qEFDrops[i]
 	}
 	return rows
 }

@@ -159,6 +159,10 @@ func healSync(cfg *Config, rank int, coll comm.Collective, model Model, opt opti
 	if err != nil {
 		return pos, fmt.Errorf("grace: rejoin: list local checkpoints: %w", err)
 	}
+	// Collective results are indexed by CURRENT rank — under elastic
+	// membership that can differ from this worker's original identity (the
+	// rank parameter), which checkpoint ownership is keyed by.
+	cur := coll.Rank()
 	lists, err := coll.AllgatherBytes(encodeStepList(mine))
 	if err != nil {
 		return pos, fmt.Errorf("grace: rejoin step negotiation: %w", err)
@@ -188,7 +192,7 @@ func healSync(cfg *Config, rank int, coll comm.Collective, model Model, opt opti
 	defer eng.Resume()
 
 	var snap *Snapshot
-	if len(peer[rank]) > 0 {
+	if len(peer[cur]) > 0 {
 		snap, err = rj.LoadLocal(step)
 		if err != nil {
 			return pos, fmt.Errorf("grace: rejoin: load own checkpoint at step %d: %w", step, err)
@@ -204,7 +208,7 @@ func healSync(cfg *Config, rank int, coll comm.Collective, model Model, opt opti
 			return pos, fmt.Errorf("grace: rejoin: a rank lost its checkpoints but RejoinConfig has no Encode/Decode for the donor transfer")
 		}
 		var blob []byte
-		if rank == donor {
+		if cur == donor {
 			if blob, err = rj.Encode(snap); err != nil {
 				return pos, fmt.Errorf("grace: rejoin: encode donor snapshot: %w", err)
 			}
@@ -213,7 +217,7 @@ func healSync(cfg *Config, rank int, coll comm.Collective, model Model, opt opti
 		if err != nil {
 			return pos, fmt.Errorf("grace: rejoin state transfer: %w", err)
 		}
-		if len(peer[rank]) == 0 {
+		if len(peer[cur]) == 0 {
 			s, derr := rj.Decode(out)
 			if derr != nil {
 				return pos, fmt.Errorf("grace: rejoin: decode donated snapshot: %w", derr)

@@ -138,6 +138,15 @@ type Config struct {
 	// checkpoint step they all hold — instead of surfacing the error. Pair it
 	// with Checkpoint.Every > 0 so there is a recovery point to roll back to.
 	Rejoin *RejoinConfig
+	// Elastic, when non-nil, upgrades the self-healing path to elastic
+	// world-size membership: a permanently lost rank is voted out after
+	// RejoinDeadline and training continues at N−1 (denominators, shards,
+	// fan-in, and the autotuner's link model all re-derive from the new
+	// Size()); a fresh worker presenting at a join point is absorbed back.
+	// Requires Rejoin and a collective implementing comm.Elastic; see
+	// ElasticConfig for the shrink semantics (EF-residual loss, epoch
+	// replay, policy reset).
+	Elastic *ElasticConfig
 
 	// XRank configures the cross-rank observability plane (telemetry/xrank):
 	// per-op/step event recording, periodic cross-rank aggregation of the
@@ -307,6 +316,58 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 	if gamma == 0 {
 		gamma = 1
 	}
+	el := cfg.Elastic
+	var elColl comm.Elastic
+	joinFloor := int64(-1) // JoinOnStart: checkpoint steps at or below are stale
+	if el != nil {
+		if err := el.validate(&cfg); err != nil {
+			return nil, err
+		}
+		if el.JoinOnStart {
+			// A hub joiner blocks here until the members' join beacon absorbs
+			// it; a TCP joiner arrives pre-joined through JoinElasticRing (its
+			// handle has no JoinGroup), so the miss is not an error. Either
+			// way the joiner's own pre-eviction checkpoints are unusable until
+			// it has adopted the group's state: the wrapped ListSteps keeps
+			// them invisible until the startup sync pins the join floor.
+			if j, ok := comm.AsJoiner(coll); ok {
+				if _, err := j.JoinGroup(el.rejoinDeadline()); err != nil {
+					return nil, fmt.Errorf("grace: elastic join: %w", err)
+				}
+			}
+			if cfg.Rejoin != nil && cfg.Rejoin.ListSteps != nil {
+				rj := *cfg.Rejoin
+				inner := rj.ListSteps
+				rj.ListSteps = func() ([]int64, error) {
+					if joinFloor < 0 {
+						return nil, nil
+					}
+					steps, err := inner()
+					if err != nil {
+						return nil, err
+					}
+					kept := steps[:0]
+					for _, s := range steps {
+						if s > joinFloor {
+							kept = append(kept, s)
+						}
+					}
+					return kept, nil
+				}
+				rj.SyncOnStart = true
+				cfg.Rejoin = &rj
+			}
+		}
+		ec, ok := comm.AsElastic(coll)
+		if !ok {
+			return nil, fmt.Errorf("grace: Elastic needs a collective with elastic membership (comm.Elastic)")
+		}
+		elColl = ec
+		// Under elastic membership the collective, not the config, owns the
+		// world size: a joiner or a post-shrink restart arrives at whatever
+		// size the group currently has.
+		cfg.Workers = coll.Size()
+	}
 	if coll.Size() != cfg.Workers {
 		return nil, fmt.Errorf("grace: collective size %d != configured workers %d", coll.Size(), cfg.Workers)
 	}
@@ -361,7 +422,15 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		}
 	}
 
-	sampler := data.NewSampler(cfg.Dataset.Len(), cfg.Workers, rank, cfg.Seed)
+	// Data shards key off the CURRENT rank under elastic membership (a
+	// survivor's index shifts when the group shrinks, re-partitioning the
+	// lost rank's shard deterministically across survivors); a static group's
+	// current rank is its original rank, so the fallback is the same value.
+	shardRank := rank
+	if el != nil {
+		shardRank = coll.Rank()
+	}
+	sampler := data.NewSampler(cfg.Dataset.Len(), cfg.Workers, shardRank, cfg.Seed)
 
 	rep := &Report{}
 	evaluated := false
@@ -416,6 +485,38 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		}
 	}
 
+	// resize re-derives every world-size-shaped piece of worker state after a
+	// committed elastic membership change: the config's worker count, the
+	// data shard (current rank under the new partition), the modeled network
+	// cluster, the engine's denominators/fan-in (and, through it, the
+	// autotuner's link model), and the xrank aggregator.
+	resize := func(m comm.Membership, lost int) error {
+		if m.Size() < el.minWorkers() {
+			return fmt.Errorf("grace: elastic shrink to %d workers is below MinWorkers %d: %w",
+				m.Size(), el.minWorkers(), comm.ErrPeerDead)
+		}
+		cfg.Workers = m.Size()
+		sampler = data.NewSampler(cfg.Dataset.Len(), cfg.Workers, coll.Rank(), cfg.Seed)
+		if cfg.ParamServer {
+			cluster = simnet.NewStarCluster(cfg.Net, cfg.Workers)
+		} else {
+			cluster = simnet.NewCluster(cfg.Net, cfg.Workers)
+		}
+		if err := eng.Pause(); err != nil {
+			return err
+		}
+		err := eng.Rebind(lost)
+		eng.Resume()
+		if err != nil {
+			return err
+		}
+		if xagg != nil {
+			xagg = xrank.NewAggregator(xrank.Default, coll.Rank(), cfg.Workers)
+		}
+		telemetry.Default.Mark(fmt.Sprintf("elastic:size%d", m.Size()), rank)
+		return nil
+	}
+
 	// stepDone runs the post-step bookkeeping shared by both training modes:
 	// periodic checkpointing first (so a crash right after the boundary can
 	// roll back to it), then the OnStep hook.
@@ -440,6 +541,19 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		if xagg != nil && globalStep%int64(cfg.XRank.AggregateEvery) == 0 {
 			if err := xagg.Exchange(coll); err != nil {
 				return fmt.Errorf("grace: xrank trace aggregation at step %d: %w", globalStep, err)
+			}
+		}
+		// Elastic join beacon: at the cadence boundary every member
+		// allgathers its pending-join set; a non-empty union unwinds to the
+		// heal loop as a growSignal, so the whole group reforms over the
+		// same agreed member set at the same op position.
+		if elColl != nil && globalStep%int64(el.joinEvery()) == 0 {
+			gs, err := joinBeacon(coll, elColl)
+			if err != nil {
+				return fmt.Errorf("grace: elastic join beacon at step %d: %w", globalStep, err)
+			}
+			if gs != nil {
+				return gs
 			}
 		}
 		if cfg.OnStep != nil {
@@ -618,6 +732,18 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		}
 		rewind(pos)
 		baseEpoch = startEpoch
+		if el != nil && el.JoinOnStart {
+			// The adopted step is the join floor: everything this rank's
+			// checkpoint store holds at or below it predates the join and
+			// stays invisible to future heal negotiations.
+			joinFloor = pos.step
+			// startupSync's fast path never reformed, so its generation is 0;
+			// the joiner was absorbed under the committed membership's.
+			gen = elColl.Membership().Gen
+			if el.OnResize != nil {
+				el.OnResize(elColl.Membership(), pos.step)
+			}
+		}
 		if rj.OnHeal != nil {
 			rj.OnHeal(gen, pos.step)
 		}
@@ -629,6 +755,34 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 			break
 		}
 		rj := cfg.Rejoin
+
+		// Elastic join point: not a failure — the beacon observed pending
+		// joiners and every member unwound at the identical step. Reform over
+		// the agreed set, re-derive the world-size-shaped state, and run the
+		// same heal sync the joiner enters through startupSync.
+		var gs *growSignal
+		if errors.As(err, &gs) {
+			mship, gerr := elColl.ReformGrow(gs.members)
+			if gerr != nil {
+				return nil, fmt.Errorf("grace: elastic grow: %w", gerr)
+			}
+			if rerr := resize(mship, 0); rerr != nil {
+				return nil, rerr
+			}
+			pos, herr := healSync(&cfg, rank, coll, model, opt, mem, eng, syncPoint)
+			if herr != nil {
+				return nil, herr
+			}
+			rewind(pos)
+			if el.OnResize != nil {
+				el.OnResize(mship, pos.step)
+			}
+			if rj.OnHeal != nil {
+				rj.OnHeal(mship.Gen, pos.step)
+			}
+			continue
+		}
+
 		if rj == nil || !errors.Is(err, comm.ErrPeerDead) {
 			return nil, err
 		}
@@ -640,6 +794,35 @@ func RunWorker(cfg Config, rank int, coll comm.Collective, cluster simnet.Cluste
 		// recorder rate-limits, so a whole group healing at once still yields
 		// a bounded artifact set.
 		xrank.Default.Flight("heal_peer_dead", err)
+
+		if elColl != nil {
+			// Elastic heal: hold the door open for the rejoin deadline, then
+			// vote to continue without whoever is still missing. An intact
+			// reform (everyone made it back) commits no membership change and
+			// needs no resize.
+			mship, rerr := elColl.ReformElastic(el.rejoinDeadline())
+			if rerr != nil {
+				return nil, fmt.Errorf("grace: elastic reform after peer death: %w", rerr)
+			}
+			if len(mship.Lost) > 0 {
+				if rerr := resize(mship, len(mship.Lost)); rerr != nil {
+					return nil, rerr
+				}
+			}
+			pos, herr := healSync(&cfg, rank, coll, model, opt, mem, eng, syncPoint)
+			if herr != nil {
+				return nil, herr
+			}
+			rewind(pos)
+			if len(mship.Lost) > 0 && el.OnResize != nil {
+				el.OnResize(mship, pos.step)
+			}
+			if rj.OnHeal != nil {
+				rj.OnHeal(mship.Gen, pos.step)
+			}
+			continue
+		}
+
 		rf, ok := comm.AsReformer(coll)
 		if !ok {
 			return nil, fmt.Errorf("grace: peer died and the collective cannot reform: %w", err)

@@ -136,6 +136,17 @@ type Tuner interface {
 	LoadState(st *TunerState) error
 }
 
+// WorldSizeSetter is the optional Tuner extension an elastic run needs: a
+// policy implementing it is told the new worker count after a committed
+// membership change, so its link-model cluster and configuration signature
+// re-derive from the new size. The call resets the policy trajectory (the
+// signature pins the worker count, so pre-resize state is not loadable) —
+// every member resets identically, keeping the lockstep contract. A tuning
+// elastic run whose policy lacks this interface fails the resize.
+type WorldSizeSetter interface {
+	SetWorldSize(n int)
+}
+
 // TunerState reports a deep copy of the autotuning policy state, or nil when
 // the engine runs a fixed method.
 func (e *Engine) TunerState() *TunerState {

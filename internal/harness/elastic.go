@@ -1,0 +1,570 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/ckpt"
+	"repro/internal/comm"
+	"repro/internal/grace"
+	"repro/internal/telemetry"
+)
+
+// elasticKeep is the checkpoint retention the elastic batteries use: the
+// reference phase reloads the shrink's rollback snapshot after the degraded
+// run finished, so the default keep-3 pruning must not eat it.
+const elasticKeep = 64
+
+// ElasticResult reports one supervised degrade-and-continue experiment: a
+// rank is lost permanently mid-run, the survivors vote to shrink to N−1 and
+// finish, and the finals must match a reference N−1 run started from the
+// post-reform state bit for bit.
+type ElasticResult struct {
+	// ShrinkStep is the step the survivors rolled back to when they committed
+	// the smaller world size.
+	ShrinkStep int64
+	// ShrinkSize is the committed world size after the loss (N−1).
+	ShrinkSize int
+	// Lost holds the original ranks the shrink evicted.
+	Lost []int
+	// Downtime is the wall-clock span from the kill to the survivors resuming
+	// training at the smaller size.
+	Downtime time.Duration
+	// EFDrops is the elastic_ef_drops_total counter delta over the degraded
+	// run: one per evicted rank per tensor when error-feedback memory is on.
+	EFDrops int64
+	// Match reports bitwise equality of the degraded finals against the
+	// reference N−1 run.
+	Match  bool
+	Detail string
+	// Degraded and Reference are the survivor finals, indexed by post-shrink
+	// current rank.
+	Degraded, Reference []*grace.Snapshot
+}
+
+// ElasticGrowResult reports one scale-back-up experiment: after the shrink, a
+// fresh worker presents at the join point, the members absorb it, and the run
+// finishes at the original world size.
+type ElasticGrowResult struct {
+	// ShrinkStep and GrowStep are the rollback steps of the two membership
+	// changes.
+	ShrinkStep, GrowStep int64
+	// GrowSize is the committed world size after the absorption.
+	GrowSize int
+	// GrowDowntime is the wall-clock span from the join registration to the
+	// group resuming at full size.
+	GrowDowntime time.Duration
+	// Launches counts RunWorker invocations per original rank: 1 for
+	// survivors, 2 for the lost rank (first incarnation dies, a fresh joiner
+	// replaces it).
+	Launches []int
+	// Finals are the per-original-rank final snapshots; every one must carry
+	// the full world size again.
+	Finals []*grace.Snapshot
+}
+
+// DefaultElastic builds the standard elastic scenario on top of the recovery
+// battery's training config: 3 workers, checkpoints every 3 steps, rank 1
+// permanently lost at step 5, and a rejoin deadline short enough that the
+// survivors' vote fires quickly once the retry budget is exhausted.
+func DefaultElastic(transport, method string, mem bool, dir string) RecoveryConfig {
+	cfg := DefaultRecovery(transport, method, mem, dir)
+	cfg.RejoinDeadline = 500 * time.Millisecond * raceTimeoutScale
+	return cfg
+}
+
+// RunElastic executes the degrade-and-continue scenario: the victim dies for
+// good (no respawn), the survivors shrink to N−1 and finish, and a reference
+// N−1 group — resumed from the survivors' rollback snapshots with each
+// worker's compressor seeded by its pre-shrink original rank — must reproduce
+// the degraded finals bit for bit.
+func RunElastic(cfg RecoveryConfig) (*ElasticResult, error) {
+	if err := validateElastic(&cfg); err != nil {
+		return nil, err
+	}
+	n := cfg.Train.Workers
+	res := &ElasticResult{}
+
+	ef0 := telemetry.Default.Value(telemetry.CtrElasticEFDrops)
+	shrinkDir := filepath.Join(cfg.Dir, "shrink")
+	finals, err := runElasticShrinkPhase(cfg, shrinkDir, res)
+	if err != nil {
+		return nil, err
+	}
+	res.EFDrops = telemetry.Default.Value(telemetry.CtrElasticEFDrops) - ef0
+	if res.ShrinkSize != n-1 {
+		return nil, fmt.Errorf("harness: shrink committed size %d, want %d", res.ShrinkSize, n-1)
+	}
+
+	// Survivors in original-rank order are the reference run's launch order:
+	// post-shrink current rank is the index in this list.
+	var survivors []int
+	for rank := 0; rank < n; rank++ {
+		if rank != cfg.KillRank {
+			survivors = append(survivors, rank)
+		}
+	}
+	res.Degraded = make([]*grace.Snapshot, len(survivors))
+	for cur, orig := range survivors {
+		res.Degraded[cur] = finals[orig]
+	}
+	res.Reference, err = runElasticReferencePhase(cfg, shrinkDir, survivors, res.ShrinkStep)
+	if err != nil {
+		return nil, err
+	}
+	res.Match, res.Detail = snapshotsBitwiseEqual(res.Degraded, res.Reference)
+	return res, nil
+}
+
+// runElasticShrinkPhase runs the faulted attempt: all N ranks start, the
+// victim dies permanently at KillStep, and the supervisor never respawns it —
+// the survivors must vote, shrink, and run to completion on their own.
+func runElasticShrinkPhase(cfg RecoveryConfig, dir string, res *ElasticResult) ([]*grace.Snapshot, error) {
+	n := cfg.Train.Workers
+	sc, err := newFaultScaffold(&cfg, scaffoldElastic)
+	if err != nil {
+		return nil, err
+	}
+	finals := make([]*grace.Snapshot, n)
+	errs := make([]error, n)
+
+	var mu sync.Mutex
+	var killT, resizeT time.Time
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				coll, die, err := sc.collFor(rank)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				if c, ok := coll.(io.Closer); ok {
+					defer c.Close()
+				}
+				tc := cfg.Train
+				d, err := ckpt.OpenDir(dir, rank)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				d.Keep = elasticKeep
+				tc.Checkpoint = &grace.CheckpointConfig{
+					Every: cfg.Every,
+					Final: true,
+					Save: func(s *grace.Snapshot) error {
+						finals[rank] = s
+						return d.SaveStep(s)
+					},
+				}
+				tc.Rejoin = d.RejoinConfig()
+				tc.Elastic = &grace.ElasticConfig{
+					RejoinDeadline: cfg.elasticDeadline(),
+					OnResize: func(m comm.Membership, step int64) {
+						mu.Lock()
+						res.ShrinkStep = step
+						res.ShrinkSize = m.Size()
+						res.Lost = m.Lost
+						resizeT = time.Now()
+						mu.Unlock()
+					},
+				}
+				if rank == cfg.KillRank {
+					tc.OnStep = func(_ int, step int64) error {
+						if step == cfg.KillStep {
+							mu.Lock()
+							killT = time.Now()
+							mu.Unlock()
+							die()
+							return ErrSimulatedCrash
+						}
+						return nil
+					}
+				}
+				_, errs[rank] = grace.RunWorker(tc, rank, coll, simnetClusterFor(cfg.Train))
+			}(rank)
+		}
+		wg.Wait()
+	}()
+
+	timeout := cfg.watchdog()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		sc.teardown()
+		<-done
+		return nil, fmt.Errorf("harness: elastic shrink phase watchdog fired after %v", timeout)
+	}
+	for rank, err := range errs {
+		if rank == cfg.KillRank {
+			if !errors.Is(err, ErrSimulatedCrash) {
+				return nil, fmt.Errorf("harness: victim rank %d exited with %v, want the simulated crash", rank, err)
+			}
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("harness: survivor rank %d: %w", rank, err)
+		}
+	}
+	if !killT.IsZero() && resizeT.After(killT) {
+		res.Downtime = resizeT.Sub(killT)
+	}
+	return finals, nil
+}
+
+// runElasticReferencePhase replays the post-shrink run from scratch: a fresh
+// N−1 group resumes the survivors' rollback snapshots (rank identities
+// rewritten to the post-shrink current ranks) and runs to completion with no
+// faults. Survivors of a real shrink keep the compressors their ORIGINAL rank
+// seeded, so the reference workers map their current rank back to the
+// original before constructing one.
+func runElasticReferencePhase(cfg RecoveryConfig, dir string, survivors []int, step int64) ([]*grace.Snapshot, error) {
+	m := len(survivors)
+	ref := cfg
+	ref.Train.Workers = m
+	if base := cfg.Train.NewCompressor; base != nil {
+		ref.Train.NewCompressor = func(cur int) (grace.Compressor, error) {
+			return base(survivors[cur])
+		}
+	}
+	resume := make([]*grace.Snapshot, m)
+	for cur, orig := range survivors {
+		d, err := ckpt.OpenDir(dir, orig)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := ckpt.Load(d.Path(step))
+		if err != nil {
+			return nil, fmt.Errorf("harness: loading survivor %d rollback snapshot at step %d: %w", orig, step, err)
+		}
+		// The snapshot keeps its pre-shrink Workers count: that is what makes
+		// the trainer take the elastic resume transform (replay the epoch from
+		// its start under the new partition), the same path the survivors took.
+		snap.Rank = cur
+		resume[cur] = snap
+	}
+
+	sc, err := newFaultScaffold(&ref, scaffoldElastic)
+	if err != nil {
+		return nil, err
+	}
+	refDir := filepath.Join(cfg.Dir, "ref")
+	finals := make([]*grace.Snapshot, m)
+	errs := make([]error, m)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for rank := 0; rank < m; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				coll, _, err := sc.collFor(rank)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				if c, ok := coll.(io.Closer); ok {
+					defer c.Close()
+				}
+				tc := ref.Train
+				d, err := ckpt.OpenDir(refDir, rank)
+				if err != nil {
+					errs[rank] = err
+					return
+				}
+				d.Keep = elasticKeep
+				tc.Checkpoint = &grace.CheckpointConfig{
+					Every:  cfg.Every,
+					Final:  true,
+					Resume: resume[rank],
+					Save: func(s *grace.Snapshot) error {
+						finals[rank] = s
+						return d.SaveStep(s)
+					},
+				}
+				tc.Rejoin = d.RejoinConfig()
+				tc.Elastic = &grace.ElasticConfig{RejoinDeadline: cfg.elasticDeadline()}
+				_, errs[rank] = grace.RunWorker(tc, rank, coll, simnetClusterFor(tc))
+			}(rank)
+		}
+		wg.Wait()
+	}()
+
+	timeout := cfg.watchdog()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		sc.teardown()
+		<-done
+		return nil, fmt.Errorf("harness: elastic reference phase watchdog fired after %v", timeout)
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: reference rank %d: %w", rank, err)
+		}
+	}
+	return finals, nil
+}
+
+// RunElasticGrow executes the scale-back-up scenario: the victim dies
+// permanently, the survivors shrink and continue, then the supervisor
+// launches a fresh worker under the lost original rank — the members' join
+// beacon absorbs it and every rank must finish at the full world size.
+func RunElasticGrow(cfg RecoveryConfig) (*ElasticGrowResult, error) {
+	if err := validateElastic(&cfg); err != nil {
+		return nil, err
+	}
+	n := cfg.Train.Workers
+	sc, err := newFaultScaffold(&cfg, scaffoldElastic)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(cfg.Dir, "grow")
+	res := &ElasticGrowResult{Launches: make([]int, n), Finals: make([]*grace.Snapshot, n)}
+	errs := make([]error, n)
+
+	var mu sync.Mutex
+	var joinT, grownT time.Time
+	var maxStep int64                // highest step any survivor completed
+	shrunk := make(chan struct{})    // closed when the survivors commit N−1
+	joinReady := make(chan struct{}) // closed when the joiner's registration is visible
+	var shrinkOnce, grownOnce sync.Once
+	// The join is sequenced against survivor progress from both sides: the
+	// supervisor waits until the survivors hold a post-shrink checkpoint (so
+	// the grow rolls back to a later step than the shrink did), and past the
+	// gate step the survivors wait for the join request to land (so the
+	// beacon is guaranteed to observe it before the run ends).
+	gateStep := cfg.KillStep + 3
+
+	launch := func(rank int, joiner bool) error {
+		mu.Lock()
+		res.Launches[rank]++
+		mu.Unlock()
+		var coll comm.Collective
+		var die func()
+		var err error
+		if joiner {
+			coll, err = sc.join(rank, cfg.watchdog())
+		} else {
+			coll, die, err = sc.collFor(rank)
+		}
+		if err != nil {
+			return err
+		}
+		if c, ok := coll.(io.Closer); ok {
+			defer c.Close()
+		}
+		tc := cfg.Train
+		d, err := ckpt.OpenDir(dir, rank)
+		if err != nil {
+			return err
+		}
+		d.Keep = elasticKeep
+		tc.Checkpoint = &grace.CheckpointConfig{
+			Every: cfg.Every,
+			Final: true,
+			Save: func(s *grace.Snapshot) error {
+				res.Finals[rank] = s
+				return d.SaveStep(s)
+			},
+		}
+		tc.Rejoin = d.RejoinConfig()
+		// The joiner's deadline also bounds its JoinGroup wait — give it the
+		// whole phase budget, since absorption needs the members to reach
+		// their next step boundary first.
+		deadline := cfg.elasticDeadline()
+		if joiner {
+			deadline = cfg.watchdog()
+		}
+		tc.Elastic = &grace.ElasticConfig{
+			RejoinDeadline: deadline,
+			JoinOnStart:    joiner,
+			OnResize: func(m comm.Membership, step int64) {
+				if m.Size() < n {
+					shrinkOnce.Do(func() {
+						mu.Lock()
+						res.ShrinkStep = step
+						mu.Unlock()
+						close(shrunk)
+					})
+					return
+				}
+				grownOnce.Do(func() {
+					mu.Lock()
+					res.GrowStep = step
+					res.GrowSize = m.Size()
+					grownT = time.Now()
+					mu.Unlock()
+				})
+			},
+		}
+		switch {
+		case !joiner && rank == cfg.KillRank:
+			tc.OnStep = func(_ int, step int64) error {
+				if step == cfg.KillStep {
+					die()
+					return ErrSimulatedCrash
+				}
+				return nil
+			}
+		case !joiner:
+			tc.OnStep = func(_ int, step int64) error {
+				mu.Lock()
+				if step > maxStep {
+					maxStep = step
+				}
+				mu.Unlock()
+				if step >= gateStep {
+					<-joinReady
+				}
+				return nil
+			}
+		}
+		_, err = grace.RunWorker(tc, rank, coll, simnetClusterFor(cfg.Train))
+		return err
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for rank := 0; rank < n; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				err := launch(rank, false)
+				if rank == cfg.KillRank {
+					if !errors.Is(err, ErrSimulatedCrash) {
+						mu.Lock()
+						errs[rank] = fmt.Errorf("victim exited with %v, want the simulated crash", err)
+						mu.Unlock()
+					}
+					return
+				}
+				mu.Lock()
+				errs[rank] = err
+				mu.Unlock()
+			}(rank)
+		}
+		// Supervisor: once the shrink is committed and the survivors have a
+		// post-shrink checkpoint behind them, present a fresh worker under the
+		// lost original rank and release the survivors' gate when the
+		// registration is visible to the group.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deadline := time.Now().Add(cfg.watchdog())
+			waitFor := func(ok func() bool) bool {
+				for !ok() {
+					if !time.Now().Before(deadline) {
+						return false
+					}
+					time.Sleep(2 * time.Millisecond)
+				}
+				return true
+			}
+			select {
+			case <-shrunk:
+			case <-time.After(cfg.watchdog()):
+				close(joinReady) // unblock the gate; the phase will fail below
+				return
+			}
+			if !waitFor(func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return maxStep >= gateStep
+			}) {
+				close(joinReady)
+				return
+			}
+			mu.Lock()
+			joinT = time.Now()
+			mu.Unlock()
+			joined := make(chan error, 1)
+			go func() { joined <- launch(cfg.KillRank, true) }()
+			// The registration may already have been absorbed by the time we
+			// look, so "grow committed" releases the gate too.
+			waitFor(func() bool {
+				if len(sc.pending()) > 0 {
+					return true
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				return !grownT.IsZero()
+			})
+			close(joinReady)
+			err := <-joined
+			mu.Lock()
+			if errs[cfg.KillRank] == nil {
+				errs[cfg.KillRank] = err
+			}
+			mu.Unlock()
+		}()
+		wg.Wait()
+	}()
+
+	timeout := 2 * cfg.watchdog()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		sc.teardown()
+		<-done
+		return nil, fmt.Errorf("harness: elastic grow phase watchdog fired after %v", timeout)
+	}
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("harness: grow rank %d: %w", rank, err)
+		}
+	}
+	if res.GrowSize != n {
+		return nil, fmt.Errorf("harness: grow committed size %d, want %d", res.GrowSize, n)
+	}
+	for rank, s := range res.Finals {
+		if s == nil {
+			return nil, fmt.Errorf("harness: rank %d has no final snapshot", rank)
+		}
+		if s.Workers != n {
+			return nil, fmt.Errorf("harness: rank %d finished at world size %d, want %d", rank, s.Workers, n)
+		}
+	}
+	if !joinT.IsZero() && grownT.After(joinT) {
+		res.GrowDowntime = grownT.Sub(joinT)
+	}
+	return res, nil
+}
+
+// validateElastic checks the pieces both elastic scenarios need.
+func validateElastic(cfg *RecoveryConfig) error {
+	n := cfg.Train.Workers
+	if cfg.Train.Checkpoint != nil || cfg.Train.OnStep != nil || cfg.Train.Rejoin != nil || cfg.Train.Elastic != nil {
+		return fmt.Errorf("harness: elastic owns Checkpoint, OnStep, Rejoin, and Elastic")
+	}
+	if cfg.Dir == "" || cfg.Every <= 0 {
+		return fmt.Errorf("harness: elastic needs Dir and Every")
+	}
+	if n < 3 {
+		return fmt.Errorf("harness: elastic needs at least 3 workers (the shrink must keep a ring)")
+	}
+	if cfg.KillRank < 0 || cfg.KillRank >= n {
+		return fmt.Errorf("harness: kill rank %d out of [0,%d)", cfg.KillRank, n)
+	}
+	if cfg.KillStep <= 0 {
+		return fmt.Errorf("harness: kill step must be positive")
+	}
+	switch cfg.Transport {
+	case "", TransportHub, TransportTCP:
+	default:
+		return fmt.Errorf("harness: unknown transport %q", cfg.Transport)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"net"
 	"reflect"
@@ -61,10 +62,22 @@ type RecoveryConfig struct {
 	// Timeout is the per-phase watchdog; 0 selects 60s (scaled up under the
 	// race detector — see raceTimeoutScale). Explicit values are used as-is.
 	Timeout time.Duration
+	// RejoinDeadline is how long elastic survivors hold the door open for a
+	// lost rank before voting to shrink (RunElastic/RunElasticGrow only);
+	// 0 selects 500ms (race-scaled).
+	RejoinDeadline time.Duration
 	// SetupTimeout and OpTimeout configure the TCP ring; zero selects 10s
 	// and 30s respectively (race-scaled). Ignored on the hub.
 	SetupTimeout time.Duration
 	OpTimeout    time.Duration
+}
+
+// elasticDeadline returns the effective shrink-vote deadline.
+func (cfg *RecoveryConfig) elasticDeadline() time.Duration {
+	if cfg.RejoinDeadline > 0 {
+		return cfg.RejoinDeadline
+	}
+	return 500 * time.Millisecond * raceTimeoutScale
 }
 
 // watchdog returns the effective per-phase watchdog timeout.
@@ -302,55 +315,9 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 	finals = make([]*grace.Snapshot, n)
 	errs = make([]error, n)
 
-	// Transport-specific pieces: a per-rank collective factory, the victim's
-	// death action, and the watchdog's group teardown.
-	var collFor func(rank int) (comm.Collective, func(), error)
-	var teardown func()
-	if cfg.Transport == TransportTCP {
-		addrs, err := freeLoopbackAddrs(n)
-		if err != nil {
-			return nil, nil, err
-		}
-		var mu sync.Mutex
-		var rings []*comm.TCPRing
-		collFor = func(rank int) (comm.Collective, func(), error) {
-			ring, err := comm.DialTCPRingConfig(cfg.ringConfig(rank, addrs))
-			if err != nil {
-				return nil, nil, err
-			}
-			mu.Lock()
-			rings = append(rings, ring)
-			mu.Unlock()
-			// Process death severs the victim's sockets with no goodbye
-			// handshake (Kill, not Close — Close's orderly bye would make
-			// the survivors treat the departure as graceful); the survivors'
-			// liveness layer declares the rank dead with ErrPeerDead. In
-			// "hang" mode the victim instead freezes with its sockets open,
-			// forcing the conviction through the heartbeat miss window.
-			die := func() { ring.Kill() }
-			if cfg.KillMode == "hang" {
-				die = func() { ring.Hang() }
-			}
-			return ring, die, nil
-		}
-		teardown = func() {
-			mu.Lock()
-			defer mu.Unlock()
-			for _, r := range rings {
-				r.Close()
-			}
-		}
-	} else {
-		hub := comm.NewHub(n)
-		abort := func() {
-			hub.Abort(fmt.Errorf("supervisor: rank %d declared dead: %w", cfg.KillRank, ErrSimulatedCrash))
-		}
-		collFor = func(rank int) (comm.Collective, func(), error) {
-			// On the in-process hub there is no wire to reset, so the
-			// supervisor aborts the group when it sees the victim die.
-			return hub.Worker(rank), abort, nil
-		}
-		teardown = abort
+	sc, err := newFaultScaffold(&cfg, scaffoldRestart)
+	if err != nil {
+		return nil, nil, err
 	}
 
 	cluster := simnetClusterFor(cfg.Train)
@@ -362,12 +329,12 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 			wg.Add(1)
 			go func(rank int) {
 				defer wg.Done()
-				coll, die, err := collFor(rank)
+				coll, die, err := sc.collFor(rank)
 				if err != nil {
 					errs[rank] = err
 					return
 				}
-				if c, ok := coll.(*comm.TCPRing); ok {
+				if c, ok := coll.(io.Closer); ok {
 					defer c.Close()
 				}
 				tc := cfg.Train
@@ -416,7 +383,7 @@ func runRecoveryPhase(cfg RecoveryConfig, opts phaseOpts) (finals []*grace.Snaps
 	case <-done:
 		return finals, errs, nil
 	case <-time.After(timeout):
-		teardown()
+		sc.teardown()
 		<-done
 		return nil, nil, fmt.Errorf("harness: recovery phase watchdog fired after %v", timeout)
 	}

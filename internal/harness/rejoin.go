@@ -3,11 +3,11 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"repro/internal/ckpt"
-	"repro/internal/comm"
 	"repro/internal/grace"
 	"repro/internal/telemetry"
 )
@@ -107,53 +107,9 @@ func runRejoinPhase(cfg RecoveryConfig, res *RejoinResult) error {
 	healStep := int64(-1)
 	heals := 0
 
-	// Transport-specific pieces: a per-rank reformable collective factory,
-	// the victim's death action, and the watchdog's group teardown.
-	var collFor func(rank int) (comm.Collective, func(), error)
-	var teardown func()
-	if cfg.Transport == TransportTCP {
-		addrs, err := freeLoopbackAddrs(n)
-		if err != nil {
-			return err
-		}
-		var rmu sync.Mutex
-		var rings []*comm.Ring
-		collFor = func(rank int) (comm.Collective, func(), error) {
-			ring, err := comm.DialRing(cfg.ringConfig(rank, addrs))
-			if err != nil {
-				return nil, nil, err
-			}
-			rmu.Lock()
-			rings = append(rings, ring)
-			rmu.Unlock()
-			die := func() { ring.Kill() }
-			if cfg.KillMode == "hang" {
-				die = func() { ring.Hang() }
-			}
-			return ring, die, nil
-		}
-		teardown = func() {
-			rmu.Lock()
-			defer rmu.Unlock()
-			for _, r := range rings {
-				r.Kill()
-			}
-		}
-	} else {
-		hub := comm.NewHub(n)
-		hub.SetReformTimeout(cfg.watchdog())
-		// On the hub there is no wire to sever: the supervisor delivers the
-		// liveness verdict itself, with the same sentinel a transport's
-		// heartbeat layer would produce, so the trainers' heal path triggers.
-		abort := func() {
-			hub.Abort(fmt.Errorf("supervisor: rank %d process died: %w", cfg.KillRank, comm.ErrPeerDead))
-		}
-		collFor = func(rank int) (comm.Collective, func(), error) {
-			return hub.Worker(rank), abort, nil
-		}
-		teardown = func() {
-			hub.Abort(fmt.Errorf("rejoin watchdog teardown: %w", comm.ErrPeerDead))
-		}
+	sc, err := newFaultScaffold(&cfg, scaffoldReform)
+	if err != nil {
+		return err
 	}
 
 	// launch starts one rank's RunWorker. The victim's first incarnation
@@ -163,11 +119,11 @@ func runRejoinPhase(cfg RecoveryConfig, res *RejoinResult) error {
 		mu.Lock()
 		res.Launches[rank]++
 		mu.Unlock()
-		coll, die, err := collFor(rank)
+		coll, die, err := sc.collFor(rank)
 		if err != nil {
 			return err
 		}
-		if c, ok := coll.(*comm.Ring); ok {
+		if c, ok := coll.(io.Closer); ok {
 			defer c.Close()
 		}
 		tc := cfg.Train
@@ -262,7 +218,7 @@ func runRejoinPhase(cfg RecoveryConfig, res *RejoinResult) error {
 	select {
 	case <-done:
 	case <-time.After(timeout):
-		teardown()
+		sc.teardown()
 		<-done
 		return fmt.Errorf("harness: rejoin phase watchdog fired after %v", timeout)
 	}

@@ -31,6 +31,7 @@ type RunSummary struct {
 	Chaos     []ChaosResultJSON     `json:"chaos,omitempty"`
 	Recovery  []RecoveryResultJSON  `json:"recovery,omitempty"`
 	Rejoin    []RejoinResultJSON    `json:"rejoin,omitempty"`
+	Elastic   []ElasticResultJSON   `json:"elastic,omitempty"`
 	Straggler []StragglerResultJSON `json:"straggler,omitempty"`
 	// Quality is the last training run's per-tensor compression-quality
 	// table (achieved bits/param, EF residual L2, fault history); gracestat
@@ -197,6 +198,68 @@ func RejoinJSON(scenario string, res *RejoinResult, restartDowntime time.Duratio
 	out.DowntimeMs = float64(res.Downtime) / float64(time.Millisecond)
 	out.RestartDowntimeMs = float64(restartDowntime) / float64(time.Millisecond)
 	out.Pass = res.Match
+	return out
+}
+
+// ElasticResultJSON records one elastic-membership scenario. Shrink rows
+// carry the degraded group's commit (size, evicted ranks, EF-residual drops)
+// and the bitwise verdict against an N−1 reference started from the
+// post-reform state; grow rows carry the absorption step and size instead.
+// The restart path's downtime on the same kill gives the comparison column.
+type ElasticResultJSON struct {
+	Scenario   string `json:"scenario"`
+	Pass       bool   `json:"pass"`
+	ShrinkStep int64  `json:"shrink_step"`
+	ShrinkSize int    `json:"shrink_size,omitempty"`
+	Lost       []int  `json:"lost,omitempty"`
+	EFDrops    int64  `json:"ef_drops,omitempty"`
+	Match      bool   `json:"bitwise_match,omitempty"`
+	DowntimeMs float64 `json:"downtime_ms,omitempty"`
+	// RestartDowntimeMs is the supervised full-restart path's downtime on the
+	// same scenario, for the degrade-vs-restart comparison (0 when not run).
+	RestartDowntimeMs float64 `json:"restart_downtime_ms,omitempty"`
+	GrowStep          int64   `json:"grow_step,omitempty"`
+	GrowSize          int     `json:"grow_size,omitempty"`
+	GrowDowntimeMs    float64 `json:"grow_downtime_ms,omitempty"`
+	Detail            string  `json:"detail,omitempty"`
+	// Err reports an infrastructure failure that prevented a verdict.
+	Err string `json:"error,omitempty"`
+}
+
+// ElasticJSON converts a shrink outcome to its JSON form. res may be nil when
+// err is non-nil. restartDowntime 0 means the comparison run was not made.
+func ElasticJSON(scenario string, res *ElasticResult, restartDowntime time.Duration, err error) ElasticResultJSON {
+	out := ElasticResultJSON{Scenario: scenario}
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.ShrinkStep = res.ShrinkStep
+	out.ShrinkSize = res.ShrinkSize
+	out.Lost = res.Lost
+	out.EFDrops = res.EFDrops
+	out.Match = res.Match
+	out.Detail = res.Detail
+	out.DowntimeMs = float64(res.Downtime) / float64(time.Millisecond)
+	out.RestartDowntimeMs = float64(restartDowntime) / float64(time.Millisecond)
+	out.Pass = res.Match
+	return out
+}
+
+// ElasticGrowJSON converts a grow outcome to its JSON form; workers is the
+// full world size the group must reach again. res may be nil when err is
+// non-nil.
+func ElasticGrowJSON(scenario string, res *ElasticGrowResult, workers int, err error) ElasticResultJSON {
+	out := ElasticResultJSON{Scenario: scenario}
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.ShrinkStep = res.ShrinkStep
+	out.GrowStep = res.GrowStep
+	out.GrowSize = res.GrowSize
+	out.GrowDowntimeMs = float64(res.GrowDowntime) / float64(time.Millisecond)
+	out.Pass = res.GrowSize == workers && res.GrowStep > res.ShrinkStep
 	return out
 }
 

@@ -42,6 +42,18 @@ func (t *T) WritePrometheus(w io.Writer) error {
 		}
 	}
 
+	if gs := t.Gauges(); len(gs) > 0 {
+		keys := make([]string, 0, len(gs))
+		for k := range gs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(bw, "# TYPE grace_%s gauge\n", k)
+			fmt.Fprintf(bw, "grace_%s %d\n", k, gs[k])
+		}
+	}
+
 	fmt.Fprintf(bw, "# TYPE grace_strategy_bytes_sent_total counter\n")
 	for i := 0; i < NumStrategies; i++ {
 		fmt.Fprintf(bw, "grace_strategy_bytes_sent_total{strategy=%q} %d\n", strategyNames[i], t.stratSent[i].Load())

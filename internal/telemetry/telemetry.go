@@ -157,6 +157,13 @@ const (
 	CtrGroupReforms
 	CtrRingReconnects
 	CtrRejoinTransferBytes
+	// Elastic membership: group reforms committed at a smaller world size
+	// (evicting the ranks that missed the rejoin deadline), reforms that
+	// absorbed pending joiners back in, and error-feedback residual sets
+	// declared lost with an evicted rank (one per live EF-tensor per shrink).
+	CtrElasticShrinks
+	CtrElasticGrows
+	CtrElasticEFDrops
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -196,6 +203,9 @@ var counterNames = [NumCounters]string{
 	"group_reforms_total",
 	"ring_reconnects_total",
 	"rejoin_transfer_bytes_total",
+	"elastic_shrinks_total",
+	"elastic_grows_total",
+	"elastic_ef_drops_total",
 }
 
 // String names the counter as exported (without the "grace_" prefix).
@@ -246,6 +256,13 @@ type T struct {
 	// small — so a mutex-guarded map beats predeclaring counters per method.
 	methodMu    sync.Mutex
 	methodSteps map[string]int64
+
+	// gaugeMu guards gauges: last-write-wins instantaneous values (world
+	// size, group generation) exported alongside the counters. The name set
+	// is small and static per process, so a map keeps the registry open to
+	// new gauges without another enum.
+	gaugeMu sync.Mutex
+	gauges  map[string]int64
 }
 
 // Default is the process-wide registry the framework instruments. Counters
@@ -330,6 +347,47 @@ func (t *T) MethodSteps() map[string]int64 {
 	}
 	out := make(map[string]int64, len(t.methodSteps))
 	for k, v := range t.methodSteps {
+		out[k] = v
+	}
+	return out
+}
+
+// SetGauge records an instantaneous value under name (exported as
+// "grace_<name>" with gauge type). Last write wins.
+func (t *T) SetGauge(name string, v int64) {
+	if t == nil {
+		return
+	}
+	t.gaugeMu.Lock()
+	if t.gauges == nil {
+		t.gauges = make(map[string]int64)
+	}
+	t.gauges[name] = v
+	t.gaugeMu.Unlock()
+}
+
+// Gauge returns the last value set for name (0 if never set).
+func (t *T) Gauge(name string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.gaugeMu.Lock()
+	defer t.gaugeMu.Unlock()
+	return t.gauges[name]
+}
+
+// Gauges returns a copy of the gauge map, or nil when nothing has been set.
+func (t *T) Gauges() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	t.gaugeMu.Lock()
+	defer t.gaugeMu.Unlock()
+	if len(t.gauges) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(t.gauges))
+	for k, v := range t.gauges {
 		out[k] = v
 	}
 	return out
